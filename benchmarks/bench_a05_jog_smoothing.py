@@ -1,0 +1,61 @@
+"""Ablation A5: post-OPC jog smoothing -- mask data vs correction quality.
+
+Model-OPC output staircases cost shots; jogs below the writer's resolution
+carry no printable information.  The ablation smooths the corrected NAND2
+poly at increasing tolerances and tracks writer shots against residual
+EPE.
+
+Expected shape: shots fall steeply with small tolerances at negligible EPE
+cost; past the process-meaningful scale the EPE penalty appears -- the
+curve every tape-out flow tunes.
+"""
+
+from repro.design import StdCellGenerator
+from repro.flow import print_table
+from repro.geometry import smooth_jogs
+from repro.layout import POLY
+from repro.litho import binary_mask
+from repro.mask import mask_data_stats
+from repro.opc import model_opc
+from repro.verify import measure_epe
+
+TOLERANCES = (0, 2, 4, 8, 16)
+
+
+def run_experiment(simulator, anchor_dose, rules):
+    cell = StdCellGenerator(rules).library()["NAND2"]
+    target = cell.flat_region(POLY)
+    window = cell.bbox().expanded(100)
+    corrected = model_opc(target, simulator, window, dose=anchor_dose).corrected
+    rows = []
+    for tolerance in TOLERANCES:
+        geometry = corrected if tolerance == 0 else smooth_jogs(corrected, tolerance)
+        data = mask_data_stats(geometry)
+        stats, _ = measure_epe(
+            simulator, binary_mask(geometry), target, window,
+            dose=anchor_dose, include_corners=False,
+        )
+        rows.append(
+            [tolerance, data.vertices, data.shots, stats.rms_nm, stats.max_abs_nm]
+        )
+    return rows
+
+
+def test_a05_jog_smoothing(benchmark, simulator, anchor_dose, rules):
+    rows = benchmark.pedantic(
+        run_experiment, args=(simulator, anchor_dose, rules), rounds=1, iterations=1
+    )
+    print()
+    print_table(
+        ["smooth tol (nm)", "vertices", "shots", "rms EPE (nm)", "max EPE (nm)"],
+        rows,
+        title="A5: jog-smoothing tolerance on model-OPC output (NAND2 poly)",
+    )
+    by_tol = {r[0]: r for r in rows}
+    # Shape: shots monotonically non-increasing with tolerance; moderate
+    # smoothing keeps EPE essentially free; aggressive smoothing costs EPE.
+    shots = [r[2] for r in rows]
+    assert all(a >= b for a, b in zip(shots, shots[1:]))
+    assert by_tol[4][2] < by_tol[0][2]
+    assert by_tol[4][3] < by_tol[0][3] + 0.6  # ~free at 4 nm
+    assert by_tol[16][3] >= by_tol[4][3]  # aggressive smoothing costs quality

@@ -1,0 +1,64 @@
+"""Ablation A7: tiled-OPC halo size -- context starvation at tile seams.
+
+Tiled OPC corrects each tile against the geometry inside its halo; a halo
+smaller than the optical interaction range starves tiles of context, so
+fragments near seams get corrected against the wrong neighbourhood.  The
+ablation corrects a line pattern that straddles tile boundaries with
+increasing halos and measures residual run-site EPE.
+
+Expected shape: EPE improves as the halo grows toward the optical
+interaction distance (~lambda/NA plus resist blur) and saturates there --
+the rule every OPC farm uses to size its tile overlap.
+"""
+
+from repro.design import line_space_array
+from repro.flow import print_table
+from repro.geometry import Rect
+from repro.litho import binary_mask
+from repro.opc import ModelOPCRecipe, TilingSpec, model_opc_tiled
+from repro.verify import measure_epe
+
+HALOS = (0, 100, 300, 600)
+
+
+def run_experiment(simulator, anchor_dose):
+    pattern = line_space_array(180, 280, count=11, length=3200)
+    target = pattern.region
+    window = target.bbox()
+    rows = []
+    for halo in HALOS:
+        result = model_opc_tiled(
+            target,
+            simulator,
+            window,
+            ModelOPCRecipe(max_iterations=5),
+            tiling=TilingSpec(tile_nm=1600, halo_nm=halo),
+            dose=anchor_dose,
+        )
+        stats, _ = measure_epe(
+            simulator,
+            binary_mask(result.corrected),
+            target,
+            Rect(window.x1, -400, window.x2, 400),
+            dose=anchor_dose,
+            include_corners=False,
+        )
+        rows.append([halo, result.fragment_count, stats.rms_nm, stats.max_abs_nm])
+    return rows
+
+
+def test_a07_tile_halo(benchmark, simulator, anchor_dose):
+    rows = benchmark.pedantic(
+        run_experiment, args=(simulator, anchor_dose), rounds=1, iterations=1
+    )
+    print()
+    print_table(
+        ["halo (nm)", "fragments corrected", "rms EPE (nm)", "max EPE (nm)"],
+        rows,
+        title="A7: tiled-OPC halo ablation (11 dense lines across tiles)",
+    )
+    by_halo = {r[0]: r for r in rows}
+    # Shape: a generous halo beats no halo, and the full-ambit halo is good.
+    assert by_halo[600][2] <= by_halo[0][2] + 0.05
+    assert by_halo[600][2] < 2.0
+    assert by_halo[600][3] <= by_halo[0][3] + 0.1

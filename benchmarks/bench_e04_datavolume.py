@@ -1,0 +1,92 @@
+"""E4 / Tab-2 [reconstructed]: the mask data explosion.
+
+The paper's headline table: what OPC adoption does to mask data.  A placed
+random-logic block's poly layer passes through each correction level; the
+experiment reports database figures/vertices, fractured writer shots,
+GDSII bytes, and the growth factors relative to the uncorrected mask.
+
+Expected shape: rule OPC costs ~1.2-2x vertices; model-based OPC costs
+roughly an order of magnitude in vertices/shots/bytes; SRAFs multiply the
+figure count on top.
+"""
+
+from repro.design import BlockSpec, random_logic_block
+from repro.flow import CorrectionLevel, correct_region, print_table
+from repro.layout import POLY
+from repro.mask import MaskCostModel
+
+LEVELS = (
+    CorrectionLevel.NONE,
+    CorrectionLevel.RULE,
+    CorrectionLevel.MODEL,
+    CorrectionLevel.MODEL_SRAF,
+)
+
+
+def run_experiment(simulator, anchor_dose, rule_recipe, rules):
+    library = random_logic_block(
+        rules, BlockSpec(rows=2, row_width=7000, nets=4, seed=3)
+    )
+    top = library["block_top"]
+    target = top.flat_region(POLY)
+    window = top.bbox()
+    results = {}
+    for level in LEVELS:
+        results[level] = correct_region(
+            target,
+            level,
+            simulator=simulator,
+            window=window,
+            dose=anchor_dose,
+            rule_recipe=rule_recipe,
+        )
+    return results, window.area / 1e6  # block area in um^2
+
+
+def test_e04_data_volume(benchmark, simulator, anchor_dose, rule_recipe, rules):
+    results, area_um2 = benchmark.pedantic(
+        run_experiment,
+        args=(simulator, anchor_dose, rule_recipe, rules),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = results[CorrectionLevel.NONE].data
+    cost_model = MaskCostModel()
+    rows = []
+    for level in LEVELS:
+        data = results[level].data
+        growth = data.ratio_to(baseline)
+        # Extrapolate the measured shot density to a 1 cm^2 die: the
+        # full-reticle write-time bill the mask shop actually sees.
+        die_hours = (
+            data.shots / area_um2 * 1e8 / cost_model.shots_per_second / 3600.0
+        )
+        rows.append(
+            [
+                level.value,
+                data.figures,
+                data.vertices,
+                data.shots,
+                data.gds_bytes,
+                f"x{growth.vertices:.1f}",
+                f"x{growth.shots:.1f}",
+                die_hours,
+            ]
+        )
+    print()
+    print_table(
+        ["level", "figures", "vertices", "shots", "GDS bytes",
+         "vertex growth", "shot growth", "write h/cm^2"],
+        rows,
+        title="E4: poly mask data volume through the correction levels",
+    )
+
+    rule = results[CorrectionLevel.RULE].data
+    model = results[CorrectionLevel.MODEL].data
+    sraf = results[CorrectionLevel.MODEL_SRAF].data
+    # Shape: modest rule growth, order-of-magnitude model growth, SRAFs
+    # multiply the figure count further.
+    assert baseline.vertices < rule.vertices < model.vertices
+    assert model.vertices > 5 * baseline.vertices
+    assert model.gds_bytes > 4 * baseline.gds_bytes
+    assert sraf.figures > 1.5 * model.figures

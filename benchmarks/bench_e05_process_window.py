@@ -1,0 +1,81 @@
+"""E5 / Fig-3 [reconstructed]: process windows by mask technology.
+
+Exposure-latitude vs depth-of-focus curves for the dense anchor feature
+and for an isolated 180 nm line on binary chrome, binary + scattering
+bars, and attenuated PSM.  Each technology is anchored with its own
+dose-to-size.
+
+Expected shape: the dense feature holds the largest focus window; the
+bare isolated line collapses through focus; SRAFs recover a large part of
+the dense window; att-PSM buys exposure latitude.
+"""
+
+import numpy as np
+
+from repro.design import isolated_line
+from repro.flow import print_table
+from repro.litho import (
+    attpsm_mask,
+    binary_mask,
+    dof_at_exposure_latitude,
+    exposure_latitude_curve,
+)
+from repro.opc import insert_srafs
+
+FOCUSES = tuple(np.linspace(-900.0, 900.0, 13))
+TARGET = 180.0
+
+
+def _window_metrics(simulator, mask, pattern):
+    dose0 = simulator.dose_to_size(
+        mask, pattern.window, pattern.site("center"), TARGET
+    )
+    doses = [dose0 * k for k in np.linspace(0.80, 1.20, 13)]
+    fem = simulator.focus_exposure_matrix(
+        mask, pattern.window, pattern.site("center"), FOCUSES, doses
+    )
+    curve = exposure_latitude_curve(fem, TARGET, tolerance=0.10, nominal_dose=dose0)
+    max_el = max((el for _dof, el in curve), default=0.0)
+    dof = dof_at_exposure_latitude(curve, min_el_percent=8.0)
+    return dose0, max_el, dof
+
+
+def run_experiment(simulator, anchor_pattern):
+    iso = isolated_line(180)
+    srafs = insert_srafs(iso.region)
+    cases = [
+        ("dense 180/460 binary", binary_mask(anchor_pattern.region), anchor_pattern),
+        ("iso 180 binary", binary_mask(iso.region), iso),
+        ("iso 180 binary+SRAF", binary_mask(iso.region, srafs=srafs), iso),
+        ("iso 180 att-PSM", attpsm_mask(iso.region), iso),
+    ]
+    return {
+        name: _window_metrics(simulator, mask, pattern)
+        for name, mask, pattern in cases
+    }
+
+
+def test_e05_process_window(benchmark, simulator, anchor_pattern):
+    metrics = benchmark.pedantic(
+        run_experiment, args=(simulator, anchor_pattern), rounds=1, iterations=1
+    )
+    rows = [
+        [name, round(dose, 3), round(el, 1), int(dof)]
+        for name, (dose, el, dof) in metrics.items()
+    ]
+    print()
+    print_table(
+        ["feature / mask", "dose-to-size", "max EL (%)", "DOF @ 8% EL (nm)"],
+        rows,
+        title="E5: exposure latitude and DOF by mask technology",
+    )
+
+    dense = metrics["dense 180/460 binary"]
+    iso = metrics["iso 180 binary"]
+    sraf = metrics["iso 180 binary+SRAF"]
+    att = metrics["iso 180 att-PSM"]
+    # Shape: dense holds the most focus; iso collapses; SRAFs recover DOF;
+    # att-PSM buys exposure latitude.
+    assert dense[2] > iso[2]
+    assert sraf[2] > iso[2]
+    assert att[1] > iso[1]

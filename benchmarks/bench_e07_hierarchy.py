@@ -1,0 +1,78 @@
+"""E7 / Tab-3 [reconstructed]: OPC destroys layout hierarchy.
+
+Proximity correction depends on everything inside the correction halo, so
+two placements of one cell with different neighbourhoods need different
+corrected geometry.  The experiment counts unique optical contexts per
+cell in a placed random-logic block as the halo grows, plus the resulting
+figure counts (shared / per-variant / flat).
+
+Expected shape: small halos leave hierarchy intact (contexts identical);
+once the halo reaches the inter-cell geometry, contexts diverge and reuse
+collapses toward fully-flat mask data -- the paper's hierarchy argument.
+"""
+
+from repro.analysis import hierarchy_impact
+from repro.design import BlockSpec, random_logic_block
+from repro.flow import print_table
+from repro.layout import POLY, layout_stats
+
+RADII = (300, 800, 1500, 2500)
+
+
+def run_experiment(rules):
+    library = random_logic_block(
+        rules, BlockSpec(rows=4, row_width=16000, nets=8, seed=17)
+    )
+    top = library["block_top"]
+    stats = layout_stats(top)
+    impacts = {radius: hierarchy_impact(top, POLY, radius) for radius in RADII}
+    return stats, impacts
+
+
+def test_e07_hierarchy_impact(benchmark, rules):
+    stats, impacts = benchmark.pedantic(
+        run_experiment, args=(rules,), rounds=1, iterations=1
+    )
+    rows = []
+    for radius, impact in impacts.items():
+        contexts = sum(s.unique_contexts for s in impact.per_cell)
+        placements = sum(s.placements for s in impact.per_cell)
+        rows.append(
+            [
+                radius,
+                placements,
+                contexts,
+                impact.shared_figures,
+                impact.variant_figures,
+                impact.flat_figures,
+                impact.reuse_surviving,
+            ]
+        )
+    print()
+    print(
+        f"block: {stats.cells} cells, {stats.placements} placements, "
+        f"{stats.flat_figures} flat figures"
+    )
+    print_table(
+        ["halo (nm)", "placements", "unique contexts", "shared figs",
+         "variant figs", "flat figs", "reuse surviving"],
+        rows,
+        title="E7: post-OPC cell variants vs correction halo",
+    )
+
+    small = impacts[RADII[0]]
+    large = impacts[RADII[-1]]
+    # Shape: contexts non-decreasing with halo; the large halo destroys
+    # most reuse; figure accounting is consistent.
+    for earlier, later in zip(RADII, RADII[1:]):
+        assert sum(s.unique_contexts for s in impacts[later].per_cell) >= sum(
+            s.unique_contexts for s in impacts[earlier].per_cell
+        )
+    assert large.reuse_surviving < small.reuse_surviving
+    assert large.reuse_surviving < 0.5
+    for impact in impacts.values():
+        assert (
+            impact.shared_figures
+            <= impact.variant_figures
+            <= impact.flat_figures
+        )

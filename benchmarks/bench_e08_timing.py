@@ -1,0 +1,103 @@
+"""E8 / Fig-5 [reconstructed]: printed-gate timing, drawn vs printed CDs.
+
+Timing sign-off assumes drawn gate lengths; silicon switches at printed
+ones.  The experiment measures every gate CD of a placed cell row from
+simulation, converts CDs to stage delays with the alpha-power model, and
+compares the delay distribution for drawn geometry (ideal), the
+uncorrected print, and the model-OPC-corrected print.
+
+Expected shape: the uncorrected print shifts the mean delay and adds
+spread; OPC pulls both back toward the drawn ideal.
+"""
+
+from repro.analysis import (
+    DeviceModel,
+    TimingDistribution,
+    gate_sites_of_cell,
+    measure_gate_cds,
+    population_leakage_ratio,
+)
+from repro.design import StdCellGenerator, place_rows
+from repro.flow import print_table
+from repro.layout import ACTIVE, POLY
+from repro.litho import binary_mask
+from repro.opc import ModelOPCRecipe, TilingSpec, model_opc_tiled
+
+DRAWN_L = 180.0
+
+
+def run_experiment(simulator, anchor_dose, rules):
+    library = StdCellGenerator(rules).library()
+    row = place_rows(
+        "timing_row",
+        [[library["INV"], library["NAND2"], library["AOI21"], library["INV"]]],
+    )
+    sites = gate_sites_of_cell(row, POLY, ACTIVE)
+    target = row.flat_region(POLY)
+    window = row.bbox().expanded(100)
+
+    corrected = model_opc_tiled(
+        target,
+        simulator,
+        window,
+        ModelOPCRecipe(),
+        tiling=TilingSpec(tile_nm=2400, halo_nm=600),
+        dose=anchor_dose,
+    ).corrected
+
+    populations = {
+        "drawn (ideal)": [DRAWN_L] * len(sites),
+        "printed, no OPC": measure_gate_cds(
+            simulator, binary_mask(target), sites, window, dose=anchor_dose
+        ),
+        "printed, model OPC": measure_gate_cds(
+            simulator, binary_mask(corrected), sites, window, dose=anchor_dose
+        ),
+    }
+    return sites, populations
+
+
+def test_e08_timing_impact(benchmark, simulator, anchor_dose, rules):
+    sites, populations = benchmark.pedantic(
+        run_experiment, args=(simulator, anchor_dose, rules), rounds=1, iterations=1
+    )
+    model = DeviceModel()
+    rows = []
+    dists = {}
+    leakage = {}
+    for name, cds in populations.items():
+        printable = [cd for cd in cds if cd is not None]
+        dist = TimingDistribution.from_cds(printable, DRAWN_L, model)
+        dists[name] = dist
+        leakage[name] = population_leakage_ratio(printable, DRAWN_L, model)
+        cd_mean = sum(printable) / len(printable)
+        rows.append(
+            [
+                name,
+                len(printable),
+                cd_mean,
+                dist.mean_ps,
+                dist.sigma_ps,
+                dist.path_delay_ps(stages=10),
+                leakage[name],
+            ]
+        )
+    print()
+    print_table(
+        ["population", "gates", "mean CD (nm)", "mean delay (ps)",
+         "sigma (ps)", "10-stage worst path (ps)", "leakage ratio"],
+        rows,
+        title="E8: gate delay from printed CDs (4-cell row, 14 gates)",
+    )
+
+    drawn = dists["drawn (ideal)"]
+    raw = dists["printed, no OPC"]
+    opc = dists["printed, model OPC"]
+    # Shape: every gate printed; uncorrected print spreads the delays;
+    # OPC brings mean and spread back toward drawn.
+    assert all(cd is not None for cds in populations.values() for cd in cds)
+    assert raw.sigma_ps > opc.sigma_ps
+    assert abs(opc.mean_ps - drawn.mean_ps) < abs(raw.mean_ps - drawn.mean_ps)
+    # Under-printed gates leak exponentially; OPC recovers the budget.
+    assert leakage["printed, no OPC"] > 1.3
+    assert leakage["printed, model OPC"] < leakage["printed, no OPC"]

@@ -1,0 +1,85 @@
+"""E10 / Tab-5 [reconstructed]: OPC runtime scaling with layout size.
+
+Rule-based OPC is a geometric pass; model-based OPC simulates in the loop,
+tiled so cost grows with area.  The experiment corrects poly for random
+logic blocks of increasing size and reports wall-clock per level.
+
+Expected shape: rule OPC stays milliseconds-cheap and roughly linear in
+figure count; model-based OPC costs orders of magnitude more per figure
+and scales with corrected area -- the compute bill the industry signed up
+for in 2001.
+"""
+
+import time
+
+from repro.design import BlockSpec, random_logic_block
+from repro.flow import print_table
+from repro.layout import POLY
+from repro.opc import (
+    ModelOPCRecipe,
+    TilingSpec,
+    model_opc_tiled,
+    rule_opc,
+)
+
+SIZES = (
+    ("small", BlockSpec(rows=1, row_width=5000, nets=0, seed=5)),
+    ("medium", BlockSpec(rows=2, row_width=7000, nets=0, seed=5)),
+    ("large", BlockSpec(rows=3, row_width=10000, nets=0, seed=5)),
+)
+
+#: Model OPC at reduced iteration count: runtime scaling, not quality.
+FAST_MODEL = ModelOPCRecipe(max_iterations=3)
+
+
+def run_experiment(simulator, anchor_dose, rule_recipe, rules):
+    rows = []
+    scaling = []
+    for name, spec in SIZES:
+        library = random_logic_block(rules, spec, name=name)
+        top = library[f"{name}_top"]
+        target = top.flat_region(POLY)
+        area_um2 = top.bbox().area / 1e6
+
+        start = time.perf_counter()
+        rule_opc(target, rule_recipe)
+        rule_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        model_opc_tiled(
+            target,
+            simulator,
+            top.bbox(),
+            FAST_MODEL,
+            tiling=TilingSpec(tile_nm=2400, halo_nm=600),
+            dose=anchor_dose,
+        )
+        model_s = time.perf_counter() - start
+
+        figures = target.merged().num_loops
+        rows.append([name, figures, area_um2, rule_s, model_s])
+        scaling.append((area_um2, rule_s, model_s))
+    return rows, scaling
+
+
+def test_e10_runtime_scaling(benchmark, simulator, anchor_dose, rule_recipe, rules):
+    rows, scaling = benchmark.pedantic(
+        run_experiment,
+        args=(simulator, anchor_dose, rule_recipe, rules),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(
+        ["block", "poly figures", "area (um^2)", "rule OPC (s)", "model OPC (s)"],
+        rows,
+        title="E10: OPC runtime vs layout size",
+    )
+    small_area, small_rule, small_model = scaling[0]
+    large_area, large_rule, large_model = scaling[-1]
+    # Shape: model OPC costs >> rule OPC everywhere; model runtime grows
+    # with area; rule OPC stays in fractions of a second.
+    for _area, rule_s, model_s in scaling:
+        assert model_s > 20 * rule_s
+    assert large_model > small_model
+    assert large_rule < 2.0

@@ -1,0 +1,87 @@
+"""E12 / Tab-6 [reconstructed]: mask rule violations vs OPC aggressiveness.
+
+OPC output still has to be written by a mask shop.  The experiment
+decorates a standard-cell poly layer with increasingly aggressive
+correction (larger serifs, finer fragmentation with bigger excursions) and
+runs mask rule checks at a 40 nm (wafer-scale) writer limit.
+
+Expected shape: plain and mildly corrected masks pass MRC; aggressive
+serifs/hammerheads start colliding with writer limits, producing width and
+space violations that a production flow would have to repair.
+"""
+
+from repro.design import StdCellGenerator
+from repro.flow import print_table
+from repro.layout import POLY
+from repro.opc import (
+    MRCRules,
+    RuleOPCRecipe,
+    add_serifs,
+    check_mask,
+    rule_opc,
+)
+
+MRC = MRCRules(min_width_nm=40, min_space_nm=40)
+
+
+def run_experiment(rule_recipe, rules):
+    cell = StdCellGenerator(rules).library()["OAI22"]
+    target = cell.flat_region(POLY)
+    cases = [
+        ("no OPC", target),
+        ("rule OPC", rule_opc(target, rule_recipe).corrected),
+        (
+            "rule OPC + 60nm serifs",
+            add_serifs(rule_opc(target, rule_recipe).corrected, 60),
+        ),
+        (
+            "aggressive: hammerheads + 30nm serifs",
+            add_serifs(
+                rule_opc(
+                    target,
+                    RuleOPCRecipe(
+                        bias_table=rule_recipe.bias_table,
+                        line_end_extension_nm=40,
+                        hammerhead_extra_nm=30,
+                    ),
+                ).corrected,
+                30,
+            ),
+        ),
+    ]
+    rows = []
+    for name, geometry in cases:
+        report = check_mask(geometry, MRC)
+        rows.append(
+            [
+                name,
+                geometry.merged().num_vertices,
+                report.width_violation_count,
+                report.space_violation_count,
+                report.is_clean,
+            ]
+        )
+    return rows
+
+
+def test_e12_mrc_violations(benchmark, rule_recipe, rules):
+    rows = benchmark.pedantic(
+        run_experiment, args=(rule_recipe, rules), rounds=1, iterations=1
+    )
+    print()
+    print_table(
+        ["correction", "vertices", "width violations", "space violations",
+         "MRC clean"],
+        rows,
+        title="E12: mask rule check vs OPC aggressiveness (40 nm writer limit)",
+    )
+    by_name = {r[0]: r for r in rows}
+    # Shape: uncorrected and plain rule OPC are writable; the aggressive
+    # decoration collides with the writer limits.
+    assert by_name["no OPC"][4]
+    assert by_name["rule OPC"][4]
+    aggressive = by_name["aggressive: hammerheads + 30nm serifs"]
+    assert not aggressive[4]
+    assert aggressive[2] + aggressive[3] > 0
+    # Decoration always costs vertices.
+    assert by_name["rule OPC + 60nm serifs"][1] > by_name["rule OPC"][1]

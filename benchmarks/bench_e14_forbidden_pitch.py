@@ -1,0 +1,77 @@
+"""E14 / Tab-8 [reconstructed]: forbidden pitches and design-rule relief.
+
+Off-axis illumination creates pitch ranges where CD control collapses --
+"forbidden pitches" that had to be written into design rules.  The
+experiment extracts the restricted pitch ranges from the proximity curve
+at a tight CD tolerance, before and after calibrated rule OPC, and with
+SRAF insertion on top.
+
+Expected shape: the uncorrected process forbids a band of semi-dense
+pitches; correction lifts most of the restrictions (higher usable-pitch
+fraction), which is precisely how OPC relaxed design rules.
+"""
+
+from repro.analysis import (
+    forbidden_pitches,
+    proximity_curve,
+    usable_pitch_fraction,
+)
+from repro.flow import print_table
+from repro.litho import binary_mask
+from repro.opc import SRAFRecipe, insert_srafs, rule_opc
+
+PITCHES = [380, 420, 460, 520, 600, 700, 820, 960, 1120, 1300, 1500]
+TOLERANCE_NM = 9.0  # 5% of the 180 nm target
+
+
+def run_experiment(simulator, anchor_dose, rule_recipe):
+    def rule_flow(region):
+        return binary_mask(rule_opc(region, rule_recipe).corrected)
+
+    def rule_sraf_flow(region):
+        corrected = rule_opc(region, rule_recipe).corrected
+        return binary_mask(corrected, srafs=insert_srafs(corrected, SRAFRecipe()))
+
+    flows = [
+        ("no OPC", binary_mask),
+        ("rule OPC", rule_flow),
+        ("rule OPC + SRAF", rule_sraf_flow),
+    ]
+    results = {}
+    for name, flow in flows:
+        curve = proximity_curve(
+            simulator, 180, PITCHES, dose=anchor_dose, mask_flow=flow
+        )
+        results[name] = (
+            curve,
+            forbidden_pitches(curve, 180.0, TOLERANCE_NM),
+            usable_pitch_fraction(curve, 180.0, TOLERANCE_NM),
+        )
+    return results
+
+
+def test_e14_forbidden_pitches(benchmark, simulator, anchor_dose, rule_recipe):
+    results = benchmark.pedantic(
+        run_experiment,
+        args=(simulator, anchor_dose, rule_recipe),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, (curve, restrictions, fraction) in results.items():
+        ranges = "; ".join(str(r) for r in restrictions) or "none"
+        rows.append([name, len(restrictions), fraction, ranges])
+    print()
+    print_table(
+        ["flow", "restricted ranges", "usable fraction", "forbidden pitches"],
+        rows,
+        title=f"E14: forbidden pitches at +/-{TOLERANCE_NM:.0f} nm CD tolerance",
+    )
+
+    none_fraction = results["no OPC"][2]
+    rule_fraction = results["rule OPC"][2]
+    # Shape: the raw process forbids pitches; correction lifts
+    # restrictions (strictly higher usable fraction).
+    assert results["no OPC"][1], "expected forbidden pitches without OPC"
+    assert rule_fraction > none_fraction
+    assert results["rule OPC + SRAF"][2] >= none_fraction

@@ -1,0 +1,65 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the reconstructed
+evaluation (see DESIGN.md section 5 and the mismatch notice at its top).
+Fixtures here hold the expensive shared state: the anchored simulator and
+the calibrated rule-OPC bias table.
+
+Run the suite with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` lets each experiment print its table; the qualitative assertions
+run either way.
+"""
+
+import pytest
+
+from repro.design import line_space_array, node_180nm
+from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+from repro.opc import RuleOPCRecipe, calibrate_bias_table
+
+#: The drawn CD every experiment targets.
+TARGET_CD = 180.0
+
+
+@pytest.fixture(scope="session")
+def rules():
+    return node_180nm()
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return LithoSimulator(
+        LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    )
+
+
+@pytest.fixture(scope="session")
+def anchor_pattern():
+    """The dense 180 nm / 460 nm-pitch anchor grating."""
+    return line_space_array(180, 280)
+
+
+@pytest.fixture(scope="session")
+def anchor_dose(simulator, anchor_pattern):
+    """Dose-to-size on the anchor feature (the process's exposure point)."""
+    return simulator.dose_to_size(
+        binary_mask(anchor_pattern.region),
+        anchor_pattern.window,
+        anchor_pattern.site("center"),
+        TARGET_CD,
+    )
+
+
+@pytest.fixture(scope="session")
+def bias_table(simulator, anchor_dose):
+    """A rule-OPC bias table calibrated from simulated proximity data."""
+    return calibrate_bias_table(
+        simulator, 180, [260, 360, 540, 900, 1400], dose=anchor_dose
+    )
+
+
+@pytest.fixture(scope="session")
+def rule_recipe(bias_table):
+    return RuleOPCRecipe(bias_table=bias_table)

@@ -1,0 +1,65 @@
+"""Defect monitoring: a comb-serpentine through the process window.
+
+Fabs qualify a process by printing comb-serpentine monitors and probing
+them electrically: the serpentine must conduct end to end (no opens) and
+stay isolated from the comb (no bridges).  This example prints the
+monitor across a dose sweep, extracts connectivity from the *printed*
+shapes, and reports where the electrical window closes -- tying together
+the lithography simulator, the geometry kernel, and the net extractor.
+
+Run:  python examples/defect_monitor.py
+"""
+
+from repro.design import comb_serpentine
+from repro.flow import print_table
+from repro.layout import Cell, METAL1
+from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+from repro.verify import extract_nets
+
+pattern = comb_serpentine(width=240, space=260, rows=5, row_length=2000)
+simulator = LithoSimulator(
+    LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+)
+mask = binary_mask(pattern.region)
+
+dose0 = simulator.dose_to_size(
+    mask, pattern.window, pattern.site("serpentine_start"), 240.0, axis="y"
+)
+print(f"dose-to-size on the serpentine linewidth: {dose0:.3f}\n")
+
+rows = []
+for factor in (0.45, 0.70, 1.00, 1.40, 2.00, 2.80):
+    dose = dose0 * factor
+    printed = simulator.printed(mask, pattern.window, dose=dose)
+    cell = Cell("printed")
+    cell.set_region(METAL1, printed)
+    netlist = extract_nets(cell)
+    continuous = netlist.connected(
+        (METAL1, pattern.site("serpentine_start")),
+        (METAL1, pattern.site("serpentine_end")),
+    )
+    bridged = netlist.connected(
+        (METAL1, pattern.site("comb")),
+        (METAL1, pattern.site("serpentine_start")),
+    )
+    cd = simulator.cd(
+        mask, pattern.window, pattern.site("serpentine_start"),
+        axis="y", dose=dose,
+    )
+    rows.append(
+        [f"x{factor:.2f}", cd, netlist.net_count, continuous, bridged]
+    )
+
+print_table(
+    ["dose", "line CD (nm)", "printed nets", "serpentine continuous",
+     "bridged to comb"],
+    rows,
+    title="Electrical state of the printed monitor vs dose",
+)
+print(
+    "\nThe electrical window is where the serpentine stays continuous and "
+    "unbridged.\nUnderdose fattens the lines until they short to the comb "
+    "(x0.45 above);\nthe uniform lines of this monitor neck gracefully, so "
+    "opens need a local\ndefect or a line-end -- which is exactly why fabs "
+    "probe both failure modes."
+)

@@ -1,0 +1,72 @@
+"""Process-window study: why isolated features forced RET adoption.
+
+Measures the exposure-latitude vs depth-of-focus trade-off of an isolated
+180 nm line under three mask technologies -- binary chrome, binary with
+scattering bars (SRAFs), and attenuated PSM -- and compares each against
+the dense reference feature.
+
+Run:  python examples/process_window_study.py
+"""
+
+import numpy as np
+
+from repro.design import isolated_line, line_space_array
+from repro.flow import print_table
+from repro.litho import (
+    LithoConfig,
+    LithoSimulator,
+    attpsm_mask,
+    binary_mask,
+    dof_at_exposure_latitude,
+    exposure_latitude_curve,
+    krf_annular,
+    run_fem,
+)
+from repro.opc import insert_srafs
+
+simulator = LithoSimulator(
+    LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+)
+
+dense = line_space_array(180, 280)
+iso = isolated_line(180)
+srafs = insert_srafs(iso.region)
+
+cases = [
+    ("dense 180/460 binary", binary_mask(dense.region), dense),
+    ("iso 180 binary", binary_mask(iso.region), iso),
+    ("iso 180 binary+SRAF", binary_mask(iso.region, srafs=srafs), iso),
+    ("iso 180 att-PSM", attpsm_mask(iso.region), iso),
+]
+
+focuses = np.linspace(-900.0, 900.0, 13)
+rows = []
+for name, mask, pattern in cases:
+    # Each mask technology is anchored with its own dose-to-size, as a fab
+    # qualifying a reticle type would.
+    dose0 = simulator.dose_to_size(
+        mask, pattern.window, pattern.site("center"), 180.0
+    )
+    doses = [dose0 * k for k in np.linspace(0.80, 1.20, 13)]
+
+    def cd(focus, dose, mask=mask, pattern=pattern):
+        return simulator.cd(
+            mask, pattern.window, pattern.site("center"),
+            defocus_nm=focus, dose=dose,
+        )
+
+    fem = run_fem(cd, focuses, doses)
+    curve = exposure_latitude_curve(fem, 180.0, tolerance=0.10, nominal_dose=dose0)
+    max_el = max((el for _d, el in curve), default=0.0)
+    dof = dof_at_exposure_latitude(curve, min_el_percent=8.0)
+    rows.append([name, round(dose0, 3), round(max_el, 1), int(dof)])
+
+print_table(
+    ["feature / mask", "dose-to-size", "max EL (%)", "DOF @ 8% EL (nm)"],
+    rows,
+    title="\nExposure latitude and depth of focus by mask technology",
+)
+print(
+    "\nThe isolated line on plain binary chrome collapses through focus; "
+    "scattering bars and attenuated PSM buy the focus window back."
+)

@@ -1,0 +1,111 @@
+"""Strong (alternating) PSM: phase assignment and its design impact.
+
+Assigns 0/180 shifter phases to the critical poly gates of standard cells,
+reports phase conflicts (layouts that *cannot* be phase-assigned without
+redesign -- the strongest "impact on design" of any RET), and shows the
+imaging payoff by printing a sub-resolution line pair with and without
+alternating apertures.
+
+Run:  python examples/psm_phase_assignment.py
+"""
+
+from repro.design import (
+    STANDARD_CELLS,
+    StdCellGenerator,
+    node_130nm,
+    node_180nm,
+    sram_cell,
+)
+from repro.flow import print_table
+from repro.geometry import Rect, Region
+from repro.layout import POLY
+from repro.litho import (
+    LithoConfig,
+    LithoSimulator,
+    altpsm_mask,
+    binary_mask,
+    image_contrast,
+    krf_conventional,
+)
+from repro.opc import PSMRecipe, assign_phases
+
+# --- 1. Phase assignment over the standard-cell library ---------------------
+rows = []
+for rules in (node_180nm(), node_130nm()):
+    generator = StdCellGenerator(rules)
+    recipe = PSMRecipe(
+        critical_width_nm=rules.poly_width + 20,
+        shifter_width_nm=2 * rules.poly_width,
+        min_shifter_space_nm=rules.poly_space // 2,
+    )
+    cells = [generator.make_cell(spec) for spec in STANDARD_CELLS]
+    cells.append(sram_cell(rules))
+    for cell in cells:
+        assignment = assign_phases(cell.flat_region(POLY), recipe)
+        rows.append(
+            [
+                f"{cell.name}@{rules.name}",
+                assignment.critical_features,
+                len(assignment.shifters),
+                assignment.conflict_count,
+                assignment.is_clean,
+            ]
+        )
+
+print_table(
+    ["cell", "critical gates", "shifters", "conflicted", "assignable"],
+    rows,
+    title="Alternating-PSM phase assignment across the cell library",
+)
+
+# --- 2. The imaging payoff: a k1 = 0.33 line pair ---------------------------
+simulator = LithoSimulator(
+    LithoConfig(optics=krf_conventional(sigma=0.3), pixel_nm=6.0, ambit_nm=500)
+)
+pitch, width = 240, 120  # far below the binary-chrome resolution limit
+lines = Region.from_rects(
+    [Rect(k * pitch, -1200, k * pitch + width, 1200) for k in range(-2, 3)]
+)
+window = Rect(-pitch, -300, pitch + width, 300)
+
+assignment = assign_phases(
+    lines,
+    PSMRecipe(critical_width_nm=140, shifter_width_nm=pitch - width,
+              min_shifter_space_nm=40),
+)
+alt = altpsm_mask(lines, assignment.shifter_0, assignment.shifter_180)
+
+grid_b, img_b = simulator.aerial_image(binary_mask(lines), window)
+grid_a, img_a = simulator.aerial_image(alt, window)
+roi = (slice(40, 60), slice(40, 80))
+print(
+    f"\n120 nm lines at 240 nm pitch (k1 = 0.33 on KrF):\n"
+    f"  binary chrome aerial-image contrast: {image_contrast(img_b[roi]):.2f}\n"
+    f"  alternating-PSM aerial-image contrast: {image_contrast(img_a[roi]):.2f}\n"
+    f"Strong PSM resolves what binary chrome cannot -- but note the SRAM\n"
+    f"row above: its cross-coupled 2D poly is NOT phase-assignable.  That\n"
+    f"is the deepest 'impact on design' in the paper's title: strong PSM\n"
+    f"demands phase-friendly layout styles, not just a mask-shop step."
+)
+
+# --- 3. The full production flow: PSM exposure + binary trim exposure -------
+from repro.opc import trim_mask_chrome  # noqa: E402
+
+mixed = lines | Region(Rect(800, -800, 1600, 800))  # critical lines + a pad
+mixed_assignment = assign_phases(
+    mixed, PSMRecipe(critical_width_nm=140, shifter_width_nm=120,
+                     min_shifter_space_nm=40),
+)
+psm_exposure = altpsm_mask(
+    mixed, mixed_assignment.shifter_0, mixed_assignment.shifter_180
+)
+trim_exposure = binary_mask(trim_mask_chrome(mixed, mixed_assignment, 80))
+printed = simulator.printed_double_exposure(
+    [(psm_exposure, 0.9), (trim_exposure, 0.9)], Rect(-300, -400, 1800, 400)
+)
+lines_ok = all(printed.contains_point((k * pitch + width // 2, 0)) for k in range(3))
+pad_ok = printed.contains_point((1200, 0))
+print(
+    f"\nDouble exposure (PSM + trim): critical lines printed: {lines_ok}, "
+    f"non-critical pad printed: {pad_ok}"
+)

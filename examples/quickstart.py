@@ -1,0 +1,56 @@
+"""Quickstart: simulate a layout, see proximity error, fix it with OPC.
+
+Builds a small pattern (three dense 180 nm lines plus one isolated line),
+anchors the exposure dose on the dense feature, shows the uncorrected
+printed CDs, then applies model-based OPC and shows the fix.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.geometry import Rect, Region
+from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+from repro.opc import model_opc
+from repro.flow import print_table
+
+# 1. The drawn layout: three dense lines (460 nm pitch) and an isolated one.
+lines = Region.from_rects(
+    [Rect(x, -1500, x + 180, 1500) for x in (-920, -460, 0)]
+    + [Rect(1200, -1500, 1380, 1500)]
+)
+
+# 2. A 2001-vintage KrF scanner with annular illumination.
+simulator = LithoSimulator(
+    LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+)
+
+dense_window = Rect(-600, -500, 500, 500)
+iso_window = Rect(700, -500, 1900, 500)
+dense_site, iso_site = (90, 0), (1290, 0)
+
+# 3. Anchor the process: dose-to-size on the dense line.
+dose = simulator.dose_to_size(binary_mask(lines), dense_window, dense_site, 180.0)
+print(f"dose to size on the dense line: {dose:.3f} (relative units)\n")
+
+# 4. Uncorrected print.
+before_dense = simulator.cd(binary_mask(lines), dense_window, dense_site, dose=dose)
+before_iso = simulator.cd(binary_mask(lines), iso_window, iso_site, dose=dose)
+
+# 5. Model-based OPC.
+result = model_opc(lines, simulator, Rect(-1200, -600, 1700, 600), dose=dose)
+mask = binary_mask(result.corrected)
+after_dense = simulator.cd(mask, dense_window, dense_site, dose=dose)
+after_iso = simulator.cd(mask, iso_window, iso_site, dose=dose)
+
+print_table(
+    ["feature", "drawn (nm)", "printed, no OPC", "printed, model OPC"],
+    [
+        ["dense line", 180, before_dense, after_dense],
+        ["isolated line", 180, before_iso, after_iso],
+    ],
+    title="Printed CDs before and after OPC",
+)
+print(
+    f"\nOPC converged in {result.iterations} iterations "
+    f"(final RMS EPE {result.final_rms_epe_nm:.2f} nm); the corrected mask "
+    f"has {result.figure_growth()[1]} vertices vs {result.figure_growth()[0]} drawn."
+)

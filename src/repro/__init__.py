@@ -1,0 +1,34 @@
+"""repro -- a working reproduction of "Adoption of OPC and the Impact on
+Design and Layout" (Schellenberg, Toublan, Capodieci, Socha; DAC 2001).
+
+The package provides, from scratch:
+
+* an exact integer geometry kernel (:mod:`repro.geometry`),
+* a hierarchical layout database with GDSII I/O (:mod:`repro.layout`),
+* a partially-coherent optical lithography simulator (:mod:`repro.litho`),
+* rule-based and model-based OPC, SRAF insertion and PSM phase assignment
+  (:mod:`repro.opc`),
+* physical verification (:mod:`repro.verify`),
+* synthetic design generators (:mod:`repro.design`),
+* mask data preparation and data-volume models (:mod:`repro.mask`), and
+* design-impact analytics -- hierarchy, timing, yield (:mod:`repro.analysis`).
+
+See DESIGN.md for the system inventory and experiment index, and
+EXPERIMENTS.md for reproduction results.
+"""
+
+__version__ = "1.0.0"
+
+from . import errors, units
+from .geometry import Point, Polygon, Rect, Region, Transform
+
+__all__ = [
+    "Point",
+    "Polygon",
+    "Rect",
+    "Region",
+    "Transform",
+    "errors",
+    "units",
+    "__version__",
+]

@@ -1,0 +1,68 @@
+"""Design-impact analytics: hierarchy, timing, yield, proximity.
+
+Public surface:
+
+* :func:`hierarchy_impact`, :class:`HierarchyImpact`,
+  :class:`CellContextStats` -- OPC-induced hierarchy breakage;
+* :class:`DeviceModel`, :class:`TimingDistribution`,
+  :func:`measure_gate_cds`, :func:`gate_sites_of_cell` -- printed-CD
+  timing;
+* :class:`CDSpec`, :func:`parametric_yield`, :func:`catastrophic_yield`,
+  :func:`composite_yield`, :func:`cd_uniformity` -- yield models;
+* :func:`proximity_curve`, :func:`iso_dense_bias_nm`,
+  :func:`curve_flatness_nm`, :class:`ProximityPoint` -- OPE curves.
+"""
+
+from .forbidden_pitch import (
+    PitchRestriction,
+    forbidden_pitches,
+    usable_pitch_fraction,
+)
+from .hierarchy import CellContextStats, HierarchyImpact, hierarchy_impact
+from .monte_carlo import CDUResult, ProcessControl, monte_carlo_cdu
+from .proximity import (
+    ProximityPoint,
+    curve_flatness_nm,
+    iso_dense_bias_nm,
+    proximity_curve,
+)
+from .timing import (
+    DeviceModel,
+    TimingDistribution,
+    gate_sites_of_cell,
+    measure_gate_cds,
+    population_leakage_ratio,
+)
+from .yield_model import (
+    CDSpec,
+    catastrophic_yield,
+    cd_uniformity,
+    composite_yield,
+    parametric_yield,
+)
+
+__all__ = [
+    "CDSpec",
+    "CDUResult",
+    "CellContextStats",
+    "DeviceModel",
+    "HierarchyImpact",
+    "PitchRestriction",
+    "ProcessControl",
+    "ProximityPoint",
+    "TimingDistribution",
+    "catastrophic_yield",
+    "cd_uniformity",
+    "composite_yield",
+    "curve_flatness_nm",
+    "forbidden_pitches",
+    "gate_sites_of_cell",
+    "hierarchy_impact",
+    "iso_dense_bias_nm",
+    "measure_gate_cds",
+    "monte_carlo_cdu",
+    "parametric_yield",
+    "population_leakage_ratio",
+    "proximity_curve",
+    "usable_pitch_fraction",
+]

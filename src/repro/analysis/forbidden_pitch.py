@@ -1,0 +1,112 @@
+"""Forbidden-pitch extraction: the design-rule impact of low-k1 imaging.
+
+Off-axis illumination buys dense-pitch resolution at the price of
+*forbidden pitches*: intermediate pitches where the diffraction orders
+interfere destructively and CD control collapses.  The 2001-era response
+was a new kind of design rule -- restricted pitch ranges -- and OPC/SRAF
+flows were judged by how many restrictions they lifted.  This module turns
+a proximity curve into explicit pitch restrictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ReproError
+from .proximity import ProximityPoint
+
+
+@dataclass(frozen=True)
+class PitchRestriction:
+    """One contiguous range of unusable pitches."""
+
+    low_pitch_nm: int
+    high_pitch_nm: int
+    worst_error_nm: float  # max |CD - target| inside the range (inf = no print)
+
+    def covers(self, pitch_nm: int) -> bool:
+        """Whether ``pitch_nm`` falls inside this restriction."""
+        return self.low_pitch_nm <= pitch_nm <= self.high_pitch_nm
+
+    def __str__(self) -> str:
+        return (
+            f"pitch {self.low_pitch_nm}-{self.high_pitch_nm} nm "
+            f"(worst {self.worst_error_nm:.1f} nm)"
+        )
+
+
+def forbidden_pitches(
+    curve: Sequence[ProximityPoint],
+    target_cd_nm: float,
+    tolerance_nm: float,
+) -> List[PitchRestriction]:
+    """Contiguous pitch ranges whose CD error exceeds ``tolerance_nm``.
+
+    Unprinted points count as infinitely bad.  Adjacent failing samples
+    merge into one restriction spanning from the last good pitch below to
+    the first good pitch above (exclusive bounds are midpoints with the
+    neighbouring good samples, so restrictions are usable directly as
+    design-rule ranges).
+    """
+    if tolerance_nm <= 0:
+        raise ReproError("tolerance must be positive")
+    if not curve:
+        raise ReproError("need a non-empty proximity curve")
+    ordered = sorted(curve, key=lambda p: p.pitch_nm)
+
+    def error(point: ProximityPoint) -> float:
+        if point.cd_nm is None:
+            return float("inf")
+        return abs(point.cd_nm - target_cd_nm)
+
+    restrictions: List[PitchRestriction] = []
+    run: List[int] = []
+    for idx, point in enumerate(ordered):
+        if error(point) > tolerance_nm:
+            run.append(idx)
+            continue
+        if run:
+            restrictions.append(_close_run(ordered, run, target_cd_nm))
+            run = []
+    if run:
+        restrictions.append(_close_run(ordered, run, target_cd_nm))
+    return restrictions
+
+
+def _close_run(
+    ordered: Sequence[ProximityPoint], run: List[int], target_cd_nm: float
+) -> PitchRestriction:
+    first, last = run[0], run[-1]
+    low = (
+        (ordered[first - 1].pitch_nm + ordered[first].pitch_nm) // 2
+        if first > 0
+        else ordered[first].pitch_nm
+    )
+    high = (
+        (ordered[last].pitch_nm + ordered[last + 1].pitch_nm) // 2
+        if last + 1 < len(ordered)
+        else ordered[last].pitch_nm
+    )
+    worst = max(
+        float("inf") if ordered[i].cd_nm is None
+        else abs(ordered[i].cd_nm - target_cd_nm)
+        for i in run
+    )
+    return PitchRestriction(low, high, worst)
+
+
+def usable_pitch_fraction(
+    curve: Sequence[ProximityPoint],
+    target_cd_nm: float,
+    tolerance_nm: float,
+) -> float:
+    """Fraction of sampled pitches meeting the CD tolerance."""
+    if not curve:
+        raise ReproError("need a non-empty proximity curve")
+    good = sum(
+        1
+        for p in curve
+        if p.cd_nm is not None and abs(p.cd_nm - target_cd_nm) <= tolerance_nm
+    )
+    return good / len(curve)

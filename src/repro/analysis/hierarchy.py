@@ -1,0 +1,176 @@
+"""Hierarchy-impact analysis: how OPC destroys layout reuse.
+
+Proximity correction depends on everything within the optical interaction
+radius.  Two placements of the same cell with different neighbourhoods
+need *different* corrected geometry, so the mask data can no longer share
+one cell definition.  This module measures exactly that: for every cell in
+a placed design, the number of distinct optical-context signatures across
+its placements -- the number of post-OPC cell variants -- and the effective
+figure counts that follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ReproError
+from ..geometry import GridIndex, Region, Transform
+from ..layout import Cell, Layer
+
+
+@dataclass(frozen=True)
+class CellContextStats:
+    """Context diversity of one cell definition."""
+
+    cell_name: str
+    placements: int
+    unique_contexts: int
+    figures_per_instance: int
+
+    @property
+    def variant_figures(self) -> int:
+        """Figures after per-context cell duplication."""
+        return self.unique_contexts * self.figures_per_instance
+
+    @property
+    def flat_figures(self) -> int:
+        """Figures if every placement were fully flattened."""
+        return self.placements * self.figures_per_instance
+
+
+@dataclass
+class HierarchyImpact:
+    """Design-wide summary of OPC-induced hierarchy breakage."""
+
+    interaction_radius_nm: int
+    per_cell: List[CellContextStats] = field(default_factory=list)
+
+    @property
+    def shared_figures(self) -> int:
+        """Figures with full hierarchy reuse (pre-OPC ideal)."""
+        return sum(s.figures_per_instance for s in self.per_cell)
+
+    @property
+    def variant_figures(self) -> int:
+        """Figures with one cell variant per unique optical context."""
+        return sum(s.variant_figures for s in self.per_cell)
+
+    @property
+    def flat_figures(self) -> int:
+        """Figures with hierarchy fully flattened (worst case)."""
+        return sum(s.flat_figures for s in self.per_cell)
+
+    @property
+    def reuse_surviving(self) -> float:
+        """Fraction of hierarchy compression that survives OPC.
+
+        1.0 means every placement kept a shared definition; approaching
+        ``shared/flat`` means hierarchy was destroyed entirely.
+        """
+        if self.flat_figures == self.shared_figures:
+            return 1.0
+        return 1.0 - (self.variant_figures - self.shared_figures) / (
+            self.flat_figures - self.shared_figures
+        )
+
+
+def hierarchy_impact(
+    top: Cell, layer: Layer, interaction_radius_nm: int = 600
+) -> HierarchyImpact:
+    """Measure context diversity of every referenced cell in ``top``.
+
+    The context of a placement is the surrounding geometry on ``layer``
+    within ``interaction_radius_nm`` of the placed cell's bounding box,
+    expressed in the cell's local frame.  Identical contexts (exactly --
+    after transform normalisation) allow a shared corrected cell.
+    """
+    if interaction_radius_nm <= 0:
+        raise ReproError("interaction radius must be positive")
+    placements = _expanded_placements(top)
+    if not placements:
+        return HierarchyImpact(interaction_radius_nm=interaction_radius_nm)
+
+    # Spatial index of every placement's flat geometry, plus top-level
+    # shapes, for neighbourhood queries.
+    index: GridIndex[Tuple[int, List]] = GridIndex(cell_size=5000)
+    flat_cache: Dict[str, Region] = {}
+    pieces: List[Region] = []
+    for pid, (cell, transform) in enumerate(placements):
+        local = flat_cache.get(cell.name)
+        if local is None:
+            local = cell.flat_region(layer).merged()
+            flat_cache[cell.name] = local
+        placed = local.transformed(transform)
+        pieces.append(placed)
+        box = placed.bbox()
+        if box is not None:
+            index.insert(box, (pid, placed.loops))
+    own = top.region(layer)
+    if own.num_loops:
+        box = own.bbox()
+        if box is not None:
+            index.insert(box, (-1, own.loops))
+
+    per_cell: Dict[str, Dict] = {}
+    for pid, (cell, transform) in enumerate(placements):
+        entry = per_cell.setdefault(
+            cell.name,
+            {
+                "signatures": set(),
+                "count": 0,
+                "figures": flat_cache[cell.name].num_loops,
+            },
+        )
+        entry["count"] += 1
+        signature = _context_signature(
+            pid, cell, transform, flat_cache[cell.name], index, interaction_radius_nm
+        )
+        entry["signatures"].add(signature)
+
+    result = HierarchyImpact(interaction_radius_nm=interaction_radius_nm)
+    for name, entry in sorted(per_cell.items()):
+        result.per_cell.append(
+            CellContextStats(
+                cell_name=name,
+                placements=entry["count"],
+                unique_contexts=len(entry["signatures"]),
+                figures_per_instance=entry["figures"],
+            )
+        )
+    return result
+
+
+def _expanded_placements(top: Cell) -> List[Tuple[Cell, Transform]]:
+    out: List[Tuple[Cell, Transform]] = []
+    for ref in top.references:
+        for transform in ref.placements():
+            out.append((ref.cell, transform))
+    return out
+
+
+def _context_signature(
+    pid: int,
+    cell: Cell,
+    transform: Transform,
+    local_region: Region,
+    index: GridIndex,
+    radius: int,
+) -> int:
+    """Hash of the neighbourhood geometry in the placement's local frame."""
+    local_box = local_region.bbox()
+    if local_box is None:
+        return 0
+    world_box = transform.apply_rect(local_box).expanded(radius)
+    neighbourhood = Region()
+    for _bbox, (other_pid, loops) in index.query(world_box):
+        if other_pid == pid:
+            continue
+        for loop in loops:
+            neighbourhood._add(loop)
+    clipped = neighbourhood & Region(world_box)
+    inverse = transform.inverse()
+    local_context = clipped.transformed(inverse).merged()
+    return hash(
+        tuple(sorted(tuple(sorted(lp)) for lp in local_context.loops))
+    )

@@ -1,0 +1,93 @@
+"""Optical-proximity (OPE) curves: printed CD through pitch.
+
+The single most-shown figure of the OPC-adoption era: the same drawn line
+prints at different sizes depending on its pitch.  These helpers sweep the
+pitch axis and report the curve for any correction state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..design.testpatterns import isolated_line, line_space_array
+from ..geometry import Region
+from ..litho import LithoSimulator, MaskSpec, binary_mask
+
+#: Transforms target geometry into the mask to expose (identity = no OPC).
+MaskFlow = Callable[[Region], MaskSpec]
+
+
+@dataclass(frozen=True)
+class ProximityPoint:
+    """One sample of an OPE curve."""
+
+    pitch_nm: int
+    cd_nm: Optional[float]
+
+    @property
+    def printed(self) -> bool:
+        """Whether the feature resolved at all."""
+        return self.cd_nm is not None
+
+
+def proximity_curve(
+    simulator: LithoSimulator,
+    width_nm: int,
+    pitches_nm: Sequence[int],
+    dose: float = 1.0,
+    defocus_nm: float = 0.0,
+    mask_flow: MaskFlow = binary_mask,
+    include_isolated: bool = True,
+) -> List[ProximityPoint]:
+    """Printed CD of a ``width_nm`` line at each pitch (plus isolated).
+
+    ``mask_flow`` turns the drawn grating into the exposed mask, so the
+    same sweep measures uncorrected, rule-corrected, or model-corrected
+    proximity behaviour.
+    """
+    if width_nm <= 0:
+        raise ReproError("line width must be positive")
+    points: List[ProximityPoint] = []
+    for pitch in pitches_nm:
+        if pitch <= width_nm:
+            raise ReproError(f"pitch {pitch} must exceed line width {width_nm}")
+        pattern = line_space_array(width_nm, pitch - width_nm)
+        cd = simulator.cd(
+            mask_flow(pattern.region),
+            pattern.window,
+            pattern.site("center"),
+            dose=dose,
+            defocus_nm=defocus_nm,
+        )
+        points.append(ProximityPoint(pitch_nm=pitch, cd_nm=cd))
+    if include_isolated:
+        pattern = isolated_line(width_nm)
+        cd = simulator.cd(
+            mask_flow(pattern.region),
+            pattern.window,
+            pattern.site("center"),
+            dose=dose,
+            defocus_nm=defocus_nm,
+        )
+        points.append(ProximityPoint(pitch_nm=10 * max(pitches_nm), cd_nm=cd))
+    return points
+
+
+def iso_dense_bias_nm(curve: Sequence[ProximityPoint]) -> Optional[float]:
+    """CD difference between the most isolated and the densest sample."""
+    printed = [p for p in curve if p.printed]
+    if len(printed) < 2:
+        return None
+    densest = min(printed, key=lambda p: p.pitch_nm)
+    most_iso = max(printed, key=lambda p: p.pitch_nm)
+    return most_iso.cd_nm - densest.cd_nm  # type: ignore[operator]
+
+
+def curve_flatness_nm(curve: Sequence[ProximityPoint]) -> Optional[float]:
+    """Peak-to-peak CD variation through pitch (the OPC success metric)."""
+    values = [p.cd_nm for p in curve if p.printed]
+    if not values:
+        return None
+    return max(values) - min(values)

@@ -1,0 +1,203 @@
+"""Printed-gate timing: from lithography CDs to gate delays.
+
+The paper-era argument: timing sign-off uses *drawn* gate length, but the
+silicon switches at the *printed* gate length.  The alpha-power MOSFET
+model turns each printed CD into a drive current and each gate into a
+delay; distributions over many gates quantify both the mean shift and the
+spread that proximity effects (and their correction) cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..geometry import Rect, Region
+from ..litho import LithoSimulator, MaskSpec
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Alpha-power-law device parameters (180 nm-era values)."""
+
+    vdd: float = 1.8
+    vth: float = 0.45
+    alpha: float = 1.3  # velocity-saturation exponent
+    k_per_um: float = 320e-6  # A/um of gate width at nominal drive
+    gate_cap_per_um: float = 1.8e-15  # F/um of gate width
+    wire_cap: float = 2.0e-15  # F fixed load per stage
+    #: Vth roll-off strength: dVth = -vth * vth_rolloff * dL/L (lumped SCE).
+    vth_rolloff: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.vdd <= self.vth:
+            raise ReproError("vdd must exceed vth")
+        if self.alpha <= 0 or self.k_per_um <= 0:
+            raise ReproError("model parameters must be positive")
+        if not 0 <= self.vth_rolloff <= 1:
+            raise ReproError("vth roll-off must be in [0, 1]")
+
+    def drive_current(self, width_um: float, printed_l_nm: float,
+                      drawn_l_nm: float) -> float:
+        """Saturation drive at the printed channel length, in amperes.
+
+        First-order: drive scales inversely with channel length, and the
+        threshold rolls off as L shrinks below drawn (a lumped short-
+        channel term), so under-printed gates are faster and leakier --
+        enough structure to rank timing without a full BSIM.
+        """
+        if printed_l_nm <= 0:
+            raise ReproError(f"printed gate length must be positive, got {printed_l_nm}")
+        vth = self.vth * (
+            1.0 - self.vth_rolloff * (drawn_l_nm - printed_l_nm) / drawn_l_nm
+        )
+        overdrive = max(self.vdd - vth, 1e-3)
+        return (
+            self.k_per_um
+            * width_um
+            * (drawn_l_nm / printed_l_nm)
+            * (overdrive / (self.vdd - self.vth)) ** self.alpha
+        )
+
+    def gate_delay(
+        self,
+        printed_l_nm: float,
+        drawn_l_nm: float,
+        width_um: float = 1.0,
+        fanout: float = 3.0,
+    ) -> float:
+        """One inverter-stage delay in seconds at the printed gate length."""
+        load = fanout * self.gate_cap_per_um * width_um + self.wire_cap
+        current = self.drive_current(width_um, printed_l_nm, drawn_l_nm)
+        return load * self.vdd / (2.0 * current)
+
+    def leakage_ratio(
+        self, printed_l_nm: float, drawn_l_nm: float,
+        subthreshold_slope_mv: float = 90.0,
+    ) -> float:
+        """Off-current relative to the drawn-length device.
+
+        Subthreshold current is exponential in Vth; the same roll-off term
+        that speeds an under-printed gate multiplies its leakage.  A CD
+        distribution's leakage is therefore dominated by its short tail --
+        the standby-power reason CD control tightened at 180 nm.
+        """
+        if printed_l_nm <= 0:
+            raise ReproError("printed gate length must be positive")
+        if subthreshold_slope_mv <= 0:
+            raise ReproError("subthreshold slope must be positive")
+        roll_off_v = (
+            self.vth * self.vth_rolloff * (drawn_l_nm - printed_l_nm) / drawn_l_nm
+        )
+        thermal = subthreshold_slope_mv / 1000.0 / 2.3026  # slope -> kT/q-ish
+        import math
+
+        return math.exp(roll_off_v / thermal)
+
+
+@dataclass(frozen=True)
+class TimingDistribution:
+    """Delay statistics over a population of gates."""
+
+    delays_ps: Tuple[float, ...]
+
+    @classmethod
+    def from_cds(
+        cls,
+        printed_cds_nm: Sequence[float],
+        drawn_l_nm: float,
+        model: DeviceModel = DeviceModel(),
+    ) -> "TimingDistribution":
+        """Per-gate delays from printed CDs."""
+        if not printed_cds_nm:
+            raise ReproError("need at least one printed CD")
+        return cls(
+            tuple(
+                model.gate_delay(cd, drawn_l_nm) * 1e12 for cd in printed_cds_nm
+            )
+        )
+
+    @property
+    def mean_ps(self) -> float:
+        """Mean stage delay."""
+        return float(np.mean(self.delays_ps))
+
+    @property
+    def sigma_ps(self) -> float:
+        """Stage-delay standard deviation (the proximity-induced spread)."""
+        return float(np.std(self.delays_ps))
+
+    @property
+    def worst_ps(self) -> float:
+        """Slowest stage."""
+        return float(np.max(self.delays_ps))
+
+    def path_delay_ps(self, stages: int = 10) -> float:
+        """Worst-case delay of a path of ``stages`` slowest gates."""
+        ordered = sorted(self.delays_ps, reverse=True)
+        picked = ordered[: min(stages, len(ordered))]
+        scale = stages / len(picked)
+        return float(sum(picked) * scale)
+
+    def ring_oscillator_mhz(self, stages: int = 31) -> float:
+        """RO frequency using the mean stage delay."""
+        period_ps = 2.0 * stages * self.mean_ps
+        return 1e6 / period_ps
+
+
+def population_leakage_ratio(
+    printed_cds_nm: Sequence[float],
+    drawn_l_nm: float,
+    model: DeviceModel = DeviceModel(),
+) -> float:
+    """Mean leakage of a CD population relative to all-drawn devices.
+
+    The exponential CD-to-leakage mapping makes this tail-dominated: a few
+    under-printed gates multiply a die's standby current.
+    """
+    if not printed_cds_nm:
+        raise ReproError("need at least one printed CD")
+    return sum(
+        model.leakage_ratio(cd, drawn_l_nm) for cd in printed_cds_nm
+    ) / len(printed_cds_nm)
+
+
+def measure_gate_cds(
+    simulator: LithoSimulator,
+    mask: MaskSpec,
+    gate_sites: Sequence[Tuple[float, float]],
+    window: Rect,
+    axis: str = "x",
+    dose: float = 1.0,
+    defocus_nm: float = 0.0,
+) -> List[Optional[float]]:
+    """Printed poly CD across the channel at each gate site.
+
+    ``gate_sites`` are the channel midpoints (where poly crosses active);
+    the cutline runs along ``axis`` (across the gate).
+    """
+    grid, latent = simulator.latent_image(mask, window, defocus_nm)
+    from ..litho.contour import cutline_cd
+
+    threshold = simulator.config.resist.effective_threshold(dose)
+    return [
+        cutline_cd(latent, grid, site, axis, threshold, max_width_nm=800.0)
+        for site in gate_sites
+    ]
+
+
+def gate_sites_of_cell(cell, poly_layer, active_layer) -> List[Tuple[float, float]]:
+    """Channel midpoints of every gate in a flattened cell.
+
+    A gate is a poly/active overlap; its midpoint is the CD cutline anchor.
+    """
+    poly = cell.flat_region(poly_layer)
+    active = cell.flat_region(active_layer)
+    channels = poly & active
+    sites: List[Tuple[float, float]] = []
+    for rect in channels.rects():
+        sites.append(((rect.x1 + rect.x2) / 2.0, (rect.y1 + rect.y2) / 2.0))
+    return sites

@@ -1,0 +1,95 @@
+"""Parametric and catastrophic yield models.
+
+Two failure channels, matching how the era scored OPC benefit:
+
+* *parametric*: a gate whose printed CD leaves the spec band is a speed
+  or leakage failure -- yield is the in-band fraction, composed across
+  all gates of a die;
+* *catastrophic*: every pinch/bridge site found by ORC kills the die with
+  some probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class CDSpec:
+    """The allowed printed-CD band."""
+
+    target_nm: float
+    tolerance_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.target_nm <= 0:
+            raise ReproError("target CD must be positive")
+        if not 0 < self.tolerance_fraction < 1:
+            raise ReproError("tolerance must be in (0, 1)")
+
+    @property
+    def low_nm(self) -> float:
+        """Lower spec limit."""
+        return self.target_nm * (1.0 - self.tolerance_fraction)
+
+    @property
+    def high_nm(self) -> float:
+        """Upper spec limit."""
+        return self.target_nm * (1.0 + self.tolerance_fraction)
+
+    def in_spec(self, cd_nm: Optional[float]) -> bool:
+        """Whether one measurement passes (``None`` = failed to print)."""
+        return cd_nm is not None and self.low_nm <= cd_nm <= self.high_nm
+
+
+def parametric_yield(
+    cds_nm: Sequence[Optional[float]], spec: CDSpec, gates_per_die: int = 1
+) -> float:
+    """Die yield from a sampled CD population.
+
+    The samples estimate the per-gate pass probability ``p``; a die with
+    ``gates_per_die`` independent critical gates yields ``p ** gates``.
+    """
+    if not cds_nm:
+        raise ReproError("need at least one CD sample")
+    if gates_per_die < 1:
+        raise ReproError("gates per die must be >= 1")
+    p = sum(1 for cd in cds_nm if spec.in_spec(cd)) / len(cds_nm)
+    return float(p**gates_per_die)
+
+
+def catastrophic_yield(
+    defect_sites: int, kill_probability: float = 0.9
+) -> float:
+    """Die survival against ORC-detected pinch/bridge sites."""
+    if defect_sites < 0:
+        raise ReproError("defect count must be non-negative")
+    if not 0 <= kill_probability <= 1:
+        raise ReproError("kill probability must be in [0, 1]")
+    return float((1.0 - kill_probability) ** defect_sites)
+
+
+def composite_yield(
+    cds_nm: Sequence[Optional[float]],
+    spec: CDSpec,
+    defect_sites: int,
+    gates_per_die: int = 1,
+    kill_probability: float = 0.9,
+) -> float:
+    """Parametric and catastrophic yield combined (independent channels)."""
+    return parametric_yield(cds_nm, spec, gates_per_die) * catastrophic_yield(
+        defect_sites, kill_probability
+    )
+
+
+def cd_uniformity(cds_nm: Sequence[Optional[float]]) -> float:
+    """3-sigma CD uniformity of the printed population, in nm."""
+    values = np.array([cd for cd in cds_nm if cd is not None], dtype=float)
+    if len(values) == 0:
+        raise ReproError("no printable CDs in the population")
+    return float(3.0 * np.std(values))

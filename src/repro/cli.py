@@ -1,0 +1,295 @@
+"""Command-line interface: generate, inspect, check and correct layouts.
+
+Four subcommands mirror a minimal mask-synthesis flow::
+
+    repro generate block --node 180nm -o block.gds
+    repro stats block.gds
+    repro drc block.gds --node 180nm
+    repro correct block.gds --layer 3 --level model --node 180nm -o out.gds
+
+``correct`` writes the corrected geometry onto the OPC datatype (10) and
+SRAFs onto datatype 11 next to the drawn layer, the usual tape-out
+convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .design import (
+    BlockSpec,
+    StdCellGenerator,
+    line_space_array,
+    node_130nm,
+    node_180nm,
+    node_250nm,
+    random_logic_block,
+    sram_array,
+    drc_ruleset,
+)
+from .errors import ReproError
+from .flow import CorrectionLevel, correct_region, print_table
+from .layout import Layer, Library, layout_stats, opc_layer, read_gds, sraf_layer, write_gds
+from .litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+from .verify import run_drc
+
+_NODES = {"250nm": node_250nm, "180nm": node_180nm, "130nm": node_130nm}
+_LEVELS = {level.value: level for level in CorrectionLevel}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OPC adoption toolkit: generate, inspect, check, correct",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an example layout")
+    gen.add_argument("kind", choices=["block", "sram", "stdcells"])
+    gen.add_argument("--node", choices=sorted(_NODES), default="180nm")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--rows", type=int, default=3)
+    gen.add_argument("--row-width", type=int, default=12000)
+    gen.add_argument("-o", "--output", required=True)
+
+    stats = sub.add_parser("stats", help="layout statistics of a GDS file")
+    stats.add_argument("gds")
+    stats.add_argument("--cell", help="cell name (default: the top cell)")
+
+    drc = sub.add_parser("drc", help="run the node DRC deck on a GDS file")
+    drc.add_argument("gds")
+    drc.add_argument("--node", choices=sorted(_NODES), default="180nm")
+    drc.add_argument("--cell", help="cell name (default: the top cell)")
+
+    correct = sub.add_parser("correct", help="apply OPC/RET to one layer")
+    correct.add_argument("gds")
+    correct.add_argument("--layer", type=int, required=True, help="GDS layer number")
+    correct.add_argument("--datatype", type=int, default=0)
+    correct.add_argument("--level", choices=sorted(_LEVELS), default="model")
+    correct.add_argument("--node", choices=sorted(_NODES), default="180nm")
+    correct.add_argument("--cell", help="cell name (default: the top cell)")
+    correct.add_argument(
+        "--dose",
+        default="auto",
+        help="relative exposure dose, or 'auto' for dose-to-size on the "
+        "node's dense anchor feature",
+    )
+    correct.add_argument(
+        "--dark-field",
+        action="store_true",
+        help="treat features as clear openings on chrome (contact/via layers)",
+    )
+    correct.add_argument(
+        "--smooth",
+        type=int,
+        default=0,
+        metavar="NM",
+        help="post-OPC jog smoothing tolerance in nm (0 = off)",
+    )
+    correct.add_argument("-o", "--output", required=True)
+
+    report = sub.add_parser(
+        "report", help="markdown tape-out report comparing correction levels"
+    )
+    report.add_argument("gds")
+    report.add_argument("--layer", type=int, required=True)
+    report.add_argument("--datatype", type=int, default=0)
+    report.add_argument("--node", choices=sorted(_NODES), default="180nm")
+    report.add_argument("--cell", help="cell name (default: the top cell)")
+    report.add_argument(
+        "--levels",
+        default="none,rule,model",
+        help="comma-separated correction levels to compare",
+    )
+    report.add_argument("--dose", default="auto")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _generate(args)
+        if args.command == "stats":
+            return _stats(args)
+        if args.command == "drc":
+            return _drc(args)
+        if args.command == "correct":
+            return _correct(args)
+        if args.command == "report":
+            return _report(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover - argparse enforces the choices
+
+
+def _pick_cell(library: Library, name: Optional[str]):
+    """The named cell, or the biggest top cell when no name is given.
+
+    Generated libraries keep unplaced leaf cells around, so "the" top cell
+    is ambiguous; the largest flat figure count picks the design root.
+    """
+    if name:
+        return library[name]
+    tops = library.top_cells()
+    if not tops:
+        raise ReproError(f"library {library.name!r} has no cells")
+    if len(tops) == 1:
+        return tops[0]
+    return max(tops, key=lambda cell: layout_stats(cell).flat_figures)
+
+
+def _generate(args) -> int:
+    rules = _NODES[args.node]()
+    if args.kind == "block":
+        library = random_logic_block(
+            rules,
+            BlockSpec(rows=args.rows, row_width=args.row_width, seed=args.seed),
+        )
+    elif args.kind == "sram":
+        library = sram_array(rules, cols=8, rows=8)
+    else:
+        library = StdCellGenerator(rules).library()
+    size = write_gds(library, args.output)
+    print(f"wrote {args.output} ({size} bytes, {len(library)} cells)")
+    return 0
+
+
+def _stats(args) -> int:
+    library = read_gds(args.gds)
+    cell = _pick_cell(library, args.cell)
+    stats = layout_stats(cell)
+    rows = [
+        ["cells", stats.cells],
+        ["placements", stats.placements],
+        ["hierarchical figures", stats.hierarchical_figures],
+        ["hierarchical vertices", stats.hierarchical_vertices],
+        ["flat figures", stats.flat_figures],
+        ["flat vertices", stats.flat_vertices],
+        ["hierarchy compression", stats.hierarchy_compression],
+    ]
+    print_table(["metric", "value"], rows, title=f"layout stats: {cell.name}")
+    per_layer = [
+        [str(layer), s.figures, s.vertices] for layer, s in sorted(stats.flat.items())
+    ]
+    print_table(["layer", "flat figures", "flat vertices"], per_layer)
+    return 0
+
+
+def _drc(args) -> int:
+    library = read_gds(args.gds)
+    cell = _pick_cell(library, args.cell)
+    rules = _NODES[args.node]()
+    result = run_drc(cell, drc_ruleset(rules))
+    if result.is_clean:
+        print(f"{cell.name}: DRC clean ({args.node} deck)")
+        return 0
+    rows = [[v.rule, v.count] for v in result.violations]
+    print_table(["rule", "violations"], rows, title=f"DRC violations: {cell.name}")
+    return 1
+
+
+def _correct(args) -> int:
+    library = read_gds(args.gds)
+    cell = _pick_cell(library, args.cell)
+    drawn = Layer(args.layer, args.datatype)
+    target = cell.flat_region(drawn)
+    if target.is_empty:
+        raise ReproError(
+            f"cell {cell.name!r} has no geometry on layer "
+            f"{args.layer}/{args.datatype}"
+        )
+    level = _LEVELS[args.level]
+    rules = _NODES[args.node]()
+    simulator = None
+    dose = 1.0
+    if level in (CorrectionLevel.MODEL, CorrectionLevel.MODEL_SRAF) or args.dose == "auto":
+        simulator = LithoSimulator(
+            LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+        )
+    if args.dose == "auto":
+        anchor = line_space_array(rules.poly_width, rules.poly_space)
+        dose = simulator.dose_to_size(
+            binary_mask(anchor.region),
+            anchor.window,
+            anchor.site("center"),
+            float(rules.poly_width),
+        )
+        print(f"auto dose-to-size: {dose:.3f}")
+    else:
+        dose = float(args.dose)
+
+    result = correct_region(
+        target, level, simulator=simulator, dose=dose,
+        dark_field=args.dark_field,
+    )
+    corrected = result.corrected
+    if args.smooth > 0:
+        from .geometry import smooth_jogs
+
+        corrected = smooth_jogs(corrected, args.smooth)
+
+    out = Library(f"{library.name}_opc")
+    out_cell = out.new_cell(f"{cell.name}_opc")
+    out_cell.set_region(drawn, target)
+    out_cell.set_region(opc_layer(drawn), corrected)
+    if not result.srafs.is_empty:
+        out_cell.set_region(sraf_layer(drawn), result.srafs)
+    size = write_gds(out, args.output)
+    print(
+        f"{level.value} correction: {result.data.figures} figures, "
+        f"{result.data.vertices} vertices, {result.data.shots} shots "
+        f"({result.runtime_s:.1f} s)"
+    )
+    print(f"wrote {args.output} ({size} bytes)")
+    return 0
+
+
+def _resolve_dose(args, rules, simulator) -> float:
+    if args.dose != "auto":
+        return float(args.dose)
+    anchor = line_space_array(rules.poly_width, rules.poly_space)
+    dose = simulator.dose_to_size(
+        binary_mask(anchor.region),
+        anchor.window,
+        anchor.site("center"),
+        float(rules.poly_width),
+    )
+    print(f"auto dose-to-size: {dose:.3f}")
+    return dose
+
+
+def _report(args) -> int:
+    from .flow import flow_report_markdown
+
+    library = read_gds(args.gds)
+    cell = _pick_cell(library, args.cell)
+    drawn = Layer(args.layer, args.datatype)
+    target = cell.flat_region(drawn)
+    if target.is_empty:
+        raise ReproError(
+            f"cell {cell.name!r} has no geometry on layer "
+            f"{args.layer}/{args.datatype}"
+        )
+    try:
+        levels = [_LEVELS[name.strip()] for name in args.levels.split(",")]
+    except KeyError as bad:
+        raise ReproError(f"unknown correction level {bad}") from None
+    rules = _NODES[args.node]()
+    simulator = LithoSimulator(
+        LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    )
+    dose = _resolve_dose(args, rules, simulator)
+    results = {
+        level: correct_region(target, level, simulator=simulator, dose=dose)
+        for level in levels
+    }
+    print(flow_report_markdown(results, title=f"{cell.name} layer {drawn}"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

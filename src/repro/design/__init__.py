@@ -1,0 +1,67 @@
+"""Synthetic design generation: the open-layout substitute.
+
+Public surface:
+
+* rule sets: :func:`node_250nm`, :func:`node_180nm`, :func:`node_130nm`,
+  :class:`DesignRules`, :func:`drc_ruleset`;
+* primitives: :func:`wire`, :func:`contact`, :func:`via1`,
+  :func:`transistor_stack`;
+* standard cells: :class:`StdCellGenerator`, :data:`STANDARD_CELLS`;
+* SRAM: :func:`sram_cell`, :func:`sram_array`;
+* test patterns: :func:`line_space_array`, :func:`isolated_line`,
+  :func:`line_end_gap`, :func:`elbow`, :func:`contact_array`,
+  :func:`pitch_sweep`, :func:`dense_to_iso_transition`,
+  :class:`TestPattern`;
+* place and route: :func:`place_rows`, :func:`fill_row`,
+  :class:`GridRouter`, :func:`random_logic_block`, :class:`BlockSpec`.
+"""
+
+from .blocks import BlockSpec, random_logic_block
+from .placer import fill_row, place_rows
+from .primitives import contact, transistor_stack, via1, wire
+from .router import GridRouter
+from .rules import DesignRules, drc_ruleset, node_130nm, node_180nm, node_250nm
+from .sram import sram_array, sram_cell
+from .stdcells import STANDARD_CELLS, CellSpec, StdCellGenerator
+from .testpatterns import (
+    TestPattern,
+    comb_serpentine,
+    contact_array,
+    dense_to_iso_transition,
+    elbow,
+    isolated_line,
+    line_end_gap,
+    line_space_array,
+    pitch_sweep,
+)
+
+__all__ = [
+    "BlockSpec",
+    "CellSpec",
+    "DesignRules",
+    "GridRouter",
+    "STANDARD_CELLS",
+    "StdCellGenerator",
+    "TestPattern",
+    "comb_serpentine",
+    "contact",
+    "contact_array",
+    "dense_to_iso_transition",
+    "drc_ruleset",
+    "elbow",
+    "fill_row",
+    "isolated_line",
+    "line_end_gap",
+    "line_space_array",
+    "node_130nm",
+    "node_180nm",
+    "node_250nm",
+    "pitch_sweep",
+    "place_rows",
+    "random_logic_block",
+    "sram_array",
+    "sram_cell",
+    "transistor_stack",
+    "via1",
+    "wire",
+]

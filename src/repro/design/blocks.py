@@ -1,0 +1,143 @@
+"""Seeded random-logic block generation: place-and-route workloads.
+
+A block is rows of randomly chosen standard cells plus maze-routed metal2
+interconnect and via1 landings -- the "typical ASIC" geometry the paper's
+hierarchy and data-volume arguments are about.  Generation is fully
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import DesignError
+from ..geometry import Rect, Region
+from ..layout import Cell, Library, METAL1, METAL2, VIA1
+from .placer import fill_row, place_rows
+from .router import GridRouter
+from .rules import DesignRules
+from .stdcells import StdCellGenerator
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Parameters of a random logic block."""
+
+    rows: int = 6
+    row_width: int = 30000
+    nets: int = 20
+    seed: int = 42
+
+    def validated(self) -> "BlockSpec":
+        """Return self, raising :class:`DesignError` on nonsense values."""
+        if self.rows < 1 or self.row_width < 2000:
+            raise DesignError("block needs at least one row of usable width")
+        if self.nets < 0:
+            raise DesignError("net count must be non-negative")
+        return self
+
+
+def random_logic_block(
+    rules: DesignRules,
+    spec: BlockSpec = BlockSpec(),
+    name: str = "block",
+) -> Library:
+    """Generate a placed-and-routed random logic block.
+
+    Returns a library whose top cell holds the placed rows plus routed
+    metal2/via1; the standard cells remain referenced (hierarchical), so
+    hierarchy experiments can compare against the flattened view.
+    """
+    spec = spec.validated()
+    rng = random.Random(spec.seed)
+    generator = StdCellGenerator(rules)
+    lib = generator.library(name=f"{name}_lib")
+
+    rows: List[List[Cell]] = [
+        fill_row(lib.cells, spec.row_width, rng) for _ in range(spec.rows)
+    ]
+    top = place_rows(f"{name}_top", rows)
+    lib.add_tree(top)
+
+    if spec.nets:
+        _route_block(top, rules, spec, rng)
+    return lib
+
+
+def _route_block(
+    top: Cell, rules: DesignRules, spec: BlockSpec, rng: random.Random
+) -> None:
+    """Maze-route random pin-pair nets over the placed rows.
+
+    Net endpoints are chosen so their metal1 via landings keep design-rule
+    clearance to the cell-level metal1 underneath -- a stand-in for real
+    pin locations.
+    """
+    box = top.bbox()
+    if box is None:  # pragma: no cover - placement always yields geometry
+        raise DesignError("cannot route an empty block")
+    router = GridRouter(
+        area=box,
+        track_pitch=2 * rules.metal2_pitch,
+        wire_width=rules.metal2_width,
+    )
+    m1_index = _metal1_index(top)
+    pad_halo = (
+        rules.via1_size // 2
+        + rules.metal1_enclosure_of_via1
+        + rules.metal1_space
+    )
+    landing_cells = _clear_landing_cells(router, m1_index, pad_halo)
+    routed = 0
+    attempts = 0
+    via_pads: List[Rect] = []
+    while routed < spec.nets and attempts < spec.nets * 8 and len(landing_cells) >= 2:
+        attempts += 1
+        a = landing_cells[rng.randrange(len(landing_cells))]
+        b = landing_cells[rng.randrange(len(landing_cells))]
+        if a == b:
+            continue
+        path = router.route(a, b)
+        if path is None:
+            continue
+        landing_cells = [c for c in landing_cells if c not in (a, b)]
+        routed += 1
+        for endpoint in (path[0], path[-1]):
+            cut = Rect.from_center(endpoint, rules.via1_size, rules.via1_size)
+            pad = cut.expanded(rules.metal1_enclosure_of_via1)
+            top.add(VIA1, cut)
+            top.add(METAL1, pad)  # the metal1 pin landing under the via
+            m1_index.insert(pad.expanded(rules.metal1_space), pad)
+            via_pads.append(pad)
+    wires = router.wire_region()
+    if not wires.is_empty:
+        top.set_region(METAL2, wires | Region.from_rects(via_pads))
+
+
+def _metal1_index(top: Cell):
+    """A spatial index of all flattened metal1 bounding boxes."""
+    from ..geometry import GridIndex
+
+    index: "GridIndex[Rect]" = GridIndex(cell_size=4000)
+    for poly in top.flat_region(METAL1).polygons():
+        bbox = poly.bbox()
+        index.insert(bbox, bbox)
+    return index
+
+
+def _is_clear(point, index, halo: int) -> bool:
+    probe = Rect.from_center(point, 2 * halo, 2 * halo)
+    return not any(True for _ in index.query(probe))
+
+
+def _clear_landing_cells(router: GridRouter, index, halo: int):
+    """Every routing-grid centre where a via pad keeps metal1 clearance."""
+    cells = []
+    for col in range(1, router.cols - 1):
+        for row in range(1, router.rows - 1):
+            center = router.cell_center((col, row))
+            if _is_clear(center, index, halo):
+                cells.append(center)
+    return cells

@@ -1,0 +1,70 @@
+"""Row-based standard-cell placement.
+
+Cells go into abutted rows; alternate rows are flipped about x so power
+rails are shared, exactly like a real standard-cell fabric.  The placer is
+deterministic given its input order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import DesignError
+from ..geometry import Transform
+from ..layout import Cell
+
+
+def place_rows(
+    name: str,
+    rows: Sequence[Sequence[Cell]],
+    flip_alternate_rows: bool = True,
+) -> Cell:
+    """Place ``rows`` of cells into a new parent cell.
+
+    Every cell in a row is abutted left-to-right at y = row * height; all
+    cells must share one height.  Odd rows are mirrored about x (sharing
+    rails with the row below) when ``flip_alternate_rows`` is set.
+    """
+    if not rows or not any(rows):
+        raise DesignError("placement needs at least one cell")
+    heights = {
+        cell.bbox(recursive=False).height for row in rows for cell in row
+    }
+    if len(heights) != 1:
+        raise DesignError(f"cells must share one height, got {sorted(heights)}")
+    height = heights.pop()
+    top = Cell(name)
+    for row_index, row in enumerate(rows):
+        x = 0
+        flipped = flip_alternate_rows and row_index % 2 == 1
+        y = (row_index + 1) * height if flipped else row_index * height
+        for cell in row:
+            top.place(
+                cell,
+                Transform(dx=x, dy=y, mirror_x=flipped),
+            )
+            x += cell.bbox(recursive=False).width
+    return top
+
+
+def fill_row(cells: Sequence[Cell], row_width: int, rng) -> List[Cell]:
+    """Randomly pick cells (with replacement) until ``row_width`` is filled.
+
+    ``rng`` is a seeded :class:`random.Random`-compatible generator; the
+    result is deterministic for a given seed and cell list.
+    """
+    if row_width <= 0:
+        raise DesignError(f"row width must be positive, got {row_width}")
+    if not cells:
+        raise DesignError("need a non-empty cell list")
+    widths = [cell.bbox(recursive=False).width for cell in cells]
+    narrowest = min(widths)
+    row: List[Cell] = []
+    used = 0
+    while used + narrowest <= row_width:
+        pick = rng.randrange(len(cells))
+        if used + widths[pick] > row_width:
+            continue
+        row.append(cells[pick])
+        used += widths[pick]
+    return row

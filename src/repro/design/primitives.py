@@ -1,0 +1,117 @@
+"""Layout primitives: wires, contacts, transistors.
+
+Small geometric builders the cell generators compose.  All builders return
+plain geometry (rects/regions); layer assignment happens at the cell level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import DesignError
+from ..geometry import Coord, Rect, Region
+from .rules import DesignRules
+
+
+def wire(points: Sequence[Coord], width: int) -> Region:
+    """A rectilinear wire of ``width`` through ``points``.
+
+    Consecutive points must differ along exactly one axis.  Corners are
+    filled with squares so bends are solid.
+    """
+    if width <= 0:
+        raise DesignError(f"wire width must be positive, got {width}")
+    if len(points) < 2:
+        raise DesignError("wire needs at least two points")
+    half = width // 2
+    rects: List[Rect] = []
+    for (x1, y1), (x2, y2) in zip(points, points[1:]):
+        if x1 != x2 and y1 != y2:
+            raise DesignError(f"non-rectilinear wire segment ({x1},{y1})->({x2},{y2})")
+        if x1 == x2 and y1 == y2:
+            continue
+        if y1 == y2:  # horizontal segment
+            rects.append(Rect(min(x1, x2), y1 - half, max(x1, x2), y1 + half))
+        else:  # vertical segment
+            rects.append(Rect(x1 - half, min(y1, y2), x1 + half, max(y1, y2)))
+    # Corner squares make bends solid regardless of segment order.
+    for x, y in points[1:-1]:
+        rects.append(Rect(x - half, y - half, x + half, y + half))
+    return Region.from_rects(rects).merged()
+
+
+def contact(rules: DesignRules, center: Coord) -> Tuple[Rect, Rect]:
+    """A contact cut plus its metal1 landing pad, centred on ``center``."""
+    cut = Rect.from_center(center, rules.contact_size, rules.contact_size)
+    pad = cut.expanded(rules.metal1_enclosure_of_contact)
+    return cut, pad
+
+
+def via1(rules: DesignRules, center: Coord) -> Tuple[Rect, Rect, Rect]:
+    """A via1 cut plus metal1 and metal2 landing pads."""
+    cut = Rect.from_center(center, rules.via1_size, rules.via1_size)
+    pad = cut.expanded(rules.metal1_enclosure_of_via1)
+    return cut, pad, pad
+
+
+def transistor_stack(
+    rules: DesignRules,
+    origin: Coord,
+    gates: int,
+    channel_width: int,
+) -> Tuple[Rect, List[Rect], List[Coord]]:
+    """A multi-finger transistor: active strip, gate polys, contact slots.
+
+    ``origin`` is the lower-left of the active strip.  Gates are vertical,
+    on the contacted poly pitch; source/drain contact positions lie between
+    and outside the gates.  Returns ``(active, gate_rects,
+    contact_centers)``.
+    """
+    if gates < 1:
+        raise DesignError(f"need at least one gate, got {gates}")
+    if channel_width < rules.active_width:
+        raise DesignError(
+            f"channel width {channel_width} below active minimum "
+            f"{rules.active_width}"
+        )
+    needed_extension = (
+        rules.contact_to_gate
+        + rules.contact_size
+        + rules.active_enclosure_of_contact
+    )
+    if rules.active_extension < needed_extension:
+        raise DesignError(
+            f"active extension {rules.active_extension} cannot land an end "
+            f"contact (needs {needed_extension})"
+        )
+    ox, oy = origin
+    pitch = rules.poly_pitch
+    active_len = 2 * rules.active_extension + gates * pitch - (
+        pitch - rules.poly_width
+    )
+    active = Rect(ox, oy, ox + active_len, oy + channel_width)
+    gate_rects: List[Rect] = []
+    contact_centers: List[Coord] = []
+    cy = oy + channel_width // 2
+    first_gate_x = ox + rules.active_extension
+    for k in range(gates):
+        gx = first_gate_x + k * pitch
+        gate_rects.append(
+            Rect(
+                gx,
+                oy - rules.gate_extension,
+                gx + rules.poly_width,
+                oy + channel_width + rules.gate_extension,
+            )
+        )
+    # Contacts: at contact-to-gate from the end gates, and centred in each
+    # interior source/drain gap -- all landing on the contacted pitch.
+    ct_offset = rules.contact_to_gate + rules.contact_size // 2
+    contact_centers.append((first_gate_x - ct_offset, cy))
+    for k in range(gates - 1):
+        gap_left = first_gate_x + k * pitch + rules.poly_width
+        gap_right = first_gate_x + (k + 1) * pitch
+        contact_centers.append(((gap_left + gap_right) // 2, cy))
+    last_gate_right = first_gate_x + (gates - 1) * pitch + rules.poly_width
+    contact_centers.append((last_gate_right + ct_offset, cy))
+    return active, gate_rects, contact_centers

@@ -1,0 +1,130 @@
+"""A grid-based maze router for block-level metal2 interconnect.
+
+BFS (Lee) routing on a uniform track grid: each routed net marks its
+cells occupied, so later nets detour around earlier ones.  One layer with
+both directions is crude next to a production router, but it produces
+exactly what the experiments need: realistic wire geometry (doglegs,
+jogs, varying neighbourhoods) with guaranteed spacing by construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DesignError
+from ..geometry import Coord, Rect, Region
+from .primitives import wire
+
+GridCell = Tuple[int, int]
+
+
+class GridRouter:
+    """Maze routing over a track grid inside a routing area."""
+
+    def __init__(self, area: Rect, track_pitch: int, wire_width: int):
+        if track_pitch <= 0 or wire_width <= 0:
+            raise DesignError("track pitch and wire width must be positive")
+        if wire_width >= track_pitch:
+            raise DesignError(
+                f"wire width {wire_width} must be below track pitch {track_pitch} "
+                "or adjacent tracks would short"
+            )
+        self.area = area
+        self.pitch = track_pitch
+        self.wire_width = wire_width
+        self.cols = max(1, area.width // track_pitch)
+        self.rows = max(1, area.height // track_pitch)
+        self._occupied: Set[GridCell] = set()
+        self.paths: List[List[Coord]] = []
+
+    # -- grid mapping -----------------------------------------------------------
+
+    def snap(self, point: Coord) -> GridCell:
+        """The grid cell containing a layout point."""
+        x, y = point
+        col = (x - self.area.x1) // self.pitch
+        row = (y - self.area.y1) // self.pitch
+        return (
+            min(max(col, 0), self.cols - 1),
+            min(max(row, 0), self.rows - 1),
+        )
+
+    def cell_center(self, cell: GridCell) -> Coord:
+        """Layout coordinates of a grid cell's centre."""
+        col, row = cell
+        return (
+            self.area.x1 + col * self.pitch + self.pitch // 2,
+            self.area.y1 + row * self.pitch + self.pitch // 2,
+        )
+
+    # -- routing --------------------------------------------------------------
+
+    def route(self, start: Coord, goal: Coord) -> Optional[List[Coord]]:
+        """Route one net; returns corner points or ``None`` when blocked.
+
+        The path is recorded as occupied so subsequent nets avoid it.
+        """
+        s = self.snap(start)
+        g = self.snap(goal)
+        if s in self._occupied or g in self._occupied:
+            return None
+        if s == g:
+            return None
+        came: Dict[GridCell, GridCell] = {s: s}
+        queue = deque([s])
+        while queue:
+            cell = queue.popleft()
+            if cell == g:
+                break
+            col, row = cell
+            for nxt in (
+                (col + 1, row),
+                (col - 1, row),
+                (col, row + 1),
+                (col, row - 1),
+            ):
+                if not (0 <= nxt[0] < self.cols and 0 <= nxt[1] < self.rows):
+                    continue
+                if nxt in self._occupied or nxt in came:
+                    continue
+                came[nxt] = cell
+                queue.append(nxt)
+        if g not in came:
+            return None
+        cells: List[GridCell] = [g]
+        while cells[-1] != s:
+            cells.append(came[cells[-1]])
+        cells.reverse()
+        for cell in cells:
+            self._occupied.add(cell)
+        corners = _simplify([self.cell_center(c) for c in cells])
+        self.paths.append(corners)
+        return corners
+
+    def wire_region(self) -> Region:
+        """All routed nets as one merged wire region."""
+        pieces = [wire(path, self.wire_width) for path in self.paths if len(path) > 1]
+        result = Region()
+        for piece in pieces:
+            result._add(piece)
+        return result.merged()
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of grid cells consumed by routing."""
+        return len(self._occupied) / float(self.cols * self.rows)
+
+
+def _simplify(points: Sequence[Coord]) -> List[Coord]:
+    """Drop collinear interior points, keeping only corners."""
+    if len(points) <= 2:
+        return list(points)
+    result = [points[0]]
+    for prev, cur, nxt in zip(points, points[1:], points[2:]):
+        ax, ay = cur[0] - prev[0], cur[1] - prev[1]
+        bx, by = nxt[0] - cur[0], nxt[1] - cur[1]
+        if ax * by - ay * bx != 0:
+            result.append(cur)
+    result.append(points[-1])
+    return result

@@ -1,0 +1,212 @@
+"""Design rules for the synthetic process nodes.
+
+Three generations bracket the paper's era: 250 nm (pre-OPC comfort zone),
+180 nm (rule-based OPC adoption) and 130 nm (model-based OPC required).
+Values follow public-roadmap proportions; they are self-consistent rather
+than copied from any proprietary deck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import DesignError
+from ..layout import ACTIVE, CONTACT, METAL1, METAL2, POLY, VIA1
+from ..verify.drc import DRCRule, enclosure_rule, space_rule, width_rule
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Geometric design rules of one process node (all nm/dbu)."""
+
+    name: str
+    # Front end
+    poly_width: int  # drawn gate length
+    poly_space: int
+    gate_extension: int  # poly past active
+    active_width: int
+    active_space: int
+    active_extension: int  # active past gate (S/D landing)
+    # Contacts / vias
+    contact_size: int
+    contact_space: int
+    contact_to_gate: int
+    poly_enclosure_of_contact: int
+    active_enclosure_of_contact: int
+    metal1_enclosure_of_contact: int
+    # Back end
+    metal1_width: int
+    metal1_space: int
+    via1_size: int
+    metal1_enclosure_of_via1: int
+    metal2_width: int
+    metal2_space: int
+    # Floorplan
+    cell_height: int
+    rail_width: int
+    nwell_overlap_of_active: int
+
+    def __post_init__(self) -> None:
+        if min(
+            self.poly_width,
+            self.poly_space,
+            self.active_width,
+            self.contact_size,
+            self.metal1_width,
+            self.metal2_width,
+            self.cell_height,
+        ) <= 0:
+            raise DesignError(f"rule set {self.name!r} has non-positive rules")
+
+    @property
+    def poly_pitch(self) -> int:
+        """Contacted gate pitch (gate + contact landing between gates)."""
+        return (
+            self.poly_width
+            + 2 * self.contact_to_gate
+            + self.contact_size
+            + 2 * 0  # symmetric landing
+        )
+
+    @property
+    def metal1_pitch(self) -> int:
+        """Minimum metal1 line pitch."""
+        return self.metal1_width + self.metal1_space
+
+    @property
+    def metal2_pitch(self) -> int:
+        """Minimum metal2 line pitch."""
+        return self.metal2_width + self.metal2_space
+
+    def scaled(self, factor: float, name: str) -> "DesignRules":
+        """A uniformly scaled rule set (used by shrink studies)."""
+
+        def s(v: int) -> int:
+            return max(1, int(round(v * factor)))
+
+        return DesignRules(
+            name=name,
+            poly_width=s(self.poly_width),
+            poly_space=s(self.poly_space),
+            gate_extension=s(self.gate_extension),
+            active_width=s(self.active_width),
+            active_space=s(self.active_space),
+            active_extension=s(self.active_extension),
+            contact_size=s(self.contact_size),
+            contact_space=s(self.contact_space),
+            contact_to_gate=s(self.contact_to_gate),
+            poly_enclosure_of_contact=s(self.poly_enclosure_of_contact),
+            active_enclosure_of_contact=s(self.active_enclosure_of_contact),
+            metal1_enclosure_of_contact=s(self.metal1_enclosure_of_contact),
+            metal1_width=s(self.metal1_width),
+            metal1_space=s(self.metal1_space),
+            via1_size=s(self.via1_size),
+            metal1_enclosure_of_via1=s(self.metal1_enclosure_of_via1),
+            metal2_width=s(self.metal2_width),
+            metal2_space=s(self.metal2_space),
+            cell_height=s(self.cell_height),
+            rail_width=s(self.rail_width),
+            nwell_overlap_of_active=s(self.nwell_overlap_of_active),
+        )
+
+
+def node_250nm() -> DesignRules:
+    """The pre-OPC generation: k1 comfortable, layouts print as drawn."""
+    return DesignRules(
+        name="250nm",
+        poly_width=250,
+        poly_space=330,
+        gate_extension=200,
+        active_width=400,
+        active_space=400,
+        active_extension=620,
+        contact_size=280,
+        contact_space=340,
+        contact_to_gate=200,
+        poly_enclosure_of_contact=120,
+        active_enclosure_of_contact=120,
+        metal1_enclosure_of_contact=120,
+        metal1_width=320,
+        metal1_space=320,
+        via1_size=280,
+        metal1_enclosure_of_via1=120,
+        metal2_width=360,
+        metal2_space=360,
+        cell_height=8000,
+        rail_width=640,
+        nwell_overlap_of_active=600,
+    )
+
+
+def node_180nm() -> DesignRules:
+    """The OPC-adoption node the paper targets (KrF, k1 ~ 0.49)."""
+    return DesignRules(
+        name="180nm",
+        poly_width=180,
+        poly_space=280,
+        gate_extension=160,
+        active_width=320,
+        active_space=320,
+        active_extension=500,
+        contact_size=220,
+        contact_space=280,
+        contact_to_gate=160,
+        poly_enclosure_of_contact=100,
+        active_enclosure_of_contact=100,
+        metal1_enclosure_of_contact=100,
+        metal1_width=240,
+        metal1_space=240,
+        via1_size=220,
+        metal1_enclosure_of_via1=100,
+        metal2_width=280,
+        metal2_space=280,
+        cell_height=6000,
+        rail_width=480,
+        nwell_overlap_of_active=480,
+    )
+
+
+def node_130nm() -> DesignRules:
+    """The next shrink: KrF pushed to k1 ~ 0.36, model-based OPC territory."""
+    return DesignRules(
+        name="130nm",
+        poly_width=130,
+        poly_space=210,
+        gate_extension=120,
+        active_width=240,
+        active_space=240,
+        active_extension=370,
+        contact_size=160,
+        contact_space=210,
+        contact_to_gate=120,
+        poly_enclosure_of_contact=70,
+        active_enclosure_of_contact=70,
+        metal1_enclosure_of_contact=70,
+        metal1_width=180,
+        metal1_space=180,
+        via1_size=160,
+        metal1_enclosure_of_via1=70,
+        metal2_width=210,
+        metal2_space=210,
+        cell_height=4400,
+        rail_width=360,
+        nwell_overlap_of_active=360,
+    )
+
+
+def drc_ruleset(rules: DesignRules) -> List[DRCRule]:
+    """The node's core DRC deck (widths, spaces, enclosures)."""
+    return [
+        width_rule("poly.w", POLY, rules.poly_width),
+        space_rule("poly.s", POLY, rules.poly_space),
+        width_rule("active.w", ACTIVE, rules.active_width),
+        space_rule("active.s", ACTIVE, rules.active_space),
+        width_rule("m1.w", METAL1, rules.metal1_width),
+        space_rule("m1.s", METAL1, rules.metal1_space),
+        width_rule("m2.w", METAL2, rules.metal2_width),
+        space_rule("m2.s", METAL2, rules.metal2_space),
+        space_rule("ct.s", CONTACT, rules.contact_space),
+        enclosure_rule("m1.enc.ct", METAL1, CONTACT, rules.metal1_enclosure_of_contact),
+        enclosure_rule("m1.enc.v1", METAL1, VIA1, rules.metal1_enclosure_of_via1),
+    ]

@@ -1,0 +1,106 @@
+"""A compact 6T SRAM bit cell and array generator.
+
+SRAM was the densest repetitive pattern of the era -- the first place
+proximity effects bit and the showcase for hierarchy-friendly mask data
+(one cell definition, millions of placements).  The cell here is a
+simplified but geometrically-faithful 6T layout: two vertical gate fingers
+(cross-coupled pair), a horizontal word-line poly, two active regions,
+bit-line metal1 and a contact lattice.
+"""
+
+from __future__ import annotations
+
+from ..errors import DesignError
+from ..geometry import Rect
+from ..layout import ACTIVE, BOUNDARY, CONTACT, Cell, Library, METAL1, NWELL, POLY
+from .rules import DesignRules
+
+
+def sram_cell(rules: DesignRules, name: str = "SRAM6T") -> Cell:
+    """The 6T bit cell for one rule set.
+
+    Cell proportions follow the classic ~2:1 wide/tall 6T aspect; absolute
+    size scales with the poly pitch.
+    """
+    r = rules
+    pitch = r.poly_pitch
+    width = 3 * pitch  # two pull-down/access columns plus a pull-up column
+    height = 2 * pitch + r.active_width + 2 * r.active_space
+    cell = Cell(name)
+    cell.add(BOUNDARY, Rect(0, 0, width, height))
+
+    # Two horizontal active strips: bottom NMOS (pull-down + access),
+    # top PMOS (pull-ups).
+    nmos = Rect(r.active_space // 2, r.active_space, width - r.active_space // 2,
+                r.active_space + 2 * r.active_width)
+    pmos_y0 = height - r.active_space - r.active_width
+    pmos = Rect(pitch // 2, pmos_y0, width - pitch // 2, pmos_y0 + r.active_width)
+    cell.add(ACTIVE, nmos)
+    cell.add(ACTIVE, pmos)
+    cell.add(NWELL, Rect(0, pmos_y0 - r.nwell_overlap_of_active, width, height))
+
+    # Cross-coupled vertical gates: two fingers crossing both strips.
+    for k, gx in enumerate((pitch - r.poly_width // 2, 2 * pitch - r.poly_width // 2)):
+        cell.add(
+            POLY,
+            Rect(gx, nmos.y1 - r.gate_extension, gx + r.poly_width,
+                 pmos.y2 + r.gate_extension),
+        )
+    # Word line: a horizontal poly routing across the cell between strips.
+    wl_y = (nmos.y2 + pmos.y1) // 2 - r.poly_width // 2
+    cell.add(POLY, Rect(0, wl_y, width, wl_y + r.poly_width))
+
+    # Contacts: bit-line contacts at the cell edges, internal node contacts
+    # between the gates, and a well tap row.
+    cy_n = (nmos.y1 + nmos.y2) // 2
+    cy_p = (pmos.y1 + pmos.y2) // 2
+    ct = r.contact_size
+    positions = [
+        (pitch // 2, cy_n),  # bit-line true
+        (width - pitch // 2, cy_n),  # bit-line complement
+        (3 * pitch // 2, cy_n),  # internal node
+        (3 * pitch // 2, cy_p),  # pull-up shared node
+    ]
+    for cx, cy in positions:
+        cut = Rect.from_center((cx, cy), ct, ct)
+        cell.add(CONTACT, cut)
+        cell.add(METAL1, cut.expanded(r.metal1_enclosure_of_contact))
+
+    # Bit lines: vertical metal1 pair at the cell edges.
+    bl_half = r.metal1_width // 2
+    for cx in (pitch // 2, width - pitch // 2):
+        cell.add(METAL1, Rect(cx - bl_half, 0, cx + bl_half, height))
+    return cell
+
+
+def sram_array(
+    rules: DesignRules, cols: int, rows: int, name: str = "sram_array"
+) -> Library:
+    """A ``cols x rows`` bit-cell array library with mirrored tiling.
+
+    Cells are mirrored in alternate rows (the real 6T tiling trick that
+    shares contacts across cell boundaries), expressed as two AREFs.
+    """
+    if cols < 1 or rows < 1:
+        raise DesignError(f"array must be at least 1x1, got {cols}x{rows}")
+    lib = Library(name)
+    bit = lib.add(sram_cell(rules))
+    box = bit.bbox()
+    top = lib.new_cell(f"{name}_top")
+    even_rows = (rows + 1) // 2
+    odd_rows = rows // 2
+    from ..geometry import Transform
+
+    top.place_array(
+        bit, cols=cols, rows=even_rows, col_pitch=box.width, row_pitch=2 * box.height
+    )
+    if odd_rows:
+        top.place_array(
+            bit,
+            cols=cols,
+            rows=odd_rows,
+            col_pitch=box.width,
+            row_pitch=2 * box.height,
+            transform=Transform(dy=2 * box.height, mirror_x=True),
+        )
+    return lib

@@ -1,0 +1,226 @@
+"""Lithography test patterns: the structures every experiment measures.
+
+Each builder returns a :class:`TestPattern` bundling the geometry, the
+window to simulate, and the named measurement sites -- so benchmarks and
+tests never re-derive coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import DesignError
+from ..geometry import Coord, Rect, Region
+
+
+@dataclass(frozen=True)
+class TestPattern:
+    """Geometry plus measurement bookkeeping for one test structure."""
+
+    name: str
+    region: Region
+    window: Rect
+    sites: Dict[str, Coord] = field(default_factory=dict)
+
+    def site(self, name: str) -> Coord:
+        """A named measurement point."""
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise DesignError(
+                f"pattern {self.name!r} has no site {name!r}; "
+                f"available: {sorted(self.sites)}"
+            ) from None
+
+
+def line_space_array(
+    width: int, space: int, count: int = 9, length: int = 4000
+) -> TestPattern:
+    """``count`` vertical lines of ``width`` at pitch ``width + space``.
+
+    The centre line's midpoint is the canonical CD site; the pattern is
+    centred on the origin.
+    """
+    if width <= 0 or space <= 0 or count < 1:
+        raise DesignError("line/space parameters must be positive")
+    pitch = width + space
+    x0 = -(count // 2) * pitch - width // 2
+    rects = [
+        Rect(x0 + k * pitch, -length // 2, x0 + k * pitch + width, length // 2)
+        for k in range(count)
+    ]
+    centre = x0 + (count // 2) * pitch + width // 2
+    return TestPattern(
+        name=f"ls_w{width}_s{space}",
+        region=Region.from_rects(rects),
+        window=Rect(-pitch, -length // 4, pitch, length // 4),
+        sites={
+            "center": (centre, 0),
+            "left_edge": (centre - width // 2, 0),
+            "right_edge": (centre + width // 2, 0),
+        },
+    )
+
+
+def isolated_line(width: int, length: int = 4000) -> TestPattern:
+    """A single line centred on the origin."""
+    if width <= 0:
+        raise DesignError(f"width must be positive, got {width}")
+    return TestPattern(
+        name=f"iso_w{width}",
+        region=Region(Rect(-width // 2, -length // 2, width // 2, length // 2)),
+        window=Rect(-width * 4 - 400, -length // 4, width * 4 + 400, length // 4),
+        sites={"center": (0, 0)},
+    )
+
+
+def line_end_gap(width: int, gap: int, length: int = 3000) -> TestPattern:
+    """Two facing vertical line ends separated by ``gap`` (tip-to-tip).
+
+    The canonical pullback structure: the printed gap is always larger
+    than drawn, and the line-end EPE sites measure by how much.
+    """
+    if width <= 0 or gap <= 0:
+        raise DesignError("width and gap must be positive")
+    half = gap // 2
+    region = Region.from_rects(
+        [
+            Rect(-width // 2, half, width // 2, half + length),
+            Rect(-width // 2, -half - length, width // 2, -half),
+        ]
+    )
+    return TestPattern(
+        name=f"lineend_w{width}_g{gap}",
+        region=region,
+        window=Rect(-width * 3 - 300, -gap - 600, width * 3 + 300, gap + 600),
+        sites={
+            "upper_tip": (0, half),
+            "lower_tip": (0, -half),
+            "gap_center": (0, 0),
+        },
+    )
+
+
+def elbow(width: int, arm: int = 1500) -> TestPattern:
+    """An L-shaped bend: the corner-rounding workhorse."""
+    if width <= 0 or arm <= width:
+        raise DesignError("need positive width and arm > width")
+    region = Region.from_rects(
+        [Rect(0, 0, arm, width), Rect(0, 0, width, arm)]
+    )
+    return TestPattern(
+        name=f"elbow_w{width}",
+        region=region,
+        window=Rect(-400, -400, arm + 400, arm + 400),
+        sites={
+            "outer_corner": (0, 0),
+            "inner_corner": (width, width),
+            "h_arm": (arm * 2 // 3, width // 2),
+            "v_arm": (width // 2, arm * 2 // 3),
+        },
+    )
+
+
+def dense_to_iso_transition(
+    width: int, space: int, count: int = 5, length: int = 4000
+) -> TestPattern:
+    """A dense grating whose last line faces open space on one side.
+
+    The transition line gets a dense environment on the left and an
+    isolated one on the right -- the asymmetric-bias worst case for
+    rule-based OPC.
+    """
+    pattern = line_space_array(width, space, count, length)
+    pitch = width + space
+    last_x = -(count // 2) * pitch + (count - 1) * pitch
+    return TestPattern(
+        name=f"dense2iso_w{width}_s{space}",
+        region=pattern.region,
+        window=Rect(last_x - 2 * pitch, -length // 4, last_x + 4 * pitch, length // 4),
+        sites={"transition_line": (last_x, 0)},
+    )
+
+
+def contact_array(size: int, space: int, nx: int = 5, ny: int = 5) -> TestPattern:
+    """A grid of square contacts (dark-field imaging workload)."""
+    if size <= 0 or space <= 0 or nx < 1 or ny < 1:
+        raise DesignError("contact array parameters must be positive")
+    pitch = size + space
+    x0 = -(nx // 2) * pitch
+    y0 = -(ny // 2) * pitch
+    rects = [
+        Rect.from_center((x0 + i * pitch, y0 + j * pitch), size, size)
+        for i in range(nx)
+        for j in range(ny)
+    ]
+    return TestPattern(
+        name=f"ct_{size}_{space}",
+        region=Region.from_rects(rects),
+        window=Rect(-pitch - size, -pitch - size, pitch + size, pitch + size),
+        sites={"center": (0, 0)},
+    )
+
+
+def comb_serpentine(
+    width: int, space: int, rows: int = 7, row_length: int = 3000
+) -> TestPattern:
+    """The classic defect monitor: a serpentine interdigitated with a comb.
+
+    The serpentine snakes through ``rows`` horizontal lines joined by
+    alternating end stubs; comb fingers reach into every other inter-row
+    gap from a spine on the right.  Electrically the drawn structure has
+    exactly two nets: a bridge defect shorts them, an open breaks the
+    serpentine's continuity -- both detectable with
+    :func:`repro.verify.extract_nets` on drawn or printed geometry.
+    """
+    if width <= 0 or space <= 0:
+        raise DesignError("comb/serpentine needs positive dimensions")
+    if rows < 3 or rows % 2 == 0:
+        raise DesignError("rows must be odd and >= 3 (snake ends on one side)")
+    pitch = 2 * (width + space)
+    shapes: List[Rect] = []
+    # Serpentine rows plus alternating end stubs.
+    for i in range(rows):
+        shapes.append(Rect(0, i * pitch, row_length, i * pitch + width))
+    for i in range(rows - 1):
+        if i % 2 == 0:  # join rows i, i+1 on the right
+            shapes.append(
+                Rect(row_length - width, i * pitch, row_length, (i + 1) * pitch + width)
+            )
+        else:  # join on the left
+            shapes.append(Rect(0, i * pitch, width, (i + 1) * pitch + width))
+    serpentine = Region.from_rects(shapes)
+    # Comb fingers enter odd gaps (whose serpentine stub is on the left),
+    # reaching a vertical spine to the right of the whole snake.
+    spine_x = row_length + space
+    fingers: List[Rect] = [
+        Rect(spine_x, 0, spine_x + width, (rows - 1) * pitch + width)
+    ]
+    for i in range(1, rows - 1, 2):
+        y = i * pitch + width + space
+        fingers.append(Rect(width + space, y, spine_x + width, y + width))
+    comb = Region.from_rects(fingers)
+    return TestPattern(
+        name=f"combserp_w{width}_s{space}",
+        region=serpentine | comb,
+        window=Rect(-400, -400, spine_x + width + 400, rows * pitch + 400),
+        sites={
+            "serpentine_start": (row_length // 3, width // 2),
+            "serpentine_end": (row_length // 3, (rows - 1) * pitch + width // 2),
+            "comb": (spine_x + width // 2, pitch),
+        },
+    )
+
+
+def pitch_sweep(
+    width: int, pitches: List[int], length: int = 4000
+) -> List[TestPattern]:
+    """One line/space array per pitch (the proximity-curve workload)."""
+    patterns = []
+    for pitch in pitches:
+        space = pitch - width
+        if space <= 0:
+            raise DesignError(f"pitch {pitch} not larger than width {width}")
+        patterns.append(line_space_array(width, space, length=length))
+    return patterns

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch any failure originating in this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid or unsupported geometric input (e.g. non-rectilinear polygon)."""
+
+
+class LayoutError(ReproError):
+    """Invalid layout-database operation (unknown cell, cyclic hierarchy...)."""
+
+
+class GDSError(LayoutError):
+    """Malformed GDSII stream data or unsupported GDSII construct."""
+
+
+class LithoError(ReproError):
+    """Invalid optical model configuration or simulation request."""
+
+
+class OPCError(ReproError):
+    """OPC engine failure (non-convergence with strict settings, bad recipe)."""
+
+
+class PhaseConflictError(OPCError):
+    """Alternating-PSM phase assignment is infeasible (odd conflict cycle)."""
+
+
+class VerificationError(ReproError):
+    """Physical-verification (DRC/ORC) configuration error."""
+
+
+class DesignError(ReproError):
+    """Design-generator error (rule set violation, unroutable request)."""

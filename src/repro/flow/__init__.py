@@ -1,0 +1,26 @@
+"""End-to-end flows and the experiment harness.
+
+Public surface: :class:`CorrectionLevel`, :func:`correct_region`,
+:func:`correct_cell_layer`, :class:`FlowResult`, plus table/timing helpers
+(:func:`format_table`, :func:`print_table`, :func:`timed`).
+"""
+
+from .correct import CorrectionLevel, FlowResult, correct_cell_layer, correct_region
+from .experiments import format_table, print_table, timed
+from .reporting import flow_report_markdown
+from .tapeout import TapeoutRecipe, TapeoutResult, tapeout_cell_layer, tapeout_region
+
+__all__ = [
+    "CorrectionLevel",
+    "FlowResult",
+    "TapeoutRecipe",
+    "TapeoutResult",
+    "correct_cell_layer",
+    "correct_region",
+    "flow_report_markdown",
+    "format_table",
+    "print_table",
+    "tapeout_cell_layer",
+    "tapeout_region",
+    "timed",
+]

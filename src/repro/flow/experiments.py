@@ -1,0 +1,74 @@
+"""Experiment-harness utilities: table formatting and run timing.
+
+Every benchmark prints its table/figure series through these helpers so
+EXPERIMENTS.md entries and bench output share one format.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Sequence
+
+from ..errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width ASCII table (floats rendered to 2 decimals)."""
+    if not headers:
+        raise ReproError("table needs headers")
+    rendered: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> None:
+    """Format and print a table."""
+    print(format_table(headers, rows, title))
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@contextmanager
+def timed(label: str = "") -> Iterator[List[float]]:
+    """Context manager yielding a one-element list holding elapsed seconds.
+
+    >>> with timed() as t:
+    ...     _ = sum(range(10))
+    >>> t[0] >= 0
+    True
+    """
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

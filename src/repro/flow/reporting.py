@@ -1,0 +1,59 @@
+"""Markdown reporting of correction flows.
+
+Turns a set of :class:`~repro.flow.correct.FlowResult` objects into the
+markdown table a tape-out review would circulate: quality, data volume,
+cost and runtime per correction level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from ..mask import MaskCostModel, write_time_estimate_s
+from .correct import CorrectionLevel, FlowResult
+
+
+def flow_report_markdown(
+    results: Dict[CorrectionLevel, FlowResult],
+    title: str = "Correction-level impact",
+    cost_model: Optional[MaskCostModel] = None,
+) -> str:
+    """A markdown report comparing correction levels.
+
+    Growth columns are relative to the ``NONE`` level when present,
+    otherwise to the first level given.
+    """
+    if not results:
+        raise ReproError("need at least one flow result")
+    ordered = sorted(results.items(), key=lambda kv: list(CorrectionLevel).index(kv[0]))
+    baseline = results.get(CorrectionLevel.NONE, ordered[0][1]).data
+    model = cost_model or MaskCostModel()
+
+    lines: List[str] = [f"## {title}", ""]
+    lines.append(
+        "| level | figures | vertices | shots | GDS bytes | vertex growth "
+        "| write time (s) | mask cost ($) | OPC runtime (s) | converged |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|---|---|")
+    for level, result in ordered:
+        data = result.data
+        growth = data.ratio_to(baseline)
+        converged = "-" if result.opc is None else (
+            "yes" if result.opc.converged else "no"
+        )
+        lines.append(
+            f"| {level.value} | {data.figures} | {data.vertices} | {data.shots} "
+            f"| {data.gds_bytes} | x{growth.vertices:.1f} "
+            f"| {write_time_estimate_s(data):.3f} "
+            f"| {model.cost_usd(data):,.0f} "
+            f"| {result.runtime_s:.2f} | {converged} |"
+        )
+    lines.append("")
+    worst = max(ordered, key=lambda kv: kv[1].data.vertices)
+    lines.append(
+        f"Worst data volume: **{worst[0].value}** at {worst[1].data.vertices} "
+        f"vertices (x{worst[1].data.ratio_to(baseline).vertices:.1f} over "
+        "uncorrected)."
+    )
+    return "\n".join(lines)

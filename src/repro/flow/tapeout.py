@@ -1,0 +1,129 @@
+"""The one-call tape-out pipeline: drawn layer in, writable mask out.
+
+Chains the production sequence -- retarget, correct (tiled model OPC or
+cheaper levels), jog-smooth, MRC repair -- and verifies the result with
+ORC, returning everything a sign-off review needs.  This is the function
+a downstream user adopting the library calls first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ReproError
+from ..geometry import Rect, Region, smooth_jogs
+from ..layout import Cell, Layer
+from ..litho import LithoSimulator, binary_mask
+from ..mask import MaskDataStats, mask_data_stats
+from ..opc import MRCRules, RetargetRules, check_mask, repair_mask, retarget
+from ..verify import ORCReport, ProcessCorner, run_orc
+from .correct import CorrectionLevel, FlowResult, correct_region
+
+
+@dataclass(frozen=True)
+class TapeoutRecipe:
+    """Knobs of the standard pipeline (all optional stages on by default)."""
+
+    level: CorrectionLevel = CorrectionLevel.MODEL
+    smooth_tolerance_nm: int = 4
+    mrc: MRCRules = MRCRules(min_width_nm=40, min_space_nm=40)
+    retarget_rules: Optional[RetargetRules] = None  # None = skip retargeting
+    dark_field: bool = False
+    orc_margin_nm: int = 50
+
+
+@dataclass
+class TapeoutResult:
+    """Outcome of :func:`tapeout_region`."""
+
+    recipe: TapeoutRecipe
+    target: Region
+    mask_geometry: Region
+    correction: FlowResult
+    data: MaskDataStats
+    mrc_clean: bool
+    orc: Optional[ORCReport]
+
+    @property
+    def signoff_ok(self) -> bool:
+        """Writable mask and no catastrophic printability failures."""
+        return self.mrc_clean and (self.orc is None or self.orc.is_clean)
+
+
+def tapeout_region(
+    drawn: Region,
+    simulator: LithoSimulator,
+    dose: float,
+    recipe: TapeoutRecipe = TapeoutRecipe(),
+    window: Optional[Rect] = None,
+    verify: bool = True,
+) -> TapeoutResult:
+    """Run the full mask-synthesis pipeline on one layer's drawn geometry."""
+    merged = drawn.merged()
+    if merged.is_empty:
+        raise ReproError("nothing to tape out")
+    if window is None:
+        window = merged.bbox().expanded(200)
+
+    target = merged
+    if recipe.retarget_rules is not None:
+        target = retarget(merged, recipe.retarget_rules)
+
+    correction = correct_region(
+        target,
+        recipe.level,
+        simulator=simulator,
+        window=window,
+        dose=dose,
+        dark_field=recipe.dark_field,
+    )
+    mask_geometry = correction.corrected
+    if recipe.smooth_tolerance_nm > 0:
+        mask_geometry = smooth_jogs(mask_geometry, recipe.smooth_tolerance_nm)
+    mask_geometry = repair_mask(mask_geometry, recipe.mrc)
+    combined = (
+        mask_geometry | correction.srafs
+        if not correction.srafs.is_empty
+        else mask_geometry
+    )
+
+    orc_report: Optional[ORCReport] = None
+    if verify:
+        orc_report = run_orc(
+            simulator,
+            binary_mask(
+                mask_geometry,
+                dark_field=recipe.dark_field,
+                srafs=correction.srafs if not correction.srafs.is_empty else None,
+            ),
+            target,
+            window,
+            ProcessCorner(dose=dose),
+            critical_margin_nm=recipe.orc_margin_nm,
+        )
+
+    return TapeoutResult(
+        recipe=recipe,
+        target=target,
+        mask_geometry=mask_geometry,
+        correction=correction,
+        data=mask_data_stats(combined),
+        mrc_clean=check_mask(mask_geometry, recipe.mrc).is_clean,
+        orc=orc_report,
+    )
+
+
+def tapeout_cell_layer(
+    cell: Cell,
+    layer: Layer,
+    simulator: LithoSimulator,
+    dose: float,
+    recipe: TapeoutRecipe = TapeoutRecipe(),
+    verify: bool = True,
+) -> TapeoutResult:
+    """Flatten ``cell``'s ``layer`` and run :func:`tapeout_region`."""
+    drawn = cell.flat_region(layer)
+    if drawn.is_empty:
+        raise ReproError(f"cell {cell.name!r} has nothing on {layer}")
+    return tapeout_region(drawn, simulator, dose, recipe, verify=verify)

@@ -1,0 +1,84 @@
+"""Decomposition of regions into rectangles and mask-writer figures.
+
+Two decompositions matter in this library:
+
+* the *slab* decomposition (vertical slabs from the boolean sweep), which
+  feeds rasterization and area computations, and
+* the *fracture* decomposition used by mask data preparation, where each
+  figure must also respect a maximum writer figure size.
+
+For Manhattan geometry every trapezoid degenerates to a rectangle, so the
+fracture output is a rectangle list; shot counts follow directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import GeometryError
+from .region import Region
+from .rect import Rect
+
+
+def decompose_rects(region: Region) -> List[Rect]:
+    """Disjoint slab rectangles covering ``region`` exactly."""
+    return region.rects()
+
+
+def decompose_max_rects(region: Region) -> List[Rect]:
+    """A greedy merge of the slab decomposition into fewer rectangles.
+
+    Adjacent slab rects with identical y-extent are fused horizontally.
+    The result is still exact and disjoint, typically 2-4x fewer figures
+    than the raw slab decomposition on standard-cell data.
+    """
+    slabs = sorted(region.rects(), key=lambda r: (r.y1, r.y2, r.x1))
+    merged: List[Rect] = []
+    for rect in slabs:
+        if (
+            merged
+            and merged[-1].y1 == rect.y1
+            and merged[-1].y2 == rect.y2
+            and merged[-1].x2 == rect.x1
+        ):
+            merged[-1] = Rect(merged[-1].x1, rect.y1, rect.x2, rect.y2)
+        else:
+            merged.append(rect)
+    return merged
+
+
+def fracture(region: Region, max_figure: int) -> List[Rect]:
+    """Fracture a region into writer figures no larger than ``max_figure``.
+
+    Models mask data preparation for a variable-shaped-beam (VSB) or raster
+    writer: the merged rectangle decomposition is split so that no figure
+    exceeds ``max_figure`` dbu on either axis.
+    """
+    if max_figure <= 0:
+        raise GeometryError(f"max_figure must be positive, got {max_figure}")
+    figures: List[Rect] = []
+    for rect in decompose_max_rects(region):
+        figures.extend(_split_rect(rect, max_figure))
+    return figures
+
+
+def _split_rect(rect: Rect, max_figure: int) -> List[Rect]:
+    """Split one rect into a grid of sub-rects bounded by ``max_figure``."""
+    xs = _cuts(rect.x1, rect.x2, max_figure)
+    ys = _cuts(rect.y1, rect.y2, max_figure)
+    pieces: List[Rect] = []
+    for i in range(len(xs) - 1):
+        for j in range(len(ys) - 1):
+            pieces.append(Rect(xs[i], ys[j], xs[i + 1], ys[j + 1]))
+    return pieces
+
+
+def _cuts(lo: int, hi: int, max_span: int) -> List[int]:
+    """Cut positions splitting ``[lo, hi]`` into near-equal spans <= max_span."""
+    span = hi - lo
+    if span <= max_span:
+        return [lo, hi]
+    pieces = -(-span // max_span)  # ceil division
+    cuts = [lo + (span * k) // pieces for k in range(pieces)]
+    cuts.append(hi)
+    return cuts

@@ -1,0 +1,258 @@
+"""Edge fragmentation and per-fragment biasing -- the OPC substrate.
+
+Model-based OPC moves small pieces of polygon edges independently.  This
+module cuts every loop of a region into tagged :class:`Fragment` objects
+(corner pieces, line-end pieces, normal run pieces) and rebuilds a region
+from per-fragment biases, inserting jogs between fragments of the same edge
+and mitring true corners.
+
+Loops follow the interior-left convention throughout (outer CCW, holes CW),
+so each fragment's outward normal is the right-hand normal of its direction
+and a positive bias always moves material outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+from ..errors import GeometryError
+from .booleans import boolean_loops
+from .point import Coord
+from .region import Region
+
+
+class FragmentTag(Enum):
+    """Classification of a fragment, controlling OPC treatment."""
+
+    NORMAL = "normal"
+    CORNER_CONVEX = "corner_convex"
+    CORNER_CONCAVE = "corner_concave"
+    LINE_END = "line_end"
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A directed piece of a polygon edge.
+
+    ``start -> end`` runs along the loop direction; ``normal`` is the unit
+    outward normal.  ``tag`` records the geometric role used by OPC rules.
+    """
+
+    start: Coord
+    end: Coord
+    tag: FragmentTag
+    loop_index: int
+    edge_index: int
+
+    @property
+    def direction(self) -> Coord:
+        """Unit direction along the loop."""
+        dx = _sign(self.end[0] - self.start[0])
+        dy = _sign(self.end[1] - self.start[1])
+        return (dx, dy)
+
+    @property
+    def normal(self) -> Coord:
+        """Unit outward normal (right-hand normal of the direction)."""
+        dx, dy = self.direction
+        return (dy, -dx)
+
+    @property
+    def length(self) -> int:
+        """Fragment length in dbu."""
+        return abs(self.end[0] - self.start[0]) + abs(self.end[1] - self.start[1])
+
+    @property
+    def midpoint(self) -> Coord:
+        """Midpoint of the fragment (floored to the grid)."""
+        return (
+            (self.start[0] + self.end[0]) // 2,
+            (self.start[1] + self.end[1]) // 2,
+        )
+
+    def control_point(self, offset: int = 0) -> Coord:
+        """The EPE measurement site: midpoint pushed ``offset`` dbu outward."""
+        nx, ny = self.normal
+        mx, my = self.midpoint
+        return (mx + nx * offset, my + ny * offset)
+
+    def shifted(self, bias: int) -> Tuple[Coord, Coord]:
+        """Endpoint pair after moving the fragment ``bias`` dbu outward."""
+        nx, ny = self.normal
+        return (
+            (self.start[0] + nx * bias, self.start[1] + ny * bias),
+            (self.end[0] + nx * bias, self.end[1] + ny * bias),
+        )
+
+
+@dataclass(frozen=True)
+class FragmentationSpec:
+    """Fragmentation recipe.
+
+    ``corner_length``: length reserved next to each corner for a dedicated
+    corner fragment.  ``max_length``: maximum run-fragment length.
+    ``min_length``: below this an edge is not subdivided at all.
+    ``line_end_max``: edges no longer than this whose neighbouring corners
+    are both convex are tagged as line ends.
+    """
+
+    corner_length: int
+    max_length: int
+    min_length: int
+    line_end_max: int
+
+    def validated(self) -> "FragmentationSpec":
+        """Return self, raising :class:`GeometryError` on nonsense values."""
+        if min(self.corner_length, self.max_length, self.min_length) <= 0:
+            raise GeometryError("fragmentation lengths must be positive")
+        if self.max_length < self.min_length:
+            raise GeometryError("max_length must be >= min_length")
+        return self
+
+
+def fragment_region(region: Region, spec: FragmentationSpec) -> List[List[Fragment]]:
+    """Fragment every loop of the canonical form of ``region``.
+
+    Returns one fragment list per loop, in loop order, covering each loop's
+    boundary exactly once.
+    """
+    spec = spec.validated()
+    result: List[List[Fragment]] = []
+    for loop_index, loop in enumerate(region.merged().loops):
+        result.append(_fragment_loop(loop, loop_index, spec))
+    return result
+
+
+def _fragment_loop(
+    loop: Sequence[Coord], loop_index: int, spec: FragmentationSpec
+) -> List[Fragment]:
+    n = len(loop)
+    convex = [_is_convex(loop[i - 1], loop[i], loop[(i + 1) % n]) for i in range(n)]
+    fragments: List[Fragment] = []
+    for i in range(n):
+        start = loop[i]
+        end = loop[(i + 1) % n]
+        start_convex = convex[i]
+        end_convex = convex[(i + 1) % n]
+        fragments.extend(
+            _fragment_edge(start, end, start_convex, end_convex, loop_index, i, spec)
+        )
+    return fragments
+
+
+def _fragment_edge(
+    start: Coord,
+    end: Coord,
+    start_convex: bool,
+    end_convex: bool,
+    loop_index: int,
+    edge_index: int,
+    spec: FragmentationSpec,
+) -> List[Fragment]:
+    length = abs(end[0] - start[0]) + abs(end[1] - start[1])
+
+    def frag(a: Coord, b: Coord, tag: FragmentTag) -> Fragment:
+        return Fragment(a, b, tag, loop_index, edge_index)
+
+    if length <= spec.line_end_max and start_convex and end_convex:
+        return [frag(start, end, FragmentTag.LINE_END)]
+    if length < 2 * spec.corner_length + spec.min_length:
+        return [frag(start, end, FragmentTag.NORMAL)]
+
+    pieces: List[Fragment] = []
+    head = _along(start, end, spec.corner_length)
+    tail = _along(end, start, spec.corner_length)
+    pieces.append(
+        frag(
+            start,
+            head,
+            FragmentTag.CORNER_CONVEX if start_convex else FragmentTag.CORNER_CONCAVE,
+        )
+    )
+    # Split the interior run into near-equal chunks no longer than max_length.
+    run = length - 2 * spec.corner_length
+    chunks = max(1, -(-run // spec.max_length))
+    cursor = head
+    for k in range(1, chunks + 1):
+        nxt = _along(head, tail, (run * k) // chunks)
+        pieces.append(frag(cursor, nxt, FragmentTag.NORMAL))
+        cursor = nxt
+    pieces.append(
+        frag(
+            tail,
+            end,
+            FragmentTag.CORNER_CONVEX if end_convex else FragmentTag.CORNER_CONCAVE,
+        )
+    )
+    return pieces
+
+
+def apply_biases(
+    loop_fragments: Sequence[Sequence[Fragment]], biases: Sequence[Sequence[int]]
+) -> Region:
+    """Rebuild a region from fragments moved outward by per-fragment biases.
+
+    ``biases[i][j]`` moves fragment ``j`` of loop ``i`` outward by that many
+    dbu (negative values move material inward).  Jogs connect collinear
+    neighbours with different biases; perpendicular neighbours are mitred.
+    Any self-intersection created by large negative biases is resolved by a
+    nonzero-winding merge.
+    """
+    if len(loop_fragments) != len(biases):
+        raise GeometryError("biases must match fragment loops")
+    loops: List[List[Coord]] = []
+    for fragments, loop_biases in zip(loop_fragments, biases):
+        if len(fragments) != len(loop_biases):
+            raise GeometryError("bias count must match fragment count")
+        loops.append(_rebuild_loop(fragments, loop_biases))
+    loops = [lp for lp in loops if len(lp) >= 4]
+    return Region._from_canonical(boolean_loops(loops, [], "union"))
+
+
+def _rebuild_loop(
+    fragments: Sequence[Fragment], biases: Sequence[int]
+) -> List[Coord]:
+    points: List[Coord] = []
+    n = len(fragments)
+    for i in range(n):
+        cur = fragments[i]
+        nxt = fragments[(i + 1) % n]
+        cur_start, cur_end = cur.shifted(biases[i])
+        nxt_start, _ = nxt.shifted(biases[(i + 1) % n])
+        if not points or points[-1] != cur_start:
+            points.append(cur_start)
+        if cur.direction == nxt.direction:
+            # Same-edge neighbours: emit the jog pair (dedup handles equal
+            # biases via the final simplification).
+            points.append(cur_end)
+        else:
+            # Perpendicular corner: mitre to the intersection of the two
+            # offset lines.
+            mitre_x = cur_end[0] if cur.direction[0] == 0 else nxt_start[0]
+            mitre_y = cur_end[1] if cur.direction[1] == 0 else nxt_start[1]
+            points.append((mitre_x, mitre_y))
+    return points
+
+
+def _is_convex(prev: Coord, cur: Coord, nxt: Coord) -> bool:
+    """True when the corner at ``cur`` juts outward (left turn, interior-left)."""
+    ax, ay = cur[0] - prev[0], cur[1] - prev[1]
+    bx, by = nxt[0] - cur[0], nxt[1] - cur[1]
+    return ax * by - ay * bx > 0
+
+
+def _along(start: Coord, end: Coord, distance: int) -> Coord:
+    """The point ``distance`` dbu from ``start`` toward ``end``."""
+    dx = _sign(end[0] - start[0])
+    dy = _sign(end[1] - start[1])
+    return (start[0] + dx * distance, start[1] + dy * distance)
+
+
+def _sign(v: int) -> int:
+    if v > 0:
+        return 1
+    if v < 0:
+        return -1
+    return 0

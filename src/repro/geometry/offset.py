@@ -1,0 +1,93 @@
+"""Exact sizing (offset) of rectilinear regions.
+
+Dilation offsets every edge outward along its normal and resolves the
+resulting self-intersections with a nonzero-winding merge; corners are
+mitred (square), matching conventional EDA sizing semantics.  Erosion is
+computed through the complement -- ``erode(P) = frame - dilate(frame - P)``
+-- which is robust for vanishing slivers and splitting necks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import GeometryError
+from .booleans import boolean_loops
+from .point import Coord
+from .region import Region
+from .rect import Rect
+
+
+def sized(region: Region, amount: int) -> "Region":
+    """Grow (``amount > 0``) or shrink (``amount < 0``) a region's boundary."""
+    if amount == 0:
+        return region.merged()
+    if amount > 0:
+        return dilated(region, amount)
+    return eroded(region, -amount)
+
+
+def dilated(region: Region, amount: int) -> Region:
+    """The region with every boundary pushed outward by ``amount`` dbu."""
+    if amount < 0:
+        raise GeometryError("dilated() needs a non-negative amount")
+    merged = region.merged()
+    offset = [_offset_loop(loop, amount) for loop in merged.loops]
+    offset = [lp for lp in offset if len(lp) >= 4]
+    return Region._from_canonical(boolean_loops(offset, [], "union"))
+
+
+def eroded(region: Region, amount: int) -> Region:
+    """The region with every boundary pulled inward by ``amount`` dbu."""
+    if amount < 0:
+        raise GeometryError("eroded() needs a non-negative amount")
+    merged = region.merged()
+    box = merged.bbox()
+    if box is None:
+        return merged
+    frame = Region(box.expanded(2 * amount + 1))
+    complement = frame - merged
+    grown_complement = dilated(complement, amount)
+    return frame - grown_complement
+
+
+def _offset_loop(loop: List[Coord], amount: int) -> List[Coord]:
+    """Offset one oriented loop outward by ``amount`` with mitred corners.
+
+    Loops follow the interior-left convention (outer CCW, holes CW), so the
+    outward normal of each edge is the right-hand normal of its direction.
+    The returned loop may self-intersect; callers must clean it up with a
+    winding merge.
+    """
+    n = len(loop)
+    if n < 4:
+        return []
+    # Offset line coordinate for each edge: vertical edges keep an x, and
+    # horizontal edges keep a y, both shifted by amount * outward normal.
+    lines: List[tuple[str, int]] = []
+    for i in range(n):
+        x1, y1 = loop[i]
+        x2, y2 = loop[(i + 1) % n]
+        if x1 == x2:  # vertical edge
+            direction = 1 if y2 > y1 else -1
+            # right normal of (0, direction) is (direction, 0)
+            lines.append(("v", x1 + direction * amount))
+        elif y1 == y2:  # horizontal edge
+            direction = 1 if x2 > x1 else -1
+            # right normal of (direction, 0) is (0, -direction)
+            lines.append(("h", y1 - direction * amount))
+        else:  # pragma: no cover - regions validate rectilinearity upstream
+            raise GeometryError("non-rectilinear edge in offset")
+    # New vertices: intersection of each consecutive pair of offset lines.
+    result: List[Coord] = []
+    for i in range(n):
+        kind_prev, c_prev = lines[i - 1]
+        kind_cur, c_cur = lines[i]
+        if kind_prev == kind_cur:
+            # Consecutive parallel edges should not survive loop
+            # simplification; treat as collinear and skip the vertex.
+            continue
+        x = c_prev if kind_prev == "v" else c_cur
+        y = c_prev if kind_prev == "h" else c_cur
+        result.append((x, y))
+    return result

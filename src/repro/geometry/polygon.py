@@ -1,0 +1,224 @@
+"""Rectilinear polygons on the integer grid.
+
+A :class:`Polygon` is a single closed loop of integer vertices.  Loops are
+stored without a repeated closing vertex.  Outer boundaries are counter-
+clockwise (positive signed area); holes -- which only appear inside a
+:class:`~repro.geometry.region.Region` -- are clockwise.
+
+The geometry kernel is restricted to *rectilinear* (Manhattan) polygons:
+every edge is horizontal or vertical.  This matches the mask-layout domain
+(GDSII layouts for 2001-era processes are overwhelmingly Manhattan) and is
+what makes exact integer booleans and sizing tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import GeometryError
+from .point import Coord, as_coord
+from .rect import Rect
+
+Edge = Tuple[Coord, Coord]
+
+
+class Polygon:
+    """A single closed rectilinear loop of integer vertices."""
+
+    __slots__ = ("_points",)
+
+    def __init__(self, points: Sequence[Coord], validate: bool = True):
+        pts = [as_coord(p) for p in points]
+        if pts and pts[0] == pts[-1]:
+            pts = pts[:-1]
+        if validate and len(pts) >= 3:
+            _check_rectilinear(pts)
+        self._points: List[Coord] = _strip_degenerate(pts)
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Polygon":
+        """A counter-clockwise loop covering ``rect``."""
+        return cls(
+            [
+                (rect.x1, rect.y1),
+                (rect.x2, rect.y1),
+                (rect.x2, rect.y2),
+                (rect.x1, rect.y2),
+            ],
+            validate=False,
+        )
+
+    @property
+    def points(self) -> List[Coord]:
+        """The vertex list (a copy; mutating it does not affect the polygon)."""
+        return list(self._points)
+
+    @property
+    def num_points(self) -> int:
+        """Number of vertices in the loop."""
+        return len(self._points)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the loop has fewer than 4 vertices (no enclosed area)."""
+        return len(self._points) < 4
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Coord]:
+        return iter(self._points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return _canonical_rotation(self._points) == _canonical_rotation(other._points)
+
+    def __hash__(self) -> int:
+        return hash(tuple(_canonical_rotation(self._points)))
+
+    def __repr__(self) -> str:
+        return f"Polygon({self._points!r})"
+
+    def signed_area2(self) -> int:
+        """Twice the signed area (positive for counter-clockwise loops).
+
+        Doubling keeps the value an exact integer for any lattice polygon.
+        """
+        pts = self._points
+        total = 0
+        for i, (x1, y1) in enumerate(pts):
+            x2, y2 = pts[(i + 1) % len(pts)]
+            total += x1 * y2 - x2 * y1
+        return total
+
+    @property
+    def area(self) -> float:
+        """Unsigned enclosed area in dbu^2."""
+        return abs(self.signed_area2()) / 2.0
+
+    @property
+    def is_ccw(self) -> bool:
+        """True for counter-clockwise (outer-boundary) orientation."""
+        return self.signed_area2() > 0
+
+    @property
+    def perimeter(self) -> int:
+        """Total Manhattan boundary length."""
+        pts = self._points
+        total = 0
+        for i, (x1, y1) in enumerate(pts):
+            x2, y2 = pts[(i + 1) % len(pts)]
+            total += abs(x2 - x1) + abs(y2 - y1)
+        return total
+
+    def bbox(self) -> Rect:
+        """Tightest axis-aligned bounding rect."""
+        if not self._points:
+            raise GeometryError("empty polygon has no bounding box")
+        xs = [p[0] for p in self._points]
+        ys = [p[1] for p in self._points]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield each directed boundary edge ``(start, end)``."""
+        pts = self._points
+        for i, start in enumerate(pts):
+            yield start, pts[(i + 1) % len(pts)]
+
+    def reversed(self) -> "Polygon":
+        """The same loop with opposite orientation."""
+        return Polygon(list(reversed(self._points)), validate=False)
+
+    def translated(self, delta: Coord) -> "Polygon":
+        """The loop moved by ``delta``."""
+        dx, dy = delta
+        return Polygon([(x + dx, y + dy) for x, y in self._points], validate=False)
+
+    def scaled(self, factor: int) -> "Polygon":
+        """The loop magnified about the origin by an integer factor."""
+        return Polygon(
+            [(x * factor, y * factor) for x, y in self._points], validate=False
+        )
+
+    def contains_point(self, point: Coord) -> bool:
+        """Nonzero-winding interior test (boundary counts as inside)."""
+        px, py = point
+        winding = 0
+        for (x1, y1), (x2, y2) in self.edges():
+            if x1 == x2:  # vertical edge
+                ylo, yhi = (y1, y2) if y1 < y2 else (y2, y1)
+                if x1 == px and ylo <= py <= yhi:
+                    return True  # on boundary
+                if x1 < px and ylo <= py < yhi:
+                    winding += 1 if y2 < y1 else -1
+            else:  # horizontal edge
+                xlo, xhi = (x1, x2) if x1 < x2 else (x2, x1)
+                if y1 == py and xlo <= px <= xhi:
+                    return True  # on boundary
+        return winding != 0
+
+    def is_rectangle(self) -> bool:
+        """True when the loop is exactly an axis-aligned rectangle."""
+        return len(self._points) == 4 and not self.is_empty
+
+    def to_rect(self) -> Rect:
+        """Convert a rectangular loop to a :class:`Rect`.
+
+        Raises :class:`GeometryError` when the loop is not a rectangle.
+        """
+        if not self.is_rectangle():
+            raise GeometryError(f"polygon with {len(self)} vertices is not a rect")
+        return self.bbox()
+
+
+def _strip_degenerate(points: List[Coord]) -> List[Coord]:
+    """Drop duplicate and collinear vertices, preserving loop shape."""
+    # Remove consecutive duplicates first.
+    deduped: List[Coord] = []
+    for pt in points:
+        if not deduped or deduped[-1] != pt:
+            deduped.append(pt)
+    if len(deduped) > 1 and deduped[0] == deduped[-1]:
+        deduped.pop()
+    if len(deduped) < 3:
+        return deduped
+    # Remove collinear vertices (repeat until stable: removing one vertex can
+    # make its neighbours collinear).
+    changed = True
+    while changed and len(deduped) >= 3:
+        changed = False
+        result: List[Coord] = []
+        n = len(deduped)
+        for i in range(n):
+            prev = deduped[i - 1]
+            cur = deduped[i]
+            nxt = deduped[(i + 1) % n]
+            ax, ay = cur[0] - prev[0], cur[1] - prev[1]
+            bx, by = nxt[0] - cur[0], nxt[1] - cur[1]
+            if ax * by - ay * bx == 0 and (ax or ay or bx or by):
+                changed = True
+                continue
+            result.append(cur)
+        deduped = result
+    return deduped if len(deduped) >= 4 else []
+
+
+def _check_rectilinear(points: Sequence[Coord]) -> None:
+    """Raise :class:`GeometryError` unless every edge is axis-parallel."""
+    n = len(points)
+    for i, (x1, y1) in enumerate(points):
+        x2, y2 = points[(i + 1) % n]
+        if x1 != x2 and y1 != y2:
+            raise GeometryError(
+                f"non-rectilinear edge ({x1},{y1})->({x2},{y2}); "
+                "only Manhattan polygons are supported"
+            )
+
+
+def _canonical_rotation(points: Sequence[Coord]) -> List[Coord]:
+    """Rotate a vertex list so it starts at its lexicographically-least point."""
+    if not points:
+        return []
+    start = min(range(len(points)), key=lambda i: points[i])
+    return list(points[start:]) + list(points[:start])

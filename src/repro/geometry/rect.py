@@ -1,0 +1,136 @@
+"""Axis-aligned integer rectangles.
+
+``Rect`` is the workhorse primitive of the geometry kernel: boolean results
+are decomposed into rectangles, rasterization consumes rectangles, and mask
+fracture emits rectangles.  Rectangles are half-open in neither axis -- they
+are closed regions ``[x1, x2] x [y1, y2]`` with ``x1 <= x2`` and
+``y1 <= y2``; a degenerate rect (zero width or height) has zero area and is
+considered empty for coverage purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Optional
+
+from .point import Coord, Point
+
+
+class Rect(NamedTuple):
+    """An axis-aligned rectangle with integer dbu corners."""
+
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    @classmethod
+    def from_corners(cls, a: Coord, b: Coord) -> "Rect":
+        """Build a normalised rect from two opposite corners in any order."""
+        ax, ay = a
+        bx, by = b
+        return cls(min(ax, bx), min(ay, by), max(ax, bx), max(ay, by))
+
+    @classmethod
+    def from_center(cls, center: Coord, width: int, height: int) -> "Rect":
+        """Build a rect of ``width x height`` centred on ``center``.
+
+        Odd sizes are accommodated by flooring the lower-left corner.
+        """
+        cx, cy = center
+        x1 = cx - width // 2
+        y1 = cy - height // 2
+        return cls(x1, y1, x1 + width, y1 + height)
+
+    @property
+    def width(self) -> int:
+        """Horizontal extent."""
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> int:
+        """Vertical extent."""
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> int:
+        """Enclosed area in dbu^2."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre point, rounded down to the grid."""
+        return Point((self.x1 + self.x2) // 2, (self.y1 + self.y2) // 2)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the rect has zero (or negative) area."""
+        return self.x2 <= self.x1 or self.y2 <= self.y1
+
+    def corners(self) -> list[Point]:
+        """The four corners in counter-clockwise order from lower-left."""
+        return [
+            Point(self.x1, self.y1),
+            Point(self.x2, self.y1),
+            Point(self.x2, self.y2),
+            Point(self.x1, self.y2),
+        ]
+
+    def contains(self, point: Coord) -> bool:
+        """True when ``point`` lies inside or on the boundary."""
+        x, y = point
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely within this rect."""
+        return (
+            self.x1 <= other.x1
+            and self.y1 <= other.y1
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rects share interior or boundary points."""
+        return (
+            self.x1 <= other.x2
+            and other.x1 <= self.x2
+            and self.y1 <= other.y2
+            and other.y1 <= self.y2
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rect, or ``None`` when disjoint."""
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x2 < x1 or y2 < y1:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def expanded(self, margin: int) -> "Rect":
+        """A rect grown (or shrunk, for negative margin) on every side."""
+        return Rect(
+            self.x1 - margin, self.y1 - margin, self.x2 + margin, self.y2 + margin
+        )
+
+    def translated(self, delta: Coord) -> "Rect":
+        """A rect moved by ``delta``."""
+        dx, dy = delta
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+
+def bounding_box(rects: Iterable[Rect]) -> Optional[Rect]:
+    """The tightest rect covering every input rect (``None`` for no input)."""
+    result: Optional[Rect] = None
+    for rect in rects:
+        if result is None:
+            result = rect
+        else:
+            result = Rect(
+                min(result.x1, rect.x1),
+                min(result.y1, rect.y1),
+                max(result.x2, rect.x2),
+                max(result.y2, rect.y2),
+            )
+    return result

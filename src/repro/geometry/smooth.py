@@ -1,0 +1,126 @@
+"""Jog smoothing: bounded-error simplification of OPC output.
+
+Model-based OPC emits staircases of small jogs; every jog costs mask
+figures, shots and inspection time, but a jog smaller than the writer (or
+the process) can resolve carries no information.  ``smooth_jogs`` removes
+jogs below a tolerance by snapping the shorter neighbouring edge onto the
+longer one's line -- each removal displaces the boundary locally by at
+most the tolerance, so CD impact is strictly bounded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import GeometryError
+from .booleans import boolean_loops
+from .point import Coord
+from .region import Region
+
+
+def smooth_jogs(region: Region, tolerance_nm: int) -> Region:
+    """Remove boundary jogs shorter than ``tolerance_nm``.
+
+    A jog is a short edge whose two neighbours run parallel to each other;
+    it is eliminated by moving the shorter neighbour onto the longer one's
+    line.  The local boundary displacement is at most ``tolerance_nm``.
+    Repeated passes run until no removable jog remains.
+    """
+    if tolerance_nm <= 0:
+        raise GeometryError(f"tolerance must be positive, got {tolerance_nm}")
+    merged = region.merged()
+    if merged.is_empty:
+        return merged
+    loops: List[List[Coord]] = []
+    for loop in merged.loops:
+        loops.append(_smooth_loop(loop, tolerance_nm))
+    loops = [lp for lp in loops if len(lp) >= 4]
+    return Region._from_canonical(boolean_loops(loops, [], "union"))
+
+
+def _smooth_loop(loop: List[Coord], tolerance: int) -> List[Coord]:
+    current = list(loop)
+    for _pass in range(len(loop)):  # each pass removes >= 1 jog or stops
+        jog = _find_jog(current, tolerance)
+        if jog is None:
+            break
+        current = _remove_jog(current, jog)
+        if len(current) < 4:
+            return []
+    return current
+
+
+def _find_jog(loop: List[Coord], tolerance: int) -> Optional[int]:
+    """Index of the start vertex of a removable jog edge, or ``None``."""
+    n = len(loop)
+    for i in range(n):
+        p0 = loop[(i - 1) % n]
+        p1 = loop[i]
+        p2 = loop[(i + 1) % n]
+        p3 = loop[(i + 2) % n]
+        jog_len = abs(p2[0] - p1[0]) + abs(p2[1] - p1[1])
+        if jog_len == 0 or jog_len > tolerance:
+            continue
+        d_jog = _direction(p1, p2)
+        d_prev = _direction(p0, p1)
+        d_next = _direction(p2, p3)
+        # Neighbours must be non-degenerate, parallel to each other, and
+        # perpendicular to the jog (a true staircase step).
+        if d_prev == (0, 0) or d_next == (0, 0):
+            continue
+        if d_prev[0] * d_next[1] - d_prev[1] * d_next[0] != 0:
+            continue
+        if d_prev[0] * d_jog[0] + d_prev[1] * d_jog[1] != 0:
+            continue
+        return i
+    return None
+
+
+def _remove_jog(loop: List[Coord], i: int) -> List[Coord]:
+    """Snap the shorter neighbour of jog ``loop[i] -> loop[i+1]``."""
+    n = len(loop)
+    p0 = loop[(i - 1) % n]
+    p1 = loop[i]
+    p2 = loop[(i + 1) % n]
+    p3 = loop[(i + 2) % n]
+    prev_len = abs(p1[0] - p0[0]) + abs(p1[1] - p0[1])
+    next_len = abs(p3[0] - p2[0]) + abs(p3[1] - p2[1])
+    vertical_jog = p1[0] == p2[0] and p1[1] != p2[1]
+    result = list(loop)
+    if prev_len >= next_len:
+        # Move the next edge onto the previous edge's line.
+        if vertical_jog:  # neighbours horizontal: adopt p1's y
+            result[(i + 1) % n] = (p2[0], p1[1])
+            result[(i + 2) % n] = (p3[0], p1[1])
+        else:  # neighbours vertical: adopt p1's x
+            result[(i + 1) % n] = (p1[0], p2[1])
+            result[(i + 2) % n] = (p1[0], p3[1])
+        del result[i]
+    else:
+        # Move the previous edge onto the next edge's line.
+        if vertical_jog:
+            result[i] = (p1[0], p2[1])
+            result[(i - 1) % n] = (p0[0], p2[1])
+        else:
+            result[i] = (p2[0], p1[1])
+            result[(i - 1) % n] = (p2[0], p0[1])
+        del result[(i + 1) % n]
+    return _dedupe(result)
+
+
+def _direction(a: Coord, b: Coord) -> Tuple[int, int]:
+    dx = (b[0] > a[0]) - (b[0] < a[0])
+    dy = (b[1] > a[1]) - (b[1] < a[1])
+    return (dx, dy)
+
+
+def _dedupe(loop: List[Coord]) -> List[Coord]:
+    """Drop duplicate and collinear vertices.
+
+    Jog removal can leave collinear runs; the removal rules assume strictly
+    alternating horizontal/vertical edges, so loops are re-simplified after
+    every step.
+    """
+    from .polygon import _strip_degenerate
+
+    return _strip_degenerate(list(loop))

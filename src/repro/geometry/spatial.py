@@ -1,0 +1,71 @@
+"""A uniform-grid spatial index for rectangles and edges.
+
+OPC and verification repeatedly ask "what geometry is near this point /
+edge?".  A simple bucket grid is ideal for layout data: features are small
+and densely packed, so bucket occupancy stays balanced without the
+complexity of an R-tree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, Iterator, List, Set, Tuple, TypeVar
+
+from ..errors import GeometryError
+from .rect import Rect
+
+T = TypeVar("T")
+
+
+class GridIndex(Generic[T]):
+    """Buckets items by the grid cells their bounding rects overlap."""
+
+    def __init__(self, cell_size: int):
+        if cell_size <= 0:
+            raise GeometryError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = cell_size
+        self._buckets: Dict[Tuple[int, int], List[Tuple[Rect, T]]] = defaultdict(list)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, bbox: Rect, item: T) -> None:
+        """Register ``item`` with bounding rect ``bbox``."""
+        for key in self._cells(bbox):
+            self._buckets[key].append((bbox, item))
+        self._count += 1
+
+    def insert_all(self, items: Iterable[Tuple[Rect, T]]) -> None:
+        """Register many ``(bbox, item)`` pairs."""
+        for bbox, item in items:
+            self.insert(bbox, item)
+
+    def query(self, window: Rect) -> Iterator[Tuple[Rect, T]]:
+        """Yield items whose bounding rects intersect ``window``.
+
+        Each item is yielded at most once even when it spans several cells.
+        """
+        seen: Set[int] = set()
+        for key in self._cells(window):
+            for bbox, item in self._buckets.get(key, ()):
+                marker = id(item)
+                if marker in seen:
+                    continue
+                if bbox.intersects(window):
+                    seen.add(marker)
+                    yield bbox, item
+
+    def query_items(self, window: Rect) -> List[T]:
+        """Items (without bboxes) intersecting ``window``."""
+        return [item for _bbox, item in self.query(window)]
+
+    def _cells(self, bbox: Rect) -> Iterator[Tuple[int, int]]:
+        cs = self.cell_size
+        ix1 = bbox.x1 // cs
+        iy1 = bbox.y1 // cs
+        ix2 = bbox.x2 // cs
+        iy2 = bbox.y2 // cs
+        for ix in range(ix1, ix2 + 1):
+            for iy in range(iy1, iy2 + 1):
+                yield (ix, iy)

@@ -1,0 +1,142 @@
+"""Reconstruction of maximal polygons from disjoint rectangle sets.
+
+The boolean sweep emits slab rectangles; this module cancels the internal
+edges shared between adjacent slabs and stitches the surviving boundary
+segments back into closed loops.  Because every edge is built with the
+region interior on its left, outer loops emerge counter-clockwise and holes
+clockwise without any post-hoc orientation fixing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import GeometryError
+from .point import Coord
+from .polygon import _strip_degenerate
+from .rect import Rect
+
+_DirectedEdge = Tuple[Coord, Coord]
+
+#: Turn preference at a multi-valent vertex, highest first: left, straight,
+#: right, U-turn.  Taking the leftmost available turn keeps each traversed
+#: loop simple when two loops touch at a single corner point.
+_TURN_RANK = {1: 0, 0: 1, -1: 2, -2: 3}
+
+
+def stitch_rects(rects: Sequence[Rect]) -> List[List[Coord]]:
+    """Merge a disjoint rectangle set into maximal oriented loops.
+
+    Rectangles must be interior-disjoint (they may share boundary), as
+    produced by :func:`repro.geometry.booleans.sweep_rects`.  Returns vertex
+    loops with collinear points removed; outer loops are counter-clockwise,
+    holes clockwise.
+    """
+    edges = _boundary_edges(rects)
+    if not edges:
+        return []
+    return _walk_loops(edges)
+
+
+def _boundary_edges(rects: Sequence[Rect]) -> List[_DirectedEdge]:
+    """Boundary segments of the union, oriented with the interior on the left.
+
+    Vertical sides of slab-adjacent rects overlap with opposite direction and
+    cancel; horizontal sides of disjoint slabs never overlap and are kept
+    as-is.
+    """
+    edges: List[_DirectedEdge] = []
+    # Vertical side cancellation: at each x, +1 coverage for right sides
+    # (pointing up) and -1 for left sides (pointing down).
+    vertical: Dict[int, List[Tuple[int, int]]] = {}
+    for r in rects:
+        if r.is_empty:
+            continue
+        vertical.setdefault(r.x2, []).extend([(r.y1, 1), (r.y2, -1)])
+        vertical.setdefault(r.x1, []).extend([(r.y1, -1), (r.y2, 1)])
+        edges.append(((r.x1, r.y1), (r.x2, r.y1)))  # bottom, interior above
+        edges.append(((r.x2, r.y2), (r.x1, r.y2)))  # top, interior below
+    for x, deltas in vertical.items():
+        deltas.sort()
+        level = 0
+        run_start = 0
+        for y, d in deltas:
+            new_level = level + d
+            if level == 0 and new_level != 0:
+                run_start = y
+            elif level != 0 and (new_level == 0 or (level > 0) != (new_level > 0)):
+                _append_vertical(edges, x, run_start, y, level)
+                run_start = y
+            level = new_level
+        if level != 0:  # pragma: no cover - disjointness violated upstream
+            raise GeometryError(f"unbalanced vertical boundary at x={x}")
+    return edges
+
+
+def _append_vertical(
+    edges: List[_DirectedEdge], x: int, y1: int, y2: int, level: int
+) -> None:
+    """Append a net vertical boundary segment (skip zero-length runs)."""
+    if y1 == y2:
+        return
+    if level > 0:  # net right side: interior to the left when pointing up
+        edges.append(((x, y1), (x, y2)))
+    else:  # net left side: interior to the left when pointing down
+        edges.append(((x, y2), (x, y1)))
+
+
+def _walk_loops(edges: List[_DirectedEdge]) -> List[List[Coord]]:
+    """Chain directed edges into closed loops, leftmost-turn at junctions."""
+    out_map: Dict[Coord, List[int]] = {}
+    for idx, (start, _end) in enumerate(edges):
+        out_map.setdefault(start, []).append(idx)
+
+    used = [False] * len(edges)
+    loops: List[List[Coord]] = []
+    for seed in range(len(edges)):
+        if used[seed]:
+            continue
+        loop: List[Coord] = []
+        idx = seed
+        while not used[idx]:
+            used[idx] = True
+            start, end = edges[idx]
+            loop.append(start)
+            candidates = [j for j in out_map.get(end, ()) if not used[j]]
+            if not candidates:
+                if end != edges[seed][0]:  # pragma: no cover - broken input
+                    raise GeometryError(f"open boundary chain at {end}")
+                break
+            idx = _pick_leftmost(edges, start, end, candidates)
+        simplified = _strip_degenerate(loop)
+        if simplified:
+            loops.append(simplified)
+    return loops
+
+
+def _pick_leftmost(
+    edges: List[_DirectedEdge], start: Coord, end: Coord, candidates: List[int]
+) -> int:
+    """Choose the outgoing edge making the leftmost turn from ``start->end``."""
+    if len(candidates) == 1:
+        return candidates[0]
+    din = (_sign(end[0] - start[0]), _sign(end[1] - start[1]))
+
+    def rank(j: int) -> int:
+        _s, e = edges[j]
+        dout = (_sign(e[0] - end[0]), _sign(e[1] - end[1]))
+        cross = din[0] * dout[1] - din[1] * dout[0]
+        if cross != 0:
+            return _TURN_RANK[cross]
+        dot = din[0] * dout[0] + din[1] * dout[1]
+        return _TURN_RANK[0] if dot > 0 else _TURN_RANK[-2]
+
+    return min(candidates, key=rank)
+
+
+def _sign(v: int) -> int:
+    if v > 0:
+        return 1
+    if v < 0:
+        return -1
+    return 0

@@ -1,0 +1,118 @@
+"""Exact layout transforms: 90-degree rotations, mirroring, translation.
+
+GDSII structure references allow arbitrary angles and magnifications, but
+production Manhattan layouts use only the eight axis-preserving symmetries
+(4 rotations x optional x-mirror) plus translation and integer
+magnification.  Restricting to those keeps every transform exact on the
+integer grid, which the boolean engine requires.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..errors import GeometryError
+from .point import Coord, Point
+from .rect import Rect
+
+
+class Transform(NamedTuple):
+    """An exact layout transform.
+
+    The transform first mirrors about the x-axis (if ``mirror_x``), then
+    magnifies, then rotates counter-clockwise by ``rotation * 90`` degrees,
+    then translates by ``(dx, dy)`` -- the GDSII STRANS ordering.
+    """
+
+    dx: int = 0
+    dy: int = 0
+    rotation: int = 0  # quarter turns CCW, 0..3
+    mirror_x: bool = False  # mirror about the x axis (flips y), applied first
+    magnification: int = 1
+
+    @classmethod
+    def identity(cls) -> "Transform":
+        """The do-nothing transform."""
+        return cls()
+
+    @classmethod
+    def translation(cls, dx: int, dy: int) -> "Transform":
+        """A pure translation."""
+        return cls(dx=dx, dy=dy)
+
+    def validated(self) -> "Transform":
+        """Return self, raising :class:`GeometryError` on invalid fields."""
+        if self.magnification < 1:
+            raise GeometryError(f"magnification must be >= 1, got {self.magnification}")
+        return self._replace(rotation=self.rotation % 4)
+
+    def apply(self, point: Coord) -> Coord:
+        """Map a point through the transform."""
+        x, y = point
+        if self.mirror_x:
+            y = -y
+        if self.magnification != 1:
+            x *= self.magnification
+            y *= self.magnification
+        r = self.rotation % 4
+        if r == 1:
+            x, y = -y, x
+        elif r == 2:
+            x, y = -x, -y
+        elif r == 3:
+            x, y = y, -x
+        return (x + self.dx, y + self.dy)
+
+    def apply_rect(self, rect: Rect) -> Rect:
+        """Map a rect through the transform (result is re-normalised)."""
+        return Rect.from_corners(
+            self.apply((rect.x1, rect.y1)), self.apply((rect.x2, rect.y2))
+        )
+
+    def then(self, outer: "Transform") -> "Transform":
+        """Compose: ``self`` applied first, then ``outer``.
+
+        The result maps any point ``p`` to ``outer.apply(self.apply(p))``.
+        """
+        ox, oy = outer.apply((self.dx, self.dy))
+        rotation = self.rotation % 4
+        mirror = self.mirror_x != outer.mirror_x
+        if outer.mirror_x:
+            # Mirroring conjugates the rotation: M R(k) == R(-k) M.
+            rotation = (-rotation) % 4
+        rotation = (rotation + outer.rotation) % 4
+        return Transform(
+            dx=ox,
+            dy=oy,
+            rotation=rotation,
+            mirror_x=mirror,
+            magnification=self.magnification * outer.magnification,
+        )
+
+    def inverse(self) -> "Transform":
+        """The transform undoing this one (magnification must be 1)."""
+        if self.magnification != 1:
+            raise GeometryError("cannot invert a magnifying transform exactly")
+        # Linear part L = R(rotation) * M.  Without mirroring the inverse's
+        # linear part is R(-rotation); with mirroring, conjugation
+        # (M R(k) M == R(-k)) makes a mirrored transform its own rotational
+        # inverse: (R(k) M)^-1 == R(k) M.
+        rotation = self.rotation % 4 if self.mirror_x else (-self.rotation) % 4
+        inv = Transform(rotation=rotation, mirror_x=self.mirror_x)
+        dx, dy = inv.apply((-self.dx, -self.dy))
+        return inv._replace(dx=dx, dy=dy)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the transform maps every point to itself."""
+        return (
+            self.dx == 0
+            and self.dy == 0
+            and self.rotation % 4 == 0
+            and not self.mirror_x
+            and self.magnification == 1
+        )
+
+    def origin(self) -> Point:
+        """Where the transform sends the origin."""
+        return Point(self.dx, self.dy)

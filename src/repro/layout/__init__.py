@@ -1,0 +1,65 @@
+"""Hierarchical layout database with GDSII I/O.
+
+Public surface:
+
+* :class:`Layer` plus the synthetic process layer stack (``POLY``,
+  ``METAL1``, ...), and RET output layer helpers;
+* :class:`Cell`, :class:`CellRef`, :class:`CellArray`, :class:`Library`;
+* :func:`layout_stats` for hierarchical-vs-flat size accounting;
+* :func:`write_gds` / :func:`read_gds` for binary GDSII streams.
+"""
+
+from .cell import Cell, Label
+from .gds import GDSReader, GDSWriter, read_gds, write_gds
+from .layer import (
+    ACTIVE,
+    BOUNDARY,
+    CONTACT,
+    DRAWN_LAYERS,
+    METAL1,
+    METAL2,
+    NIMPLANT,
+    NWELL,
+    PIMPLANT,
+    POLY,
+    VIA1,
+    Layer,
+    opc_layer,
+    phase_layer,
+    sraf_layer,
+)
+from .library import Library
+from .reference import CellArray, CellRef, Reference
+from .stats import LayerStats, LayoutStats, layout_stats, region_stats
+
+__all__ = [
+    "ACTIVE",
+    "BOUNDARY",
+    "CONTACT",
+    "Cell",
+    "CellArray",
+    "CellRef",
+    "DRAWN_LAYERS",
+    "GDSReader",
+    "GDSWriter",
+    "Label",
+    "Layer",
+    "LayerStats",
+    "LayoutStats",
+    "Library",
+    "METAL1",
+    "METAL2",
+    "NIMPLANT",
+    "NWELL",
+    "PIMPLANT",
+    "POLY",
+    "Reference",
+    "VIA1",
+    "layout_stats",
+    "opc_layer",
+    "phase_layer",
+    "read_gds",
+    "region_stats",
+    "sraf_layer",
+    "write_gds",
+]

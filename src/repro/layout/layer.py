@@ -1,0 +1,95 @@
+"""Layer identities and the standard layer set of the synthetic process.
+
+A :class:`Layer` is an immutable (gds_layer, datatype) pair with a
+human-readable name.  The module also defines the layer stack used by the
+design generators and OPC flows: drawn layers, derived RET layers (OPC
+output, SRAFs, PSM phase shapes) and marker layers for verification
+results.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Layer(NamedTuple):
+    """A GDSII layer/datatype pair.
+
+    ``name`` is a display annotation only: two layers are equal when their
+    (gds_layer, datatype) pairs match, so layers read back from a GDSII
+    stream (which carries no names) compare equal to the named constants.
+    """
+
+    gds_layer: int
+    datatype: int = 0
+    name: str = ""
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Layer):
+            return (self.gds_layer, self.datatype) == (other.gds_layer, other.datatype)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((self.gds_layer, self.datatype))
+
+    def __str__(self) -> str:
+        return self.name or f"L{self.gds_layer}.{self.datatype}"
+
+    def with_datatype(self, datatype: int, suffix: str = "") -> "Layer":
+        """A derived layer sharing the gds layer number."""
+        return Layer(self.gds_layer, datatype, (self.name + suffix) if self.name else "")
+
+
+# -- drawn layers of the synthetic 2001-era process ---------------------------------
+
+NWELL = Layer(1, 0, "nwell")
+ACTIVE = Layer(2, 0, "active")
+POLY = Layer(3, 0, "poly")
+NIMPLANT = Layer(4, 0, "nimplant")
+PIMPLANT = Layer(5, 0, "pimplant")
+CONTACT = Layer(6, 0, "contact")
+METAL1 = Layer(7, 0, "metal1")
+VIA1 = Layer(8, 0, "via1")
+METAL2 = Layer(9, 0, "metal2")
+BOUNDARY = Layer(63, 0, "boundary")
+
+#: All drawn layers in process order.
+DRAWN_LAYERS = (
+    NWELL,
+    ACTIVE,
+    POLY,
+    NIMPLANT,
+    PIMPLANT,
+    CONTACT,
+    METAL1,
+    VIA1,
+    METAL2,
+)
+
+# -- RET / mask-synthesis output layers ------------------------------------------------
+
+#: Post-OPC main-feature shapes (datatype 10 of the drawn layer).
+OPC_DATATYPE = 10
+#: Sub-resolution assist features (datatype 11).
+SRAF_DATATYPE = 11
+#: Alternating-PSM 180-degree phase shapes (datatype 12).
+PHASE_DATATYPE = 12
+
+
+def opc_layer(drawn: Layer) -> Layer:
+    """The post-OPC output layer paired with a drawn layer."""
+    return drawn.with_datatype(OPC_DATATYPE, "_opc")
+
+
+def sraf_layer(drawn: Layer) -> Layer:
+    """The SRAF output layer paired with a drawn layer."""
+    return drawn.with_datatype(SRAF_DATATYPE, "_sraf")
+
+
+def phase_layer(drawn: Layer) -> Layer:
+    """The 180-degree phase-shifter layer paired with a drawn layer."""
+    return drawn.with_datatype(PHASE_DATATYPE, "_phase")

@@ -1,0 +1,114 @@
+"""Layout libraries: named collections of cells with hierarchy utilities."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from ..errors import LayoutError
+from .cell import Cell
+
+
+class Library:
+    """A named collection of cells forming one or more hierarchies."""
+
+    def __init__(self, name: str = "repro"):
+        if not name:
+            raise LayoutError("library name must be non-empty")
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LayoutError(f"no cell named {name!r} in library {self.name!r}") from None
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def add(self, cell: Cell) -> Cell:
+        """Register ``cell``; duplicate names are an error."""
+        if cell.name in self._cells:
+            raise LayoutError(f"duplicate cell name {cell.name!r}")
+        self._cells[cell.name] = cell
+        return cell
+
+    def new_cell(self, name: str) -> Cell:
+        """Create, register and return a fresh cell."""
+        return self.add(Cell(name))
+
+    def add_tree(self, top: Cell) -> Cell:
+        """Register ``top`` and every cell reachable from it (idempotent).
+
+        Cells already present must be the *same object*; a different cell
+        under an existing name is an error.
+        """
+        for cell in _descend(top):
+            existing = self._cells.get(cell.name)
+            if existing is None:
+                self._cells[cell.name] = cell
+            elif existing is not cell:
+                raise LayoutError(f"conflicting cell object for name {cell.name!r}")
+        return top
+
+    @property
+    def cells(self) -> List[Cell]:
+        """All cells in registration order."""
+        return list(self._cells.values())
+
+    def top_cells(self) -> List[Cell]:
+        """Cells not referenced by any other cell in the library."""
+        referenced: Set[str] = set()
+        for cell in self._cells.values():
+            for ref in cell.references:
+                referenced.add(ref.cell.name)
+        return [c for c in self._cells.values() if c.name not in referenced]
+
+    def top_cell(self) -> Cell:
+        """The unique top cell; an error when there is not exactly one."""
+        tops = self.top_cells()
+        if len(tops) != 1:
+            raise LayoutError(
+                f"library {self.name!r} has {len(tops)} top cells, expected 1"
+            )
+        return tops[0]
+
+    def check_acyclic(self) -> None:
+        """Raise :class:`LayoutError` when the reference graph has a cycle."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        state: Dict[str, int] = {name: WHITE for name in self._cells}
+
+        def visit(cell: Cell, trail: List[str]) -> None:
+            state[cell.name] = GRAY
+            for ref in cell.references:
+                child = ref.cell
+                mark = state.get(child.name, WHITE)
+                if mark == GRAY:
+                    cycle = " -> ".join(trail + [cell.name, child.name])
+                    raise LayoutError(f"cyclic hierarchy: {cycle}")
+                if mark == WHITE:
+                    visit(child, trail + [cell.name])
+            state[cell.name] = BLACK
+
+        for cell in self._cells.values():
+            if state[cell.name] == WHITE:
+                visit(cell, [])
+
+
+def _descend(top: Cell) -> Iterator[Cell]:
+    """Yield ``top`` and every reachable cell once (depth-first)."""
+    seen: Set[int] = set()
+    stack = [top]
+    while stack:
+        cell = stack.pop()
+        if id(cell) in seen:
+            continue
+        seen.add(id(cell))
+        yield cell
+        stack.extend(cell.child_cells())

@@ -1,0 +1,83 @@
+"""Cell references: single placements and arrays.
+
+A :class:`CellRef` places a child cell under an exact
+:class:`~repro.geometry.transform.Transform`.  A :class:`CellArray` is the
+GDSII AREF equivalent: a transformed placement repeated on a rectangular
+grid in parent coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import LayoutError
+from ..geometry import Transform
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cell import Cell
+
+
+@dataclass(frozen=True)
+class CellRef:
+    """A single placement of ``cell`` under ``transform``."""
+
+    cell: "Cell"
+    transform: Transform = field(default_factory=Transform.identity)
+
+    @property
+    def count(self) -> int:
+        """Number of placements this reference expands to (always 1)."""
+        return 1
+
+    def placements(self) -> Iterator[Transform]:
+        """Yield the transform of every expanded placement."""
+        yield self.transform
+
+    def __repr__(self) -> str:
+        return f"CellRef({self.cell.name!r}, {self.transform})"
+
+
+@dataclass(frozen=True)
+class CellArray:
+    """A rectangular array of placements of ``cell``.
+
+    The base placement is ``transform``; instance ``(col, row)`` adds a
+    parent-frame translation of ``(col * col_pitch, row * row_pitch)``.
+    """
+
+    cell: "Cell"
+    cols: int
+    rows: int
+    col_pitch: int
+    row_pitch: int
+    transform: Transform = field(default_factory=Transform.identity)
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise LayoutError(
+                f"array must have positive dimensions, got {self.cols}x{self.rows}"
+            )
+
+    @property
+    def count(self) -> int:
+        """Number of placements this reference expands to."""
+        return self.cols * self.rows
+
+    def placements(self) -> Iterator[Transform]:
+        """Yield the transform of every expanded placement."""
+        for row in range(self.rows):
+            for col in range(self.cols):
+                yield self.transform._replace(
+                    dx=self.transform.dx + col * self.col_pitch,
+                    dy=self.transform.dy + row * self.row_pitch,
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"CellArray({self.cell.name!r}, {self.cols}x{self.rows}, "
+            f"pitch=({self.col_pitch},{self.row_pitch}))"
+        )
+
+
+Reference = CellRef | CellArray

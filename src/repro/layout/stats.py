@@ -1,0 +1,132 @@
+"""Layout statistics: figure/vertex counts, hierarchical vs flattened.
+
+The DAC-2001 data-volume argument is quantitative: OPC multiplies figure
+and vertex counts, and context-dependent correction destroys hierarchy so
+the *flattened* counts are what the mask writer sees.  These helpers count
+both views without materialising a flat layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..geometry import Region
+from .cell import Cell
+from .layer import Layer
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Figure and vertex counts on one layer."""
+
+    figures: int = 0
+    vertices: int = 0
+
+    def __add__(self, other: "LayerStats") -> "LayerStats":
+        return LayerStats(self.figures + other.figures, self.vertices + other.vertices)
+
+    def scaled(self, factor: int) -> "LayerStats":
+        """Counts multiplied by an instance repetition factor."""
+        return LayerStats(self.figures * factor, self.vertices * factor)
+
+
+@dataclass
+class LayoutStats:
+    """Hierarchy-level and flat-level size of a layout tree."""
+
+    cells: int = 0
+    placements: int = 0
+    hierarchical: Dict[Layer, LayerStats] = field(default_factory=dict)
+    flat: Dict[Layer, LayerStats] = field(default_factory=dict)
+
+    @property
+    def hierarchical_figures(self) -> int:
+        """Figures summed over distinct cell definitions."""
+        return sum(s.figures for s in self.hierarchical.values())
+
+    @property
+    def hierarchical_vertices(self) -> int:
+        """Vertices summed over distinct cell definitions."""
+        return sum(s.vertices for s in self.hierarchical.values())
+
+    @property
+    def flat_figures(self) -> int:
+        """Figures after full hierarchy expansion."""
+        return sum(s.figures for s in self.flat.values())
+
+    @property
+    def flat_vertices(self) -> int:
+        """Vertices after full hierarchy expansion."""
+        return sum(s.vertices for s in self.flat.values())
+
+    @property
+    def hierarchy_compression(self) -> float:
+        """How many times smaller the hierarchical description is."""
+        if self.hierarchical_figures == 0:
+            return 1.0
+        return self.flat_figures / self.hierarchical_figures
+
+
+def region_stats(region: Region) -> LayerStats:
+    """Figure/vertex counts of one region (loops counted as figures)."""
+    return LayerStats(figures=region.num_loops, vertices=region.num_vertices)
+
+
+def layout_stats(top: Cell, layer: Optional[Layer] = None) -> LayoutStats:
+    """Statistics of the tree rooted at ``top``.
+
+    ``layer`` restricts counting to one layer; by default all layers are
+    counted.  Hierarchical counts sum each distinct cell definition once;
+    flat counts weigh each definition by its total expanded placement count.
+    """
+    cell_layer_stats: Dict[str, Dict[Layer, LayerStats]] = {}
+    flat_cache: Dict[str, Dict[Layer, LayerStats]] = {}
+    placements = 0
+    order: list[Cell] = []
+    seen: set[str] = set()
+
+    def collect(cell: Cell) -> None:
+        if cell.name in seen:
+            return
+        seen.add(cell.name)
+        for ref in cell.references:
+            collect(ref.cell)
+        order.append(cell)
+
+    collect(top)
+
+    for cell in order:
+        own: Dict[Layer, LayerStats] = {}
+        for lyr in cell.layers:
+            if layer is not None and lyr != layer:
+                continue
+            own[lyr] = region_stats(cell.region(lyr))
+        cell_layer_stats[cell.name] = own
+        flat: Dict[Layer, LayerStats] = dict(own)
+        for ref in cell.references:
+            child_flat = flat_cache[ref.cell.name]
+            for lyr, stats in child_flat.items():
+                flat[lyr] = flat.get(lyr, LayerStats()) + stats.scaled(ref.count)
+        flat_cache[cell.name] = flat
+
+    def count_placements(cell: Cell, multiplier: int) -> int:
+        total = 0
+        for ref in cell.references:
+            expanded = ref.count * multiplier
+            total += expanded + count_placements(ref.cell, expanded)
+        return total
+
+    placements = count_placements(top, 1)
+
+    hierarchical: Dict[Layer, LayerStats] = {}
+    for own in cell_layer_stats.values():
+        for lyr, stats in own.items():
+            hierarchical[lyr] = hierarchical.get(lyr, LayerStats()) + stats
+
+    return LayoutStats(
+        cells=len(order),
+        placements=placements,
+        hierarchical=hierarchical,
+        flat=dict(flat_cache[top.name]),
+    )

@@ -1,0 +1,79 @@
+"""Image export: PGM files and terminal renderings of aerial images.
+
+Debugging lithography without pictures is miserable; these helpers dump
+any simulation array as a portable graymap (readable by every image tool)
+or as quick ASCII art for terminals and logs.  No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import LithoError
+
+
+def to_pgm(
+    image: np.ndarray,
+    path: Union[str, Path],
+    normalize: bool = True,
+    max_value: float = 1.0,
+) -> int:
+    """Write a float array as a binary PGM (P5); returns bytes written.
+
+    ``normalize=True`` maps the array's own min/max to black/white;
+    otherwise values are clipped against ``[0, max_value]``.
+    """
+    if image.ndim != 2:
+        raise LithoError(f"need a 2D image, got shape {image.shape}")
+    data = np.asarray(image, dtype=float)
+    if normalize:
+        lo, hi = float(data.min()), float(data.max())
+        scale = (data - lo) / (hi - lo) if hi > lo else np.zeros_like(data)
+    else:
+        if max_value <= 0:
+            raise LithoError("max_value must be positive")
+        scale = np.clip(data / max_value, 0.0, 1.0)
+    pixels = (scale * 255.0 + 0.5).astype(np.uint8)
+    # PGM rasters run top-to-bottom; our grids index bottom-to-top.
+    pixels = pixels[::-1]
+    header = f"P5\n{image.shape[1]} {image.shape[0]}\n255\n".encode("ascii")
+    payload = header + pixels.tobytes()
+    with open(path, "wb") as stream:
+        stream.write(payload)
+    return len(payload)
+
+
+def ascii_art(
+    image: np.ndarray,
+    threshold: Optional[float] = None,
+    width: int = 72,
+) -> str:
+    """A terminal rendering of an image.
+
+    With ``threshold`` the output is binary (``#`` above, ``.`` below);
+    otherwise a 10-step grayscale ramp.  The image is downsampled to at
+    most ``width`` columns (rows scaled 2:1 for terminal aspect).
+    """
+    if image.ndim != 2:
+        raise LithoError(f"need a 2D image, got shape {image.shape}")
+    if width < 4:
+        raise LithoError(f"width must be at least 4, got {width}")
+    step = max(1, image.shape[1] // width)
+    sampled = image[::-1][:: 2 * step, ::step]
+    if threshold is not None:
+        rows = [
+            "".join("#" if v >= threshold else "." for v in row)
+            for row in sampled
+        ]
+        return "\n".join(rows)
+    ramp = " .:-=+*#%@"
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    for row in sampled:
+        indices = ((row - lo) / span * (len(ramp) - 1) + 0.5).astype(int)
+        rows.append("".join(ramp[i] for i in indices))
+    return "\n".join(rows)

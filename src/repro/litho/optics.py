@@ -1,0 +1,67 @@
+"""Optical settings of the projection system.
+
+Parameters follow 2001-era production lithography: 248 nm KrF exposure,
+NA 0.6-0.7, partially coherent illumination.  ``k1 = CD * NA / wavelength``
+summarises how aggressive a feature is; the OPC-adoption era lives around
+k1 = 0.4-0.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LithoError
+from .source import SourceSpec, annular, conventional
+
+
+@dataclass(frozen=True)
+class OpticalSettings:
+    """Projection optics plus illumination for one exposure."""
+
+    wavelength_nm: float
+    na: float
+    source: SourceSpec
+
+    def __post_init__(self) -> None:
+        if self.wavelength_nm <= 0:
+            raise LithoError(f"wavelength must be positive, got {self.wavelength_nm}")
+        if not 0 < self.na < 1:
+            raise LithoError(f"NA must be in (0, 1), got {self.na}")
+
+    @property
+    def f_max(self) -> float:
+        """Coherent cutoff frequency NA / wavelength, in cycles/nm."""
+        return self.na / self.wavelength_nm
+
+    @property
+    def rayleigh_resolution_nm(self) -> float:
+        """Classical 0.61 * wavelength / NA two-point resolution."""
+        return 0.61 * self.wavelength_nm / self.na
+
+    @property
+    def rayleigh_dof_nm(self) -> float:
+        """Classical wavelength / (2 NA^2) depth of focus unit."""
+        return self.wavelength_nm / (2.0 * self.na**2)
+
+    def k1(self, cd_nm: float) -> float:
+        """The k1 factor of a feature of size ``cd_nm``."""
+        return cd_nm * self.na / self.wavelength_nm
+
+
+def krf_conventional(sigma: float = 0.6, na: float = 0.68) -> OpticalSettings:
+    """248 nm KrF with conventional partially coherent illumination."""
+    return OpticalSettings(wavelength_nm=248.0, na=na, source=conventional(sigma))
+
+
+def krf_annular(
+    sigma_outer: float = 0.85, sigma_inner: float = 0.55, na: float = 0.68
+) -> OpticalSettings:
+    """248 nm KrF with annular off-axis illumination (dense-pitch friendly)."""
+    return OpticalSettings(
+        wavelength_nm=248.0, na=na, source=annular(sigma_outer, sigma_inner)
+    )
+
+
+def i_line(sigma: float = 0.5, na: float = 0.57) -> OpticalSettings:
+    """365 nm i-line stepper, the pre-OPC reference generation."""
+    return OpticalSettings(wavelength_nm=365.0, na=na, source=conventional(sigma))

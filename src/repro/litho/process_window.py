@@ -1,0 +1,154 @@
+"""Focus-exposure process-window analysis.
+
+Builds the focus-exposure matrix (FEM) of a feature's printed CD, extracts
+Bossung curves, per-focus exposure-latitude bounds, and the exposure
+latitude vs depth-of-focus trade-off curve that the paper-era figures plot
+("ED windows").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import LithoError
+
+
+@dataclass(frozen=True)
+class FocusExposureMatrix:
+    """Printed CD over a (focus x dose) sampling.
+
+    ``cd[i, j]`` is the CD at ``focuses[i]``, ``doses[j]``; ``nan`` marks a
+    feature that failed to print.
+    """
+
+    focuses: Tuple[float, ...]
+    doses: Tuple[float, ...]
+    cd: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.cd.shape != (len(self.focuses), len(self.doses)):
+            raise LithoError(
+                f"cd shape {self.cd.shape} != ({len(self.focuses)}, {len(self.doses)})"
+            )
+
+    def bossung(self, dose: float) -> Tuple[np.ndarray, np.ndarray]:
+        """``(focus, cd)`` arrays at the dose column nearest ``dose``."""
+        j = int(np.argmin(np.abs(np.asarray(self.doses) - dose)))
+        return np.asarray(self.focuses), self.cd[:, j]
+
+    def cd_at(self, focus: float, dose: float) -> float:
+        """CD at the nearest sampled (focus, dose) point."""
+        i = int(np.argmin(np.abs(np.asarray(self.focuses) - focus)))
+        j = int(np.argmin(np.abs(np.asarray(self.doses) - dose)))
+        return float(self.cd[i, j])
+
+
+def run_fem(
+    cd_function: Callable[[float, float], Optional[float]],
+    focuses: Sequence[float],
+    doses: Sequence[float],
+) -> FocusExposureMatrix:
+    """Evaluate ``cd_function(focus, dose)`` over the full matrix."""
+    cd = np.full((len(focuses), len(doses)), np.nan)
+    for i, focus in enumerate(focuses):
+        for j, dose in enumerate(doses):
+            value = cd_function(focus, dose)
+            if value is not None:
+                cd[i, j] = value
+    return FocusExposureMatrix(tuple(focuses), tuple(doses), cd)
+
+
+def dose_bounds(
+    fem: FocusExposureMatrix, target_cd: float, tolerance: float = 0.10
+) -> List[Optional[Tuple[float, float]]]:
+    """Per-focus dose interval keeping CD within ``target_cd`` +/- tolerance.
+
+    CD is assumed monotonic in dose at fixed focus (true for isolated
+    threshold crossings); bounds are found by linear interpolation.  A
+    focus row where the tolerance band is never reached yields ``None``.
+    """
+    if not 0 < tolerance < 1:
+        raise LithoError(f"tolerance must be in (0, 1), got {tolerance}")
+    lo_cd = target_cd * (1.0 - tolerance)
+    hi_cd = target_cd * (1.0 + tolerance)
+    doses = np.asarray(fem.doses)
+    bounds: List[Optional[Tuple[float, float]]] = []
+    for row in fem.cd:
+        valid = ~np.isnan(row)
+        if valid.sum() < 2:
+            bounds.append(None)
+            continue
+        d = doses[valid]
+        c = row[valid]
+        # Ensure CD decreasing in dose for interpolation (positive resist
+        # lines shrink with dose); flip if the data runs the other way.
+        if c[0] < c[-1]:
+            d, c = d[::-1], c[::-1]
+        dose_at_hi = _interp_monotonic(c, d, hi_cd)
+        dose_at_lo = _interp_monotonic(c, d, lo_cd)
+        if dose_at_hi is None or dose_at_lo is None:
+            bounds.append(None)
+            continue
+        lo_dose, hi_dose = sorted((dose_at_hi, dose_at_lo))
+        bounds.append((lo_dose, hi_dose))
+    return bounds
+
+
+def exposure_latitude_curve(
+    fem: FocusExposureMatrix,
+    target_cd: float,
+    tolerance: float = 0.10,
+    nominal_dose: float = 1.0,
+) -> List[Tuple[float, float]]:
+    """The (DOF, exposure-latitude%) trade-off curve.
+
+    For every contiguous focus window of the FEM, the common dose interval
+    across the window gives the exposure latitude; the curve reports, for
+    each window width (DOF), the best latitude over all placements.
+    """
+    per_focus = dose_bounds(fem, target_cd, tolerance)
+    focuses = np.asarray(fem.focuses)
+    n = len(focuses)
+    curve: List[Tuple[float, float]] = []
+    for width in range(1, n + 1):
+        best_el = 0.0
+        for start in range(0, n - width + 1):
+            window = per_focus[start : start + width]
+            if any(b is None for b in window):
+                continue
+            lo = max(b[0] for b in window)  # type: ignore[index]
+            hi = min(b[1] for b in window)  # type: ignore[index]
+            if hi > lo:
+                best_el = max(best_el, 100.0 * (hi - lo) / nominal_dose)
+        if best_el > 0.0:
+            dof = float(focuses[width - 1] - focuses[0]) if width > 1 else 0.0
+            curve.append((dof, best_el))
+    return curve
+
+
+def dof_at_exposure_latitude(
+    curve: Sequence[Tuple[float, float]], min_el_percent: float = 5.0
+) -> float:
+    """Largest DOF on the curve still delivering ``min_el_percent`` latitude."""
+    best = 0.0
+    for dof, el in curve:
+        if el >= min_el_percent:
+            best = max(best, dof)
+    return best
+
+
+def _interp_monotonic(
+    values: np.ndarray, positions: np.ndarray, target: float
+) -> Optional[float]:
+    """Position where decreasing ``values`` crosses ``target`` (linear)."""
+    for k in range(len(values) - 1):
+        a, b = values[k], values[k + 1]
+        if (a >= target >= b) or (a <= target <= b):
+            if a == b:
+                return float(positions[k])
+            frac = (target - a) / (b - a)
+            return float(positions[k] + frac * (positions[k + 1] - positions[k]))
+    return None

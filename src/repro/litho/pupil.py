@@ -1,0 +1,107 @@
+"""Projection pupil: circular aperture, defocus, and Zernike aberrations.
+
+The pupil function is evaluated on spatial-frequency grids in cycles/nm.
+Defocus uses the paraxial quadratic phase; aberrations are low-order
+Zernike phase terms in pupil-normalised coordinates.  Everything is
+vectorised over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..errors import LithoError
+
+
+@dataclass(frozen=True)
+class Aberrations:
+    """Low-order Zernike phase coefficients, in waves (RMS-free convention).
+
+    Each coefficient multiplies the classical polynomial on unit-radius
+    pupil coordinates; zero means a perfect lens.
+    """
+
+    astigmatism_0: float = 0.0  # Z5  ~ rho^2 cos(2 theta)
+    astigmatism_45: float = 0.0  # Z6  ~ rho^2 sin(2 theta)
+    coma_x: float = 0.0  # Z7  ~ (3 rho^3 - 2 rho) cos(theta)
+    coma_y: float = 0.0  # Z8  ~ (3 rho^3 - 2 rho) sin(theta)
+    spherical: float = 0.0  # Z9  ~ 6 rho^4 - 6 rho^2 + 1
+
+    @property
+    def is_zero(self) -> bool:
+        """True for a perfect lens."""
+        return not any(
+            (
+                self.astigmatism_0,
+                self.astigmatism_45,
+                self.coma_x,
+                self.coma_y,
+                self.spherical,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class Pupil:
+    """Pupil evaluator for given optics.
+
+    ``f_max`` is the coherent cutoff NA/wavelength in cycles/nm.
+    """
+
+    wavelength_nm: float
+    na: float
+    aberrations: Aberrations = field(default_factory=Aberrations)
+
+    def __post_init__(self) -> None:
+        if self.wavelength_nm <= 0 or not 0 < self.na < 1:
+            raise LithoError("invalid pupil optics")
+
+    @property
+    def f_max(self) -> float:
+        """Coherent cutoff frequency in cycles/nm."""
+        return self.na / self.wavelength_nm
+
+    def evaluate(
+        self, fx: np.ndarray, fy: np.ndarray, defocus_nm: float = 0.0
+    ) -> np.ndarray:
+        """Complex pupil value at spatial frequencies ``(fx, fy)``.
+
+        Zero outside the aperture.  Defocus applies the paraxial phase
+        ``exp(-i pi wavelength z |f|^2)``.
+        """
+        f2 = fx * fx + fy * fy
+        inside = f2 <= self.f_max**2 + 1e-30
+        pupil = inside.astype(complex)
+        phase = np.zeros_like(f2, dtype=float)
+        if defocus_nm != 0.0:
+            phase += -math.pi * self.wavelength_nm * defocus_nm * f2
+        if not self.aberrations.is_zero:
+            phase += 2.0 * math.pi * self._zernike_phase(fx, fy)
+        if phase.any():
+            pupil = pupil * np.exp(1j * phase)
+            pupil[~inside] = 0.0
+        return pupil
+
+    def _zernike_phase(self, fx: np.ndarray, fy: np.ndarray) -> np.ndarray:
+        """Aberration phase in waves on pupil-normalised coordinates."""
+        rho_x = fx / self.f_max
+        rho_y = fy / self.f_max
+        rho2 = rho_x**2 + rho_y**2
+        rho = np.sqrt(rho2)
+        ab = self.aberrations
+        phase = np.zeros_like(rho2)
+        if ab.astigmatism_0:
+            phase += ab.astigmatism_0 * (rho_x**2 - rho_y**2)
+        if ab.astigmatism_45:
+            phase += ab.astigmatism_45 * (2.0 * rho_x * rho_y)
+        if ab.coma_x:
+            phase += ab.coma_x * (3.0 * rho2 - 2.0) * rho_x
+        if ab.coma_y:
+            phase += ab.coma_y * (3.0 * rho2 - 2.0) * rho_y
+        if ab.spherical:
+            phase += ab.spherical * (6.0 * rho2 * rho2 - 6.0 * rho2 + 1.0)
+        return phase

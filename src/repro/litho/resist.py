@@ -1,0 +1,69 @@
+"""Resist models: threshold development with acid-diffusion blur.
+
+The constant-threshold resist (CTR) model is the workhorse of OPC-era
+simulation: the resist develops wherever the diffusion-blurred aerial image
+exceeds a dose-scaled threshold.  Absolute chemistry is irrelevant to the
+trends this library reproduces; the blur and threshold capture the
+lumped-parameter behaviour that OPC models of the era were calibrated to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from ..errors import LithoError
+from .raster import Grid
+
+
+@dataclass(frozen=True)
+class ThresholdResist:
+    """A constant-threshold resist with Gaussian diffusion.
+
+    ``threshold`` is the develop threshold as a fraction of the clear-field
+    intensity (1.0).  ``diffusion_nm`` is the acid diffusion length (the
+    Gaussian sigma).  ``positive`` resist clears where exposed -- chrome
+    features therefore print as remaining resist (lines).
+    """
+
+    threshold: float = 0.30
+    diffusion_nm: float = 20.0
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold < 1:
+            raise LithoError(f"threshold must be in (0, 1), got {self.threshold}")
+        if self.diffusion_nm < 0:
+            raise LithoError(f"diffusion must be >= 0, got {self.diffusion_nm}")
+
+    def latent_image(self, image: np.ndarray, grid: Grid) -> np.ndarray:
+        """The diffusion-blurred intensity driving development."""
+        if self.diffusion_nm == 0:
+            return image
+        sigma_px = self.diffusion_nm / grid.pixel_nm
+        return gaussian_filter(image, sigma=sigma_px, mode="nearest")
+
+    def effective_threshold(self, dose: float = 1.0) -> float:
+        """The intensity threshold at a relative exposure ``dose``.
+
+        Dose scales the whole image linearly, which is equivalent to
+        dividing the threshold.
+        """
+        if dose <= 0:
+            raise LithoError(f"dose must be positive, got {dose}")
+        return self.threshold / dose
+
+    def resist_remains(
+        self, image: np.ndarray, grid: Grid, dose: float = 1.0
+    ) -> np.ndarray:
+        """Boolean map of where resist remains after develop.
+
+        For positive resist, resist remains where the latent image stays
+        *below* threshold -- i.e. under chrome features.  This boolean is
+        the printed feature for line layers.
+        """
+        latent = self.latent_image(image, grid)
+        cleared = latent >= self.effective_threshold(dose)
+        return ~cleared if self.positive else cleared

@@ -1,0 +1,54 @@
+"""Mask cost model: what the data explosion costs in dollars and hours.
+
+A deliberately simple but structurally correct 2001-era reticle cost
+model: a fixed blank/process base, a write-time component proportional to
+shot count, and an inspection component proportional to figure count.
+The point is not the absolute dollars (set the coefficients to taste) but
+the *relative* cost growth across correction levels, which tracks the
+measured data volume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from .datavolume import MaskDataStats
+
+
+@dataclass(frozen=True)
+class MaskCostModel:
+    """Cost coefficients for one reticle generation."""
+
+    base_usd: float = 8_000.0  # blank, resist, process overhead
+    writer_usd_per_hour: float = 2_500.0
+    shots_per_second: float = 50_000.0
+    inspection_usd_per_megafigure: float = 1_500.0
+    yield_loss_factor: float = 1.15  # rework/repair multiplier
+
+    def __post_init__(self) -> None:
+        if min(
+            self.base_usd,
+            self.writer_usd_per_hour,
+            self.shots_per_second,
+            self.inspection_usd_per_megafigure,
+        ) <= 0:
+            raise ReproError("cost coefficients must be positive")
+        if self.yield_loss_factor < 1.0:
+            raise ReproError("yield loss factor must be >= 1")
+
+    def write_hours(self, stats: MaskDataStats) -> float:
+        """Writer time for the layer's shot count."""
+        return stats.shots / self.shots_per_second / 3600.0
+
+    def cost_usd(self, stats: MaskDataStats) -> float:
+        """Total single-layer reticle cost."""
+        write = self.write_hours(stats) * self.writer_usd_per_hour
+        inspection = (
+            stats.figures / 1e6 * self.inspection_usd_per_megafigure
+        )
+        return (self.base_usd + write + inspection) * self.yield_loss_factor
+
+    def cost_ratio(self, stats: MaskDataStats, baseline: MaskDataStats) -> float:
+        """Cost growth relative to an uncorrected baseline."""
+        return self.cost_usd(stats) / self.cost_usd(baseline)

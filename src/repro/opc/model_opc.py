@@ -1,0 +1,241 @@
+"""Model-based OPC: simulation-in-the-loop iterative edge correction.
+
+The second-generation OPC the paper's era was adopting: fragment every
+edge, simulate the printed image, measure the edge-placement error (EPE) at
+a control site per fragment, and move each fragment against its error.
+Damped Newton-style iteration with per-move and total-excursion clamps is
+exactly the production algorithm shape (feedback locality and fragment
+conformity are its structural limits -- the reason inverse methods were
+later explored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import OPCError
+from ..geometry import (
+    Fragment,
+    FragmentationSpec,
+    Rect,
+    Region,
+    apply_biases,
+    fragment_region,
+)
+from ..litho import LithoSimulator, MaskSpec, binary_mask
+from .report import IterationStats, OPCResult
+
+#: Fragmentation used by model-based OPC (fine: sub-resolution fragments).
+DEFAULT_MODEL_FRAGMENTATION = FragmentationSpec(
+    corner_length=40, max_length=80, min_length=20, line_end_max=260
+)
+
+#: Builds the mask to simulate from corrected main-feature geometry.
+MaskBuilder = Callable[[Region], MaskSpec]
+
+
+@dataclass(frozen=True)
+class ModelOPCRecipe:
+    """Settings of a model-based correction run."""
+
+    fragmentation: FragmentationSpec = DEFAULT_MODEL_FRAGMENTATION
+    max_iterations: int = 8
+    damping: float = 0.6
+    max_move_per_iteration_nm: int = 8
+    max_total_move_nm: int = 40
+    epe_tolerance_nm: float = 1.5
+    epe_search_nm: float = 60.0
+    missing_edge_move_nm: int = 6
+    #: Set for bright features (contact holes on dark-field masks): flips
+    #: the interpretation of all-dark/all-bright failure states.
+    bright_feature: bool = False
+    #: Process-window OPC: extra (defocus_nm, dose_factor, weight) corners
+    #: measured each iteration in addition to the nominal condition (which
+    #: always carries weight 1).  Fragments move against the weighted EPE,
+    #: trading nominal perfection for through-window stability.
+    process_corners: Tuple[Tuple[float, float, float], ...] = ()
+
+    def validated(self) -> "ModelOPCRecipe":
+        """Return self, raising :class:`OPCError` on nonsense values."""
+        if self.max_iterations < 1:
+            raise OPCError("need at least one iteration")
+        if not 0 < self.damping <= 1.0:
+            raise OPCError(f"damping must be in (0, 1], got {self.damping}")
+        if self.max_move_per_iteration_nm < 1 or self.max_total_move_nm < 1:
+            raise OPCError("move clamps must be positive")
+        if self.epe_tolerance_nm <= 0:
+            raise OPCError("EPE tolerance must be positive")
+        return self
+
+
+def model_opc(
+    target: Region,
+    simulator: LithoSimulator,
+    window: Rect,
+    recipe: ModelOPCRecipe = ModelOPCRecipe(),
+    mask_builder: MaskBuilder = binary_mask,
+    dose: float = 1.0,
+    defocus_nm: float = 0.0,
+) -> OPCResult:
+    """Iteratively correct ``target`` until it prints on target.
+
+    ``window`` bounds the geometry being corrected (context outside it must
+    already be included in ``target`` out to the optical ambit).  The
+    returned :class:`OPCResult` carries per-iteration convergence history.
+    """
+    recipe = recipe.validated()
+    merged = target.merged()
+    if merged.is_empty:
+        return OPCResult(target=merged, corrected=merged)
+
+    loops = fragment_region(merged, recipe.fragmentation)
+    sites, active = _control_sites(loops, window)
+    biases: List[List[int]] = [[0] * len(fragments) for fragments in loops]
+    history: List[IterationStats] = []
+    corrected = merged
+    converged = False
+    best_rms = float("inf")
+    best_corrected = merged
+
+    corners = ((defocus_nm, 1.0, 1.0),) + tuple(
+        (defocus_nm + extra_defocus, factor, weight)
+        for extra_defocus, factor, weight in recipe.process_corners
+    )
+
+    for iteration in range(1, recipe.max_iterations + 1):
+        corrected = apply_biases(loops, biases)
+        mask = mask_builder(corrected)
+        active_sites = [sites[i] for i in active]
+        per_corner = [
+            simulator.edge_placement_errors_with_state(
+                mask,
+                window,
+                active_sites,
+                dose=dose * factor,
+                defocus_nm=corner_defocus,
+                search_nm=recipe.epe_search_nm,
+            )
+            for corner_defocus, factor, _weight in corners
+        ]
+        weights = [weight for _d, _f, weight in corners]
+        epes: List[Optional[float]] = [0.0] * len(sites)
+        states: List[str] = ["found"] * len(sites)
+        for position, slot in enumerate(active):
+            epes[slot], states[slot] = _combine_corners(
+                [measured[position] for measured in per_corner], weights
+            )
+        stats = _summarise(iteration, epes)
+        history.append(stats)
+        # Track the best iterate: EPE is not guaranteed monotone (adjacent
+        # fragments interact), and production OPC keeps the best pass.
+        score = stats.rms_epe_nm + 100.0 * stats.missing_edges
+        if score < best_rms:
+            best_rms = score
+            best_corrected = corrected
+        if stats.max_epe_nm <= recipe.epe_tolerance_nm and stats.missing_edges == 0:
+            converged = True
+            break
+        if iteration == recipe.max_iterations:
+            break
+        _update_biases(biases, epes, states, recipe)
+
+    return OPCResult(
+        target=merged,
+        corrected=best_corrected,
+        history=history,
+        converged=converged,
+        fragment_count=len(sites),
+    )
+
+
+def _control_sites(
+    loops: Sequence[Sequence[Fragment]], window: Rect
+) -> Tuple[
+    List[Tuple[Tuple[float, float], Tuple[float, float]]], List[int]
+]:
+    """One (anchor, outward-normal) EPE site per fragment, on the target edge.
+
+    Returns all sites plus the indices of *active* sites -- those inside the
+    correction window.  Fragments outside the window (context geometry that
+    extends past the simulation grid) stay at zero bias and are not
+    measured.
+    """
+    sites = []
+    active: List[int] = []
+    for fragments in loops:
+        for fragment in fragments:
+            anchor = fragment.control_point()
+            if window.contains(anchor):
+                active.append(len(sites))
+            sites.append((anchor, fragment.normal))
+    return sites, active
+
+
+def _combine_corners(
+    measurements: Sequence[Tuple[Optional[float], str]],
+    weights: Sequence[float],
+) -> Tuple[Optional[float], str]:
+    """Weighted EPE across process corners for one site.
+
+    A site that fails at any corner is reported missing with that corner's
+    failure state -- a catastrophic corner dominates any EPE average.
+    """
+    total = 0.0
+    weight_sum = 0.0
+    for (value, state), weight in zip(measurements, weights):
+        if value is None:
+            return None, state
+        total += weight * value
+        weight_sum += weight
+    return total / weight_sum, "found"
+
+
+def _summarise(iteration: int, epes: Sequence[Optional[float]]) -> IterationStats:
+    values = np.array([e for e in epes if e is not None], dtype=float)
+    missing = sum(1 for e in epes if e is None)
+    if len(values) == 0:
+        return IterationStats(iteration, float("inf"), float("inf"), 0, missing)
+    return IterationStats(
+        iteration=iteration,
+        rms_epe_nm=float(np.sqrt(np.mean(values**2))),
+        max_epe_nm=float(np.max(np.abs(values))),
+        moved_fragments=int(np.count_nonzero(np.abs(values) > 0.25)),
+        missing_edges=missing,
+    )
+
+
+def _update_biases(
+    biases: List[List[int]],
+    epes: Sequence[Optional[float]],
+    states: Sequence[str],
+    recipe: ModelOPCRecipe,
+) -> None:
+    """Damped per-fragment move against the measured EPE, with clamps."""
+    cursor = 0
+    clamp = recipe.max_move_per_iteration_nm
+    total = recipe.max_total_move_nm
+    for loop_biases in biases:
+        for i in range(len(loop_biases)):
+            epe = epes[cursor]
+            state = states[cursor]
+            cursor += 1
+            if epe is None:
+                # No printed edge inside the search span.  For dark
+                # features (resist lines): "bright" means the feature
+                # vanished -> push the mask edge outward; "dark" means the
+                # space bridged -> pull inward.  For bright features
+                # (contact holes) the interpretation flips.
+                vanished_state = "dark" if recipe.bright_feature else "bright"
+                move = (
+                    recipe.missing_edge_move_nm
+                    if state == vanished_state
+                    else -recipe.missing_edge_move_nm
+                )
+            else:
+                # Positive EPE = printed edge outside target = pull mask in.
+                move = int(round(-recipe.damping * epe))
+                move = max(-clamp, min(clamp, move))
+            loop_biases[i] = max(-total, min(total, loop_biases[i] + move))

@@ -1,0 +1,112 @@
+"""Mask rule checks (MRC): can the mask shop actually write this?
+
+Aggressive OPC produces jogs, serifs and assist bars that collide with the
+mask writer's limits.  MRC flags features narrower than the writer can
+form and gaps tighter than it can resolve -- a gating step between OPC
+output and mask tape-out, and one of the 'impact' costs the paper's era
+had to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import OPCError
+from ..geometry import Polygon, Region
+
+
+@dataclass(frozen=True)
+class MRCRules:
+    """Writer limits at wafer scale (4x reticle values divided by 4)."""
+
+    min_width_nm: int = 40
+    min_space_nm: int = 40
+
+    def validated(self) -> "MRCRules":
+        """Return self, raising :class:`OPCError` on nonsense values."""
+        if self.min_width_nm <= 0 or self.min_space_nm <= 0:
+            raise OPCError("MRC limits must be positive")
+        return self
+
+
+@dataclass
+class MRCReport:
+    """Violation geometry found by :func:`check_mask`."""
+
+    width_violations: Region
+    space_violations: Region
+
+    @property
+    def width_violation_count(self) -> int:
+        """Number of distinct too-narrow spots."""
+        return len(self.width_violations.outer_polygons())
+
+    @property
+    def space_violation_count(self) -> int:
+        """Number of distinct too-tight gaps."""
+        return len(self.space_violations.outer_polygons())
+
+    @property
+    def total(self) -> int:
+        """All violations."""
+        return self.width_violation_count + self.space_violation_count
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the mask passes MRC."""
+        return self.total == 0
+
+
+def check_mask(mask_geometry: Region, rules: MRCRules = MRCRules()) -> MRCReport:
+    """Run width/space MRC over mask-side geometry.
+
+    Width violations are the parts of features that vanish under an
+    opening by ``min_width / 2``; space violations are the gap regions that
+    disappear under a closing by ``min_space / 2``.
+    """
+    from ..verify.drc import check_space, check_width
+
+    rules = rules.validated()
+    merged = mask_geometry.merged()
+    if merged.is_empty:
+        return MRCReport(Region(), Region())
+    return MRCReport(
+        width_violations=_drop_dust(check_width(merged, rules.min_width_nm)),
+        space_violations=_drop_dust(check_space(merged, rules.min_space_nm)),
+    )
+
+
+def repair_mask(
+    mask_geometry: Region, rules: MRCRules = MRCRules(), max_passes: int = 3
+) -> Region:
+    """Make a mask MRC-clean with minimal, bounded edits.
+
+    Sub-minimum spaces are filled (the sliver of gap becomes chrome) and
+    sub-minimum widths trimmed (the sliver of chrome is removed) -- each
+    edit displaces geometry by less than the corresponding MRC limit, the
+    standard automated fix-up between OPC and fracture.  Passes repeat
+    because a fill can create a new narrow neck nearby; geometry that is
+    still dirty after ``max_passes`` is returned as-is for manual review.
+    """
+    rules = rules.validated()
+    current = mask_geometry.merged()
+    for _pass in range(max_passes):
+        report = check_mask(current, rules)
+        if report.is_clean:
+            break
+        if not report.space_violations.is_empty:
+            current = (current | report.space_violations).merged()
+        if not report.width_violations.is_empty:
+            current = (current - report.width_violations).merged()
+    return current
+
+
+def _drop_dust(region: Region, min_area: int = 4) -> Region:
+    """Discard sub-grid artifacts of the morphological difference."""
+    keep: List[Polygon] = []
+    merged = region.merged()
+    for poly in merged.polygons():
+        if poly.is_ccw and poly.area >= min_area:
+            keep.append(poly)
+    return Region(keep).merged() if keep else Region()

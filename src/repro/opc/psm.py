@@ -1,0 +1,255 @@
+"""Alternating-PSM phase assignment: conflict graphs and 2-coloring.
+
+Alternating phase-shift masks print a critical line by placing clear
+apertures of opposite phase (0/180) on its two sides.  Assigning phases
+globally is graph 2-coloring: an edge for every pair of shifters that must
+*differ* (the two sides of a critical line) after merging every pair that
+must be *equal* (shifters too close to hold different phases without a
+printable phase edge).  Odd cycles make assignment infeasible -- the
+layout itself must change, which is precisely the "impact on design"
+argument for strong PSM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import OPCError, PhaseConflictError
+from ..geometry import Rect, Region, decompose_max_rects
+
+
+@dataclass(frozen=True)
+class PSMRecipe:
+    """Alternating-PSM generation rules (lengths in nm/dbu)."""
+
+    critical_width_nm: int = 200  # features this narrow need shifters
+    shifter_width_nm: int = 250
+    min_shifter_space_nm: int = 120  # closer same-phase shifters merge
+    min_critical_length_nm: int = 300
+    #: A candidate aperture must be at least this clear of other features,
+    #: or its line is treated as an interior segment (no shifters).
+    min_clear_fraction: float = 0.6
+
+    def validated(self) -> "PSMRecipe":
+        """Return self, raising :class:`OPCError` on nonsense values."""
+        if self.critical_width_nm <= 0 or self.shifter_width_nm <= 0:
+            raise OPCError("widths must be positive")
+        if self.min_shifter_space_nm < 0:
+            raise OPCError("shifter space must be non-negative")
+        if not 0 < self.min_clear_fraction <= 1:
+            raise OPCError("clear fraction must be in (0, 1]")
+        return self
+
+
+@dataclass
+class PhaseAssignment:
+    """Result of phase assignment over a layout.
+
+    ``shifter_0`` / ``shifter_180`` are the aperture regions; ``conflicts``
+    lists groups of shifter indices forming odd cycles that could not be
+    two-colored (their shifters are omitted from the output regions).
+    """
+
+    shifters: List[Rect]
+    phases: List[Optional[int]]  # 0, 180, or None for conflicted shifters
+    conflicts: List[Tuple[int, ...]]
+    critical_features: int
+
+    @property
+    def shifter_0(self) -> Region:
+        """All apertures assigned phase 0."""
+        return Region.from_rects(
+            [s for s, p in zip(self.shifters, self.phases) if p == 0]
+        ).merged()
+
+    @property
+    def shifter_180(self) -> Region:
+        """All apertures assigned phase 180."""
+        return Region.from_rects(
+            [s for s, p in zip(self.shifters, self.phases) if p == 180]
+        ).merged()
+
+    @property
+    def conflict_count(self) -> int:
+        """Number of shifters left unassigned by odd cycles."""
+        return sum(1 for p in self.phases if p is None)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when every shifter received a phase."""
+        return not self.conflicts
+
+
+def assign_phases(
+    features: Region, recipe: PSMRecipe = PSMRecipe(), strict: bool = False
+) -> PhaseAssignment:
+    """Generate and two-color shifters for the critical features of a layout.
+
+    With ``strict=True`` an odd cycle raises :class:`PhaseConflictError`;
+    otherwise conflicted shifters are reported and omitted.
+    """
+    recipe = recipe.validated()
+    merged = features.merged()
+    shifters: List[Rect] = []
+    opposite_pairs: List[Tuple[int, int]] = []
+    critical = 0
+    for rect in decompose_max_rects(merged):
+        pair = _shifter_pair(rect, recipe)
+        if pair is None:
+            continue
+        # Both apertures must be substantially clear: a "line" whose side
+        # aperture lands on other geometry is an interior segment artifact
+        # of rectangle decomposition, not a phase-shiftable line.
+        left, right = pair
+        left_body = Region(left) - merged
+        right_body = Region(right) - merged
+        if (
+            left_body.area < recipe.min_clear_fraction * left.area
+            or right_body.area < recipe.min_clear_fraction * right.area
+        ):
+            continue
+        critical += 1
+        base = len(shifters)
+        shifters.extend((left, right))
+        opposite_pairs.append((base, base + 1))
+
+    # Clip shifters against the layout: apertures cannot overlap features.
+    clipped: List[Optional[Region]] = []
+    for rect in shifters:
+        body = Region(rect) - merged
+        clipped.append(None if body.is_empty else body)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(i for i, c in enumerate(clipped) if c is not None)
+    for a, b in opposite_pairs:
+        if clipped[a] is not None and clipped[b] is not None:
+            graph.add_edge(a, b, same=False)
+    _add_proximity_edges(graph, shifters, clipped, recipe)
+
+    phases = _two_color(graph, len(shifters))
+    conflicts = _odd_cycle_groups(graph, phases)
+    if strict and conflicts:
+        raise PhaseConflictError(
+            f"{len(conflicts)} phase-conflict group(s); layout change required"
+        )
+    return PhaseAssignment(
+        shifters=shifters,
+        phases=phases,
+        conflicts=conflicts,
+        critical_features=critical,
+    )
+
+
+def trim_mask_chrome(
+    features: Region, assignment: PhaseAssignment, protect_margin_nm: int = 60
+) -> Region:
+    """Chrome of the trim (second) exposure of a strong-PSM flow.
+
+    Alternating PSM prints only the critical lines; a binary *trim*
+    exposure then prints everything else while protecting the PSM-defined
+    edges.  The trim chrome therefore covers every drawn feature plus the
+    shifter apertures (grown by a protection margin so trim-exposure light
+    cannot erode the phase-printed lines).
+    """
+    if protect_margin_nm < 0:
+        raise OPCError("protect margin must be non-negative")
+    chrome = features.merged()
+    apertures = assignment.shifter_0 | assignment.shifter_180
+    if not apertures.is_empty:
+        chrome = chrome | apertures.sized(protect_margin_nm)
+    return chrome.merged()
+
+
+def _shifter_pair(rect: Rect, recipe: PSMRecipe) -> Optional[Tuple[Rect, Rect]]:
+    """The two side apertures of a critical rect, or ``None`` if not critical."""
+    w = recipe.shifter_width_nm
+    if rect.width <= recipe.critical_width_nm and rect.height >= recipe.min_critical_length_nm:
+        return (
+            Rect(rect.x1 - w, rect.y1, rect.x1, rect.y2),
+            Rect(rect.x2, rect.y1, rect.x2 + w, rect.y2),
+        )
+    if rect.height <= recipe.critical_width_nm and rect.width >= recipe.min_critical_length_nm:
+        return (
+            Rect(rect.x1, rect.y1 - w, rect.x2, rect.y1),
+            Rect(rect.x1, rect.y2, rect.x2, rect.y2 + w),
+        )
+    return None
+
+
+def _add_proximity_edges(
+    graph: nx.Graph,
+    shifters: Sequence[Rect],
+    clipped: Sequence[Optional[Region]],
+    recipe: PSMRecipe,
+) -> None:
+    """Same-phase constraints between overlapping or nearly-touching shifters."""
+    gap = recipe.min_shifter_space_nm
+    boxes = {
+        i: clipped[i].bbox() for i in graph.nodes if clipped[i] is not None
+    }
+    for i in graph.nodes:
+        for j in graph.nodes:
+            if j <= i:
+                continue
+            if boxes[i].expanded(gap).intersects(boxes[j]):
+                if graph.has_edge(i, j):
+                    if not graph.edges[i, j].get("same", False):
+                        # The pair must differ (same critical line) AND be
+                        # equal (too close): a direct contradiction.
+                        graph.edges[i, j]["contradiction"] = True
+                else:
+                    graph.add_edge(i, j, same=True)
+
+
+def _two_color(graph: nx.Graph, count: int) -> List[Optional[int]]:
+    """Color each connected component; odd-cycle components get ``None``."""
+    phases: List[Optional[int]] = [None] * count
+    for component in nx.connected_components(graph):
+        sub = graph.subgraph(component)
+        coloring = _try_color(sub)
+        if coloring is None:
+            continue
+        for node, color in coloring.items():
+            phases[node] = 0 if color == 0 else 180
+    return phases
+
+
+def _try_color(graph: nx.Graph) -> Optional[Dict[int, int]]:
+    """BFS 2-coloring honouring same/different edge labels."""
+    if any(data.get("contradiction") for _a, _b, data in graph.edges(data=True)):
+        return None
+    coloring: Dict[int, int] = {}
+    for start in graph.nodes:
+        if start in coloring:
+            continue
+        coloring[start] = 0
+        queue = [start]
+        while queue:
+            node = queue.pop()
+            for neighbour in graph.neighbors(node):
+                want = (
+                    coloring[node]
+                    if graph.edges[node, neighbour].get("same", False)
+                    else 1 - coloring[node]
+                )
+                if neighbour not in coloring:
+                    coloring[neighbour] = want
+                    queue.append(neighbour)
+                elif coloring[neighbour] != want:
+                    return None
+    return coloring
+
+
+def _odd_cycle_groups(
+    graph: nx.Graph, phases: Sequence[Optional[int]]
+) -> List[Tuple[int, ...]]:
+    """Connected components whose nodes ended up unassigned."""
+    groups: List[Tuple[int, ...]] = []
+    for component in nx.connected_components(graph):
+        nodes = tuple(sorted(component))
+        if nodes and phases[nodes[0]] is None:
+            groups.append(nodes)
+    return groups

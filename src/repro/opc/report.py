@@ -1,0 +1,61 @@
+"""Result records for OPC runs: per-iteration convergence and final state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..geometry import Region
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Convergence state after one model-based OPC iteration."""
+
+    iteration: int
+    rms_epe_nm: float
+    max_epe_nm: float
+    moved_fragments: int
+    missing_edges: int
+
+    def __str__(self) -> str:
+        return (
+            f"iter {self.iteration}: rms {self.rms_epe_nm:.2f} nm, "
+            f"max {self.max_epe_nm:.2f} nm, moved {self.moved_fragments}, "
+            f"missing {self.missing_edges}"
+        )
+
+
+@dataclass
+class OPCResult:
+    """Outcome of an OPC run.
+
+    ``corrected`` is the mask-side main-feature geometry; ``target`` the
+    drawn intent it was corrected toward.  ``history`` is empty for
+    rule-based correction (a single deterministic pass).
+    """
+
+    target: Region
+    corrected: Region
+    history: List[IterationStats] = field(default_factory=list)
+    converged: bool = True
+    fragment_count: int = 0
+
+    @property
+    def final_rms_epe_nm(self) -> Optional[float]:
+        """RMS EPE after the last iteration (``None`` for rule-based runs)."""
+        return self.history[-1].rms_epe_nm if self.history else None
+
+    @property
+    def final_max_epe_nm(self) -> Optional[float]:
+        """Worst-site EPE after the last iteration."""
+        return self.history[-1].max_epe_nm if self.history else None
+
+    @property
+    def iterations(self) -> int:
+        """Number of model iterations executed."""
+        return len(self.history)
+
+    def figure_growth(self) -> Tuple[int, int]:
+        """``(target_vertices, corrected_vertices)`` -- the data explosion."""
+        return self.target.merged().num_vertices, self.corrected.merged().num_vertices

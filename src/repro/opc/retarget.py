@@ -1,0 +1,76 @@
+"""Pre-OPC retargeting: the target is not the drawn layout.
+
+Before correction, production flows *retarget*: drawn geometry that is
+legal but unprintable-as-is (sub-minimum widths from legacy shrinks,
+slot-like spaces) is adjusted to the nearest printable dimension, and OPC
+then aims at the retargeted shapes.  This module implements per-edge
+rule-based retargeting using the same measurement machinery as rule OPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import OPCError
+from ..geometry import (
+    EdgeIndex,
+    FragmentationSpec,
+    Region,
+    apply_biases,
+    fragment_region,
+)
+
+#: Coarse fragmentation: retargeting moves whole edges, not sub-fragments.
+RETARGET_FRAGMENTATION = FragmentationSpec(
+    corner_length=20, max_length=100_000, min_length=10, line_end_max=1
+)
+
+
+@dataclass(frozen=True)
+class RetargetRules:
+    """Printability floor enforced before correction (nm/dbu)."""
+
+    min_width_nm: int
+    min_space_nm: int
+    measure_range_nm: int = 4000
+
+    def validated(self) -> "RetargetRules":
+        """Return self, raising :class:`OPCError` on nonsense values."""
+        if self.min_width_nm <= 0 or self.min_space_nm <= 0:
+            raise OPCError("retarget minima must be positive")
+        if self.measure_range_nm <= 0:
+            raise OPCError("measurement range must be positive")
+        return self
+
+
+def retarget(target: Region, rules: RetargetRules) -> Region:
+    """Widen sub-minimum features and relieve sub-minimum spaces.
+
+    Every edge whose own feature is narrower than ``min_width_nm`` moves
+    outward by half the deficit; every edge facing a space tighter than
+    ``min_space_nm`` moves inward by half that deficit.  Width repair wins
+    when both fire (an unprintable feature is worse than a tight space).
+    The result is the OPC *target*; drawn data is never modified.
+    """
+    rules = rules.validated()
+    merged = target.merged()
+    if merged.is_empty:
+        return merged
+    loops = fragment_region(merged, RETARGET_FRAGMENTATION)
+    index = EdgeIndex(merged)
+    biases: List[List[int]] = []
+    for fragments in loops:
+        loop_biases = []
+        for fragment in fragments:
+            space, width = index.clearances(
+                fragment.midpoint, fragment.normal, rules.measure_range_nm
+            )
+            bias = 0
+            if space is not None and space < rules.min_space_nm:
+                bias = -((rules.min_space_nm - space + 1) // 2)
+            if width is not None and width < rules.min_width_nm:
+                bias = (rules.min_width_nm - width + 1) // 2
+            loop_biases.append(bias)
+        biases.append(loop_biases)
+    return apply_biases(loops, biases)

@@ -1,0 +1,127 @@
+"""Rule-based OPC: bias tables, line-end treatment, serifs.
+
+The first-generation OPC that fabs adopted around the 180 nm node:
+
+* per-edge bias from a (width, space) look-up table;
+* line-end extension plus optional hammerheads against pullback;
+* corner serifs (convex) and anti-serifs (concave) against rounding.
+
+Everything is geometric -- no simulation in the loop -- which is exactly
+why it is cheap, and exactly why it tops out: 2D neighbourhoods the table
+never saw get the wrong correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..errors import OPCError
+from ..geometry import (
+    EdgeIndex,
+    FragmentTag,
+    FragmentationSpec,
+    Rect,
+    Region,
+    apply_biases,
+    fragment_region,
+)
+from .report import OPCResult
+from .rules import BiasTable, default_bias_table_180nm
+
+#: Fragmentation used by rule-based OPC (coarse: whole edges mostly).
+DEFAULT_RULE_FRAGMENTATION = FragmentationSpec(
+    corner_length=40, max_length=400, min_length=20, line_end_max=260
+)
+
+
+@dataclass(frozen=True)
+class RuleOPCRecipe:
+    """Settings of a rule-based correction pass."""
+
+    bias_table: BiasTable = field(default_factory=default_bias_table_180nm)
+    fragmentation: FragmentationSpec = DEFAULT_RULE_FRAGMENTATION
+    line_end_extension_nm: int = 20
+    hammerhead_extra_nm: int = 0
+    serif_size_nm: int = 0
+    measure_range_nm: int = 4000
+
+    def validated(self) -> "RuleOPCRecipe":
+        """Return self, raising :class:`OPCError` on nonsense values."""
+        if self.line_end_extension_nm < 0 or self.hammerhead_extra_nm < 0:
+            raise OPCError("line-end corrections must be non-negative")
+        if self.serif_size_nm < 0:
+            raise OPCError("serif size must be non-negative")
+        if self.measure_range_nm <= 0:
+            raise OPCError("measurement range must be positive")
+        return self
+
+
+def rule_opc(target: Region, recipe: RuleOPCRecipe = RuleOPCRecipe()) -> OPCResult:
+    """Apply rule-based OPC to ``target``; returns the corrected geometry."""
+    recipe = recipe.validated()
+    merged = target.merged()
+    if merged.is_empty:
+        return OPCResult(target=merged, corrected=merged)
+    loops = fragment_region(merged, recipe.fragmentation)
+    index = EdgeIndex(merged)
+    biases: List[List[int]] = []
+    for fragments in loops:
+        loop_biases = [0] * len(fragments)
+        line_end_slots = [
+            i for i, f in enumerate(fragments) if f.tag == FragmentTag.LINE_END
+        ]
+        for i, fragment in enumerate(fragments):
+            space, _width = index.clearances(
+                fragment.midpoint, fragment.normal, recipe.measure_range_nm
+            )
+            loop_biases[i] = recipe.bias_table.bias_for(space)
+        for i in line_end_slots:
+            loop_biases[i] += recipe.line_end_extension_nm
+            if recipe.hammerhead_extra_nm:
+                n = len(fragments)
+                loop_biases[(i - 1) % n] += recipe.hammerhead_extra_nm
+                loop_biases[(i + 1) % n] += recipe.hammerhead_extra_nm
+        biases.append(loop_biases)
+    corrected = apply_biases(loops, biases)
+    if recipe.serif_size_nm:
+        corrected = add_serifs(corrected, recipe.serif_size_nm)
+    return OPCResult(
+        target=merged,
+        corrected=corrected,
+        fragment_count=sum(len(f) for f in loops),
+    )
+
+
+def add_serifs(region: Region, serif_size_nm: int) -> Region:
+    """Add corner serifs (convex) and anti-serifs (concave) to ``region``.
+
+    A serif is a square of side ``serif_size_nm`` centred on each convex
+    corner (added); an anti-serif is the same square subtracted at each
+    concave corner.  Centring puts a quarter of the square outside the
+    feature, the classic 'corner-keating' compromise.
+    """
+    if serif_size_nm <= 0:
+        raise OPCError(f"serif size must be positive, got {serif_size_nm}")
+    merged = region.merged()
+    serifs: List[Rect] = []
+    notches: List[Rect] = []
+    half = serif_size_nm // 2
+    for loop in merged.loops:
+        n = len(loop)
+        for i in range(n):
+            prev_pt, cur, nxt = loop[i - 1], loop[i], loop[(i + 1) % n]
+            ax, ay = cur[0] - prev_pt[0], cur[1] - prev_pt[1]
+            bx, by = nxt[0] - cur[0], nxt[1] - cur[1]
+            cross = ax * by - ay * bx
+            square = Rect(cur[0] - half, cur[1] - half, cur[0] + half, cur[1] + half)
+            if cross > 0:
+                serifs.append(square)
+            elif cross < 0:
+                notches.append(square)
+    result = merged
+    if serifs:
+        result = result | Region.from_rects(serifs)
+    if notches:
+        result = result - Region.from_rects(notches)
+    return result

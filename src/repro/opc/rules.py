@@ -1,0 +1,129 @@
+"""Bias rule tables for rule-based OPC.
+
+A rule table maps the local (width, space) environment of an edge to a
+fixed mask bias, the technology that carried the industry through the
+early OPC-adoption years: measured proximity curves were binned into
+look-up tables applied per edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from ..errors import OPCError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..litho import LithoSimulator
+
+#: Spaces at least this large are treated as isolated.
+ISOLATED = 10**9
+
+
+@dataclass(frozen=True)
+class BiasRule:
+    """One bin of a bias table: applies when ``space < space_below``."""
+
+    space_below: int
+    bias_nm: int
+
+
+class BiasTable:
+    """Per-edge bias as a monotone binning over the facing space.
+
+    Rules are sorted by ``space_below``; an edge with measured space ``s``
+    receives the bias of the first rule with ``s < space_below``.  Edges
+    facing nothing (isolated) match the last rule when its bound is
+    :data:`ISOLATED`.
+    """
+
+    def __init__(self, rules: Sequence[BiasRule]):
+        if not rules:
+            raise OPCError("bias table needs at least one rule")
+        ordered = sorted(rules, key=lambda r: r.space_below)
+        bounds = [r.space_below for r in ordered]
+        if len(set(bounds)) != len(bounds):
+            raise OPCError("bias table bins must have distinct bounds")
+        self.rules: Tuple[BiasRule, ...] = tuple(ordered)
+
+    def bias_for(self, space: Optional[int]) -> int:
+        """The bias of the bin containing ``space`` (``None`` = isolated)."""
+        effective = ISOLATED - 1 if space is None else space
+        for rule in self.rules:
+            if effective < rule.space_below:
+                return rule.bias_nm
+        return self.rules[-1].bias_nm
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+def default_bias_table_180nm() -> BiasTable:
+    """A classic 180 nm-node proximity bias table.
+
+    Shape (not calibrated numbers): dense edges, where the process is
+    anchored, get no bias; the bias grows monotonically through the
+    semi-dense "forbidden pitch" territory toward the isolated limit.
+    """
+    return BiasTable(
+        [
+            BiasRule(space_below=320, bias_nm=0),
+            BiasRule(space_below=480, bias_nm=4),
+            BiasRule(space_below=700, bias_nm=8),
+            BiasRule(space_below=1100, bias_nm=12),
+            BiasRule(space_below=ISOLATED, bias_nm=16),
+        ]
+    )
+
+
+def calibrate_bias_table(
+    simulator: "LithoSimulator",
+    line_width_nm: int,
+    spaces_nm: Sequence[int],
+    dose: float = 1.0,
+    iso_space_nm: int = 4000,
+) -> BiasTable:
+    """Build a bias table from simulated proximity data.
+
+    The production workflow of the era: print a through-pitch test pattern,
+    measure the CD at each space, and tabulate the per-edge bias that would
+    restore the drawn CD (half the CD error, assuming locally linear
+    response with slope ~1 per mask-edge nm).  ``spaces_nm`` are the bin
+    sample points; bin bounds land midway between consecutive samples.  An
+    additional isolated bin is calibrated at ``iso_space_nm``.
+    """
+    from ..geometry import Rect, Region
+    from ..litho import binary_mask
+
+    if line_width_nm <= 0:
+        raise OPCError(f"line width must be positive, got {line_width_nm}")
+    samples = sorted(set(int(s) for s in spaces_nm))
+    if not samples:
+        raise OPCError("need at least one space sample")
+
+    def printed_cd(space: int) -> Optional[float]:
+        pitch = line_width_nm + space
+        lines = Region.from_rects(
+            [Rect(k * pitch, -1500, k * pitch + line_width_nm, 1500)
+             for k in range(-3, 4)]
+        )
+        window = Rect(-pitch, -400, pitch + line_width_nm, 400)
+        return simulator.cd(
+            binary_mask(lines), window, (line_width_nm // 2, 0), dose=dose
+        )
+
+    rules: List[BiasRule] = []
+    all_samples = samples + [iso_space_nm]
+    for k, space in enumerate(all_samples):
+        cd = printed_cd(space)
+        bias = 0 if cd is None else int(round((line_width_nm - cd) / 2.0))
+        if k < len(samples):
+            upper = (
+                (samples[k] + samples[k + 1]) // 2
+                if k + 1 < len(samples)
+                else (samples[k] + iso_space_nm) // 2
+            )
+        else:
+            upper = ISOLATED
+        rules.append(BiasRule(space_below=upper, bias_nm=bias))
+    return BiasTable(rules)

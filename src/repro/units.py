@@ -1,0 +1,49 @@
+"""Unit conventions and conversions.
+
+The layout database uses integer *database units* (dbu) with 1 dbu = 1 nm,
+the convention used throughout this library.  Lithography computations use
+float nanometres.  These helpers centralise the conversions and guard
+against silent unit mistakes.
+"""
+
+from __future__ import annotations
+
+#: Database units per nanometre (the library convention: 1 dbu == 1 nm).
+DBU_PER_NM: int = 1
+
+#: Nanometres per micron.
+NM_PER_UM: float = 1000.0
+
+#: Metres per database unit, as written into GDSII UNITS records.
+METERS_PER_DBU: float = 1e-9
+
+
+def nm(value: float) -> int:
+    """Convert a length in nanometres to integer database units.
+
+    Values are rounded to the nearest dbu; use this at API boundaries where
+    users supply float nanometre quantities.
+
+    >>> nm(180.4)
+    180
+    """
+    return round(value * DBU_PER_NM)
+
+
+def um(value: float) -> int:
+    """Convert a length in microns to integer database units.
+
+    >>> um(1.28)
+    1280
+    """
+    return round(value * NM_PER_UM * DBU_PER_NM)
+
+
+def to_nm(dbu: int) -> float:
+    """Convert database units to float nanometres."""
+    return dbu / DBU_PER_NM
+
+
+def to_um(dbu: int) -> float:
+    """Convert database units to float microns."""
+    return dbu / (DBU_PER_NM * NM_PER_UM)

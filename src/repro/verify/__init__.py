@@ -1,0 +1,65 @@
+"""Physical verification: DRC on drawn layout, ORC on printed images.
+
+Public surface:
+
+* DRC: :func:`run_drc` with rule constructors (:func:`width_rule`,
+  :func:`space_rule`, :func:`enclosure_rule`, :func:`area_rule`) and the
+  low-level checks (:func:`check_width`, :func:`check_space`,
+  :func:`check_enclosure`, :func:`check_min_area`);
+* EPE: :func:`measure_epe`, :func:`epe_sites`, :class:`EPEStats`;
+* ORC: :func:`run_orc`, :func:`orc_through_window`, :func:`worst_corner`,
+  :class:`ORCReport`, :class:`ProcessCorner`.
+"""
+
+from .connectivity import (
+    DEFAULT_CONDUCTORS,
+    DEFAULT_CUTS,
+    Netlist,
+    extract_nets,
+    verify_routed_nets,
+)
+from .drc import (
+    DRCResult,
+    DRCRule,
+    DRCViolation,
+    area_rule,
+    check_enclosure,
+    check_min_area,
+    check_space,
+    check_width,
+    enclosure_rule,
+    run_drc,
+    space_rule,
+    width_rule,
+)
+from .epe import DEFAULT_EPE_FRAGMENTATION, EPEStats, epe_sites, measure_epe
+from .orc import ORCReport, ProcessCorner, orc_through_window, run_orc, worst_corner
+
+__all__ = [
+    "DEFAULT_CONDUCTORS",
+    "DEFAULT_CUTS",
+    "DEFAULT_EPE_FRAGMENTATION",
+    "DRCResult",
+    "Netlist",
+    "DRCRule",
+    "DRCViolation",
+    "EPEStats",
+    "ORCReport",
+    "ProcessCorner",
+    "area_rule",
+    "check_enclosure",
+    "check_min_area",
+    "check_space",
+    "check_width",
+    "enclosure_rule",
+    "epe_sites",
+    "extract_nets",
+    "measure_epe",
+    "orc_through_window",
+    "run_drc",
+    "run_orc",
+    "space_rule",
+    "verify_routed_nets",
+    "width_rule",
+    "worst_corner",
+]

@@ -1,0 +1,184 @@
+"""Net extraction (LVS-lite): which shapes are electrically connected.
+
+A minimal connectivity engine over the synthetic process stack: shapes on
+one conducting layer connect where they touch; cut layers (contact, via1)
+connect the conductors they overlap on both sides.  Enough substrate to
+check that a routed block's nets actually conduct and that distinct nets
+stay distinct -- the sanity layer under any timing or SI analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import VerificationError
+from ..geometry import Coord, GridIndex, Polygon, Region
+from ..layout import ACTIVE, CONTACT, Cell, Layer, METAL1, METAL2, POLY, VIA1
+
+#: (cut layer, lower conductors, upper conductor) of the synthetic stack.
+DEFAULT_CUTS: Tuple[Tuple[Layer, Tuple[Layer, ...], Layer], ...] = (
+    (CONTACT, (POLY, ACTIVE), METAL1),
+    (VIA1, (METAL1,), METAL2),
+)
+
+#: Conducting layers of the synthetic stack, in process order.
+DEFAULT_CONDUCTORS: Tuple[Layer, ...] = (ACTIVE, POLY, METAL1, METAL2)
+
+#: Layers whose conduction is interrupted by another layer on top of them:
+#: active is split at gates (the channel is not a wire when extracting
+#: connectivity; source and drain are distinct terminals).
+DEFAULT_BLOCKERS: Dict[Layer, Layer] = {ACTIVE: POLY}
+
+_Island = Tuple[Layer, int]
+
+
+@dataclass
+class Netlist:
+    """Extracted connectivity of one flattened cell."""
+
+    islands: Dict[Layer, List[Polygon]] = field(default_factory=dict)
+    net_of_island: Dict[_Island, int] = field(default_factory=dict)
+    names: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def net_count(self) -> int:
+        """Number of distinct electrical nets."""
+        return len(set(self.net_of_island.values()))
+
+    def name_of(self, net_id: int) -> Optional[str]:
+        """The label-derived name of a net, if any label landed on it."""
+        return self.names.get(net_id)
+
+    def net_by_name(self, name: str) -> Optional[int]:
+        """The net id carrying ``name``, or ``None``."""
+        for net_id, net_name in self.names.items():
+            if net_name == name:
+                return net_id
+        return None
+
+    def net_at(self, layer: Layer, point: Coord) -> Optional[int]:
+        """The net id under ``point`` on ``layer`` (``None`` if empty)."""
+        for index, polygon in enumerate(self.islands.get(layer, [])):
+            if polygon.contains_point(point):
+                return self.net_of_island[(layer, index)]
+        return None
+
+    def connected(
+        self, a: Tuple[Layer, Coord], b: Tuple[Layer, Coord]
+    ) -> bool:
+        """Whether two (layer, point) probes land on the same net."""
+        net_a = self.net_at(*a)
+        net_b = self.net_at(*b)
+        return net_a is not None and net_a == net_b
+
+    def islands_of_net(self, net_id: int) -> List[_Island]:
+        """Every (layer, island-index) belonging to ``net_id``."""
+        return [k for k, v in self.net_of_island.items() if v == net_id]
+
+
+def extract_nets(
+    cell: Cell,
+    conductors: Sequence[Layer] = DEFAULT_CONDUCTORS,
+    cuts: Sequence[Tuple[Layer, Tuple[Layer, ...], Layer]] = DEFAULT_CUTS,
+    blockers: Optional[Dict[Layer, Layer]] = None,
+) -> Netlist:
+    """Extract the netlist of ``cell`` (hierarchy flattened).
+
+    Same-layer connectivity is merging (touching shapes fuse into one
+    island); cross-layer connectivity follows the cut stack.  A cut that
+    overlaps nothing on one of its sides is a dangling via and connects
+    nothing there.  ``blockers`` (default: poly splits active) subtract a
+    covering layer before islanding, so transistor channels do not read as
+    wires.
+    """
+    if blockers is None:
+        blockers = DEFAULT_BLOCKERS
+    netlist = Netlist()
+    parent: Dict[_Island, _Island] = {}
+
+    def find(x: _Island) -> _Island:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: _Island, b: _Island) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    indexes: Dict[Layer, GridIndex] = {}
+    for layer in conductors:
+        region = cell.flat_region(layer).merged()
+        blocker = blockers.get(layer)
+        if blocker is not None:
+            region = region - cell.flat_region(blocker)
+        islands = region.outer_polygons()
+        netlist.islands[layer] = islands
+        index: GridIndex = GridIndex(cell_size=4000)
+        for i, polygon in enumerate(islands):
+            key = (layer, i)
+            parent[key] = key
+            index.insert(polygon.bbox(), i)
+        indexes[layer] = index
+
+    for cut_layer, lowers, upper in cuts:
+        if upper not in netlist.islands:
+            continue
+        for cut_poly in cell.flat_region(cut_layer).merged().outer_polygons():
+            cut_region = Region(cut_poly)
+            upper_hit = _touching_island(cut_region, upper, netlist, indexes)
+            lower_hit: Optional[_Island] = None
+            for lower in lowers:
+                if lower not in netlist.islands:
+                    continue
+                lower_hit = _touching_island(cut_region, lower, netlist, indexes)
+                if lower_hit is not None:
+                    break
+            if upper_hit is not None and lower_hit is not None:
+                union(upper_hit, lower_hit)
+
+    roots: Dict[_Island, int] = {}
+    for key in parent:
+        root = find(key)
+        net_id = roots.setdefault(root, len(roots))
+        netlist.net_of_island[key] = net_id
+
+    # Name nets from text labels landing on their geometry (first wins).
+    for label in cell.flat_labels():
+        net_id = netlist.net_at(label.layer, label.position)
+        if net_id is not None and net_id not in netlist.names:
+            netlist.names[net_id] = label.text
+    return netlist
+
+
+def _touching_island(
+    cut_region: Region,
+    layer: Layer,
+    netlist: Netlist,
+    indexes: Dict[Layer, GridIndex],
+) -> Optional[_Island]:
+    box = cut_region.bbox()
+    if box is None:
+        return None
+    for _bbox, island_index in indexes[layer].query(box):
+        candidate = netlist.islands[layer][island_index]
+        if not (cut_region & Region(candidate)).is_empty:
+            return (layer, island_index)
+    return None
+
+
+def verify_routed_nets(
+    cell: Cell, endpoints: Sequence[Tuple[Coord, Coord]], layer: Layer = METAL2
+) -> List[bool]:
+    """Whether each routed (start, end) pair conducts on ``layer``.
+
+    Convenience wrapper for checking a router's output against intent.
+    """
+    if not endpoints:
+        raise VerificationError("need at least one endpoint pair")
+    netlist = extract_nets(cell)
+    return [
+        netlist.connected((layer, a), (layer, b)) for a, b in endpoints
+    ]

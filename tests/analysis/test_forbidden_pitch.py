@@ -1,0 +1,73 @@
+"""Tests for forbidden-pitch extraction."""
+
+import pytest
+
+from repro.analysis import (
+    PitchRestriction,
+    forbidden_pitches,
+    usable_pitch_fraction,
+)
+from repro.analysis.proximity import ProximityPoint
+from repro.errors import ReproError
+
+
+def curve(values):
+    return [ProximityPoint(pitch, cd) for pitch, cd in values]
+
+
+class TestForbiddenPitches:
+    def test_all_good(self):
+        c = curve([(400, 180.0), (600, 179.0), (800, 181.0)])
+        assert forbidden_pitches(c, 180.0, 5.0) == []
+
+    def test_single_bad_range(self):
+        c = curve([(400, 180.0), (600, 165.0), (800, 181.0)])
+        ranges = forbidden_pitches(c, 180.0, 5.0)
+        assert len(ranges) == 1
+        r = ranges[0]
+        assert r.low_pitch_nm == 500  # midpoint with good neighbour below
+        assert r.high_pitch_nm == 700
+        assert r.worst_error_nm == pytest.approx(15.0)
+        assert r.covers(600)
+        assert not r.covers(450)
+
+    def test_adjacent_bad_points_merge(self):
+        c = curve([(400, 180.0), (600, 165.0), (700, 160.0), (900, 181.0)])
+        ranges = forbidden_pitches(c, 180.0, 5.0)
+        assert len(ranges) == 1
+        assert ranges[0].worst_error_nm == pytest.approx(20.0)
+
+    def test_two_separate_ranges(self):
+        c = curve(
+            [(400, 160.0), (600, 180.0), (800, 165.0), (1000, 180.0)]
+        )
+        ranges = forbidden_pitches(c, 180.0, 5.0)
+        assert len(ranges) == 2
+
+    def test_unprinted_point_is_infinitely_bad(self):
+        c = curve([(400, None), (600, 180.0)])
+        ranges = forbidden_pitches(c, 180.0, 5.0)
+        assert len(ranges) == 1
+        assert ranges[0].worst_error_nm == float("inf")
+
+    def test_edge_runs_clamped_to_samples(self):
+        c = curve([(400, 150.0), (600, 180.0), (800, 150.0)])
+        ranges = forbidden_pitches(c, 180.0, 5.0)
+        assert ranges[0].low_pitch_nm == 400
+        assert ranges[-1].high_pitch_nm == 800
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            forbidden_pitches([], 180.0, 5.0)
+        with pytest.raises(ReproError):
+            forbidden_pitches(curve([(400, 180.0)]), 180.0, 0.0)
+
+
+class TestUsableFraction:
+    def test_fraction(self):
+        c = curve([(400, 180.0), (600, 165.0), (800, 181.0), (1000, None)])
+        assert usable_pitch_fraction(c, 180.0, 5.0) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            usable_pitch_fraction([], 180.0, 5.0)

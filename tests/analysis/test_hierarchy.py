@@ -1,0 +1,103 @@
+"""Tests for the OPC hierarchy-impact analysis."""
+
+import pytest
+
+from repro.analysis import hierarchy_impact
+from repro.errors import ReproError
+from repro.geometry import Rect
+from repro.layout import Cell, POLY
+
+
+def leaf(name="leaf"):
+    cell = Cell(name)
+    cell.add(POLY, Rect(0, 0, 500, 2000))
+    return cell
+
+
+class TestHierarchyImpact:
+    def test_identical_contexts_share(self):
+        # An isolated row of well-separated identical placements: every
+        # instance sees the same (empty) neighbourhood.
+        top = Cell("top")
+        cell = leaf()
+        for i in range(4):
+            top.place_at(cell, i * 10_000, 0)
+        impact = hierarchy_impact(top, POLY, interaction_radius_nm=600)
+        stats = impact.per_cell[0]
+        assert stats.placements == 4
+        assert stats.unique_contexts == 1
+        assert impact.reuse_surviving == 1.0
+
+    def test_neighbour_splits_context(self):
+        top = Cell("top")
+        cell = leaf()
+        for i in range(4):
+            top.place_at(cell, i * 10_000, 0)
+        # A top-level shape near placement 0 only.
+        top.add(POLY, Rect(600, 0, 900, 2000))
+        impact = hierarchy_impact(top, POLY, interaction_radius_nm=600)
+        stats = impact.per_cell[0]
+        assert stats.unique_contexts == 2  # the disturbed one plus the rest
+        assert 0 < impact.reuse_surviving < 1.0
+
+    def test_dense_packing_contexts(self):
+        # Abutted placements: interior instances share a context, the two
+        # edge instances see one-sided neighbourhoods.
+        top = Cell("top")
+        cell = leaf()
+        for i in range(6):
+            top.place_at(cell, i * 600, 0)
+        impact = hierarchy_impact(top, POLY, interaction_radius_nm=700)
+        stats = impact.per_cell[0]
+        assert stats.placements == 6
+        assert 2 <= stats.unique_contexts <= 4
+
+    def test_radius_widens_contexts(self):
+        top = Cell("top")
+        cell = leaf()
+        xs = [0, 1200, 2400, 3800, 5400]  # uneven spacing
+        for x in xs:
+            top.place_at(cell, x, 0)
+        narrow = hierarchy_impact(top, POLY, interaction_radius_nm=100)
+        wide = hierarchy_impact(top, POLY, interaction_radius_nm=2000)
+        assert (
+            wide.per_cell[0].unique_contexts
+            >= narrow.per_cell[0].unique_contexts
+        )
+
+    def test_figure_accounting(self):
+        top = Cell("top")
+        cell = leaf()
+        for i in range(4):
+            top.place_at(cell, i * 10_000, 0)
+        top.add(POLY, Rect(600, 0, 900, 2000))
+        impact = hierarchy_impact(top, POLY, interaction_radius_nm=600)
+        stats = impact.per_cell[0]
+        assert impact.shared_figures == stats.figures_per_instance
+        assert impact.variant_figures == 2 * stats.figures_per_instance
+        assert impact.flat_figures == 4 * stats.figures_per_instance
+
+    def test_mirrored_placements_distinct_context(self):
+        from repro.geometry import Transform
+
+        top = Cell("top")
+        asym = Cell("asym")
+        asym.add(POLY, Rect(0, 0, 500, 2000))
+        asym.add(POLY, Rect(600, 0, 700, 500))  # breaks mirror symmetry
+        top.place(asym, Transform(dx=0, dy=0))
+        top.place(asym, Transform(dx=10_000, dy=0))
+        # A common neighbour shape at equal offset from both -- but one
+        # placement is mirrored, so its local-frame context differs.
+        top.add(POLY, Rect(1000, 0, 1100, 2000))
+        top.add(POLY, Rect(11_000, 0, 11_100, 2000))
+        same = hierarchy_impact(top, POLY, 800).per_cell[0].unique_contexts
+        assert same == 1
+
+    def test_empty_top(self):
+        impact = hierarchy_impact(Cell("empty"), POLY)
+        assert impact.per_cell == []
+        assert impact.reuse_surviving == 1.0
+
+    def test_radius_validation(self):
+        with pytest.raises(ReproError):
+            hierarchy_impact(Cell("x"), POLY, interaction_radius_nm=0)

@@ -1,0 +1,82 @@
+"""Tests for Monte-Carlo CD-uniformity budgeting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CDSpec, CDUResult, ProcessControl, monte_carlo_cdu
+from repro.errors import ReproError
+from repro.litho import FocusExposureMatrix
+
+
+def synthetic_fem(nan_center=False):
+    """CD bows quadratically with focus and falls linearly with dose."""
+    focuses = tuple(np.linspace(-600.0, 600.0, 7))
+    doses = tuple(np.linspace(0.85, 1.15, 7))
+    cd = np.empty((7, 7))
+    for i, f in enumerate(focuses):
+        for j, d in enumerate(doses):
+            cd[i, j] = 180.0 * (1 - (f / 2000.0) ** 2) * (2.0 - d)
+    if nan_center:
+        cd[3, 3] = np.nan
+    return FocusExposureMatrix(focuses, doses, cd)
+
+
+class TestMonteCarloCDU:
+    def test_deterministic(self):
+        fem = synthetic_fem()
+        a = monte_carlo_cdu(fem, draws=500, seed=7)
+        b = monte_carlo_cdu(fem, draws=500, seed=7)
+        assert a.samples == b.samples
+
+    def test_perfect_control_zero_cdu(self):
+        fem = synthetic_fem()
+        control = ProcessControl(focus_sigma_nm=0.0, dose_sigma_fraction=0.0)
+        result = monte_carlo_cdu(fem, control, draws=100)
+        assert result.cdu_3sigma_nm == pytest.approx(0.0, abs=1e-9)
+        assert result.mean_nm == pytest.approx(180.0, abs=0.5)
+
+    def test_worse_control_worse_cdu(self):
+        fem = synthetic_fem()
+        tight = monte_carlo_cdu(fem, ProcessControl(60.0, 0.01), draws=1500)
+        loose = monte_carlo_cdu(fem, ProcessControl(250.0, 0.04), draws=1500)
+        assert loose.cdu_3sigma_nm > tight.cdu_3sigma_nm
+
+    def test_focus_bias_shifts_mean_down(self):
+        fem = synthetic_fem()
+        centered = monte_carlo_cdu(fem, ProcessControl(50.0, 0.0), draws=800)
+        defocused = monte_carlo_cdu(
+            fem, ProcessControl(50.0, 0.0, focus_mean_nm=500.0), draws=800
+        )
+        assert defocused.mean_nm < centered.mean_nm
+
+    def test_nan_cells_become_failures(self):
+        fem = synthetic_fem(nan_center=True)
+        # Wide control: some draws land in the dead centre cell, some in
+        # clean cells.
+        result = monte_carlo_cdu(fem, ProcessControl(400.0, 0.05), draws=800)
+        assert result.failures > 0
+        assert result.samples
+
+    def test_all_draws_dead_raises(self):
+        fem = synthetic_fem(nan_center=True)
+        with pytest.raises(ReproError):
+            # Tight control keeps every draw inside the dead cell.
+            monte_carlo_cdu(fem, ProcessControl(30.0, 0.005), draws=200)
+
+    def test_yield_against_spec(self):
+        fem = synthetic_fem()
+        result = monte_carlo_cdu(fem, ProcessControl(120.0, 0.015), draws=2000)
+        loose_yield = result.yield_to(CDSpec(180.0, 0.10))
+        tight_yield = result.yield_to(CDSpec(180.0, 0.02))
+        assert 0.0 <= tight_yield <= loose_yield <= 1.0
+        assert loose_yield > 0.9
+
+    def test_validation(self):
+        fem = synthetic_fem()
+        with pytest.raises(ReproError):
+            monte_carlo_cdu(fem, draws=0)
+        with pytest.raises(ReproError):
+            ProcessControl(focus_sigma_nm=-1)
+        tiny = FocusExposureMatrix((0.0,), (1.0,), np.array([[180.0]]))
+        with pytest.raises(ReproError):
+            monte_carlo_cdu(tiny)

@@ -1,0 +1,183 @@
+"""Tests for timing, yield, and proximity analytics."""
+
+import pytest
+
+from repro.analysis import (
+    CDSpec,
+    DeviceModel,
+    TimingDistribution,
+    catastrophic_yield,
+    cd_uniformity,
+    composite_yield,
+    curve_flatness_nm,
+    gate_sites_of_cell,
+    iso_dense_bias_nm,
+    parametric_yield,
+    proximity_curve,
+)
+from repro.analysis.proximity import ProximityPoint
+from repro.design import StdCellGenerator, node_180nm
+from repro.errors import ReproError
+from repro.layout import ACTIVE, POLY
+
+
+class TestDeviceModel:
+    def test_shorter_gate_is_faster(self):
+        model = DeviceModel()
+        fast = model.gate_delay(160.0, 180.0)
+        nominal = model.gate_delay(180.0, 180.0)
+        slow = model.gate_delay(200.0, 180.0)
+        assert fast < nominal < slow
+
+    def test_drive_scales_with_width(self):
+        model = DeviceModel()
+        assert model.drive_current(2.0, 180, 180) == pytest.approx(
+            2 * model.drive_current(1.0, 180, 180)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DeviceModel(vdd=0.4, vth=0.45)
+        with pytest.raises(ReproError):
+            DeviceModel().gate_delay(0.0, 180.0)
+
+    def test_leakage_grows_exponentially_short(self):
+        model = DeviceModel()
+        nominal = model.leakage_ratio(180.0, 180.0)
+        short = model.leakage_ratio(160.0, 180.0)
+        shorter = model.leakage_ratio(140.0, 180.0)
+        assert nominal == pytest.approx(1.0)
+        assert short > 1.1
+        # Exponential: equal CD steps multiply the ratio.
+        assert shorter / short == pytest.approx(short / nominal, rel=0.05)
+
+    def test_long_gate_leaks_less(self):
+        model = DeviceModel()
+        assert model.leakage_ratio(200.0, 180.0) < 1.0
+
+    def test_population_leakage_tail_dominated(self):
+        from repro.analysis import population_leakage_ratio
+
+        tight = population_leakage_ratio([180.0] * 10, 180.0)
+        tailed = population_leakage_ratio([180.0] * 9 + [140.0], 180.0)
+        assert tight == pytest.approx(1.0)
+        assert tailed > 1.2
+
+    def test_population_leakage_validation(self):
+        from repro.analysis import population_leakage_ratio
+
+        with pytest.raises(ReproError):
+            population_leakage_ratio([], 180.0)
+
+
+class TestTimingDistribution:
+    def test_uniform_cds_no_spread(self):
+        dist = TimingDistribution.from_cds([180.0] * 10, 180.0)
+        assert dist.sigma_ps == 0.0
+        assert dist.worst_ps == dist.mean_ps
+
+    def test_cd_spread_becomes_delay_spread(self):
+        tight = TimingDistribution.from_cds([178, 180, 182], 180.0)
+        loose = TimingDistribution.from_cds([160, 180, 200], 180.0)
+        assert loose.sigma_ps > tight.sigma_ps
+
+    def test_path_delay_uses_slowest(self):
+        dist = TimingDistribution.from_cds([170.0] * 9 + [210.0], 180.0)
+        assert dist.path_delay_ps(stages=1) == dist.worst_ps
+
+    def test_ring_oscillator(self):
+        dist = TimingDistribution.from_cds([180.0] * 5, 180.0)
+        assert dist.ring_oscillator_mhz() > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            TimingDistribution.from_cds([], 180.0)
+
+
+class TestGateSites:
+    def test_sites_found_in_stdcell(self):
+        cell = StdCellGenerator(node_180nm()).library()["NAND2"]
+        sites = gate_sites_of_cell(cell, POLY, ACTIVE)
+        # 2 gates x 2 devices = 4 channels.
+        assert len(sites) == 4
+
+
+class TestYield:
+    def test_spec_band(self):
+        spec = CDSpec(180.0, 0.10)
+        assert spec.in_spec(180.0)
+        assert spec.in_spec(165.0)
+        assert not spec.in_spec(161.9)
+        assert not spec.in_spec(None)
+
+    def test_parametric_yield(self):
+        spec = CDSpec(180.0)
+        cds = [180.0] * 9 + [100.0]
+        assert parametric_yield(cds, spec) == pytest.approx(0.9)
+        assert parametric_yield(cds, spec, gates_per_die=2) == pytest.approx(0.81)
+
+    def test_catastrophic_yield(self):
+        assert catastrophic_yield(0) == 1.0
+        assert catastrophic_yield(1, kill_probability=0.9) == pytest.approx(0.1)
+
+    def test_composite(self):
+        spec = CDSpec(180.0)
+        y = composite_yield([180.0, 180.0], spec, defect_sites=1,
+                            kill_probability=0.5)
+        assert y == pytest.approx(0.5)
+
+    def test_cd_uniformity(self):
+        assert cd_uniformity([180.0, 180.0]) == 0.0
+        assert cd_uniformity([170.0, 190.0]) == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CDSpec(-1)
+        with pytest.raises(ReproError):
+            parametric_yield([], CDSpec(180))
+        with pytest.raises(ReproError):
+            catastrophic_yield(-1)
+        with pytest.raises(ReproError):
+            cd_uniformity([None])
+
+
+class TestProximityHelpers:
+    def make_curve(self):
+        return [
+            ProximityPoint(360, 178.0),
+            ProximityPoint(460, 175.0),
+            ProximityPoint(700, 172.0),
+            ProximityPoint(7000, 168.0),
+        ]
+
+    def test_iso_dense_bias(self):
+        assert iso_dense_bias_nm(self.make_curve()) == pytest.approx(-10.0)
+
+    def test_flatness(self):
+        assert curve_flatness_nm(self.make_curve()) == pytest.approx(10.0)
+
+    def test_unprinted_points_skipped(self):
+        curve = [ProximityPoint(300, None), ProximityPoint(460, 175.0)]
+        assert iso_dense_bias_nm(curve) is None
+        assert curve_flatness_nm(curve) == 0.0
+
+
+class TestProximityCurveSimulated:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        from repro.litho import LithoConfig, LithoSimulator, krf_annular
+
+        return LithoSimulator(
+            LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+        )
+
+    def test_uncorrected_curve_varies_through_pitch(self, sim):
+        curve = proximity_curve(sim, 180, [400, 600, 1000], dose=0.8)
+        assert all(p.printed for p in curve)
+        assert curve_flatness_nm(curve) > 1.0  # proximity is real
+
+    def test_validation(self, sim):
+        with pytest.raises(ReproError):
+            proximity_curve(sim, 0, [400])
+        with pytest.raises(ReproError):
+            proximity_curve(sim, 180, [150])

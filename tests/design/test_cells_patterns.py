@@ -1,0 +1,174 @@
+"""Tests for standard cells, SRAM, and litho test patterns."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.design import (
+    STANDARD_CELLS,
+    StdCellGenerator,
+    contact_array,
+    dense_to_iso_transition,
+    drc_ruleset,
+    elbow,
+    isolated_line,
+    line_end_gap,
+    line_space_array,
+    node_130nm,
+    node_180nm,
+    node_250nm,
+    pitch_sweep,
+    sram_array,
+    sram_cell,
+)
+from repro.layout import ACTIVE, CONTACT, METAL1, NWELL, POLY, layout_stats
+from repro.verify import run_drc
+
+
+@pytest.fixture(scope="module", params=["250nm", "180nm", "130nm"])
+def rules(request):
+    return {"250nm": node_250nm, "180nm": node_180nm, "130nm": node_130nm}[
+        request.param
+    ]()
+
+
+class TestStdCells:
+    def test_library_complete(self, rules):
+        lib = StdCellGenerator(rules).library()
+        for spec in STANDARD_CELLS:
+            assert spec.name in lib
+
+    def test_all_cells_drc_clean(self, rules):
+        gen = StdCellGenerator(rules)
+        deck = drc_ruleset(rules)
+        for spec in STANDARD_CELLS:
+            cell = gen.make_cell(spec)
+            result = run_drc(cell, deck)
+            assert result.is_clean, (
+                f"{spec.name}@{rules.name}: "
+                + ", ".join(v.rule for v in result.violations)
+            )
+
+    def test_uniform_height(self, rules):
+        gen = StdCellGenerator(rules)
+        heights = {
+            gen.make_cell(spec).bbox().height for spec in STANDARD_CELLS
+        }
+        assert len(heights) == 1
+
+    def test_width_scales_with_gates(self, rules):
+        gen = StdCellGenerator(rules)
+        inv = gen.make_cell(STANDARD_CELLS[0])
+        dff = gen.make_cell(STANDARD_CELLS[-1])
+        assert dff.bbox().width > 4 * inv.bbox().width
+
+    def test_expected_layers_present(self, rules):
+        cell = StdCellGenerator(rules).make_cell(STANDARD_CELLS[0])
+        for layer in (POLY, ACTIVE, CONTACT, METAL1, NWELL):
+            assert not cell.region(layer).is_empty, str(layer)
+
+    def test_gate_count_matches_spec(self, rules):
+        gen = StdCellGenerator(rules)
+        for spec in STANDARD_CELLS[:3]:
+            cell = gen.make_cell(spec)
+            # Count vertical poly fingers: polys taller than the mid gap.
+            fingers = [
+                p
+                for p in cell.region(POLY).merged().outer_polygons()
+                if p.bbox().height > gen.nmos_width + gen.mid_gap
+            ]
+            assert len(fingers) == spec.gates
+
+
+class TestSRAM:
+    def test_cell_layers(self, rules):
+        cell = sram_cell(rules)
+        for layer in (POLY, ACTIVE, CONTACT, METAL1, NWELL):
+            assert not cell.region(layer).is_empty
+
+    def test_array_counts(self, rules):
+        lib = sram_array(rules, cols=4, rows=4)
+        top = lib[f"sram_array_top"]
+        stats = layout_stats(top)
+        bit_figprograms = layout_stats(lib["SRAM6T"]).flat_figures
+        assert stats.flat_figures == 16 * bit_figprograms
+        assert stats.hierarchical_figures == bit_figprograms
+
+    def test_array_compression_grows_with_size(self, rules):
+        small = layout_stats(sram_array(rules, 2, 2, name="s")["s_top"])
+        big = layout_stats(sram_array(rules, 8, 8, name="b")["b_top"])
+        assert big.hierarchy_compression > small.hierarchy_compression
+
+    def test_array_validation(self, rules):
+        with pytest.raises(DesignError):
+            sram_array(rules, 0, 4)
+
+    def test_odd_rows_mirrored(self, rules):
+        lib = sram_array(rules, 2, 3, name="m")
+        top = lib["m_top"]
+        # Two AREFs: unmirrored even rows and mirrored odd rows.
+        assert len(top.references) == 2
+        assert any(ref.transform.mirror_x for ref in top.references)
+
+
+class TestPatterns:
+    def test_line_space_array_geometry(self):
+        p = line_space_array(180, 280, count=5)
+        assert len(p.region.outer_polygons()) == 5
+        cx, cy = p.site("center")
+        assert p.region.contains_point((cx, cy))
+
+    def test_line_space_edges(self):
+        p = line_space_array(180, 280)
+        left = p.site("left_edge")
+        right = p.site("right_edge")
+        assert right[0] - left[0] == 180
+
+    def test_isolated_line(self):
+        p = isolated_line(180)
+        assert p.region.bbox().width == 180
+        assert p.window.contains(p.site("center"))
+
+    def test_line_end_gap(self):
+        p = line_end_gap(180, 300)
+        assert not p.region.contains_point(p.site("gap_center"))
+        assert p.region.contains_point((0, p.site("upper_tip")[1] + 10))
+        # Tip-to-tip distance equals the requested gap.
+        assert p.site("upper_tip")[1] - p.site("lower_tip")[1] == 300
+
+    def test_elbow(self):
+        p = elbow(200)
+        assert p.region.contains_point(p.site("h_arm"))
+        assert p.region.contains_point(p.site("v_arm"))
+        assert not p.region.contains_point((400, 400))
+
+    def test_contact_array(self):
+        p = contact_array(220, 280, nx=3, ny=3)
+        assert len(p.region.outer_polygons()) == 9
+
+    def test_pitch_sweep(self):
+        patterns = pitch_sweep(180, [360, 460, 700])
+        assert len(patterns) == 3
+        with pytest.raises(DesignError):
+            pitch_sweep(180, [100])
+
+    def test_dense_to_iso(self):
+        p = dense_to_iso_transition(180, 280)
+        x, y = p.site("transition_line")
+        assert p.region.contains_point((x + 10, y))
+
+    def test_missing_site(self):
+        p = isolated_line(180)
+        with pytest.raises(DesignError):
+            p.site("nonexistent")
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            line_space_array(0, 100)
+        with pytest.raises(DesignError):
+            isolated_line(-5)
+        with pytest.raises(DesignError):
+            line_end_gap(180, 0)
+        with pytest.raises(DesignError):
+            elbow(100, arm=50)
+        with pytest.raises(DesignError):
+            contact_array(0, 100)

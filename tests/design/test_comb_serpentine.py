@@ -1,0 +1,100 @@
+"""Tests for the comb-serpentine defect monitor (drawn and printed)."""
+
+import pytest
+
+from repro.design import comb_serpentine
+from repro.errors import DesignError
+from repro.layout import Cell, METAL1
+from repro.verify import check_space, check_width, extract_nets
+
+
+def as_cell(pattern):
+    cell = Cell(pattern.name)
+    cell.set_region(METAL1, pattern.region)
+    return cell
+
+
+class TestDrawnStructure:
+    def test_exactly_two_nets(self):
+        pattern = comb_serpentine(240, 240)
+        netlist = extract_nets(as_cell(pattern))
+        assert netlist.net_count == 2
+
+    def test_serpentine_continuous(self):
+        pattern = comb_serpentine(240, 240)
+        netlist = extract_nets(as_cell(pattern))
+        assert netlist.connected(
+            (METAL1, pattern.site("serpentine_start")),
+            (METAL1, pattern.site("serpentine_end")),
+        )
+
+    def test_comb_isolated_from_serpentine(self):
+        pattern = comb_serpentine(240, 240)
+        netlist = extract_nets(as_cell(pattern))
+        assert not netlist.connected(
+            (METAL1, pattern.site("comb")),
+            (METAL1, pattern.site("serpentine_start")),
+        )
+
+    def test_drc_clean_at_drawn_rules(self):
+        pattern = comb_serpentine(240, 240)
+        assert check_width(pattern.region, 240).is_empty
+        assert check_space(pattern.region, 240).is_empty
+
+    def test_row_count_drives_size(self):
+        small = comb_serpentine(240, 240, rows=3)
+        big = comb_serpentine(240, 240, rows=9)
+        assert big.region.bbox().height > small.region.bbox().height
+        assert extract_nets(as_cell(big)).net_count == 2
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            comb_serpentine(0, 240)
+        with pytest.raises(DesignError):
+            comb_serpentine(240, 240, rows=4)  # even
+        with pytest.raises(DesignError):
+            comb_serpentine(240, 240, rows=1)
+
+
+class TestPrintedStructure:
+    """The monitor's purpose: catastrophic failures show up as net changes."""
+
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        from repro.litho import LithoConfig, LithoSimulator, krf_annular
+
+        return LithoSimulator(
+            LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+        )
+
+    def printed_nets(self, simulator, pattern, dose):
+        from repro.litho import binary_mask
+
+        printed = simulator.printed(
+            binary_mask(pattern.region), pattern.window, dose=dose
+        )
+        cell = Cell("printed")
+        cell.set_region(METAL1, printed)
+        return extract_nets(cell), printed
+
+    def test_nominal_print_preserves_topology(self, simulator):
+        pattern = comb_serpentine(240, 260, rows=5, row_length=2000)
+        netlist, _printed = self.printed_nets(simulator, pattern, dose=0.8)
+        assert netlist.net_count == 2
+        assert netlist.connected(
+            (METAL1, pattern.site("serpentine_start")),
+            (METAL1, pattern.site("serpentine_end")),
+        )
+
+    def test_gross_underdose_opens_serpentine(self, simulator):
+        pattern = comb_serpentine(240, 260, rows=5, row_length=2000)
+        netlist, printed = self.printed_nets(simulator, pattern, dose=2.6)
+        start_net = netlist.net_at(METAL1, pattern.site("serpentine_start"))
+        end_net = netlist.net_at(METAL1, pattern.site("serpentine_end"))
+        # Either the resist vanished at the probes or continuity broke.
+        assert (
+            start_net is None
+            or end_net is None
+            or start_net != end_net
+            or printed.area < 0.5 * pattern.region.area
+        )

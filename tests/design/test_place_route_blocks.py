@@ -1,0 +1,173 @@
+"""Tests for placement, routing, and random block generation."""
+
+import random
+
+import pytest
+
+from repro.errors import DesignError
+from repro.design import (
+    BlockSpec,
+    GridRouter,
+    StdCellGenerator,
+    drc_ruleset,
+    fill_row,
+    node_180nm,
+    place_rows,
+    random_logic_block,
+)
+from repro.geometry import Rect
+from repro.layout import Cell, METAL2, POLY, VIA1, layout_stats
+from repro.verify import run_drc
+
+
+@pytest.fixture(scope="module")
+def rules():
+    return node_180nm()
+
+
+@pytest.fixture(scope="module")
+def cells(rules):
+    return StdCellGenerator(rules).library().cells
+
+
+class TestPlacer:
+    def test_single_row_abutment(self, cells):
+        top = place_rows("row", [cells[:3]])
+        boxes = sorted(
+            (ref.transform.dx for ref in top.references)
+        )
+        widths = [c.bbox().width for c in cells[:3]]
+        assert boxes[0] == 0
+        assert boxes[1] in (widths[0], widths[1], widths[2])
+
+    def test_rows_stack_and_flip(self, cells):
+        top = place_rows("rows", [cells[:2], cells[:2]])
+        flipped = [ref for ref in top.references if ref.transform.mirror_x]
+        assert len(flipped) == 2
+        # Flipped row occupies the second band exactly.
+        height = cells[0].bbox().height
+        assert top.bbox().height == 2 * height
+
+    def test_height_mismatch_rejected(self, cells, rules):
+        odd = Cell("odd")
+        odd.add(POLY, Rect(0, 0, 100, 999))
+        with pytest.raises(DesignError):
+            place_rows("bad", [[cells[0], odd]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignError):
+            place_rows("empty", [])
+
+    def test_fill_row_deterministic(self, cells):
+        a = fill_row(cells, 20000, random.Random(5))
+        b = fill_row(cells, 20000, random.Random(5))
+        assert [c.name for c in a] == [c.name for c in b]
+
+    def test_fill_row_fits_budget(self, cells):
+        row = fill_row(cells, 20000, random.Random(5))
+        assert sum(c.bbox().width for c in row) <= 20000
+
+    def test_fill_row_validation(self, cells):
+        with pytest.raises(DesignError):
+            fill_row(cells, 0, random.Random(1))
+        with pytest.raises(DesignError):
+            fill_row([], 1000, random.Random(1))
+
+
+class TestRouter:
+    def area(self):
+        return Rect(0, 0, 20000, 20000)
+
+    def test_straight_route(self):
+        router = GridRouter(self.area(), track_pitch=1000, wire_width=280)
+        path = router.route((1000, 1000), (15000, 1000))
+        assert path is not None
+        assert len(path) >= 2
+
+    def test_paths_avoid_each_other(self):
+        router = GridRouter(self.area(), track_pitch=1000, wire_width=280)
+        first = router.route((1000, 10000), (19000, 10000))
+        assert first is not None
+        # A crossing route must detour around the occupied track.
+        second = router.route((10000, 1000), (10000, 19000))
+        assert second is not None
+        assert len(second) > 2  # forced dogleg
+
+    def test_wire_region_spacing(self):
+        router = GridRouter(self.area(), track_pitch=1000, wire_width=280)
+        router.route((1000, 1000), (15000, 1000))
+        router.route((1000, 3000), (15000, 3000))
+        from repro.verify import check_space
+
+        assert check_space(router.wire_region(), 280).is_empty
+
+    def test_same_cell_route_rejected(self):
+        router = GridRouter(self.area(), track_pitch=1000, wire_width=280)
+        assert router.route((1000, 1000), (1100, 1050)) is None
+
+    def test_blocked_endpoint(self):
+        router = GridRouter(self.area(), track_pitch=1000, wire_width=280)
+        router.route((1000, 1000), (15000, 1000))
+        assert router.route((1000, 1000), (1000, 15000)) is None
+
+    def test_utilisation(self):
+        router = GridRouter(self.area(), track_pitch=1000, wire_width=280)
+        assert router.utilisation == 0.0
+        router.route((1000, 1000), (15000, 1000))
+        assert router.utilisation > 0.0
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            GridRouter(self.area(), track_pitch=0, wire_width=100)
+        with pytest.raises(DesignError):
+            GridRouter(self.area(), track_pitch=100, wire_width=100)
+
+
+class TestRandomBlocks:
+    @pytest.fixture(scope="class")
+    def block(self, rules):
+        return random_logic_block(
+            rules, BlockSpec(rows=4, row_width=20000, nets=10, seed=11)
+        )
+
+    def top_of(self, lib):
+        return lib[next(c.name for c in lib.cells if c.name.endswith("_top"))]
+
+    def test_deterministic(self, rules, block):
+        again = random_logic_block(
+            rules, BlockSpec(rows=4, row_width=20000, nets=10, seed=11)
+        )
+        a = layout_stats(self.top_of(block))
+        b = layout_stats(self.top_of(again))
+        assert a.flat_figures == b.flat_figures
+        assert a.placements == b.placements
+
+    def test_different_seeds_differ(self, rules, block):
+        other = random_logic_block(
+            rules, BlockSpec(rows=4, row_width=20000, nets=10, seed=12)
+        )
+        assert (
+            layout_stats(self.top_of(block)).flat_figures
+            != layout_stats(self.top_of(other)).flat_figures
+        )
+
+    def test_drc_clean(self, rules, block):
+        result = run_drc(self.top_of(block), drc_ruleset(rules))
+        assert result.is_clean, [(v.rule, v.count) for v in result.violations]
+
+    def test_routing_present(self, block):
+        top = self.top_of(block)
+        assert not top.region(METAL2).is_empty
+        assert not top.region(VIA1).is_empty
+
+    def test_hierarchy_preserved(self, block):
+        top = self.top_of(block)
+        stats = layout_stats(top)
+        assert stats.placements > 10
+        assert stats.hierarchy_compression > 1.5
+
+    def test_spec_validation(self):
+        with pytest.raises(DesignError):
+            BlockSpec(rows=0).validated()
+        with pytest.raises(DesignError):
+            BlockSpec(nets=-1).validated()

@@ -1,0 +1,68 @@
+"""Property tests for the maze router."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import GridRouter
+from repro.geometry import Rect
+from repro.verify import check_space, check_width
+
+AREA = Rect(0, 0, 24_000, 24_000)
+
+
+@st.composite
+def endpoint_pairs(draw, count=4):
+    pairs = []
+    for _ in range(draw(st.integers(min_value=1, max_value=count))):
+        ax = draw(st.integers(min_value=1, max_value=22)) * 1000
+        ay = draw(st.integers(min_value=1, max_value=22)) * 1000
+        bx = draw(st.integers(min_value=1, max_value=22)) * 1000
+        by = draw(st.integers(min_value=1, max_value=22)) * 1000
+        pairs.append(((ax, ay), (bx, by)))
+    return pairs
+
+
+@given(pairs=endpoint_pairs())
+@settings(max_examples=30, deadline=None)
+def test_paths_are_rectilinear_and_inside_area(pairs):
+    router = GridRouter(AREA, track_pitch=1000, wire_width=280)
+    for a, b in pairs:
+        path = router.route(a, b)
+        if path is None:
+            continue
+        for p, q in zip(path, path[1:]):
+            assert p[0] == q[0] or p[1] == q[1]
+            assert AREA.contains(p) and AREA.contains(q)
+
+
+@given(pairs=endpoint_pairs())
+@settings(max_examples=30, deadline=None)
+def test_routed_wires_always_meet_spacing(pairs):
+    router = GridRouter(AREA, track_pitch=1000, wire_width=280)
+    for a, b in pairs:
+        router.route(a, b)
+    wires = router.wire_region()
+    if wires.is_empty:
+        return
+    assert check_width(wires, 280).is_empty
+    assert check_space(wires, 280).is_empty
+
+
+@given(pairs=endpoint_pairs())
+@settings(max_examples=30, deadline=None)
+def test_utilisation_monotone(pairs):
+    router = GridRouter(AREA, track_pitch=1000, wire_width=280)
+    last = 0.0
+    for a, b in pairs:
+        router.route(a, b)
+        assert router.utilisation >= last
+        last = router.utilisation
+
+
+def test_fully_blocked_returns_none():
+    router = GridRouter(Rect(0, 0, 5000, 5000), track_pitch=1000, wire_width=280)
+    # A routed vertical wall spanning the full height...
+    assert router.route((2500, 500), (2500, 4500)) is not None
+    # ...makes any left-to-right crossing impossible.
+    assert router.route((500, 2500), (4500, 2500)) is None

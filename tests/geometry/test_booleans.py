@@ -1,0 +1,221 @@
+"""Unit and property tests for the exact boolean engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Polygon, Rect, Region
+
+
+def region(*rects):
+    return Region.from_rects([Rect(*r) for r in rects])
+
+
+class TestUnion:
+    def test_disjoint(self):
+        r = region((0, 0, 10, 10)) | region((20, 0, 30, 10))
+        assert r.area == 200
+        assert len(r.outer_polygons()) == 2
+
+    def test_overlapping(self):
+        r = region((0, 0, 10, 10)) | region((5, 0, 15, 10))
+        assert r.area == 150
+        assert len(r.outer_polygons()) == 1
+
+    def test_touching_edges_merge(self):
+        r = region((0, 0, 10, 10)) | region((10, 0, 20, 10))
+        polys = r.outer_polygons()
+        assert len(polys) == 1
+        assert polys[0].to_rect() == Rect(0, 0, 20, 10)
+
+    def test_vertical_stack_merges(self):
+        r = region((0, 0, 10, 10)) | region((0, 10, 10, 20))
+        assert r.outer_polygons()[0].to_rect() == Rect(0, 0, 10, 20)
+
+    def test_corner_touch_stays_two_loops(self):
+        r = region((0, 0, 10, 10)) | region((10, 10, 20, 20))
+        assert r.area == 200
+        assert len(r.outer_polygons()) == 2
+        for p in r.outer_polygons():
+            assert p.is_ccw
+
+    def test_identical_inputs(self):
+        r = region((0, 0, 10, 10)) | region((0, 0, 10, 10))
+        assert r.area == 100
+        assert len(r.outer_polygons()) == 1
+
+    def test_empty_operand(self):
+        r = region((0, 0, 10, 10)) | Region()
+        assert r.area == 100
+
+
+class TestIntersection:
+    def test_basic(self):
+        r = region((0, 0, 10, 10)) & region((5, 5, 15, 15))
+        assert r.area == 25
+        assert r.outer_polygons()[0].to_rect() == Rect(5, 5, 10, 10)
+
+    def test_disjoint_gives_empty(self):
+        r = region((0, 0, 10, 10)) & region((20, 20, 30, 30))
+        assert r.is_empty
+
+    def test_edge_touch_gives_empty(self):
+        r = region((0, 0, 10, 10)) & region((10, 0, 20, 10))
+        assert r.is_empty
+
+
+class TestDifference:
+    def test_bite_from_corner(self):
+        r = region((0, 0, 10, 10)) - region((5, 5, 15, 15))
+        assert r.area == 75
+        assert len(r.outer_polygons()) == 1
+        assert r.outer_polygons()[0].num_points == 6
+
+    def test_hole_creation(self):
+        r = region((0, 0, 10, 10)) - region((3, 3, 7, 7))
+        assert r.area == 84
+        assert len(r.outer_polygons()) == 1
+        holes = r.holes()
+        assert len(holes) == 1
+        assert not holes[0].is_ccw
+        assert holes[0].area == 16
+
+    def test_split_into_two(self):
+        r = region((0, 0, 30, 10)) - region((10, -5, 20, 15))
+        assert r.area == 200
+        assert len(r.outer_polygons()) == 2
+
+    def test_full_erase(self):
+        r = region((2, 2, 8, 8)) - region((0, 0, 10, 10))
+        assert r.is_empty
+
+    def test_self_difference_empty(self):
+        a = region((0, 0, 10, 10), (5, 5, 20, 20))
+        assert (a - a).is_empty
+
+
+class TestXor:
+    def test_xor_identical_empty(self):
+        a = region((0, 0, 10, 10))
+        assert (a ^ a).is_empty
+
+    def test_xor_overlap(self):
+        r = region((0, 0, 10, 10)) ^ region((5, 0, 15, 10))
+        assert r.area == 100
+        assert len(r.outer_polygons()) == 2
+
+
+class TestWindingSemantics:
+    def test_overlapping_loops_one_operand(self):
+        # Overlapping loops in one region count as covered once (nonzero rule).
+        a = region((0, 0, 10, 10), (5, 0, 15, 10))
+        assert a.merged().area == 150
+
+    def test_hole_region_contains_point(self):
+        r = region((0, 0, 10, 10)) - region((3, 3, 7, 7))
+        assert r.contains_point((1, 1))
+        assert not r.contains_point((5, 5))
+        assert r.contains_point((3, 5))  # hole boundary belongs to the region
+
+    def test_bad_op_rejected(self):
+        from repro.geometry import boolean_rects
+
+        with pytest.raises(GeometryError):
+            boolean_rects([], [], "nand")
+
+
+class TestRectDecomposition:
+    def test_rects_cover_exactly(self):
+        r = region((0, 0, 10, 10)) - region((3, 3, 7, 7))
+        rects = r.rects()
+        assert sum(x.area for x in rects) == 84
+        # Disjointness: pairwise intersections have zero area.
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                inter = a.intersection(b)
+                assert inter is None or inter.is_empty
+
+    def test_l_shape(self):
+        ell = Region(Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]))
+        rects = ell.rects()
+        assert sum(r.area for r in rects) == 12
+
+
+@st.composite
+def rect_sets(draw, max_rects=6, span=40):
+    n = draw(st.integers(min_value=1, max_value=max_rects))
+    rects = []
+    for _ in range(n):
+        x1 = draw(st.integers(min_value=-span, max_value=span - 1))
+        y1 = draw(st.integers(min_value=-span, max_value=span - 1))
+        w = draw(st.integers(min_value=1, max_value=span))
+        h = draw(st.integers(min_value=1, max_value=span))
+        rects.append(Rect(x1, y1, x1 + w, y1 + h))
+    return rects
+
+
+def brute_force_area(rect_sets_a, rect_sets_b, op):
+    """Reference area by per-unit-cell membership counting."""
+    xs = sorted(
+        {r.x1 for r in rect_sets_a + rect_sets_b}
+        | {r.x2 for r in rect_sets_a + rect_sets_b}
+    )
+    ys = sorted(
+        {r.y1 for r in rect_sets_a + rect_sets_b}
+        | {r.y2 for r in rect_sets_a + rect_sets_b}
+    )
+    total = 0
+    for i in range(len(xs) - 1):
+        for j in range(len(ys) - 1):
+            cx = (xs[i] + xs[i + 1]) / 2
+            cy = (ys[j] + ys[j + 1]) / 2
+            in_a = any(r.x1 < cx < r.x2 and r.y1 < cy < r.y2 for r in rect_sets_a)
+            in_b = any(r.x1 < cx < r.x2 and r.y1 < cy < r.y2 for r in rect_sets_b)
+            hit = {
+                "union": in_a or in_b,
+                "intersection": in_a and in_b,
+                "difference": in_a and not in_b,
+                "xor": in_a != in_b,
+            }[op]
+            if hit:
+                total += (xs[i + 1] - xs[i]) * (ys[j + 1] - ys[j])
+    return total
+
+
+@pytest.mark.parametrize("op", ["union", "intersection", "difference", "xor"])
+@given(a=rect_sets(), b=rect_sets())
+@settings(max_examples=60, deadline=None)
+def test_boolean_area_matches_brute_force(op, a, b):
+    ra, rb = Region.from_rects(a), Region.from_rects(b)
+    result = ra._binary(rb, op)
+    assert result.area == brute_force_area(a, b, op)
+
+
+@given(a=rect_sets(), b=rect_sets())
+@settings(max_examples=40, deadline=None)
+def test_demorgan_identity(a, b):
+    """A - B == A & (frame - B) within a covering frame."""
+    ra, rb = Region.from_rects(a), Region.from_rects(b)
+    frame = Region(Rect(-200, -200, 200, 200))
+    assert ((ra - rb) ^ (ra & (frame - rb))).is_empty
+
+
+@given(a=rect_sets())
+@settings(max_examples=40, deadline=None)
+def test_merge_idempotent_and_canonical(a):
+    ra = Region.from_rects(a).merged()
+    again = ra.merged()
+    assert ra.loops == again.loops
+    # Outer loops CCW, holes CW; total signed area equals covered area.
+    signed = sum(p.signed_area2() for p in ra.polygons()) / 2
+    assert signed == ra.area
+
+
+@given(a=rect_sets(), b=rect_sets())
+@settings(max_examples=40, deadline=None)
+def test_union_area_inclusion_exclusion(a, b):
+    ra, rb = Region.from_rects(a), Region.from_rects(b)
+    union = ra | rb
+    inter = ra & rb
+    assert union.area == ra.area + rb.area - inter.area

@@ -1,0 +1,79 @@
+"""Property tests for classical morphology identities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, Region
+
+
+@st.composite
+def blobs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    rects = []
+    for _ in range(n):
+        x = draw(st.integers(min_value=0, max_value=80))
+        y = draw(st.integers(min_value=0, max_value=80))
+        w = draw(st.integers(min_value=10, max_value=50))
+        h = draw(st.integers(min_value=10, max_value=50))
+        rects.append(Rect(x, y, x + w, y + h))
+    return Region.from_rects(rects).merged()
+
+
+@given(region=blobs(), d=st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_opening_is_idempotent(region, d):
+    once = region.opened(d)
+    twice = once.opened(d)
+    assert (once ^ twice).is_empty
+
+
+@given(region=blobs(), d=st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_closing_is_idempotent(region, d):
+    once = region.closed(d)
+    twice = once.closed(d)
+    assert (once ^ twice).is_empty
+
+
+@given(region=blobs(), d=st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_dilation_distributes_over_union(region, d):
+    box = region.bbox()
+    other = Region(Rect(box.x1 + 5, box.y1 + 5, box.x1 + 40, box.y1 + 40))
+    lhs = (region | other).sized(d)
+    rhs = region.sized(d) | other.sized(d)
+    assert (lhs ^ rhs).is_empty
+
+
+@given(region=blobs(), a=st.integers(min_value=1, max_value=4),
+       b=st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_dilation_composes(region, a, b):
+    assert (region.sized(a).sized(b) ^ region.sized(a + b)).is_empty
+
+
+@given(region=blobs(), a=st.integers(min_value=1, max_value=4),
+       b=st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_erosion_composes(region, a, b):
+    assert (region.sized(-a).sized(-b) ^ region.sized(-(a + b))).is_empty
+
+
+@given(region=blobs(), d=st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_rect_dilation_area_formula(d, region):
+    """For a single rect, mitred dilation area is exact and closed-form."""
+    rect = Rect(10, 10, 60, 40)
+    grown = Region(rect).sized(d)
+    expected = (rect.width + 2 * d) * (rect.height + 2 * d)
+    assert grown.area == expected
+    del region  # the strategy is reused; this case needs only the rect
+
+
+@given(region=blobs(), d=st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_open_close_sandwich(region, d):
+    """opened(P) <= P <= closed(P)."""
+    assert (region.opened(d) - region).is_empty
+    assert (region - region.closed(d)).is_empty

@@ -1,0 +1,86 @@
+"""Unit tests for Point and Rect primitives."""
+
+import pytest
+
+from repro.geometry import Point, Rect, bounding_box
+
+
+class TestPoint:
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(1, 2) - (3, 4) == Point(-2, -2)
+
+    def test_neg_and_scale(self):
+        assert -Point(1, -2) == Point(-1, 2)
+        assert Point(2, 3) * 4 == Point(8, 12)
+        assert 4 * Point(2, 3) == Point(8, 12)
+
+    def test_cross_dot(self):
+        assert Point(1, 0).cross((0, 1)) == 1
+        assert Point(0, 1).cross((1, 0)) == -1
+        assert Point(2, 3).dot((4, 5)) == 23
+
+    def test_manhattan(self):
+        assert Point(3, 4).manhattan() == 7
+        assert Point(3, 4).manhattan((1, 1)) == 5
+
+    def test_rotated90(self):
+        assert Point(1, 0).rotated90() == Point(0, 1)
+        assert Point(1, 0).rotated90(2) == Point(-1, 0)
+        assert Point(1, 2).rotated90(4) == Point(1, 2)
+        assert Point(1, 2).rotated90(-1) == Point(1, 2).rotated90(3)
+
+
+class TestRect:
+    def test_from_corners_normalises(self):
+        assert Rect.from_corners((5, 7), (1, 2)) == Rect(1, 2, 5, 7)
+
+    def test_from_center(self):
+        r = Rect.from_center((0, 0), 10, 6)
+        assert r == Rect(-5, -3, 5, 3)
+        assert r.center == Point(0, 0)
+
+    def test_dimensions(self):
+        r = Rect(0, 0, 10, 4)
+        assert r.width == 10
+        assert r.height == 4
+        assert r.area == 40
+        assert not r.is_empty
+
+    def test_empty(self):
+        assert Rect(0, 0, 0, 5).is_empty
+        assert Rect(0, 0, 5, 0).is_empty
+
+    def test_contains(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains((0, 0))
+        assert r.contains((10, 10))
+        assert not r.contains((11, 5))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 8, 8))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 12, 8))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersection(b) == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(20, 20, 30, 30)) is None
+        # Touching rects intersect on their shared boundary.
+        assert a.intersection(Rect(10, 0, 20, 10)) == Rect(10, 0, 10, 10)
+
+    def test_intersects(self):
+        assert Rect(0, 0, 10, 10).intersects(Rect(10, 10, 20, 20))
+        assert not Rect(0, 0, 10, 10).intersects(Rect(11, 0, 20, 10))
+
+    def test_expanded_translated(self):
+        assert Rect(0, 0, 10, 10).expanded(2) == Rect(-2, -2, 12, 12)
+        assert Rect(0, 0, 10, 10).translated((3, 4)) == Rect(3, 4, 13, 14)
+
+    def test_corners_ccw(self):
+        corners = Rect(0, 0, 2, 3).corners()
+        assert corners == [Point(0, 0), Point(2, 0), Point(2, 3), Point(0, 3)]
+
+    def test_bounding_box(self):
+        assert bounding_box([]) is None
+        assert bounding_box([Rect(0, 0, 1, 1), Rect(5, -2, 6, 3)]) == Rect(0, -2, 6, 3)

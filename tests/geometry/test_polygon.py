@@ -1,0 +1,107 @@
+"""Unit tests for the Polygon loop type."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Polygon, Rect
+
+
+def square(size=10):
+    return Polygon([(0, 0), (size, 0), (size, size), (0, size)])
+
+
+class TestConstruction:
+    def test_from_rect(self):
+        p = Polygon.from_rect(Rect(0, 0, 4, 6))
+        assert p.num_points == 4
+        assert p.is_ccw
+        assert p.area == 24
+
+    def test_closing_vertex_dropped(self):
+        p = Polygon([(0, 0), (4, 0), (4, 4), (0, 4), (0, 0)])
+        assert p.num_points == 4
+
+    def test_collinear_vertices_removed(self):
+        p = Polygon([(0, 0), (2, 0), (4, 0), (4, 4), (0, 4)])
+        assert p.num_points == 4
+
+    def test_duplicate_vertices_removed(self):
+        p = Polygon([(0, 0), (4, 0), (4, 0), (4, 4), (0, 4)])
+        assert p.num_points == 4
+
+    def test_non_rectilinear_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (4, 4), (0, 4)])
+
+    def test_degenerate_collapses_to_empty(self):
+        assert Polygon([(0, 0), (4, 0)]).is_empty
+        # A zero-area "loop" folds onto itself and vanishes.
+        assert Polygon([(0, 0), (4, 0), (4, 0), (0, 0)]).is_empty
+
+
+class TestMetrics:
+    def test_signed_area(self):
+        assert square(4).signed_area2() == 32
+        assert square(4).reversed().signed_area2() == -32
+
+    def test_area_l_shape(self):
+        ell = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        assert ell.area == 12
+        assert ell.is_ccw
+
+    def test_perimeter(self):
+        assert square(5).perimeter == 20
+        ell = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        assert ell.perimeter == 16
+
+    def test_bbox(self):
+        ell = Polygon([(1, 2), (5, 2), (5, 4), (3, 4), (3, 6), (1, 6)])
+        assert ell.bbox() == Rect(1, 2, 5, 6)
+
+    def test_edges_count(self):
+        assert len(list(square().edges())) == 4
+
+
+class TestQueries:
+    def test_contains_point_interior(self):
+        assert square(10).contains_point((5, 5))
+
+    def test_contains_point_boundary(self):
+        assert square(10).contains_point((0, 5))
+        assert square(10).contains_point((10, 10))
+
+    def test_contains_point_outside(self):
+        assert not square(10).contains_point((11, 5))
+        assert not square(10).contains_point((-1, -1))
+
+    def test_contains_point_l_shape_notch(self):
+        ell = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        assert ell.contains_point((1, 3))
+        assert not ell.contains_point((3, 3))
+
+    def test_to_rect(self):
+        assert square(7).to_rect() == Rect(0, 0, 7, 7)
+        ell = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        with pytest.raises(GeometryError):
+            ell.to_rect()
+
+
+class TestTransforms:
+    def test_translated(self):
+        p = square(4).translated((10, 20))
+        assert p.bbox() == Rect(10, 20, 14, 24)
+
+    def test_scaled(self):
+        assert square(4).scaled(3).area == 144
+
+    def test_reversed_orientation(self):
+        assert not square().reversed().is_ccw
+
+    def test_equality_rotation_invariant(self):
+        a = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        b = Polygon([(4, 0), (4, 4), (0, 4), (0, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert square(4) != square(5)

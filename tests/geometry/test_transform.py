@@ -1,0 +1,100 @@
+"""Unit and property tests for exact layout transforms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect, Region, Transform
+
+
+class TestApply:
+    def test_identity(self):
+        t = Transform.identity()
+        assert t.is_identity
+        assert t.apply((3, 4)) == (3, 4)
+
+    def test_translation(self):
+        t = Transform.translation(10, -5)
+        assert t.apply((1, 2)) == (11, -3)
+
+    def test_rotations(self):
+        assert Transform(rotation=1).apply((1, 0)) == (0, 1)
+        assert Transform(rotation=2).apply((1, 2)) == (-1, -2)
+        assert Transform(rotation=3).apply((0, 1)) == (1, 0)
+
+    def test_mirror_then_rotate_order(self):
+        # Mirror about x first (y flips), then rotate CCW 90.
+        t = Transform(rotation=1, mirror_x=True)
+        assert t.apply((1, 2)) == (2, 1)
+
+    def test_magnification(self):
+        t = Transform(magnification=3)
+        assert t.apply((2, -1)) == (6, -3)
+
+    def test_apply_rect_normalises(self):
+        t = Transform(rotation=1)
+        assert t.apply_rect(Rect(0, 0, 4, 2)) == Rect(-2, 0, 0, 4)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            Transform(magnification=0).validated()
+        assert Transform(rotation=7).validated().rotation == 3
+
+
+transforms = st.builds(
+    Transform,
+    dx=st.integers(min_value=-50, max_value=50),
+    dy=st.integers(min_value=-50, max_value=50),
+    rotation=st.integers(min_value=0, max_value=3),
+    mirror_x=st.booleans(),
+    magnification=st.just(1),
+)
+points = st.tuples(
+    st.integers(min_value=-40, max_value=40), st.integers(min_value=-40, max_value=40)
+)
+
+
+@given(t1=transforms, t2=transforms, p=points)
+@settings(max_examples=80, deadline=None)
+def test_composition_matches_sequential_application(t1, t2, p):
+    assert t1.then(t2).apply(p) == t2.apply(t1.apply(p))
+
+
+@given(t=transforms, p=points)
+@settings(max_examples=80, deadline=None)
+def test_inverse_roundtrip(t, p):
+    assert t.inverse().apply(t.apply(p)) == p
+    assert t.apply(t.inverse().apply(p)) == p
+
+
+@given(t=transforms)
+@settings(max_examples=40, deadline=None)
+def test_region_transform_preserves_area(t):
+    r = Region(Rect(0, 0, 10, 20))
+    assert r.transformed(t).area == r.area
+
+
+def test_magnifying_transform_not_invertible():
+    with pytest.raises(GeometryError):
+        Transform(magnification=2).inverse()
+
+
+def test_mirrored_overlap_does_not_cancel():
+    """Regression: a mirrored copy overlapping the original must union.
+
+    Mirroring flips loop orientation; without re-reversal the +1/-1
+    windings cancel and the overlap reads as empty under the nonzero rule.
+    """
+    r = Region(Rect(0, 0, 100, 100))
+    mirrored = r.transformed(Transform(mirror_x=True, dy=150))  # covers y 50..150
+    both = Region([r, mirrored])
+    assert both.merged().area == 100 * 150
+    assert both.contains_point((50, 75))
+
+
+def test_mirrored_region_with_hole_keeps_hole():
+    r = Region(Rect(0, 0, 100, 100)) - Region(Rect(40, 40, 60, 60))
+    mirrored = r.transformed(Transform(mirror_x=True, dy=100))
+    assert mirrored.area == r.area
+    assert len(mirrored.holes()) == 1

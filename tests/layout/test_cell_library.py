@@ -1,0 +1,160 @@
+"""Unit tests for cells, references, libraries and flattening."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.geometry import Rect, Region, Transform
+from repro.layout import Cell, CellArray, CellRef, Library, METAL1, POLY
+
+
+def unit_cell(name="unit", size=100):
+    cell = Cell(name)
+    cell.add(POLY, Rect(0, 0, size, size))
+    return cell
+
+
+class TestCell:
+    def test_add_and_region(self):
+        cell = unit_cell()
+        assert cell.region(POLY).area == 100 * 100
+        assert cell.region(METAL1).is_empty
+
+    def test_layers(self):
+        cell = unit_cell()
+        cell.add(METAL1, Rect(0, 0, 10, 10))
+        assert cell.layers == [POLY, METAL1]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(LayoutError):
+            Cell("")
+
+    def test_bbox_own(self):
+        assert unit_cell().bbox() == Rect(0, 0, 100, 100)
+
+    def test_bbox_recursive(self):
+        parent = Cell("parent")
+        parent.place_at(unit_cell(), 1000, 0)
+        assert parent.bbox() == Rect(1000, 0, 1100, 100)
+        assert parent.bbox(recursive=False) is None
+
+    def test_set_region_replaces(self):
+        cell = unit_cell()
+        cell.set_region(POLY, Region(Rect(0, 0, 5, 5)))
+        assert cell.region(POLY).area == 25
+
+
+class TestReferences:
+    def test_single_placement(self):
+        ref = CellRef(unit_cell(), Transform.translation(10, 20))
+        assert ref.count == 1
+        assert list(ref.placements()) == [Transform.translation(10, 20)]
+
+    def test_array_count_and_placements(self):
+        ref = CellArray(unit_cell(), cols=3, rows=2, col_pitch=200, row_pitch=300)
+        assert ref.count == 6
+        origins = [(t.dx, t.dy) for t in ref.placements()]
+        assert (0, 0) in origins
+        assert (400, 300) in origins
+        assert len(origins) == 6
+
+    def test_array_validation(self):
+        with pytest.raises(LayoutError):
+            CellArray(unit_cell(), cols=0, rows=2, col_pitch=10, row_pitch=10)
+
+    def test_rotated_placement_flat_region(self):
+        parent = Cell("parent")
+        child = Cell("bar")
+        child.add(POLY, Rect(0, 0, 100, 10))
+        parent.place(child, Transform(rotation=1))
+        flat = parent.flat_region(POLY)
+        assert flat.bbox() == Rect(-10, 0, 0, 100)
+
+    def test_mirrored_placement_preserves_area(self):
+        parent = Cell("parent")
+        parent.place(unit_cell(), Transform(mirror_x=True, dy=500))
+        assert parent.flat_region(POLY).area == 100 * 100
+
+
+class TestFlattening:
+    def test_two_level_flatten(self):
+        leaf = unit_cell("leaf")
+        mid = Cell("mid")
+        mid.place_at(leaf, 0, 0)
+        mid.place_at(leaf, 200, 0)
+        top = Cell("top")
+        top.place_at(mid, 0, 0)
+        top.place_at(mid, 0, 200)
+        flat = top.flattened()
+        assert flat.region(POLY).area == 4 * 100 * 100
+        assert not flat.references
+
+    def test_array_flatten(self):
+        top = Cell("top")
+        top.place_array(unit_cell(), cols=4, rows=4, col_pitch=200, row_pitch=200)
+        assert top.flat_region(POLY).area == 16 * 100 * 100
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        lib = Library("test")
+        cell = lib.new_cell("a")
+        assert lib["a"] is cell
+        assert "a" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_rejected(self):
+        lib = Library("test")
+        lib.new_cell("a")
+        with pytest.raises(LayoutError):
+            lib.add(Cell("a"))
+
+    def test_missing_cell(self):
+        with pytest.raises(LayoutError):
+            Library("test")["ghost"]
+
+    def test_add_tree_registers_children(self):
+        leaf = unit_cell("leaf")
+        top = Cell("top")
+        top.place_at(leaf, 0, 0)
+        lib = Library("test")
+        lib.add_tree(top)
+        assert "leaf" in lib and "top" in lib
+
+    def test_add_tree_conflict(self):
+        lib = Library("test")
+        lib.new_cell("leaf")
+        top = Cell("top")
+        top.place_at(unit_cell("leaf"), 0, 0)  # a different 'leaf' object
+        with pytest.raises(LayoutError):
+            lib.add_tree(top)
+
+    def test_top_cells(self):
+        lib = Library("test")
+        leaf = lib.add(unit_cell("leaf"))
+        top = lib.new_cell("top")
+        top.place_at(leaf, 0, 0)
+        assert lib.top_cells() == [top]
+        assert lib.top_cell() is top
+
+    def test_multiple_tops_rejected_by_top_cell(self):
+        lib = Library("test")
+        lib.new_cell("a")
+        lib.new_cell("b")
+        with pytest.raises(LayoutError):
+            lib.top_cell()
+
+    def test_cycle_detection(self):
+        lib = Library("test")
+        a = lib.new_cell("a")
+        b = lib.new_cell("b")
+        a.place_at(b, 0, 0)
+        b.place_at(a, 0, 0)
+        with pytest.raises(LayoutError):
+            lib.check_acyclic()
+
+    def test_acyclic_ok(self):
+        lib = Library("test")
+        leaf = lib.add(unit_cell("leaf"))
+        top = lib.new_cell("top")
+        top.place_at(leaf, 0, 0)
+        lib.check_acyclic()

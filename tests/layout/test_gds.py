@@ -1,0 +1,151 @@
+"""Unit and property tests for the GDSII codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GDSError
+from repro.geometry import Polygon, Rect, Transform
+from repro.layout import (
+    Cell,
+    GDSReader,
+    GDSWriter,
+    Library,
+    METAL1,
+    POLY,
+    layout_stats,
+    read_gds,
+    write_gds,
+)
+from repro.layout.gds import pack_real8, unpack_real8
+
+
+def roundtrip(library):
+    return GDSReader().read(GDSWriter().to_bytes(library))
+
+
+def simple_library():
+    lib = Library("testlib")
+    leaf = lib.new_cell("leaf")
+    leaf.add(POLY, Rect(0, 0, 100, 50))
+    leaf.add(
+        METAL1, Polygon([(0, 0), (40, 0), (40, 20), (20, 20), (20, 40), (0, 40)])
+    )
+    top = lib.new_cell("top")
+    top.place(leaf, Transform(dx=500, dy=300, rotation=1, mirror_x=True))
+    top.place_array(leaf, cols=3, rows=2, col_pitch=400, row_pitch=200)
+    top.add(POLY, Rect(-50, -50, 0, 0))
+    return lib
+
+
+class TestReal8:
+    def test_zero(self):
+        assert pack_real8(0.0) == b"\x00" * 8
+        assert unpack_real8(b"\x00" * 8) == 0.0
+
+    @pytest.mark.parametrize(
+        "value", [1.0, -1.0, 0.001, 1e-9, 90.0, 270.0, 2.5, 1e-3, 1e6]
+    )
+    def test_roundtrip_exact_enough(self, value):
+        assert unpack_real8(pack_real8(value)) == pytest.approx(value, rel=1e-14)
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert unpack_real8(pack_real8(value)) == pytest.approx(value, rel=1e-14)
+
+    def test_bad_length(self):
+        with pytest.raises(GDSError):
+            unpack_real8(b"\x00")
+
+
+class TestRoundtrip:
+    def test_library_name(self):
+        assert roundtrip(simple_library()).name == "testlib"
+
+    def test_cells_present(self):
+        lib = roundtrip(simple_library())
+        assert "leaf" in lib and "top" in lib
+
+    def test_geometry_identical(self):
+        lib = roundtrip(simple_library())
+        original = simple_library()
+        for name in ("leaf", "top"):
+            for layer in original[name].layers:
+                assert (
+                    lib[name].region(layer) ^ original[name].region(layer)
+                ).is_empty
+
+    def test_reference_transforms(self):
+        lib = roundtrip(simple_library())
+        ref = lib["top"].references[0]
+        assert ref.transform == Transform(dx=500, dy=300, rotation=1, mirror_x=True)
+
+    def test_array_reference(self):
+        lib = roundtrip(simple_library())
+        arr = lib["top"].references[1]
+        assert (arr.cols, arr.rows) == (3, 2)
+        assert (arr.col_pitch, arr.row_pitch) == (400, 200)
+
+    def test_flat_geometry_identical(self):
+        original = simple_library()
+        restored = roundtrip(original)
+        a = original["top"].flat_region(POLY)
+        b = restored["top"].flat_region(POLY)
+        assert (a ^ b).is_empty
+
+    def test_stats_preserved(self):
+        original = simple_library()
+        restored = roundtrip(original)
+        assert (
+            layout_stats(original["top"]).flat_figures
+            == layout_stats(restored["top"]).flat_figures
+        )
+
+    def test_deterministic_output(self):
+        a = GDSWriter().to_bytes(simple_library())
+        b = GDSWriter().to_bytes(simple_library())
+        assert a == b
+
+    def test_file_io(self, tmp_path):
+        path = tmp_path / "out.gds"
+        n = write_gds(simple_library(), path)
+        assert path.stat().st_size == n
+        lib = read_gds(path)
+        assert "top" in lib
+
+    def test_children_written_before_parents(self):
+        data = GDSWriter().to_bytes(simple_library())
+        assert data.index(b"leaf") < data.index(b"top\x00")
+
+
+class TestReaderErrors:
+    def test_truncated_stream(self):
+        data = GDSWriter().to_bytes(simple_library())
+        with pytest.raises(GDSError):
+            GDSReader().read(data[: len(data) // 2])
+
+    def test_garbage(self):
+        with pytest.raises(GDSError):
+            GDSReader().read(b"\x00\x01\x02")
+
+
+@st.composite
+def random_cells(draw):
+    lib = Library("prop")
+    cell = lib.new_cell("c")
+    n = draw(st.integers(min_value=1, max_value=8))
+    for _ in range(n):
+        x = draw(st.integers(min_value=-10000, max_value=10000))
+        y = draw(st.integers(min_value=-10000, max_value=10000))
+        w = draw(st.integers(min_value=1, max_value=5000))
+        h = draw(st.integers(min_value=1, max_value=5000))
+        cell.add(POLY, Rect(x, y, x + w, y + h))
+    return lib
+
+
+@given(lib=random_cells())
+@settings(max_examples=30, deadline=None)
+def test_random_geometry_roundtrip(lib):
+    restored = roundtrip(lib)
+    assert (restored["c"].region(POLY) ^ lib["c"].region(POLY)).is_empty

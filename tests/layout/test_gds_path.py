@@ -1,0 +1,73 @@
+"""Tests for reading GDSII PATH elements (external-file interop)."""
+
+import struct
+
+import pytest
+
+from repro.errors import GDSError
+from repro.geometry import Rect, Region
+from repro.layout import GDSReader, GDSWriter, Library, POLY
+
+
+def stream_with_path(points, width, pathtype=None, layer=3):
+    """A minimal valid stream whose single cell holds one PATH element."""
+    lib = Library("p")
+    lib.new_cell("c")
+    data = GDSWriter().to_bytes(lib)
+    endstr = struct.pack(">HBB", 4, 0x07, 0x00)
+    idx = data.index(endstr)
+    element = struct.pack(">HBB", 4, 0x09, 0x00)  # PATH
+    element += struct.pack(">HBBh", 6, 0x0D, 0x02, layer)  # LAYER
+    element += struct.pack(">HBBh", 6, 0x0E, 0x02, 0)  # DATATYPE
+    if pathtype is not None:
+        element += struct.pack(">HBBh", 6, 0x21, 0x02, pathtype)
+    element += struct.pack(">HBBi", 8, 0x0F, 0x03, width)  # WIDTH
+    coords = [c for pt in points for c in pt]
+    element += struct.pack(f">HBB{len(coords)}i", 4 + 4 * len(coords), 0x10, 0x03, *coords)
+    element += struct.pack(">HBB", 4, 0x11, 0x00)  # ENDEL
+    return data[:idx] + element + data[idx:]
+
+
+class TestPathReading:
+    def test_straight_flush_path(self):
+        lib = GDSReader().read(stream_with_path([(0, 0), (1000, 0)], 100))
+        region = lib["c"].region(POLY)
+        assert (region ^ Region(Rect(0, -50, 1000, 50))).is_empty
+
+    def test_square_end_extension(self):
+        lib = GDSReader().read(
+            stream_with_path([(0, 0), (1000, 0)], 100, pathtype=2)
+        )
+        region = lib["c"].region(POLY)
+        assert (region ^ Region(Rect(-50, -50, 1050, 50))).is_empty
+
+    def test_round_ends_approximated_square(self):
+        lib = GDSReader().read(
+            stream_with_path([(0, 0), (1000, 0)], 100, pathtype=1)
+        )
+        assert lib["c"].region(POLY).bbox() == Rect(-50, -50, 1050, 50)
+
+    def test_l_bend_is_solid(self):
+        lib = GDSReader().read(
+            stream_with_path([(0, 0), (500, 0), (500, 500)], 100)
+        )
+        region = lib["c"].region(POLY)
+        assert region.contains_point((500, 0))  # the corner
+        assert len(region.merged().outer_polygons()) == 1
+        assert region.area == Region.from_rects(
+            [Rect(0, -50, 550, 50), Rect(450, -50, 550, 500)]
+        ).merged().area
+
+    def test_downward_segment(self):
+        lib = GDSReader().read(
+            stream_with_path([(0, 0), (0, -800)], 100, pathtype=2)
+        )
+        assert lib["c"].region(POLY).bbox() == Rect(-50, -850, 50, 50)
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(GDSError):
+            GDSReader().read(stream_with_path([(0, 0), (500, 500)], 100))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(GDSError):
+            GDSReader().read(stream_with_path([(0, 0), (500, 0)], 0))

@@ -1,0 +1,96 @@
+"""Tests for text labels: cell storage, GDSII round-trip, net naming."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.geometry import Rect, Transform
+from repro.layout import (
+    Cell,
+    GDSReader,
+    GDSWriter,
+    Label,
+    Library,
+    METAL1,
+    POLY,
+)
+from repro.verify import extract_nets
+
+
+class TestLabels:
+    def test_add_and_list(self):
+        cell = Cell("c")
+        cell.add_label(METAL1, "VDD", (100, 200))
+        assert cell.labels == [Label(METAL1, "VDD", (100, 200))]
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(LayoutError):
+            Cell("c").add_label(METAL1, "", (0, 0))
+
+    def test_flat_labels_transform(self):
+        leaf = Cell("leaf")
+        leaf.add_label(POLY, "A", (10, 20))
+        top = Cell("top")
+        top.place(leaf, Transform(dx=1000, dy=0, rotation=1))
+        labels = top.flat_labels()
+        assert labels == [Label(POLY, "A", (1000 - 20, 10))]
+
+    def test_own_plus_child_labels(self):
+        leaf = Cell("leaf")
+        leaf.add_label(POLY, "A", (0, 0))
+        top = Cell("top")
+        top.add_label(METAL1, "VDD", (5, 5))
+        top.place_at(leaf, 100, 100)
+        texts = {lbl.text for lbl in top.flat_labels()}
+        assert texts == {"VDD", "A"}
+
+
+class TestGDSRoundtrip:
+    def test_labels_roundtrip(self):
+        lib = Library("lbl")
+        cell = lib.new_cell("c")
+        cell.add(METAL1, Rect(0, 0, 100, 100))
+        cell.add_label(METAL1, "OUT", (50, 50))
+        cell.add_label(POLY, "IN", (-10, 70))
+        restored = GDSReader().read(GDSWriter().to_bytes(lib))
+        assert sorted(l.text for l in restored["c"].labels) == ["IN", "OUT"]
+        by_text = {l.text: l for l in restored["c"].labels}
+        assert by_text["OUT"].position == (50, 50)
+        assert by_text["OUT"].layer == METAL1
+
+    def test_label_layer_datatype(self):
+        from repro.layout import Layer
+
+        lib = Library("lbl")
+        cell = lib.new_cell("c")
+        cell.add_label(Layer(7, 3), "PIN", (0, 0))
+        restored = GDSReader().read(GDSWriter().to_bytes(lib))
+        assert restored["c"].labels[0].layer == Layer(7, 3)
+
+
+class TestNetNaming:
+    def test_nets_named_from_labels(self):
+        cell = Cell("named")
+        cell.add(METAL1, Rect(0, 0, 1000, 100))
+        cell.add(METAL1, Rect(0, 500, 1000, 600))
+        cell.add_label(METAL1, "VSS", (500, 50))
+        cell.add_label(METAL1, "VDD", (500, 550))
+        netlist = extract_nets(cell)
+        assert netlist.name_of(netlist.net_at(METAL1, (10, 50))) == "VSS"
+        assert netlist.net_by_name("VDD") == netlist.net_at(METAL1, (10, 550))
+        assert netlist.net_by_name("GHOST") is None
+
+    def test_label_off_geometry_names_nothing(self):
+        cell = Cell("off")
+        cell.add(METAL1, Rect(0, 0, 100, 100))
+        cell.add_label(METAL1, "X", (5000, 5000))
+        netlist = extract_nets(cell)
+        assert netlist.names == {}
+
+    def test_first_label_wins(self):
+        cell = Cell("dup")
+        cell.add(METAL1, Rect(0, 0, 1000, 100))
+        cell.add_label(METAL1, "A", (10, 50))
+        cell.add_label(METAL1, "B", (900, 50))
+        netlist = extract_nets(cell)
+        net = netlist.net_at(METAL1, (500, 50))
+        assert netlist.name_of(net) == "A"

@@ -1,0 +1,82 @@
+"""Unit tests for hierarchical/flat layout statistics."""
+
+from repro.geometry import Rect
+from repro.layout import Cell, METAL1, POLY, layout_stats
+
+
+def leaf_cell(name="leaf", figures=3):
+    cell = Cell(name)
+    for i in range(figures):
+        cell.add(POLY, Rect(i * 100, 0, i * 100 + 50, 50))
+    return cell
+
+
+class TestLayoutStats:
+    def test_flat_equals_hierarchical_without_refs(self):
+        stats = layout_stats(leaf_cell())
+        assert stats.cells == 1
+        assert stats.placements == 0
+        assert stats.flat_figures == stats.hierarchical_figures == 3
+        assert stats.flat_vertices == stats.hierarchical_vertices == 12
+
+    def test_single_level_expansion(self):
+        top = Cell("top")
+        leaf = leaf_cell()
+        for i in range(4):
+            top.place_at(leaf, i * 1000, 0)
+        stats = layout_stats(top)
+        assert stats.cells == 2
+        assert stats.placements == 4
+        assert stats.hierarchical_figures == 3
+        assert stats.flat_figures == 12
+        assert stats.hierarchy_compression == 4.0
+
+    def test_two_level_multiplication(self):
+        leaf = leaf_cell()
+        mid = Cell("mid")
+        mid.place_at(leaf, 0, 0)
+        mid.place_at(leaf, 500, 0)
+        top = Cell("top")
+        top.place_array(mid, cols=3, rows=1, col_pitch=2000, row_pitch=1)
+        stats = layout_stats(top)
+        # placements: 3 mids + 3*2 leaves
+        assert stats.placements == 9
+        assert stats.flat_figures == 3 * 2 * 3
+
+    def test_layer_filter(self):
+        top = Cell("top")
+        top.add(POLY, Rect(0, 0, 10, 10))
+        top.add(METAL1, Rect(0, 0, 10, 10))
+        stats = layout_stats(top, layer=POLY)
+        assert stats.flat_figures == 1
+
+    def test_per_layer_breakdown(self):
+        top = Cell("top")
+        top.add(POLY, Rect(0, 0, 10, 10))
+        top.add(METAL1, Rect(0, 0, 10, 10))
+        top.add(METAL1, Rect(20, 0, 30, 10))
+        stats = layout_stats(top)
+        assert stats.flat[POLY].figures == 1
+        assert stats.flat[METAL1].figures == 2
+
+    def test_own_shapes_plus_children(self):
+        top = Cell("top")
+        top.add(POLY, Rect(0, 0, 10, 10))
+        top.place_at(leaf_cell(), 0, 1000)
+        stats = layout_stats(top)
+        assert stats.hierarchical_figures == 4
+        assert stats.flat_figures == 4
+
+    def test_diamond_hierarchy_counted_once(self):
+        leaf = leaf_cell()
+        a = Cell("a")
+        a.place_at(leaf, 0, 0)
+        b = Cell("b")
+        b.place_at(leaf, 0, 0)
+        top = Cell("top")
+        top.place_at(a, 0, 0)
+        top.place_at(b, 1000, 0)
+        stats = layout_stats(top)
+        assert stats.cells == 4  # leaf counted once
+        assert stats.hierarchical_figures == 3
+        assert stats.flat_figures == 6

@@ -1,0 +1,38 @@
+"""Shared fixtures for lithography tests.
+
+Simulation is the expensive part of the suite; fixtures are module-scoped
+and the geometry small, so the whole litho suite stays in seconds.
+"""
+
+import pytest
+
+from repro.geometry import Rect, Region
+from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+
+
+@pytest.fixture(scope="session")
+def optics():
+    return krf_annular()
+
+
+@pytest.fixture(scope="session")
+def simulator(optics):
+    return LithoSimulator(LithoConfig(optics=optics, pixel_nm=8.0, ambit_nm=600))
+
+
+@pytest.fixture(scope="session")
+def dense_lines():
+    """180 nm lines on a 460 nm pitch, vertical, spanning the test window."""
+    return Region.from_rects(
+        [Rect(x, -1500, x + 180, 1500) for x in range(-1380, 1381, 460)]
+    )
+
+
+@pytest.fixture(scope="session")
+def dense_mask(dense_lines):
+    return binary_mask(dense_lines)
+
+
+@pytest.fixture(scope="session")
+def window():
+    return Rect(-500, -500, 500, 500)

@@ -1,0 +1,76 @@
+"""Tests for image export (PGM and ASCII)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LithoError
+from repro.litho.export import ascii_art, to_pgm
+
+
+@pytest.fixture()
+def gradient():
+    return np.tile(np.linspace(0.0, 1.0, 64), (32, 1))
+
+
+class TestPGM:
+    def test_writes_valid_header(self, gradient, tmp_path):
+        path = tmp_path / "img.pgm"
+        size = to_pgm(gradient, path)
+        data = path.read_bytes()
+        assert len(data) == size
+        assert data.startswith(b"P5\n64 32\n255\n")
+        assert len(data) == size == len(b"P5\n64 32\n255\n") + 64 * 32
+
+    def test_normalized_range(self, tmp_path):
+        image = np.array([[5.0, 10.0]])
+        path = tmp_path / "img.pgm"
+        to_pgm(image, path)
+        raster = path.read_bytes().split(b"255\n", 1)[1]
+        assert raster[0] == 0 and raster[1] == 255
+
+    def test_unnormalized_clipping(self, tmp_path):
+        image = np.array([[0.5, 2.0]])
+        path = tmp_path / "img.pgm"
+        to_pgm(image, path, normalize=False, max_value=1.0)
+        raster = path.read_bytes().split(b"255\n", 1)[1]
+        assert raster[0] == 128 and raster[1] == 255
+
+    def test_constant_image(self, tmp_path):
+        to_pgm(np.full((4, 4), 0.7), tmp_path / "c.pgm")  # must not divide by 0
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(LithoError):
+            to_pgm(np.zeros(5), tmp_path / "x.pgm")
+        with pytest.raises(LithoError):
+            to_pgm(np.zeros((2, 2)), tmp_path / "x.pgm", normalize=False, max_value=0)
+
+    def test_row_order_flipped(self, tmp_path):
+        image = np.zeros((2, 2))
+        image[0, :] = 1.0  # bottom row bright
+        path = tmp_path / "img.pgm"
+        to_pgm(image, path)
+        raster = path.read_bytes().split(b"255\n", 1)[1]
+        # PGM top row comes first: it must be the dark (top) grid row.
+        assert raster[:2] == b"\x00\x00"
+        assert raster[2:] == b"\xff\xff"
+
+
+class TestAsciiArt:
+    def test_binary_mode(self, gradient):
+        art = ascii_art(gradient, threshold=0.5)
+        assert set(art) <= {"#", ".", "\n"}
+        assert "#" in art and "." in art
+
+    def test_grayscale_mode(self, gradient):
+        art = ascii_art(gradient)
+        assert "@" in art and " " in art
+
+    def test_width_respected(self, gradient):
+        art = ascii_art(gradient, width=16)
+        assert max(len(line) for line in art.splitlines()) <= 17
+
+    def test_validation(self):
+        with pytest.raises(LithoError):
+            ascii_art(np.zeros(4))
+        with pytest.raises(LithoError):
+            ascii_art(np.zeros((4, 4)), width=2)

@@ -1,0 +1,98 @@
+"""Edge-case tests for process-window analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LithoError
+from repro.litho import (
+    FocusExposureMatrix,
+    dose_bounds,
+    exposure_latitude_curve,
+    run_fem,
+)
+from repro.litho.process_window import _interp_monotonic
+
+
+def fem_from(cd_rows, focuses=None, doses=None):
+    cd = np.array(cd_rows, dtype=float)
+    focuses = focuses or tuple(range(cd.shape[0]))
+    doses = doses or tuple(np.linspace(0.8, 1.2, cd.shape[1]))
+    return FocusExposureMatrix(tuple(focuses), tuple(doses), cd)
+
+
+class TestDoseBounds:
+    def test_row_with_nans_skipped(self):
+        fem = fem_from([[np.nan, np.nan, np.nan], [200, 180, 160]])
+        bounds = dose_bounds(fem, 180.0, 0.1)
+        assert bounds[0] is None
+        assert bounds[1] is not None
+
+    def test_increasing_rows_handled(self):
+        # CD increasing with dose (bright features) is flipped internally.
+        fem = fem_from([[160, 180, 200]])
+        bounds = dose_bounds(fem, 180.0, 0.1)
+        assert bounds[0] is not None
+        lo, hi = bounds[0]
+        assert lo < hi
+
+    def test_target_outside_row_range(self):
+        fem = fem_from([[100, 90, 80]])
+        assert dose_bounds(fem, 180.0, 0.1)[0] is None
+
+    def test_single_valid_point_insufficient(self):
+        fem = fem_from([[180, np.nan, np.nan]])
+        assert dose_bounds(fem, 180.0, 0.1)[0] is None
+
+
+class TestInterpMonotonic:
+    def test_exact_hit(self):
+        assert _interp_monotonic(
+            np.array([200.0, 180.0, 160.0]), np.array([1.0, 2.0, 3.0]), 180.0
+        ) == pytest.approx(2.0)
+
+    def test_between_samples(self):
+        assert _interp_monotonic(
+            np.array([200.0, 160.0]), np.array([1.0, 2.0]), 180.0
+        ) == pytest.approx(1.5)
+
+    def test_flat_segment(self):
+        assert _interp_monotonic(
+            np.array([180.0, 180.0]), np.array([1.0, 2.0]), 180.0
+        ) == pytest.approx(1.0)
+
+    def test_no_crossing(self):
+        assert _interp_monotonic(
+            np.array([100.0, 90.0]), np.array([1.0, 2.0]), 180.0
+        ) is None
+
+
+class TestExposureLatitudeCurve:
+    def test_gap_in_focus_range_limits_windows(self):
+        # Centre focus row fails entirely: no multi-focus window spans it.
+        fem = fem_from(
+            [
+                [200, 180, 160],
+                [np.nan, np.nan, np.nan],
+                [200, 180, 160],
+            ],
+            focuses=(-300.0, 0.0, 300.0),
+        )
+        curve = exposure_latitude_curve(fem, 180.0, 0.1)
+        widths = {dof for dof, _el in curve}
+        assert 0.0 in widths  # single-focus windows exist
+        assert 600.0 not in widths  # nothing spans the dead centre
+
+    def test_run_fem_preserves_sampling(self):
+        fem = run_fem(lambda f, d: 180.0 - 10 * d + f / 100, [0.0, 100.0], [1.0])
+        assert fem.cd.shape == (2, 1)
+        assert fem.cd_at(100.0, 1.0) == pytest.approx(171.0)
+
+    def test_bossung_nearest_dose_column(self):
+        fem = fem_from([[200, 180, 160]], focuses=(0.0,), doses=(0.8, 1.0, 1.2))
+        focuses, cds = fem.bossung(dose=1.05)
+        assert cds[0] == pytest.approx(180.0)
+
+    def test_validation(self):
+        fem = fem_from([[180.0]])
+        with pytest.raises(LithoError):
+            dose_bounds(fem, 180.0, tolerance=1.5)

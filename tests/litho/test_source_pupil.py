@@ -1,0 +1,130 @@
+"""Unit tests for illumination sources and the pupil function."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import LithoError
+from repro.litho import (
+    Aberrations,
+    OpticalSettings,
+    Pupil,
+    annular,
+    coherent,
+    conventional,
+    dipole,
+    i_line,
+    krf_annular,
+    krf_conventional,
+    quadrupole,
+)
+
+
+class TestSources:
+    def test_coherent_single_point(self):
+        src = coherent()
+        assert len(src) == 1
+        assert src.sigma_max == 0.0
+
+    def test_conventional_weights_sum_to_one(self):
+        src = conventional(0.6)
+        assert math.isclose(sum(w for _x, _y, w in src.points), 1.0)
+
+    def test_conventional_within_sigma(self):
+        src = conventional(0.5)
+        assert src.sigma_max <= 0.5 + 1e-9
+
+    def test_annular_excludes_center(self):
+        src = annular(0.8, 0.5)
+        for x, y, _w in src.points:
+            assert math.hypot(x, y) >= 0.5 - 1e-9
+
+    def test_annular_validation(self):
+        with pytest.raises(LithoError):
+            annular(0.5, 0.8)
+        with pytest.raises(LithoError):
+            annular(1.5, 0.5)
+
+    def test_quadrupole_symmetry(self):
+        src = quadrupole(center=0.6, radius=0.15)
+        xs = sorted(round(x, 6) for x, _y, _w in src.points)
+        assert xs == sorted(round(-x, 6) for x, _y, _w in src.points)
+
+    def test_quadrupole_pole_bound(self):
+        with pytest.raises(LithoError):
+            quadrupole(center=0.95, radius=0.2)
+
+    def test_dipole_axis(self):
+        src = dipole(axis="x")
+        assert all(abs(y) <= 0.25 for _x, y, _w in src.points)
+        with pytest.raises(LithoError):
+            dipole(axis="z")
+
+    def test_conventional_sigma_validation(self):
+        with pytest.raises(LithoError):
+            conventional(0.0)
+        with pytest.raises(LithoError):
+            conventional(1.5)
+
+
+class TestOpticalSettings:
+    def test_presets(self):
+        assert krf_conventional().wavelength_nm == 248.0
+        assert krf_annular().na == 0.68
+        assert i_line().wavelength_nm == 365.0
+
+    def test_k1(self):
+        optics = krf_conventional(na=0.68)
+        assert optics.k1(180.0) == pytest.approx(180 * 0.68 / 248)
+
+    def test_rayleigh(self):
+        optics = krf_conventional(na=0.68)
+        assert optics.rayleigh_resolution_nm == pytest.approx(0.61 * 248 / 0.68)
+        assert optics.rayleigh_dof_nm == pytest.approx(248 / (2 * 0.68**2))
+
+    def test_validation(self):
+        from repro.litho import conventional as conv
+
+        with pytest.raises(LithoError):
+            OpticalSettings(wavelength_nm=-1, na=0.6, source=conv(0.5))
+        with pytest.raises(LithoError):
+            OpticalSettings(wavelength_nm=248, na=1.2, source=conv(0.5))
+
+
+class TestPupil:
+    def make_freqs(self):
+        f = np.linspace(-0.006, 0.006, 101)
+        return np.meshgrid(f, f)
+
+    def test_aperture_cutoff(self):
+        pupil = Pupil(248.0, 0.68)
+        fx, fy = self.make_freqs()
+        values = pupil.evaluate(fx, fy)
+        inside = fx**2 + fy**2 <= pupil.f_max**2
+        assert np.all(values[~inside] == 0)
+        assert np.all(values[inside] == 1)
+
+    def test_defocus_pure_phase(self):
+        pupil = Pupil(248.0, 0.68)
+        fx, fy = self.make_freqs()
+        values = pupil.evaluate(fx, fy, defocus_nm=300.0)
+        inside = fx**2 + fy**2 <= pupil.f_max**2
+        assert np.allclose(np.abs(values[inside]), 1.0)
+        # Defocus phase is quadratic: nonconstant across the pupil.
+        assert np.std(np.angle(values[inside])) > 0
+
+    def test_zero_defocus_is_real(self):
+        pupil = Pupil(248.0, 0.68)
+        fx, fy = self.make_freqs()
+        assert np.all(np.isreal(pupil.evaluate(fx, fy, 0.0)))
+
+    def test_aberrations_change_pupil(self):
+        fx, fy = self.make_freqs()
+        perfect = Pupil(248.0, 0.68)
+        comatic = Pupil(248.0, 0.68, Aberrations(coma_x=0.05))
+        assert not np.allclose(perfect.evaluate(fx, fy), comatic.evaluate(fx, fy))
+
+    def test_aberrations_is_zero_flag(self):
+        assert Aberrations().is_zero
+        assert not Aberrations(spherical=0.01).is_zero

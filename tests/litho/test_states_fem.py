@@ -1,0 +1,84 @@
+"""Tests for edge states and the cached focus-exposure matrix."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, Region
+from repro.litho import Grid, binary_mask
+from repro.litho.contour import edge_offset_state
+
+
+@pytest.fixture()
+def grid():
+    return Grid(0, 0, 10, 32, 32)
+
+
+class TestEdgeOffsetState:
+    def test_found(self, grid):
+        xs = grid.x_centers()
+        image = np.tile(np.clip((xs - 100) / 100.0, 0, 1), (grid.ny, 1))
+        offset, state = edge_offset_state(
+            image, grid, (150.0, 160.0), (1.0, 0.0), 0.5
+        )
+        assert state == "found"
+        assert offset == pytest.approx(0.0, abs=1.0)
+
+    def test_dark(self, grid):
+        image = np.full(grid.shape, 0.05)
+        offset, state = edge_offset_state(
+            image, grid, (160.0, 160.0), (1.0, 0.0), 0.5
+        )
+        assert offset is None
+        assert state == "dark"
+
+    def test_bright(self, grid):
+        image = np.full(grid.shape, 0.95)
+        offset, state = edge_offset_state(
+            image, grid, (160.0, 160.0), (1.0, 0.0), 0.5
+        )
+        assert offset is None
+        assert state == "bright"
+
+
+class TestSimulatorStates:
+    def test_states_reported(self, simulator, dense_mask, window):
+        sites = [
+            ((0.0, 0.0), (-1.0, 0.0)),  # real edge -> found
+        ]
+        values = simulator.edge_placement_errors_with_state(
+            dense_mask, window, sites, dose=0.8
+        )
+        assert values[0][1] == "found"
+        assert values[0][0] is not None
+
+    def test_vanished_feature_is_bright(self, simulator, window):
+        # A sub-resolution speck: nothing prints, site reads bright.
+        speck = binary_mask(Region(Rect(-10, -10, 10, 10)))
+        values = simulator.edge_placement_errors_with_state(
+            speck, window, [((0.0, 10.0), (0.0, 1.0))], dose=1.0, search_nm=40
+        )
+        assert values[0] == (None, "bright")
+
+
+class TestFocusExposureMatrixCached:
+    def test_matches_per_point_cd(self, simulator, dense_mask, window):
+        focuses = [0.0, 300.0]
+        doses = [0.8, 1.0]
+        fem = simulator.focus_exposure_matrix(
+            dense_mask, window, (90.0, 0.0), focuses, doses
+        )
+        for i, focus in enumerate(focuses):
+            for j, dose in enumerate(doses):
+                direct = simulator.cd(
+                    dense_mask, window, (90.0, 0.0), defocus_nm=focus, dose=dose
+                )
+                if direct is None:
+                    assert np.isnan(fem.cd[i, j])
+                else:
+                    assert fem.cd[i, j] == pytest.approx(direct, abs=1e-9)
+
+    def test_unprintable_recorded_as_nan(self, simulator, dense_mask, window):
+        fem = simulator.focus_exposure_matrix(
+            dense_mask, window, (90.0, 0.0), [0.0], [5.0]  # absurd overdose
+        )
+        assert np.isnan(fem.cd[0, 0])

@@ -1,0 +1,48 @@
+"""Tests for the mask cost model."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.geometry import Rect, Region
+from repro.mask import MaskCostModel, mask_data_stats
+
+
+@pytest.fixture()
+def model():
+    return MaskCostModel()
+
+
+def stats_for(side):
+    return mask_data_stats(Region(Rect(0, 0, side, side)))
+
+
+class TestMaskCostModel:
+    def test_base_cost_floor(self, model):
+        small = stats_for(500)
+        assert model.cost_usd(small) >= model.base_usd
+
+    def test_more_shots_cost_more(self, model):
+        assert model.cost_usd(stats_for(50_000)) > model.cost_usd(stats_for(500))
+
+    def test_write_hours(self, model):
+        stats = stats_for(10_000)  # 25 shots
+        assert model.write_hours(stats) == pytest.approx(
+            stats.shots / model.shots_per_second / 3600.0
+        )
+
+    def test_cost_ratio(self, model):
+        base = stats_for(500)
+        assert model.cost_ratio(base, base) == pytest.approx(1.0)
+        assert model.cost_ratio(stats_for(80_000), base) > 1.0
+
+    def test_yield_loss_multiplies(self):
+        cheap = MaskCostModel(yield_loss_factor=1.0)
+        pricey = MaskCostModel(yield_loss_factor=1.5)
+        stats = stats_for(10_000)
+        assert pricey.cost_usd(stats) == pytest.approx(1.5 * cheap.cost_usd(stats))
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            MaskCostModel(base_usd=0)
+        with pytest.raises(ReproError):
+            MaskCostModel(yield_loss_factor=0.9)

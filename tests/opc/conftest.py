@@ -1,0 +1,38 @@
+"""Shared fixtures for OPC tests: an anchored simulator and test patterns."""
+
+import pytest
+
+from repro.geometry import Rect, Region
+from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return LithoSimulator(
+        LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    )
+
+
+@pytest.fixture(scope="session")
+def anchor_dose(simulator):
+    """Dose-to-size on the dense 180 nm / 460 nm-pitch anchor feature."""
+    lines = Region.from_rects(
+        [Rect(x, -1500, x + 180, 1500) for x in range(-1380, 1381, 460)]
+    )
+    return simulator.dose_to_size(
+        binary_mask(lines), Rect(-500, -500, 500, 500), (90, 0), 180.0
+    )
+
+
+@pytest.fixture(scope="session")
+def iso_line():
+    """A single isolated 180 nm vertical line."""
+    return Region(Rect(0, -1500, 180, 1500))
+
+
+@pytest.fixture(scope="session")
+def mixed_lines():
+    """Three dense lines plus one isolated line."""
+    rects = [Rect(x, -1500, x + 180, 1500) for x in (-920, -460, 0)]
+    rects.append(Rect(1000, -1500, 1180, 1500))
+    return Region.from_rects(rects)

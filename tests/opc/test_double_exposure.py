@@ -1,0 +1,113 @@
+"""Tests for the strong-PSM double-exposure (PSM + trim) flow."""
+
+import pytest
+
+from repro.errors import LithoError, OPCError
+from repro.geometry import Rect, Region
+from repro.litho import (
+    LithoConfig,
+    LithoSimulator,
+    altpsm_mask,
+    binary_mask,
+    krf_conventional,
+)
+from repro.opc import PSMRecipe, assign_phases, trim_mask_chrome
+
+
+@pytest.fixture(scope="module")
+def psm_sim():
+    """Low-sigma illumination: what strong PSM wants."""
+    return LithoSimulator(
+        LithoConfig(optics=krf_conventional(sigma=0.35), pixel_nm=6.0, ambit_nm=500)
+    )
+
+
+@pytest.fixture(scope="module")
+def layout():
+    """Three k1=0.33 critical lines plus a wide non-critical pad."""
+    lines = Region.from_rects(
+        [Rect(k * 260, -1200, k * 260 + 120, 1200) for k in (0, 1, 2)]
+    )
+    pad = Region(Rect(1200, -800, 2200, 800))
+    return lines | pad
+
+
+@pytest.fixture(scope="module")
+def masks(layout):
+    recipe = PSMRecipe(
+        critical_width_nm=140, shifter_width_nm=140, min_shifter_space_nm=40
+    )
+    assignment = assign_phases(layout, recipe)
+    assert assignment.is_clean
+    psm = altpsm_mask(layout, assignment.shifter_0, assignment.shifter_180)
+    trim = binary_mask(trim_mask_chrome(layout, assignment, 80))
+    return psm, trim, assignment
+
+
+WINDOW = Rect(-400, -600, 2500, 600)
+
+
+class TestTrimMask:
+    def test_chrome_covers_features_and_apertures(self, layout, masks):
+        _psm, _trim, assignment = masks
+        chrome = trim_mask_chrome(layout, assignment, 80)
+        assert (layout - chrome).is_empty
+        apertures = assignment.shifter_0 | assignment.shifter_180
+        assert (apertures - chrome).is_empty
+
+    def test_margin_validation(self, layout, masks):
+        _psm, _trim, assignment = masks
+        with pytest.raises(OPCError):
+            trim_mask_chrome(layout, assignment, -1)
+
+    def test_no_shifters_degenerates_to_features(self, layout):
+        from repro.opc.psm import PhaseAssignment
+
+        empty = PhaseAssignment([], [], [], 0)
+        chrome = trim_mask_chrome(layout, empty)
+        assert (chrome ^ layout.merged()).is_empty
+
+
+class TestDoubleExposure:
+    def test_psm_plus_trim_resolves_and_protects(self, psm_sim, masks):
+        psm, trim, _a = masks
+        printed = psm_sim.printed_double_exposure(
+            [(psm, 0.9), (trim, 0.9)], WINDOW
+        )
+        for k in (0, 1, 2):
+            assert printed.contains_point((k * 260 + 60, 0))  # lines print
+        for k in (0, 1):
+            assert not printed.contains_point((k * 260 + 190, 0))  # gaps clear
+        assert printed.contains_point((1700, 0))  # the pad survives the flow
+
+    def test_single_binary_exposure_fails(self, psm_sim, layout):
+        printed = psm_sim.printed(binary_mask(layout), WINDOW, dose=1.0)
+        bridged = any(
+            printed.contains_point((k * 260 + 190, 0)) for k in (0, 1)
+        )
+        assert bridged  # k1 = 0.33 is beyond single binary exposure
+
+    def test_dose_validation(self, psm_sim, masks):
+        psm, trim, _a = masks
+        with pytest.raises(LithoError):
+            psm_sim.printed_double_exposure([], WINDOW)
+        with pytest.raises(LithoError):
+            psm_sim.printed_double_exposure([(psm, 0.0)], WINDOW)
+
+    def test_single_exposure_consistency(self, psm_sim, masks):
+        """One exposure through the multi-exposure path == printed()."""
+        _psm, trim, _a = masks
+        multi = psm_sim.printed_double_exposure([(trim, 1.0)], WINDOW)
+        single = psm_sim.printed(trim, WINDOW, dose=1.0)
+        assert (multi ^ single).is_empty
+
+    def test_latent_adds_linearly(self, psm_sim, masks):
+        import numpy as np
+
+        psm, trim, _a = masks
+        grid, combined = psm_sim.double_exposure_latent(
+            [(psm, 0.7), (trim, 0.5)], WINDOW
+        )
+        _g1, a = psm_sim.latent_image(psm, WINDOW)
+        _g2, b = psm_sim.latent_image(trim, WINDOW)
+        assert np.allclose(combined, 0.7 * a + 0.5 * b)

@@ -1,0 +1,253 @@
+"""Tests for SRAF insertion, PSM phase assignment, and mask rule checks."""
+
+import pytest
+
+from repro.errors import OPCError, PhaseConflictError
+from repro.geometry import Rect, Region
+from repro.litho import binary_mask
+from repro.opc import (
+    MRCRules,
+    PSMRecipe,
+    SRAFRecipe,
+    assign_phases,
+    check_mask,
+    insert_srafs,
+)
+
+
+class TestSRAF:
+    def test_isolated_line_gets_bars(self, iso_line):
+        bars = insert_srafs(iso_line)
+        assert not bars.is_empty
+        # Bars appear on both sides.
+        assert bars.bbox().x1 < 0
+        assert bars.bbox().x2 > 180
+
+    def test_dense_lines_get_no_bars(self):
+        lines = Region.from_rects(
+            [Rect(x, -1500, x + 180, 1500) for x in range(0, 2300, 460)]
+        )
+        bars = insert_srafs(lines)
+        # Interior spaces (280 nm) are too tight; only the outermost edges
+        # facing open space receive bars.
+        interior = bars & Region(Rect(181, -1500, 2119, 1500))
+        assert interior.is_empty
+
+    def test_medium_space_single_centred_bar(self):
+        recipe = SRAFRecipe()
+        space = recipe.single_bar_space_nm + 60
+        lines = Region.from_rects(
+            [Rect(0, -1500, 180, 1500), Rect(180 + space, -1500, 360 + space, 1500)]
+        )
+        bars = insert_srafs(lines, recipe) & Region(Rect(181, -1400, 179 + space, 1400))
+        assert len(bars.outer_polygons()) == 1
+        bar = bars.outer_polygons()[0].bbox()
+        centre = (bar.x1 + bar.x2) / 2
+        assert centre == pytest.approx(180 + space / 2, abs=1.5)
+
+    def test_wide_space_two_bars(self):
+        recipe = SRAFRecipe()
+        space = recipe.double_bar_space_nm + 200
+        lines = Region.from_rects(
+            [Rect(0, -1500, 180, 1500), Rect(180 + space, -1500, 360 + space, 1500)]
+        )
+        bars = insert_srafs(lines, recipe) & Region(Rect(181, -1400, 179 + space, 1400))
+        assert len(bars.outer_polygons()) == 2
+
+    def test_bars_respect_mrc_clearance(self, iso_line):
+        recipe = SRAFRecipe()
+        bars = insert_srafs(iso_line, recipe)
+        too_close = bars & iso_line.sized(recipe.mrc_space_nm - 1)
+        assert too_close.is_empty
+
+    def test_bars_do_not_print(self, simulator, anchor_dose, iso_line):
+        """The defining property of an SRAF: it must stay sub-resolution."""
+        bars = insert_srafs(iso_line)
+        printed = simulator.printed(
+            binary_mask(iso_line, srafs=bars),
+            Rect(-700, -500, 900, 500),
+            dose=anchor_dose,
+        )
+        # Printed resist away from the main line means a bar printed.
+        stray = printed - iso_line.sized(120)
+        assert stray.is_empty
+
+    def test_short_edge_no_bar(self):
+        stub = Region(Rect(0, 0, 180, 150))  # shorter than min bar length
+        assert insert_srafs(stub).is_empty
+
+    def test_recipe_validation(self):
+        with pytest.raises(OPCError):
+            SRAFRecipe(bar_width_nm=0).validated()
+        with pytest.raises(OPCError):
+            SRAFRecipe(single_bar_space_nm=100, bar_width_nm=80).validated()
+        with pytest.raises(OPCError):
+            SRAFRecipe(double_bar_space_nm=100).validated()
+
+    def test_empty_input(self):
+        assert insert_srafs(Region()).is_empty
+
+
+class TestSRAFCalibration:
+    def test_calibration_picks_a_printing_offset(self, simulator, anchor_dose):
+        from repro.opc import calibrate_sraf_offset
+
+        recipe, rows = calibrate_sraf_offset(
+            simulator, 180, [120, 160, 220], dose=anchor_dose, defocus_nm=500.0
+        )
+        assert recipe.bar_offset_nm in (120, 160, 220)
+        assert len(rows) >= 1
+        # The winner has the smallest through-focus CD loss in the table.
+        losses = {offset: abs(a - b) for offset, a, b in rows}
+        assert losses[recipe.bar_offset_nm] == min(losses.values())
+
+    def test_calibration_validation(self, simulator):
+        from repro.errors import OPCError
+        from repro.opc import calibrate_sraf_offset
+
+        with pytest.raises(OPCError):
+            calibrate_sraf_offset(simulator, 180, [])
+
+
+class TestPSM:
+    def test_single_line_two_phases(self):
+        line = Region(Rect(0, 0, 150, 2000))
+        assignment = assign_phases(line)
+        assert assignment.is_clean
+        assert assignment.critical_features == 1
+        assert not assignment.shifter_0.is_empty
+        assert not assignment.shifter_180.is_empty
+        # Shifters flank the line on opposite sides.
+        s0 = assignment.shifter_0.bbox()
+        s180 = assignment.shifter_180.bbox()
+        assert (s0.x2 <= 0 and s180.x1 >= 150) or (s180.x2 <= 0 and s0.x1 >= 150)
+
+    def test_wide_feature_not_critical(self):
+        block = Region(Rect(0, 0, 1000, 2000))
+        assignment = assign_phases(block)
+        assert assignment.critical_features == 0
+        assert assignment.shifters == []
+
+    def test_parallel_lines_alternate(self):
+        recipe = PSMRecipe()
+        # Two parallel critical lines close enough that the shifter between
+        # them is shared (same-phase merge forces alternation).
+        pitch = 150 + recipe.shifter_width_nm
+        lines = Region.from_rects(
+            [Rect(0, 0, 150, 2000), Rect(pitch, 0, pitch + 150, 2000)]
+        )
+        assignment = assign_phases(lines, recipe)
+        assert assignment.is_clean
+        # Outer shifters of the two lines carry the same relationship as an
+        # alternating chain: left-outer and right-outer phases are equal.
+        phases = assignment.phases
+        assert phases[0] == phases[3]
+        assert phases[0] != phases[1]
+
+    def test_odd_cycle_conflict_detected(self):
+        """Three mutually-close critical lines in a triangle-like layout.
+
+        Construct a same-phase triangle with alternation demands that
+        cannot be satisfied: three parallel lines at shifter-sharing pitch
+        would be fine, so instead force a conflict by making the two
+        shifters of one line also nearly touch each other around a short
+        line (loop closure).
+        """
+        recipe = PSMRecipe(
+            critical_width_nm=200,
+            shifter_width_nm=250,
+            min_shifter_space_nm=120,
+            min_critical_length_nm=300,
+        )
+        # A short critical line: its left and right shifters come within
+        # min_shifter_space of each other around the line ends only if the
+        # line is narrow; with width 100 < 120 + something they must merge,
+        # but the line demands they differ -> conflict.
+        line = Region(Rect(0, 0, 100, 400))
+        assignment = assign_phases(line, recipe)
+        assert not assignment.is_clean
+        assert assignment.conflict_count == 2
+        with pytest.raises(PhaseConflictError):
+            assign_phases(line, recipe, strict=True)
+
+    def test_conflicted_shifters_omitted_from_regions(self):
+        recipe = PSMRecipe(min_shifter_space_nm=120)
+        line = Region(Rect(0, 0, 100, 400))
+        assignment = assign_phases(line, recipe)
+        assert assignment.shifter_0.is_empty
+        assert assignment.shifter_180.is_empty
+
+    def test_recipe_validation(self):
+        with pytest.raises(OPCError):
+            PSMRecipe(critical_width_nm=0).validated()
+
+    def test_empty_layout(self):
+        assignment = assign_phases(Region())
+        assert assignment.is_clean
+        assert assignment.critical_features == 0
+
+
+class TestMRC:
+    def test_clean_mask(self):
+        mask = Region.from_rects([Rect(0, 0, 200, 1000), Rect(400, 0, 600, 1000)])
+        report = check_mask(mask)
+        assert report.is_clean
+
+    def test_narrow_feature_flagged(self):
+        mask = Region.from_rects([Rect(0, 0, 200, 1000), Rect(300, 0, 320, 1000)])
+        report = check_mask(mask, MRCRules(min_width_nm=40, min_space_nm=40))
+        assert report.width_violation_count >= 1
+        assert report.space_violation_count == 0
+
+    def test_tight_space_flagged(self):
+        mask = Region.from_rects([Rect(0, 0, 200, 1000), Rect(220, 0, 420, 1000)])
+        report = check_mask(mask, MRCRules(min_width_nm=40, min_space_nm=60))
+        assert report.space_violation_count >= 1
+
+    def test_empty_mask(self):
+        assert check_mask(Region()).is_clean
+
+    def test_rules_validation(self):
+        with pytest.raises(OPCError):
+            MRCRules(min_width_nm=0).validated()
+
+    def test_violation_location(self):
+        mask = Region.from_rects([Rect(0, 0, 200, 1000), Rect(300, 400, 320, 700)])
+        report = check_mask(mask)
+        bad = report.width_violations.bbox()
+        assert bad is not None
+        assert Rect(290, 390, 330, 710).contains_rect(bad)
+
+
+class TestMRCRepair:
+    def test_clean_mask_unchanged(self):
+        from repro.opc import repair_mask
+
+        mask = Region.from_rects([Rect(0, 0, 200, 1000), Rect(400, 0, 600, 1000)])
+        assert (repair_mask(mask) ^ mask).is_empty
+
+    def test_tight_space_filled(self):
+        from repro.opc import repair_mask
+
+        mask = Region.from_rects([Rect(0, 0, 200, 1000), Rect(220, 0, 420, 1000)])
+        repaired = repair_mask(mask, MRCRules(min_width_nm=40, min_space_nm=60))
+        assert check_mask(repaired, MRCRules(40, 60)).is_clean
+        # The 20 nm gap became chrome: one merged feature.
+        assert len(repaired.outer_polygons()) == 1
+
+    def test_narrow_sliver_trimmed(self):
+        from repro.opc import repair_mask
+
+        mask = Region.from_rects([Rect(0, 0, 200, 1000), Rect(200, 480, 230, 520)])
+        repaired = repair_mask(mask, MRCRules(min_width_nm=40, min_space_nm=40))
+        assert check_mask(repaired, MRCRules(40, 40)).is_clean
+        assert repaired.area <= mask.area
+
+    def test_repair_displacement_bounded(self):
+        from repro.opc import repair_mask
+
+        mask = Region.from_rects([Rect(0, 0, 200, 1000), Rect(220, 0, 420, 1000)])
+        rules = MRCRules(min_width_nm=40, min_space_nm=60)
+        repaired = repair_mask(mask, rules)
+        assert (repaired - mask.sized(rules.min_space_nm)).is_empty
+        assert (mask.sized(-rules.min_width_nm) - repaired).is_empty

@@ -1,0 +1,149 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.layout import Layer, read_gds
+
+
+@pytest.fixture(scope="module")
+def stdcell_gds(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "cells.gds"
+    assert main(["generate", "stdcells", "--node", "180nm", "-o", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def block_gds(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "block.gds"
+    code = main(
+        ["generate", "block", "--node", "180nm", "--rows", "2",
+         "--row-width", "6000", "--seed", "5", "-o", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_block_readable(self, block_gds):
+        library = read_gds(block_gds)
+        assert any(c.name.endswith("_top") for c in library.cells)
+
+    def test_sram(self, tmp_path):
+        path = tmp_path / "sram.gds"
+        assert main(["generate", "sram", "-o", str(path)]) == 0
+        assert "SRAM6T" in read_gds(path)
+
+    def test_stdcells(self, stdcell_gds):
+        assert "NAND2" in read_gds(stdcell_gds)
+
+
+class TestStats:
+    def test_stats_runs(self, block_gds, capsys):
+        assert main(["stats", str(block_gds)]) == 0
+        out = capsys.readouterr().out
+        assert "flat figures" in out
+        assert "poly" in out or "L3.0" in out
+
+    def test_stats_named_cell(self, stdcell_gds, capsys):
+        assert main(["stats", str(stdcell_gds), "--cell", "INV"]) == 0
+        assert "INV" in capsys.readouterr().out
+
+
+class TestDRC:
+    def test_clean_block(self, block_gds, capsys):
+        assert main(["drc", str(block_gds), "--node", "180nm"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violating_layout(self, tmp_path, capsys):
+        from repro.geometry import Rect
+        from repro.layout import Cell, Library, POLY, write_gds
+
+        lib = Library("bad")
+        cell = lib.new_cell("bad")
+        cell.add(POLY, Rect(0, 0, 50, 2000))  # below min width
+        path = tmp_path / "bad.gds"
+        write_gds(lib, path)
+        assert main(["drc", str(path), "--node", "180nm"]) == 1
+        assert "poly.w" in capsys.readouterr().out
+
+
+class TestCorrect:
+    def test_rule_correction(self, stdcell_gds, tmp_path, capsys):
+        out = tmp_path / "inv_opc.gds"
+        code = main(
+            ["correct", str(stdcell_gds), "--cell", "INV", "--layer", "3",
+             "--level", "rule", "--dose", "1.0", "-o", str(out)]
+        )
+        assert code == 0
+        library = read_gds(out)
+        cell = library["INV_opc"]
+        assert not cell.region(Layer(3, 0)).is_empty
+        assert not cell.region(Layer(3, 10)).is_empty  # OPC datatype
+
+    def test_missing_layer_errors(self, stdcell_gds, tmp_path, capsys):
+        code = main(
+            ["correct", str(stdcell_gds), "--cell", "INV", "--layer", "55",
+             "--level", "rule", "--dose", "1.0", "-o", str(tmp_path / "x.gds")]
+        )
+        assert code == 2
+        assert "no geometry" in capsys.readouterr().err
+
+    def test_model_correction_auto_dose(self, stdcell_gds, tmp_path, capsys):
+        out = tmp_path / "inv_model.gds"
+        code = main(
+            ["correct", str(stdcell_gds), "--cell", "INV", "--layer", "3",
+             "--level", "model", "-o", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "auto dose-to-size" in text
+        corrected = read_gds(out)["INV_opc"].region(Layer(3, 10))
+        assert corrected.num_vertices > 50  # fragmentation jogs present
+
+    def test_smooth_reduces_vertices(self, stdcell_gds, tmp_path, capsys):
+        raw = tmp_path / "raw.gds"
+        smooth = tmp_path / "smooth.gds"
+        base = ["correct", str(stdcell_gds), "--cell", "INV", "--layer", "3",
+                "--level", "model"]
+        assert main(base + ["-o", str(raw)]) == 0
+        assert main(base + ["--smooth", "4", "-o", str(smooth)]) == 0
+        raw_vertices = read_gds(raw)["INV_opc"].region(Layer(3, 10)).num_vertices
+        smooth_vertices = (
+            read_gds(smooth)["INV_opc"].region(Layer(3, 10)).num_vertices
+        )
+        assert smooth_vertices < raw_vertices
+
+    def test_report_subcommand(self, stdcell_gds, capsys):
+        code = main(
+            ["report", str(stdcell_gds), "--cell", "INV", "--layer", "3",
+             "--levels", "none,rule", "--dose", "1.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "| none |" in out and "| rule |" in out
+        assert "Worst data volume" in out
+
+    def test_report_bad_level(self, stdcell_gds, capsys):
+        code = main(
+            ["report", str(stdcell_gds), "--cell", "INV", "--layer", "3",
+             "--levels", "none,magic", "--dose", "1.0"]
+        )
+        assert code == 2
+        assert "unknown correction level" in capsys.readouterr().err
+
+    def test_dark_field_flag_runs(self, tmp_path, capsys):
+        from repro.design import contact_array
+        from repro.layout import CONTACT, Cell, Library, write_gds
+
+        lib = Library("cts")
+        cell = lib.new_cell("cts")
+        cell.set_region(CONTACT, contact_array(220, 280, 3, 3).region)
+        src = tmp_path / "cts.gds"
+        write_gds(lib, src)
+        out = tmp_path / "cts_opc.gds"
+        code = main(
+            ["correct", str(src), "--layer", "6", "--level", "rule",
+             "--dose", "1.0", "--dark-field", "-o", str(out)]
+        )
+        assert code == 0

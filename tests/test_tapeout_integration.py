@@ -1,0 +1,158 @@
+"""End-to-end tape-out integration: every subsystem in one flow.
+
+Generate a placed block -> DRC -> retarget -> correct (rule and model) ->
+smooth -> MRC -> ORC -> data volume -> GDSII out -> read back.  This is
+the test that fails if any two subsystems stop composing.
+"""
+
+import pytest
+
+from repro.design import (
+    BlockSpec,
+    drc_ruleset,
+    line_space_array,
+    node_180nm,
+    random_logic_block,
+)
+from repro.flow import CorrectionLevel, correct_region
+from repro.geometry import smooth_jogs
+from repro.layout import (
+    Library,
+    POLY,
+    layout_stats,
+    opc_layer,
+    read_gds,
+    write_gds,
+)
+from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+from repro.mask import MaskCostModel, mask_data_stats
+from repro.opc import MRCRules, RetargetRules, check_mask, repair_mask, retarget
+from repro.verify import ProcessCorner, extract_nets, run_drc, run_orc
+
+
+@pytest.fixture(scope="module")
+def rules():
+    return node_180nm()
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return LithoSimulator(LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600))
+
+
+@pytest.fixture(scope="module")
+def block(rules):
+    return random_logic_block(rules, BlockSpec(rows=1, row_width=6000, nets=2, seed=21))
+
+
+@pytest.fixture(scope="module")
+def top(block):
+    return block["block_top"]
+
+
+@pytest.fixture(scope="module")
+def anchor_dose(simulator, rules):
+    anchor = line_space_array(rules.poly_width, rules.poly_space)
+    return simulator.dose_to_size(
+        binary_mask(anchor.region), anchor.window, anchor.site("center"),
+        float(rules.poly_width),
+    )
+
+
+@pytest.fixture(scope="module")
+def tapeout(simulator, top, rules, anchor_dose, tmp_path_factory):
+    """Run the whole flow once; tests pick it apart."""
+    target = top.flat_region(POLY)
+    window = top.bbox()
+    assert run_drc(top, drc_ruleset(rules)).is_clean
+
+    retargeted = retarget(
+        target, RetargetRules(rules.poly_width, rules.poly_space)
+    )
+    result = correct_region(
+        retargeted,
+        CorrectionLevel.MODEL,
+        simulator=simulator,
+        window=window,
+        dose=anchor_dose,
+    )
+    smoothed = smooth_jogs(result.corrected, 4)
+    smoothed = repair_mask(smoothed, MRCRules(40, 40))
+
+    out = Library("tapeout")
+    cell = out.new_cell("block_opc")
+    cell.set_region(POLY, target)
+    cell.set_region(opc_layer(POLY), smoothed)
+    path = tmp_path_factory.mktemp("tapeout") / "block_opc.gds"
+    write_gds(out, path)
+    return {
+        "target": target,
+        "window": window,
+        "result": result,
+        "smoothed": smoothed,
+        "gds_path": path,
+    }
+
+
+class TestTapeout:
+    def test_retarget_is_noop_on_clean_block(self, tapeout, rules, top):
+        # The generator is DRC-clean, so retargeting must not change it.
+        target = top.flat_region(POLY)
+        retargeted = retarget(
+            target, RetargetRules(rules.poly_width, rules.poly_space)
+        )
+        assert (retargeted ^ target).is_empty
+
+    def test_correction_ran_tiled(self, tapeout):
+        result = tapeout["result"]
+        assert result.opc is not None
+        assert result.opc.fragment_count > 100
+
+    def test_smoothing_saves_data(self, tapeout):
+        raw = mask_data_stats(tapeout["result"].corrected)
+        smooth = mask_data_stats(tapeout["smoothed"])
+        assert smooth.shots < raw.shots
+        assert smooth.vertices < raw.vertices
+
+    def test_mask_is_writable(self, tapeout):
+        report = check_mask(tapeout["smoothed"], MRCRules(40, 40))
+        assert report.is_clean, (
+            f"{report.width_violation_count} width / "
+            f"{report.space_violation_count} space MRC violations"
+        )
+
+    def test_orc_clean_at_nominal(self, tapeout, simulator, anchor_dose):
+        report = run_orc(
+            simulator,
+            binary_mask(tapeout["smoothed"]),
+            tapeout["target"],
+            tapeout["window"],
+            ProcessCorner(dose=anchor_dose),
+        )
+        assert report.is_clean
+        assert report.epe.rms_nm < 20.0
+
+    def test_mask_cost_accounted(self, tapeout):
+        baseline = mask_data_stats(tapeout["target"])
+        corrected = mask_data_stats(tapeout["smoothed"])
+        model = MaskCostModel()
+        assert model.cost_usd(corrected) >= model.cost_usd(baseline)
+
+    def test_gds_roundtrip_preserves_both_layers(self, tapeout):
+        restored = read_gds(tapeout["gds_path"])["block_opc"]
+        assert (restored.region(POLY) ^ tapeout["target"]).is_empty
+        assert (
+            restored.region(opc_layer(POLY)) ^ tapeout["smoothed"]
+        ).is_empty
+
+    def test_block_connectivity_survives_flow(self, top):
+        # The drawn block has named rails that conduct across the row.
+        netlist = extract_nets(top)
+        assert netlist.net_by_name("VSS") is not None
+        assert netlist.net_by_name("VDD") is not None
+        assert netlist.net_by_name("VSS") != netlist.net_by_name("VDD")
+
+    def test_stats_consistency(self, top):
+        stats = layout_stats(top)
+        assert stats.flat_figures >= stats.hierarchical_figures
+        assert stats.placements >= 1

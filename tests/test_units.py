@@ -1,0 +1,25 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_nm_rounding(self):
+        assert units.nm(180.0) == 180
+        assert units.nm(180.4) == 180
+        assert units.nm(180.5) == 180 or units.nm(180.5) == 181  # banker's ok
+        assert units.nm(179.6) == 180
+
+    def test_um(self):
+        assert units.um(1.28) == 1280
+        assert units.um(0.18) == 180
+
+    def test_roundtrips(self):
+        assert units.to_nm(units.nm(250)) == 250.0
+        assert units.to_um(units.um(2.5)) == pytest.approx(2.5)
+
+    def test_constants(self):
+        assert units.DBU_PER_NM == 1
+        assert units.METERS_PER_DBU == 1e-9

@@ -1,0 +1,142 @@
+"""Tests for net extraction (LVS-lite connectivity)."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.geometry import Rect
+from repro.layout import Cell, CONTACT, METAL1, METAL2, POLY, VIA1
+from repro.verify import Netlist, extract_nets, verify_routed_nets
+
+
+def simple_stack():
+    """Poly bar -> contact -> m1 strap -> via1 -> m2 line."""
+    cell = Cell("stack")
+    cell.add(POLY, Rect(0, 0, 400, 200))
+    cell.add(CONTACT, Rect(100, 50, 200, 150))
+    cell.add(METAL1, Rect(50, 0, 1000, 250))
+    cell.add(VIA1, Rect(800, 50, 900, 150))
+    cell.add(METAL2, Rect(750, -500, 950, 2000))
+    return cell
+
+
+class TestExtraction:
+    def test_stack_is_one_net(self):
+        netlist = extract_nets(simple_stack())
+        assert netlist.net_count == 1
+        assert netlist.connected((POLY, (50, 100)), (METAL2, (850, 1500)))
+
+    def test_disjoint_shapes_distinct_nets(self):
+        cell = Cell("two")
+        cell.add(METAL1, Rect(0, 0, 100, 100))
+        cell.add(METAL1, Rect(500, 0, 600, 100))
+        netlist = extract_nets(cell)
+        assert netlist.net_count == 2
+        assert not netlist.connected((METAL1, (50, 50)), (METAL1, (550, 50)))
+
+    def test_touching_shapes_merge(self):
+        cell = Cell("touch")
+        cell.add(METAL1, Rect(0, 0, 100, 100))
+        cell.add(METAL1, Rect(100, 0, 200, 100))
+        assert extract_nets(cell).net_count == 1
+
+    def test_dangling_via_connects_nothing(self):
+        cell = Cell("dangle")
+        cell.add(METAL1, Rect(0, 0, 100, 100))
+        cell.add(VIA1, Rect(40, 40, 60, 60))  # no metal2 above
+        cell.add(METAL2, Rect(500, 500, 700, 700))  # far away
+        netlist = extract_nets(cell)
+        assert netlist.net_count == 2
+
+    def test_crossing_wires_without_via_stay_apart(self):
+        cell = Cell("cross")
+        cell.add(METAL1, Rect(0, 400, 1000, 600))  # horizontal m1
+        cell.add(METAL2, Rect(400, 0, 600, 1000))  # vertical m2 above
+        netlist = extract_nets(cell)
+        assert netlist.net_count == 2
+        assert not netlist.connected((METAL1, (500, 500)), (METAL2, (500, 500)))
+
+    def test_net_at_empty_space(self):
+        netlist = extract_nets(simple_stack())
+        assert netlist.net_at(METAL2, (0, 0)) is None
+
+    def test_hierarchical_flattening(self):
+        leaf = Cell("leaf")
+        leaf.add(METAL1, Rect(0, 0, 200, 100))
+        top = Cell("top")
+        top.place_at(leaf, 0, 0)
+        top.place_at(leaf, 200, 0)  # abutting: one net after flattening
+        assert extract_nets(top).net_count == 1
+
+    def test_islands_of_net(self):
+        netlist = extract_nets(simple_stack())
+        net = netlist.net_at(POLY, (50, 100))
+        layers = {layer for layer, _i in netlist.islands_of_net(net)}
+        assert layers == {POLY, METAL1, METAL2}
+
+
+class TestStdCellNets:
+    def test_inverter_nets(self):
+        from repro.design import StdCellGenerator, node_180nm
+
+        cell = StdCellGenerator(node_180nm()).library()["INV"]
+        netlist = extract_nets(cell)
+        # Exactly: VSS rail, VDD rail, input (poly), output strap.
+        assert netlist.net_count == 4
+        box = cell.bbox()
+        vss = netlist.net_at(METAL1, (box.width // 2, 100))
+        vdd = netlist.net_at(METAL1, (box.width // 2, box.height - 100))
+        assert vss is not None and vdd is not None and vss != vdd
+
+    def test_inverter_input_isolated_from_rails(self):
+        from repro.design import StdCellGenerator, node_180nm
+
+        gen = StdCellGenerator(node_180nm())
+        cell = gen.library()["INV"]
+        netlist = extract_nets(cell)
+        # A point on the gate finger inside the mid-gap band.
+        gate_x = gen.edge_margin + gen.rules.active_extension + 10
+        gate_y = gen.nmos_y0 + gen.nmos_width + gen.mid_gap // 2
+        input_net = netlist.net_at(POLY, (gate_x, gate_y))
+        box = cell.bbox()
+        vss = netlist.net_at(METAL1, (box.width // 2, 100))
+        assert input_net is not None
+        assert input_net != vss
+
+    def test_channel_does_not_conduct(self):
+        """Source and drain of one device are distinct nets (active splits)."""
+        from repro.design import node_180nm, transistor_stack
+        from repro.layout import ACTIVE
+
+        r = node_180nm()
+        cell = Cell("fet")
+        active, gates, contacts = transistor_stack(r, (0, 0), 1, 4 * r.active_width)
+        cell.add(ACTIVE, active)
+        for gate in gates:
+            cell.add(POLY, gate)
+        netlist = extract_nets(cell)
+        src = netlist.net_at(ACTIVE, contacts[0])
+        drn = netlist.net_at(ACTIVE, contacts[1])
+        assert src is not None and drn is not None
+        assert src != drn
+
+
+class TestRoutedBlock:
+    def test_router_output_conducts(self):
+        from repro.design import GridRouter
+        from repro.design.primitives import wire
+
+        cell = Cell("routes")
+        router = GridRouter(Rect(0, 0, 20000, 20000), 1000, 280)
+        a = router.route((1000, 1000), (15000, 9000))
+        b = router.route((1000, 15000), (15000, 15000))
+        assert a and b
+        cell.set_region(METAL2, router.wire_region())
+        results = verify_routed_nets(
+            cell, [(a[0], a[-1]), (b[0], b[-1]), (a[0], b[0])]
+        )
+        assert results[0] and results[1]
+        assert not results[2]  # distinct nets stay distinct
+
+    def test_empty_endpoints_rejected(self):
+        with pytest.raises(VerificationError):
+            verify_routed_nets(Cell("x"), [])

@@ -1,0 +1,123 @@
+"""Unit tests for the DRC engine."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.geometry import Rect, Region
+from repro.layout import Cell, CONTACT, METAL1, POLY
+from repro.verify import (
+    area_rule,
+    check_enclosure,
+    check_min_area,
+    check_space,
+    check_width,
+    enclosure_rule,
+    run_drc,
+    space_rule,
+    width_rule,
+)
+
+
+class TestChecks:
+    def test_width_clean(self):
+        assert check_width(Region(Rect(0, 0, 200, 1000)), 180).is_empty
+
+    def test_width_violation(self):
+        bad = check_width(Region(Rect(0, 0, 100, 1000)), 180)
+        assert not bad.is_empty
+
+    def test_width_neck_violation(self):
+        shape = Region.from_rects(
+            [Rect(0, 0, 300, 300), Rect(300, 100, 600, 160), Rect(600, 0, 900, 300)]
+        )
+        bad = check_width(shape, 180)
+        assert not bad.is_empty
+        # The violation sits in the neck, not the pads.
+        assert Rect(250, 50, 650, 210).contains_rect(bad.bbox())
+
+    def test_space_clean(self):
+        r = Region.from_rects([Rect(0, 0, 200, 1000), Rect(500, 0, 700, 1000)])
+        assert check_space(r, 250).is_empty
+
+    def test_space_violation(self):
+        r = Region.from_rects([Rect(0, 0, 200, 1000), Rect(320, 0, 520, 1000)])
+        bad = check_space(r, 250)
+        assert not bad.is_empty
+
+    def test_enclosure_clean(self):
+        outer = Region(Rect(0, 0, 400, 400))
+        inner = Region(Rect(100, 100, 300, 300))
+        assert check_enclosure(outer, inner, 60).is_empty
+
+    def test_enclosure_violation(self):
+        outer = Region(Rect(0, 0, 400, 400))
+        inner = Region(Rect(10, 100, 210, 300))  # only 10 from the left edge
+        bad = check_enclosure(outer, inner, 60)
+        assert not bad.is_empty
+        assert bad.bbox().x1 < 0  # the uncovered growth pokes out left
+
+    def test_min_area(self):
+        r = Region.from_rects([Rect(0, 0, 100, 100), Rect(500, 0, 2000, 2000)])
+        bad = check_min_area(r, 50000)
+        assert len(bad.outer_polygons()) == 1
+        assert bad.bbox() == Rect(0, 0, 100, 100)
+
+    def test_validation(self):
+        with pytest.raises(VerificationError):
+            check_width(Region(), 0)
+        with pytest.raises(VerificationError):
+            check_space(Region(), -5)
+        with pytest.raises(VerificationError):
+            check_enclosure(Region(), Region(), -1)
+        with pytest.raises(VerificationError):
+            check_min_area(Region(), 0)
+
+    def test_empty_region_clean(self):
+        assert check_width(Region(), 100).is_empty
+        assert check_space(Region(), 100).is_empty
+
+
+class TestRunDRC:
+    def make_cell(self):
+        cell = Cell("dut")
+        cell.add(POLY, Rect(0, 0, 180, 2000))
+        cell.add(POLY, Rect(100 + 180, 0, 100 + 360, 2000))  # space 100: too tight
+        cell.add(METAL1, Rect(0, 0, 500, 500))
+        cell.add(CONTACT, Rect(400, 400, 600, 600))  # pokes out of metal
+        return cell
+
+    def rules(self):
+        return [
+            width_rule("poly.width", POLY, 180),
+            space_rule("poly.space", POLY, 240),
+            enclosure_rule("m1.enc.ct", METAL1, CONTACT, 40),
+            area_rule("m1.area", METAL1, 10000),
+        ]
+
+    def test_violations_found(self):
+        result = run_drc(self.make_cell(), self.rules())
+        assert not result.is_clean
+        assert result.by_rule("poly.space") is not None
+        assert result.by_rule("m1.enc.ct") is not None
+        assert result.by_rule("poly.width") is None  # widths are fine
+        assert result.by_rule("m1.area") is None
+
+    def test_total_count(self):
+        result = run_drc(self.make_cell(), self.rules())
+        assert result.total_count >= 2
+
+    def test_clean_cell(self):
+        cell = Cell("clean")
+        cell.add(POLY, Rect(0, 0, 200, 2000))
+        result = run_drc(cell, self.rules())
+        assert result.is_clean
+
+    def test_hierarchical_flattening(self):
+        leaf = Cell("leaf")
+        leaf.add(POLY, Rect(0, 0, 180, 2000))
+        top = Cell("top")
+        # Two placements 100 apart: a space violation only visible flat.
+        top.place_at(leaf, 0, 0)
+        top.place_at(leaf, 280, 0)
+        result = run_drc(top, [space_rule("poly.space", POLY, 240)])
+        assert not result.is_clean

@@ -1,0 +1,67 @@
+"""Tests for tag-aware EPE site generation and corner exclusion."""
+
+import pytest
+
+from repro.geometry import FragmentTag, Rect, Region
+from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+from repro.verify import epe_sites, measure_epe
+from repro.verify.epe import epe_sites_tagged
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return LithoSimulator(LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600))
+
+
+@pytest.fixture(scope="module")
+def elbow_target():
+    # An L shape has convex and concave corners plus straight runs.
+    from repro.geometry import Polygon
+
+    return Region(
+        Polygon([(0, 0), (1500, 0), (1500, 300), (300, 300), (300, 1500), (0, 1500)])
+    )
+
+
+class TestTaggedSites:
+    def test_tags_present(self, elbow_target):
+        tagged = epe_sites_tagged(elbow_target)
+        tags = {tag for _site, tag in tagged}
+        assert FragmentTag.CORNER_CONVEX in tags
+        assert FragmentTag.CORNER_CONCAVE in tags
+        assert FragmentTag.NORMAL in tags
+
+    def test_plain_sites_match_tagged(self, elbow_target):
+        assert epe_sites(elbow_target) == [
+            s for s, _t in epe_sites_tagged(elbow_target)
+        ]
+
+    def test_window_filter_applies(self, elbow_target):
+        window = Rect(0, 0, 400, 400)
+        tagged = epe_sites_tagged(elbow_target, window)
+        assert tagged
+        for (anchor, _normal), _tag in tagged:
+            assert window.contains(anchor)
+
+
+class TestCornerExclusion:
+    def test_excluding_corners_reduces_sites(self, simulator, elbow_target):
+        window = elbow_target.bbox().expanded(100)
+        mask = binary_mask(elbow_target)
+        all_stats, all_values = measure_epe(
+            simulator, mask, elbow_target, window, dose=0.8
+        )
+        run_stats, run_values = measure_epe(
+            simulator, mask, elbow_target, window, dose=0.8, include_corners=False
+        )
+        assert len(run_values) < len(all_values)
+
+    def test_corner_rounding_dominates_epe(self, simulator, elbow_target):
+        """Corners carry the worst EPE -- the physics behind serif rules."""
+        window = elbow_target.bbox().expanded(100)
+        mask = binary_mask(elbow_target)
+        all_stats, _ = measure_epe(simulator, mask, elbow_target, window, dose=0.8)
+        run_stats, _ = measure_epe(
+            simulator, mask, elbow_target, window, dose=0.8, include_corners=False
+        )
+        assert all_stats.max_abs_nm > run_stats.max_abs_nm
