@@ -1,0 +1,83 @@
+"""Proof that disabled observability is free on the hot kernels.
+
+The instrumentation baked into the pipeline (spans in the OPC loop,
+counters in the simulator) must cost ~nothing when :mod:`repro.obs` is
+off.  These tests measure the per-call price of a disabled span and a
+disabled counter and compare it against the cheapest instrumented kernel
+call, asserting the relative overhead stays far below the 2% budget.
+
+Run with the rest of the benchmarks::
+
+    pytest benchmarks/bench_obs_overhead.py -s
+"""
+
+import time
+
+from repro import obs
+from repro.geometry import Rect, Region
+from repro.litho import Grid, rasterize
+
+#: The budget: instrumentation may cost at most this fraction of the
+#: cheapest hot kernel call it wraps.
+OVERHEAD_BUDGET = 0.02
+
+
+def _per_call_s(fn, repeats=20000):
+    best = float("inf")
+    for _round in range(3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, (time.perf_counter() - start) / repeats)
+    return best
+
+
+def _kernel_per_call_s():
+    """One small rasterize call -- the cheapest kernel spans ever wrap."""
+    region = Region.from_rects(
+        [Rect(x, 0, x + 180, 1800) for x in range(0, 4600, 460)]
+    )
+    grid = Grid(0, 0, 8.0, 256, 256)
+    rasterize(region, grid)  # warm any caches
+    best = float("inf")
+    for _round in range(3):
+        start = time.perf_counter()
+        for _ in range(10):
+            rasterize(region, grid)
+        best = min(best, (time.perf_counter() - start) / 10)
+    return best
+
+
+def test_disabled_span_overhead_under_budget():
+    assert not obs.enabled()
+
+    def disabled_span():
+        with obs.span("bench", tag=1):
+            pass
+
+    span_cost = _per_call_s(disabled_span)
+    kernel_cost = _kernel_per_call_s()
+    ratio = span_cost / kernel_cost
+    print(
+        f"\ndisabled span: {span_cost * 1e9:.0f} ns/call, kernel "
+        f"{kernel_cost * 1e6:.0f} us/call -> {100 * ratio:.4f}% overhead"
+    )
+    assert ratio < OVERHEAD_BUDGET
+
+
+def test_disabled_metrics_overhead_under_budget():
+    assert not obs.enabled()
+
+    def disabled_metrics():
+        obs.count("bench.calls")
+        obs.observe("bench.value", 1.0)
+
+    metric_cost = _per_call_s(disabled_metrics)
+    kernel_cost = _kernel_per_call_s()
+    ratio = metric_cost / kernel_cost
+    print(
+        f"\ndisabled counter+histogram: {metric_cost * 1e9:.0f} ns/call, "
+        f"kernel {kernel_cost * 1e6:.0f} us/call -> "
+        f"{100 * ratio:.4f}% overhead"
+    )
+    assert ratio < OVERHEAD_BUDGET

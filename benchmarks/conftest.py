@@ -13,14 +13,44 @@ Run the suite with::
 run either way.
 """
 
+import os
+from pathlib import Path
+
 import pytest
 
+from repro import obs
 from repro.design import line_space_array, node_180nm
 from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
 from repro.opc import RuleOPCRecipe, calibrate_bias_table
 
 #: The drawn CD every experiment targets.
 TARGET_CD = 180.0
+
+
+@pytest.fixture(autouse=True)
+def obs_trace_dump(request):
+    """Dump each benchmark's trace JSON next to its results.
+
+    Set ``REPRO_BENCH_TRACE_DIR=<dir>`` to record every benchmark with
+    :mod:`repro.obs` and write ``<nodeid>.trace.json`` (span tree, Chrome
+    trace events, metric snapshot) into that directory.  Without the
+    variable this fixture is inert and benchmarks run uninstrumented.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_TRACE_DIR")
+    if not out_dir:
+        yield
+        return
+    with obs.capture() as cap:
+        yield
+    # The global registry still holds this run's metrics (capture resets
+    # it at entry, not exit), so write_trace_json's default picks them up.
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    safe = (
+        request.node.nodeid.replace("/", "_").replace("::", "-")
+        .replace("[", "(").replace("]", ")")
+    )
+    obs.write_trace_json(directory / f"{safe}.trace.json", cap.roots)
 
 
 @pytest.fixture(scope="session")

@@ -1,15 +1,19 @@
 """Command-line interface: generate, inspect, check and correct layouts.
 
-Four subcommands mirror a minimal mask-synthesis flow::
+The subcommands mirror a minimal mask-synthesis flow::
 
     repro generate block --node 180nm -o block.gds
     repro stats block.gds
     repro drc block.gds --node 180nm
     repro correct block.gds --layer 3 --level model --node 180nm -o out.gds
+    repro profile block.gds --layer 3 --node 180nm
 
 ``correct`` writes the corrected geometry onto the OPC datatype (10) and
 SRAFs onto datatype 11 next to the drawn layer, the usual tape-out
-convention.
+convention.  ``correct --profile`` (or ``--trace out.json``) and the
+``profile`` subcommand record the run with :mod:`repro.obs` and report
+where the time went; ``profile`` without a GDS file runs the built-in
+quickstart pattern.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from . import obs
 from .design import (
     BlockSpec,
     StdCellGenerator,
@@ -30,9 +35,17 @@ from .design import (
     drc_ruleset,
 )
 from .errors import ReproError
-from .flow import CorrectionLevel, correct_region, print_table
+from .flow import (
+    CorrectionLevel,
+    TapeoutRecipe,
+    correct_region,
+    print_table,
+    tapeout_region,
+)
+from .geometry import Rect, Region
 from .layout import Layer, Library, layout_stats, opc_layer, read_gds, sraf_layer, write_gds
 from .litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+from .opc import ModelOPCRecipe, TilingSpec
 from .verify import run_drc
 
 _NODES = {"250nm": node_250nm, "180nm": node_180nm, "130nm": node_130nm}
@@ -89,6 +102,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="post-OPC jog smoothing tolerance in nm (0 = off)",
     )
     correct.add_argument("-o", "--output", required=True)
+    _add_obs_flags(correct)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run an instrumented tapeout and print the span-tree profile",
+    )
+    profile.add_argument(
+        "gds", nargs="?",
+        help="GDS file to profile (omit for the built-in quickstart pattern)",
+    )
+    profile.add_argument("--layer", type=int, help="GDS layer number")
+    profile.add_argument("--datatype", type=int, default=0)
+    profile.add_argument("--cell", help="cell name (default: the top cell)")
+    profile.add_argument("--level", choices=sorted(_LEVELS), default="model")
+    profile.add_argument("--node", choices=sorted(_NODES), default="180nm")
+    profile.add_argument("--dose", default="auto")
+    profile.add_argument(
+        "--max-iterations", type=int, default=None,
+        help="cap model-OPC iterations (default: recipe default)",
+    )
+    profile.add_argument(
+        "--tile-nm", type=int, default=None,
+        help="override the correction tile span in nm",
+    )
+    profile.add_argument(
+        "--no-verify", action="store_true", help="skip the ORC stage"
+    )
+    profile.add_argument(
+        "--trace", metavar="PATH",
+        help="also write the trace document (JSON) to PATH",
+    )
 
     report = sub.add_parser(
         "report", help="markdown tape-out report comparing correction levels"
@@ -107,6 +151,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record the run and write the trace document (JSON) to PATH",
+    )
+    sub_parser.add_argument(
+        "--profile", action="store_true",
+        help="record the run and print the span-tree/metrics profile",
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -118,6 +173,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _drc(args)
         if args.command == "correct":
             return _correct(args)
+        if args.command == "profile":
+            return _profile(args)
         if args.command == "report":
             return _report(args)
     except ReproError as error:
@@ -193,6 +250,20 @@ def _drc(args) -> int:
 
 
 def _correct(args) -> int:
+    if not (args.trace or args.profile):
+        return _run_correct(args)
+    with obs.capture() as cap:
+        code = _run_correct(args)
+    if args.trace:
+        obs.write_trace_json(args.trace, cap.roots)
+        print(f"wrote trace {args.trace}")
+    if args.profile:
+        print()
+        print(obs.trace_markdown(cap.roots))
+    return code
+
+
+def _run_correct(args) -> int:
     library = read_gds(args.gds)
     cell = _pick_cell(library, args.cell)
     drawn = Layer(args.layer, args.datatype)
@@ -260,6 +331,67 @@ def _resolve_dose(args, rules, simulator) -> float:
     )
     print(f"auto dose-to-size: {dose:.3f}")
     return dose
+
+
+def _quickstart_pattern(rules) -> Region:
+    """The quickstart layout: three dense lines plus one isolated line."""
+    width, space = rules.poly_width, rules.poly_space
+    pitch = width + space
+    rects = [Rect(x, -1500, x + width, 1500) for x in (-2 * pitch, -pitch, 0)]
+    rects.append(Rect(width + 6 * space, -1500, 2 * width + 6 * space, 1500))
+    return Region.from_rects(rects)
+
+
+def _profile(args) -> int:
+    rules = _NODES[args.node]()
+    simulator = LithoSimulator(
+        LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    )
+    if args.gds:
+        if args.layer is None:
+            raise ReproError("profile needs --layer with a GDS file")
+        library = read_gds(args.gds)
+        cell = _pick_cell(library, args.cell)
+        drawn = Layer(args.layer, args.datatype)
+        target = cell.flat_region(drawn)
+        if target.is_empty:
+            raise ReproError(
+                f"cell {cell.name!r} has no geometry on layer "
+                f"{args.layer}/{args.datatype}"
+            )
+        name = f"{cell.name} layer {drawn}"
+    else:
+        target = _quickstart_pattern(rules)
+        name = "quickstart pattern"
+    dose = _resolve_dose(args, rules, simulator)
+    model_recipe = ModelOPCRecipe()
+    if args.max_iterations is not None:
+        import dataclasses
+
+        model_recipe = dataclasses.replace(
+            model_recipe, max_iterations=args.max_iterations
+        )
+    tiling = TilingSpec() if args.tile_nm is None else TilingSpec(
+        tile_nm=args.tile_nm
+    )
+    recipe = TapeoutRecipe(
+        level=_LEVELS[args.level], model_recipe=model_recipe, tiling=tiling
+    )
+    with obs.capture() as cap:
+        result = tapeout_region(
+            target, simulator, dose, recipe, verify=not args.no_verify
+        )
+    print(
+        f"profiled tapeout of {name}: {result.data.figures} figures, "
+        f"{result.data.vertices} vertices, "
+        f"signoff {'ok' if result.signoff_ok else 'FAILED'}"
+    )
+    print()
+    print(obs.trace_markdown(cap.roots))
+    if args.trace:
+        obs.write_trace_json(args.trace, cap.roots)
+        print(f"\nwrote trace {args.trace}")
+    return 0
 
 
 def _report(args) -> int:

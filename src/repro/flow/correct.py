@@ -9,7 +9,6 @@ simulate.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
@@ -19,6 +18,7 @@ from ..geometry import Rect, Region
 from ..layout import Cell, Layer
 from ..litho import LithoSimulator, MaskSpec, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
+from ..obs import gauge_set as _obs_gauge_set, span as _obs_span
 from ..opc import (
     ModelOPCRecipe,
     OPCResult,
@@ -81,59 +81,62 @@ def correct_region(
     """
     import dataclasses
 
-    started = time.perf_counter()
-    merged = target.merged()
-    srafs = Region()
-    opc_result: Optional[OPCResult] = None
+    with _obs_span("correct", level=level.value) as correct_span:
+        merged = target.merged()
+        srafs = Region()
+        opc_result: Optional[OPCResult] = None
 
-    if level == CorrectionLevel.NONE:
-        corrected = merged
-    elif level == CorrectionLevel.RULE:
-        opc_result = rule_opc(merged, rule_recipe)
-        corrected = opc_result.corrected
-    elif level in (CorrectionLevel.MODEL, CorrectionLevel.MODEL_SRAF):
-        if simulator is None:
-            raise ReproError(f"{level.value} correction needs a simulator")
-        if window is None:
-            box = merged.bbox()
-            if box is None:
-                raise ReproError("cannot correct an empty region")
-            window = box.expanded(200)
-        if level == CorrectionLevel.MODEL_SRAF:
-            srafs = insert_srafs(merged, sraf_recipe)
-            builder = lambda region: binary_mask(  # noqa: E731
-                region, dark_field=dark_field, srafs=srafs
+        if level == CorrectionLevel.NONE:
+            corrected = merged
+        elif level == CorrectionLevel.RULE:
+            opc_result = rule_opc(merged, rule_recipe)
+            corrected = opc_result.corrected
+        elif level in (CorrectionLevel.MODEL, CorrectionLevel.MODEL_SRAF):
+            if simulator is None:
+                raise ReproError(f"{level.value} correction needs a simulator")
+            if window is None:
+                box = merged.bbox()
+                if box is None:
+                    raise ReproError("cannot correct an empty region")
+                window = box.expanded(200)
+            if level == CorrectionLevel.MODEL_SRAF:
+                with _obs_span("correct.sraf"):
+                    srafs = insert_srafs(merged, sraf_recipe)
+                builder = lambda region: binary_mask(  # noqa: E731
+                    region, dark_field=dark_field, srafs=srafs
+                )
+            else:
+                builder = lambda region: binary_mask(  # noqa: E731
+                    region, dark_field=dark_field
+                )
+            if dark_field:
+                # Contact holes couple all four edges through one small
+                # aperture: the effective loop gain is ~4x a line edge's, so
+                # stability needs proportionally lower damping.
+                recipe = dataclasses.replace(
+                    model_recipe,
+                    bright_feature=True,
+                    damping=min(model_recipe.damping, 0.3),
+                )
+            else:
+                recipe = model_recipe
+            opc_result = model_opc_tiled(
+                merged, simulator, window, recipe,
+                tiling=tiling, mask_builder=builder, dose=dose,
             )
-        else:
-            builder = lambda region: binary_mask(  # noqa: E731
-                region, dark_field=dark_field
-            )
-        if dark_field:
-            # Contact holes couple all four edges through one small
-            # aperture: the effective loop gain is ~4x a line edge's, so
-            # stability needs proportionally lower damping.
-            recipe = dataclasses.replace(
-                model_recipe,
-                bright_feature=True,
-                damping=min(model_recipe.damping, 0.3),
-            )
-        else:
-            recipe = model_recipe
-        opc_result = model_opc_tiled(
-            merged, simulator, window, recipe,
-            tiling=tiling, mask_builder=builder, dose=dose,
+            corrected = opc_result.corrected
+        else:  # pragma: no cover - enum is exhaustive
+            raise ReproError(f"unknown correction level {level}")
+
+        mask = binary_mask(
+            corrected,
+            dark_field=dark_field,
+            srafs=srafs if not srafs.is_empty else None,
         )
-        corrected = opc_result.corrected
-    else:  # pragma: no cover - enum is exhaustive
-        raise ReproError(f"unknown correction level {level}")
-
-    mask = binary_mask(
-        corrected,
-        dark_field=dark_field,
-        srafs=srafs if not srafs.is_empty else None,
-    )
-    combined = (corrected | srafs) if not srafs.is_empty else corrected
-    data = mask_data_stats(combined)
+        combined = (corrected | srafs) if not srafs.is_empty else corrected
+        data = mask_data_stats(combined)
+        correct_span.set(figures=data.figures, vertices=data.vertices)
+        _obs_gauge_set("mask.vertices", data.vertices)
     return FlowResult(
         level=level,
         target=merged,
@@ -142,7 +145,7 @@ def correct_region(
         mask=mask,
         data=data,
         opc=opc_result,
-        runtime_s=time.perf_counter() - started,
+        runtime_s=correct_span.duration_s,
     )
 
 

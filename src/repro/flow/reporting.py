@@ -2,27 +2,57 @@
 
 Turns a set of :class:`~repro.flow.correct.FlowResult` objects into the
 markdown table a tape-out review would circulate: quality, data volume,
-cost and runtime per correction level.
+cost and runtime per correction level.  When a trace root span from an
+instrumented run (:mod:`repro.obs`) is supplied, the per-stage runtime
+breakdown is appended to the report.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import ReproError
 from ..mask import MaskCostModel, write_time_estimate_s
+from ..obs import Span, span_tree_markdown
 from .correct import CorrectionLevel, FlowResult
+
+#: The report's table header, single source of truth for column count.
+REPORT_COLUMNS = (
+    "level",
+    "figures",
+    "vertices",
+    "shots",
+    "GDS bytes",
+    "vertex growth",
+    "write time (s)",
+    "mask cost ($)",
+    "OPC runtime (s)",
+    "converged",
+)
+
+
+def _markdown_row(cells: Sequence[str]) -> str:
+    """One markdown table row, enforcing the report's column count."""
+    if len(cells) != len(REPORT_COLUMNS):
+        raise ReproError(
+            f"report row has {len(cells)} cells, "
+            f"expected {len(REPORT_COLUMNS)}"
+        )
+    return "| " + " | ".join(cells) + " |"
 
 
 def flow_report_markdown(
     results: Dict[CorrectionLevel, FlowResult],
     title: str = "Correction-level impact",
     cost_model: Optional[MaskCostModel] = None,
+    trace: Optional[Union[Span, Sequence[Span]]] = None,
 ) -> str:
     """A markdown report comparing correction levels.
 
     Growth columns are relative to the ``NONE`` level when present,
-    otherwise to the first level given.
+    otherwise to the first level given.  ``trace`` -- a root span (or
+    spans) captured around the runs -- appends a per-stage runtime
+    breakdown.
     """
     if not results:
         raise ReproError("need at least one flow result")
@@ -31,11 +61,8 @@ def flow_report_markdown(
     model = cost_model or MaskCostModel()
 
     lines: List[str] = [f"## {title}", ""]
-    lines.append(
-        "| level | figures | vertices | shots | GDS bytes | vertex growth "
-        "| write time (s) | mask cost ($) | OPC runtime (s) | converged |"
-    )
-    lines.append("|---|---|---|---|---|---|---|---|---|---|")
+    lines.append(_markdown_row(REPORT_COLUMNS))
+    lines.append(_markdown_row(["---"] * len(REPORT_COLUMNS)))
     for level, result in ordered:
         data = result.data
         growth = data.ratio_to(baseline)
@@ -43,11 +70,20 @@ def flow_report_markdown(
             "yes" if result.opc.converged else "no"
         )
         lines.append(
-            f"| {level.value} | {data.figures} | {data.vertices} | {data.shots} "
-            f"| {data.gds_bytes} | x{growth.vertices:.1f} "
-            f"| {write_time_estimate_s(data):.3f} "
-            f"| {model.cost_usd(data):,.0f} "
-            f"| {result.runtime_s:.2f} | {converged} |"
+            _markdown_row(
+                [
+                    level.value,
+                    str(data.figures),
+                    str(data.vertices),
+                    str(data.shots),
+                    str(data.gds_bytes),
+                    f"x{growth.vertices:.1f}",
+                    f"{write_time_estimate_s(data):.3f}",
+                    f"{model.cost_usd(data):,.0f}",
+                    f"{result.runtime_s:.2f}",
+                    converged,
+                ]
+            )
         )
     lines.append("")
     worst = max(ordered, key=lambda kv: kv[1].data.vertices)
@@ -56,4 +92,6 @@ def flow_report_markdown(
         f"vertices (x{worst[1].data.ratio_to(baseline).vertices:.1f} over "
         "uncorrected)."
     )
+    if trace is not None:
+        lines += ["", "### Stage breakdown", "", span_tree_markdown(trace)]
     return "\n".join(lines)

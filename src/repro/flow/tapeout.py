@@ -16,7 +16,16 @@ from ..geometry import Rect, Region, smooth_jogs
 from ..layout import Cell, Layer
 from ..litho import LithoSimulator, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
-from ..opc import MRCRules, RetargetRules, check_mask, repair_mask, retarget
+from ..obs import span as _obs_span
+from ..opc import (
+    MRCRules,
+    ModelOPCRecipe,
+    RetargetRules,
+    TilingSpec,
+    check_mask,
+    repair_mask,
+    retarget,
+)
 from ..verify import ORCReport, ProcessCorner, run_orc
 from .correct import CorrectionLevel, FlowResult, correct_region
 
@@ -31,6 +40,8 @@ class TapeoutRecipe:
     retarget_rules: Optional[RetargetRules] = None  # None = skip retargeting
     dark_field: bool = False
     orc_margin_nm: int = 50
+    model_recipe: ModelOPCRecipe = ModelOPCRecipe()
+    tiling: TilingSpec = TilingSpec()
 
 
 @dataclass
@@ -66,41 +77,76 @@ def tapeout_region(
     if window is None:
         window = merged.bbox().expanded(200)
 
-    target = merged
-    if recipe.retarget_rules is not None:
-        target = retarget(merged, recipe.retarget_rules)
+    with _obs_span(
+        "tapeout", level=recipe.level.value, dark_field=recipe.dark_field
+    ) as tapeout_span:
+        with _obs_span(
+            "tapeout.retarget", skipped=recipe.retarget_rules is None
+        ):
+            target = merged
+            if recipe.retarget_rules is not None:
+                target = retarget(merged, recipe.retarget_rules)
 
-    correction = correct_region(
-        target,
-        recipe.level,
-        simulator=simulator,
-        window=window,
-        dose=dose,
-        dark_field=recipe.dark_field,
-    )
-    mask_geometry = correction.corrected
-    if recipe.smooth_tolerance_nm > 0:
-        mask_geometry = smooth_jogs(mask_geometry, recipe.smooth_tolerance_nm)
-    mask_geometry = repair_mask(mask_geometry, recipe.mrc)
-    combined = (
-        mask_geometry | correction.srafs
-        if not correction.srafs.is_empty
-        else mask_geometry
-    )
-
-    orc_report: Optional[ORCReport] = None
-    if verify:
-        orc_report = run_orc(
-            simulator,
-            binary_mask(
-                mask_geometry,
+        with _obs_span("tapeout.correct"):
+            correction = correct_region(
+                target,
+                recipe.level,
+                simulator=simulator,
+                window=window,
+                dose=dose,
                 dark_field=recipe.dark_field,
-                srafs=correction.srafs if not correction.srafs.is_empty else None,
-            ),
-            target,
-            window,
-            ProcessCorner(dose=dose),
-            critical_margin_nm=recipe.orc_margin_nm,
+                model_recipe=recipe.model_recipe,
+                tiling=recipe.tiling,
+            )
+
+        with _obs_span(
+            "tapeout.smooth", skipped=recipe.smooth_tolerance_nm <= 0
+        ) as smooth_span:
+            mask_geometry = correction.corrected
+            if recipe.smooth_tolerance_nm > 0:
+                before = mask_geometry.num_vertices
+                mask_geometry = smooth_jogs(
+                    mask_geometry, recipe.smooth_tolerance_nm
+                )
+                smooth_span.set(
+                    vertices_before=before,
+                    vertices_after=mask_geometry.num_vertices,
+                )
+
+        with _obs_span("tapeout.mrc") as mrc_span:
+            mask_geometry = repair_mask(mask_geometry, recipe.mrc)
+            mrc_clean = check_mask(mask_geometry, recipe.mrc).is_clean
+            mrc_span.set(clean=mrc_clean)
+        combined = (
+            mask_geometry | correction.srafs
+            if not correction.srafs.is_empty
+            else mask_geometry
+        )
+
+        orc_report: Optional[ORCReport] = None
+        with _obs_span("tapeout.orc", skipped=not verify) as orc_span:
+            if verify:
+                orc_report = run_orc(
+                    simulator,
+                    binary_mask(
+                        mask_geometry,
+                        dark_field=recipe.dark_field,
+                        srafs=correction.srafs
+                        if not correction.srafs.is_empty
+                        else None,
+                    ),
+                    target,
+                    window,
+                    ProcessCorner(dose=dose),
+                    critical_margin_nm=recipe.orc_margin_nm,
+                )
+                orc_span.set(clean=orc_report.is_clean)
+
+        data = mask_data_stats(combined)
+        tapeout_span.set(
+            figures=data.figures,
+            vertices=data.vertices,
+            mrc_clean=mrc_clean,
         )
 
     return TapeoutResult(
@@ -108,8 +154,8 @@ def tapeout_region(
         target=target,
         mask_geometry=mask_geometry,
         correction=correction,
-        data=mask_data_stats(combined),
-        mrc_clean=check_mask(mask_geometry, recipe.mrc).is_clean,
+        data=data,
+        mrc_clean=mrc_clean,
         orc=orc_report,
     )
 

@@ -32,6 +32,18 @@ def dilated(region: Region, amount: int) -> Region:
     if amount < 0:
         raise GeometryError("dilated() needs a non-negative amount")
     merged = region.merged()
+    if amount == 0 or merged.is_empty:
+        return merged
+    if any(_signed_area2(loop) < 0 for loop in merged.loops):
+        # A hole shrunk past collapse in both axes inverts through its
+        # centre -- a 180-degree point reflection that *preserves* the
+        # hole's clockwise winding, so the raw edge-offset loop would keep
+        # subtracting where the hole should have vanished.  Minkowski
+        # distributes over union, so dilating an exact rectangle cover is
+        # immune to loop inversion.
+        return Region.from_rects(
+            rect.expanded(amount) for rect in merged.rects()
+        ).merged()
     offset = [_offset_loop(loop, amount) for loop in merged.loops]
     offset = [lp for lp in offset if len(lp) >= 4]
     return Region._from_canonical(boolean_loops(offset, [], "union"))
@@ -49,6 +61,16 @@ def eroded(region: Region, amount: int) -> Region:
     complement = frame - merged
     grown_complement = dilated(complement, amount)
     return frame - grown_complement
+
+
+def _signed_area2(loop: List[Coord]) -> int:
+    """Twice the shoelace area of one loop (positive = CCW = outer)."""
+    total = 0
+    for i in range(len(loop)):
+        x1, y1 = loop[i]
+        x2, y2 = loop[(i + 1) % len(loop)]
+        total += x1 * y2 - x2 * y1
+    return total
 
 
 def _offset_loop(loop: List[Coord], amount: int) -> List[Coord]:

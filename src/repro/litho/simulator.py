@@ -15,6 +15,7 @@ import numpy as np
 
 from ..errors import LithoError
 from ..geometry import Rect, Region
+from ..obs import count as _obs_count, observe as _obs_observe
 from .contour import cutline_cd, edge_offset_state, printed_region
 from .imaging import AbbeEngine, SOCSEngine
 from .masks import MaskSpec
@@ -22,6 +23,10 @@ from .optics import OpticalSettings
 from .pupil import Aberrations
 from .raster import Grid
 from .resist import ThresholdResist
+
+#: Histogram buckets for the larger simulation-grid dimension (pixels).
+GRID_PX_BUCKETS = (64.0, 128.0, 192.0, 256.0, 384.0, 512.0, 768.0,
+                   1024.0, 1536.0, 2048.0)
 
 
 @dataclass(frozen=True)
@@ -85,6 +90,10 @@ class LithoSimulator:
         with :meth:`Grid.sample` rather than array indices.
         """
         grid = self.grid_for(window)
+        _obs_count("sim.aerial_calls")
+        _obs_observe(
+            "sim.grid_px", float(max(grid.nx, grid.ny)), GRID_PX_BUCKETS
+        )
         mask_field = mask.field(grid)
         if self.config.engine == "abbe" or self._support_too_large(grid):
             image = self._abbe.image(mask_field, grid, defocus_nm)

@@ -1,0 +1,124 @@
+"""Observability: hierarchical tracing and metrics for the OPC pipeline.
+
+The paper's adoption story is a cost story -- runtime, data volume,
+hierarchy breakage -- and this package is how the library measures those
+costs live instead of via scattered ``perf_counter`` deltas.  Three
+pieces:
+
+* :mod:`~repro.obs.trace` -- nested wall-clock spans with attributes
+  (``span("tapeout")``), thread-local span stacks.
+* :mod:`~repro.obs.metrics` -- a process-wide registry of counters,
+  gauges and fixed-bucket histograms (``sim.aerial_calls``,
+  ``tile.runtime_s``, ...).
+* :mod:`~repro.obs.export` -- JSON (span tree + Chrome-trace events +
+  metric snapshot) and markdown exporters.
+
+Everything is off by default and costs one boolean test per guarded
+call; wrap a run in :func:`capture` (or call :func:`enable`) to record::
+
+    from repro import obs
+
+    with obs.capture() as cap:
+        tapeout_region(drawn, simulator, dose)
+    print(obs.trace_markdown(cap.roots))
+    obs.write_trace_json("trace.json", cap.roots)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from .export import (
+    chrome_trace_events,
+    metrics_markdown,
+    span_to_dict,
+    span_tree_markdown,
+    trace_document,
+    trace_markdown,
+    write_trace_json,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count,
+    gauge_set,
+    observe,
+    registry,
+)
+from .metrics import reset as reset_metrics
+from .state import disable, enable, enabled, enabled_scope
+from .trace import Span, current_span, span, take_finished
+
+__all__ = [
+    "Capture",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "capture",
+    "chrome_trace_events",
+    "count",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "gauge_set",
+    "metrics_markdown",
+    "observe",
+    "registry",
+    "reset_metrics",
+    "span",
+    "span_to_dict",
+    "span_tree_markdown",
+    "take_finished",
+    "trace_document",
+    "trace_markdown",
+    "write_trace_json",
+]
+
+
+class Capture:
+    """Finished root spans collected by one :func:`capture` block."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The first captured root span (usually the only one)."""
+        return self.roots[0] if self.roots else None
+
+    def find(self, name: str) -> Optional[Span]:
+        """First span named ``name`` across every captured root."""
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+@contextmanager
+def capture(fresh_metrics: bool = True) -> Iterator[Capture]:
+    """Record spans and metrics for the ``with`` body.
+
+    Enables observability, collects this thread's finished root spans
+    into the yielded :class:`Capture`, and restores the prior on/off
+    state on exit.  ``fresh_metrics`` resets the global registry first so
+    the captured snapshot belongs to this run alone.
+    """
+    capture_result = Capture()
+    take_finished()  # drop stale roots from earlier enabled runs
+    if fresh_metrics:
+        reset_metrics()
+    with enabled_scope(True):
+        try:
+            yield capture_result
+        finally:
+            capture_result.roots = take_finished()

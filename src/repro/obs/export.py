@@ -1,0 +1,221 @@
+"""Trace and metric exporters: JSON documents and markdown summaries.
+
+Two machine formats and one human format:
+
+* :func:`trace_document` -- one JSON-ready dict holding the nested span
+  tree, a Chrome-trace-compatible (``chrome://tracing`` / Perfetto)
+  event list, and a metrics snapshot.
+* :func:`write_trace_json` -- the same document written to a file.
+* :func:`span_tree_markdown` / :func:`metrics_markdown` /
+  :func:`trace_markdown` -- the tape-out review tables the CLI's
+  ``profile`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .metrics import Histogram, MetricsRegistry, registry as _global_registry
+from .trace import Span
+
+#: Version stamp of the trace-document schema.
+TRACE_SCHEMA = "repro-trace/1"
+
+
+# -- JSON ---------------------------------------------------------------------
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """One span (and its subtree) as plain JSON-ready data."""
+    return {
+        "name": span.name,
+        "start_s": span.start_s,
+        "duration_s": span.duration_s,
+        "attrs": _jsonable(span.attrs),
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def chrome_trace_events(
+    roots: Sequence[Span], origin_s: Optional[float] = None
+) -> List[Dict[str, Any]]:
+    """Complete ("ph": "X") Chrome trace events for every span.
+
+    Timestamps are microseconds relative to the earliest root so the
+    trace starts at zero when loaded into ``chrome://tracing``.
+    """
+    if origin_s is None:
+        origin_s = min((root.start_s for root in roots), default=0.0)
+    events: List[Dict[str, Any]] = []
+    for root in roots:
+        for span in root.walk():
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": (span.start_s - origin_s) * 1e6,
+                    "dur": span.duration_s * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": _jsonable(span.attrs),
+                }
+            )
+    return events
+
+
+def trace_document(
+    roots: Union[Span, Sequence[Span]],
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """The full trace document: span trees, Chrome events, metrics."""
+    if isinstance(roots, Span):
+        roots = [roots]
+    if metrics is None:
+        metrics = _global_registry()
+    return {
+        "schema": TRACE_SCHEMA,
+        "spans": [span_to_dict(root) for root in roots],
+        "chrome_trace": chrome_trace_events(roots),
+        "metrics": metrics.snapshot(),
+    }
+
+
+def write_trace_json(
+    path,
+    roots: Union[Span, Sequence[Span]],
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Write :func:`trace_document` to ``path`` as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(trace_document(roots, metrics), handle, indent=1)
+        handle.write("\n")
+
+
+def _jsonable(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _scalar(value) for key, value in attrs.items()}
+
+
+def _scalar(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+# -- markdown -----------------------------------------------------------------
+
+def span_tree_markdown(
+    roots: Union[Span, Sequence[Span]], max_depth: int = 8
+) -> str:
+    """A markdown table of the span tree.
+
+    Same-named siblings are aggregated into one row (``calls`` counts
+    them) so eight OPC iterations or a hundred tiles read as one line;
+    per-call detail stays in the JSON document.
+    """
+    if isinstance(roots, Span):
+        roots = [roots]
+    lines = [
+        "| span | calls | total (s) | mean (s) | % of root |",
+        "|---|---|---|---|---|",
+    ]
+    total = sum(root.duration_s for root in roots) or 1.0
+    groups = _grouped(list(roots))
+    for name, members in groups:
+        _emit_rows(lines, name, members, depth=0, root_total=total,
+                   max_depth=max_depth)
+    return "\n".join(lines)
+
+
+def _grouped(spans: Sequence[Span]):
+    """Sibling spans grouped by name, in first-seen order."""
+    order: List[str] = []
+    by_name: Dict[str, List[Span]] = {}
+    for span in spans:
+        if span.name not in by_name:
+            order.append(span.name)
+            by_name[span.name] = []
+        by_name[span.name].append(span)
+    return [(name, by_name[name]) for name in order]
+
+
+def _emit_rows(
+    lines: List[str],
+    name: str,
+    members: Sequence[Span],
+    depth: int,
+    root_total: float,
+    max_depth: int,
+) -> None:
+    calls = len(members)
+    elapsed = sum(span.duration_s for span in members)
+    indent = "&nbsp;&nbsp;" * depth
+    lines.append(
+        f"| {indent}{name} | {calls} | {elapsed:.3f} "
+        f"| {elapsed / calls:.3f} | {100.0 * elapsed / root_total:.1f}% |"
+    )
+    if depth + 1 >= max_depth:
+        return
+    children: List[Span] = []
+    for span in members:
+        children.extend(span.children)
+    for child_name, group in _grouped(children):
+        _emit_rows(lines, child_name, group, depth + 1, root_total, max_depth)
+
+
+def metrics_markdown(metrics: Optional[MetricsRegistry] = None) -> str:
+    """Counter/gauge table plus one summary line per histogram."""
+    if metrics is None:
+        metrics = _global_registry()
+    snapshot = metrics.snapshot()
+    scalars = {
+        name: record
+        for name, record in snapshot.items()
+        if record["kind"] in ("counter", "gauge")
+    }
+    histograms = [
+        name for name, record in snapshot.items()
+        if record["kind"] == "histogram"
+    ]
+    lines: List[str] = []
+    if scalars:
+        lines += ["| metric | kind | value |", "|---|---|---|"]
+        for name, record in scalars.items():
+            lines.append(
+                f"| {name} | {record['kind']} | {_fmt(record['value'])} |"
+            )
+    if histograms:
+        if lines:
+            lines.append("")
+        lines += [
+            "| histogram | count | mean | min | p50 | p90 | max |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for name in histograms:
+            histogram = metrics.get(name)
+            assert isinstance(histogram, Histogram)
+            lines.append(
+                f"| {name} | {histogram.count} | {_fmt(histogram.mean)} "
+                f"| {_fmt(histogram.min if histogram.count else None)} "
+                f"| {_fmt(histogram.quantile(0.5))} "
+                f"| {_fmt(histogram.quantile(0.9))} "
+                f"| {_fmt(histogram.max if histogram.count else None)} |"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def trace_markdown(
+    roots: Union[Span, Sequence[Span]],
+    metrics: Optional[MetricsRegistry] = None,
+) -> str:
+    """Span tree plus metrics, ready to print after a profiled run."""
+    parts = ["### Span tree", "", span_tree_markdown(roots), ""]
+    parts += ["### Metrics", "", metrics_markdown(metrics)]
+    return "\n".join(parts)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,212 @@
+"""Process-wide metric registry: counters, gauges, fixed-bucket histograms.
+
+Metric names are dotted lowercase paths (``sim.aerial_calls``,
+``tile.runtime_s``); the conventions live in docs/API.md.  The module
+exposes one global registry plus guarded helpers (:func:`count`,
+:func:`gauge_set`, :func:`observe`) that are no-ops while the
+observability switch is off, so instrumented hot paths pay only a
+boolean test when telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from . import state
+
+#: Generic duration buckets (seconds) used when a histogram gives none.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins sample of a momentary value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus count/sum/min/max of observations.
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ReproError(
+                f"histogram {name!r} needs ascending bucket bounds"
+            )
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile (the upper bound of the bucket the
+        ``q``-th observation falls in; the observed max for the overflow
+        bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        for i, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= rank and bucket:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+
+class MetricsRegistry:
+    """A named collection of metrics, safe for concurrent use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type, factory) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif not isinstance(metric, kind):
+                raise ReproError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def get(self, name: str) -> Optional[Any]:
+        """The metric registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every metric (tests call this between cases)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A plain-data dump of every metric, JSON-ready."""
+        out: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            items = list(self._metrics.items())
+        for name, metric in sorted(items):
+            if isinstance(metric, Counter):
+                out[name] = {"kind": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"kind": "gauge", "value": metric.value}
+            else:
+                out[name] = {
+                    "kind": "histogram",
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "mean": metric.mean,
+                    "min": metric.min if metric.count else None,
+                    "max": metric.max if metric.count else None,
+                    "buckets": [
+                        {"le": bound, "count": count}
+                        for bound, count in zip(
+                            list(metric.bounds) + ["inf"],
+                            metric.bucket_counts,
+                        )
+                    ],
+                }
+        return out
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metric registry."""
+    return _registry
+
+
+def reset() -> None:
+    """Clear the process-wide registry."""
+    _registry.reset()
+
+
+# -- guarded helpers (no-ops while observability is disabled) -----------------
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` when recording is enabled."""
+    if state.enabled():
+        _registry.counter(name).inc(n)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set gauge ``name`` when recording is enabled."""
+    if state.enabled():
+        _registry.gauge(name).set(value)
+
+
+def observe(
+    name: str, value: float, bounds: Sequence[float] = DEFAULT_BUCKETS
+) -> None:
+    """Record ``value`` into histogram ``name`` when recording is enabled."""
+    if state.enabled():
+        _registry.histogram(name, bounds).observe(value)

@@ -1,0 +1,44 @@
+"""Global on/off switch for the observability layer.
+
+Instrumentation is compiled into the hot paths permanently, so the cost
+of the *disabled* state is what matters: every guarded call is one module
+attribute read and one boolean test.  The switch is process-wide (not
+thread-local) on purpose -- a production OPC farm turns telemetry on for
+a whole job, never per worker thread.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_enabled: bool = False
+
+
+def enabled() -> bool:
+    """Whether spans and metrics are currently being recorded."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn span/metric recording on."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn span/metric recording off (the default)."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily force the recording state, restoring it on exit."""
+    global _enabled
+    prior = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = prior

@@ -1,0 +1,151 @@
+"""Zero-dependency hierarchical span tracer.
+
+A *span* is one timed piece of work with a name, wall-clock duration and
+free-form attributes; spans nest, so a tape-out run produces a tree::
+
+    tapeout
+    ├── tapeout.retarget
+    ├── tapeout.correct
+    │   └── correct
+    │       └── opc.tile  (per tile)
+    │           └── opc.model
+    │               └── opc.iteration  (per iteration)
+    ...
+
+The span stack is thread-local: concurrent workers each grow their own
+tree and finished root spans are collected per thread.  Spans always
+measure their duration (two ``perf_counter`` reads) even when recording
+is disabled, because callers such as ``FlowResult.runtime_s`` derive
+runtimes from them -- but disabled spans never touch the stack, never
+link to a parent and drop their attributes, so the disabled-state cost
+is one small allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+from . import state
+
+
+class Span:
+    """One timed, attributed node of a trace tree."""
+
+    __slots__ = ("name", "attrs", "children", "start_s", "end_s", "recorded")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None,
+                 recorded: bool = True):
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
+        self.children: List["Span"] = []
+        self.start_s: float = 0.0
+        self.end_s: Optional[float] = None
+        self.recorded = recorded
+
+    # -- timing ---------------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed wall time (up to now for a still-open span)."""
+        end = self.end_s if self.end_s is not None else perf_counter()
+        return end - self.start_s
+
+    # -- attributes -----------------------------------------------------------
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes; a no-op on spans created while disabled."""
+        if self.recorded:
+            self.attrs.update(attrs)
+
+    # -- tree queries ---------------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this span and every descendant."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with ``name``, pre-order."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        """Every descendant (or self) with ``name``, pre-order."""
+        return [span for span in self.walk() if span.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.2f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+_tls = threading.local()
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def _finished() -> List[Span]:
+    finished = getattr(_tls, "finished", None)
+    if finished is None:
+        finished = _tls.finished = []
+    return finished
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def take_finished() -> List[Span]:
+    """Pop (return and clear) this thread's finished root spans."""
+    finished = _finished()
+    _tls.finished = []
+    return finished
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span]:
+    """Open a span named ``name`` around the ``with`` body.
+
+    When recording is enabled the span is pushed on the thread's stack and
+    linked under the current parent (or collected as a finished root).
+    When disabled it still measures wall time -- callers may read
+    ``duration_s`` either way -- but records nothing else.
+    """
+    if not state.enabled():
+        unrecorded = Span(name, recorded=False)
+        unrecorded.start_s = perf_counter()
+        try:
+            yield unrecorded
+        finally:
+            unrecorded.end_s = perf_counter()
+        return
+
+    current = Span(name, dict(attrs))
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    stack.append(current)
+    current.start_s = perf_counter()
+    try:
+        yield current
+    finally:
+        current.end_s = perf_counter()
+        popped = stack.pop()
+        assert popped is current, "span stack corrupted"
+        if parent is not None:
+            parent.children.append(current)
+        else:
+            _finished().append(current)

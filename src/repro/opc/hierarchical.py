@@ -10,12 +10,14 @@ variants.
 
 For regular designs this divides OPC compute by the average placement
 count per context; for irregular designs it degrades gracefully to flat
-cost.
+cost.  The ``hier.context_hits`` / ``hier.context_misses`` counters are
+the hierarchy-breakage story as live metrics: a hit is a placement served
+from an already-corrected variant, a miss is a variant that had to be
+corrected from scratch.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -24,6 +26,7 @@ from ..errors import OPCError
 from ..geometry import GridIndex, Region
 from ..layout import Cell, Layer
 from ..litho import LithoSimulator
+from ..obs import count as _obs_count, span as _obs_span
 from .model_opc import ModelOPCRecipe, model_opc
 
 
@@ -62,103 +65,121 @@ def hierarchical_model_opc(
     """
     if interaction_radius_nm <= 0:
         raise OPCError("interaction radius must be positive")
-    started = time.perf_counter()
-    placements = _expanded_placements(top)
+    with _obs_span(
+        "opc.hierarchical", cell=top.name, layer=str(layer)
+    ) as hier_span:
+        placements = _expanded_placements(top)
 
-    # Index every placement's flat geometry for context queries, exactly
-    # as the hierarchy-impact analysis does.
-    index: GridIndex = GridIndex(cell_size=5000)
-    local_cache: Dict[str, Region] = {}
-    placed_regions: List[Region] = []
-    for pid, (cell, transform) in enumerate(placements):
-        local = local_cache.get(cell.name)
-        if local is None:
-            local = cell.flat_region(layer).merged()
-            local_cache[cell.name] = local
-        placed = local.transformed(transform)
-        placed_regions.append(placed)
-        box = placed.bbox()
-        if box is not None:
-            index.insert(box, (pid, placed.loops))
-    own = top.region(layer)
-    if own.num_loops:
-        box = own.bbox()
-        if box is not None:
-            index.insert(box, (-1, own.loops))
+        # Index every placement's flat geometry for context queries, exactly
+        # as the hierarchy-impact analysis does.
+        index: GridIndex = GridIndex(cell_size=5000)
+        local_cache: Dict[str, Region] = {}
+        placed_regions: List[Region] = []
+        for pid, (cell, transform) in enumerate(placements):
+            local = local_cache.get(cell.name)
+            if local is None:
+                _obs_count("hier.cell_cache_misses")
+                local = cell.flat_region(layer).merged()
+                local_cache[cell.name] = local
+            else:
+                _obs_count("hier.cell_cache_hits")
+            placed = local.transformed(transform)
+            placed_regions.append(placed)
+            box = placed.bbox()
+            if box is not None:
+                index.insert(box, (pid, placed.loops))
+        own = top.region(layer)
+        if own.num_loops:
+            box = own.bbox()
+            if box is not None:
+                index.insert(box, (-1, own.loops))
 
-    # Group placements by (cell, context signature).
-    groups: Dict[Tuple[str, int], List[int]] = {}
-    for pid, (cell, transform) in enumerate(placements):
-        local = local_cache[cell.name]
-        if local.is_empty:
-            continue
-        signature = _context_signature(
-            pid, cell, transform, local, index, interaction_radius_nm
-        )
-        groups.setdefault((cell.name, signature), []).append(pid)
-
-    # Correct one representative per group, in its local frame with its
-    # real context frozen around it.
-    ambit = simulator.config.ambit_nm
-    corrected = Region()
-    variants = 0
-    per_cell: Dict[str, int] = {}
-    for (cell_name, _signature), members in groups.items():
-        variants += 1
-        per_cell[cell_name] = per_cell.get(cell_name, 0) + 1
-        rep = members[0]
-        cell, transform = placements[rep]
-        local = local_cache[cell_name]
-        local_box = local.bbox()
-        context_box = transform.apply_rect(local_box).expanded(
-            interaction_radius_nm + ambit
-        )
-        context = Region()
-        for _bbox, (other_pid, loops) in index.query(context_box):
-            if other_pid == rep:
+        # Group placements by (cell, context signature).
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        for pid, (cell, transform) in enumerate(placements):
+            local = local_cache[cell.name]
+            if local.is_empty:
                 continue
-            for loop in loops:
-                context._add(loop)
-        context = (context & Region(context_box)).merged()
-        world_target = placed_regions[rep] | context
-        window = transform.apply_rect(local_box)
-        result = model_opc(
-            world_target, simulator, window, recipe, dose=dose
-        )
-        # Keep the variant's own corrected geometry: allow the correction
-        # excursion beyond the cell bbox, but exclude the context copies
-        # (each context cell gets its own variant).
-        clip = Region(window.expanded(recipe.max_total_move_nm))
-        variant_world = result.corrected & clip
-        if not context.is_empty:
-            variant_world = variant_world - context.sized(
-                recipe.max_total_move_nm + 1
+            signature = _context_signature(
+                pid, cell, transform, local, index, interaction_radius_nm
             )
-        variant_local = variant_world.transformed(transform.inverse())
-        for pid in members:
-            _cell, place = placements[pid]
-            corrected._add(variant_local.transformed(place))
+            groups.setdefault((cell.name, signature), []).append(pid)
 
-    # Top-level loose shapes are corrected flat against their surroundings.
-    if own.num_loops:
-        own_box = own.bbox()
-        context = Region()
-        for _bbox, (other_pid, loops) in index.query(
-            own_box.expanded(interaction_radius_nm + ambit)
-        ):
-            if other_pid == -1:
-                continue
-            for loop in loops:
-                context._add(loop)
-        result = model_opc(
-            (own | context).merged(), simulator, own_box, recipe, dose=dose
+        # Correct one representative per group, in its local frame with its
+        # real context frozen around it.
+        ambit = simulator.config.ambit_nm
+        corrected = Region()
+        variants = 0
+        per_cell: Dict[str, int] = {}
+        for (cell_name, _signature), members in groups.items():
+            variants += 1
+            per_cell[cell_name] = per_cell.get(cell_name, 0) + 1
+            _obs_count("hier.context_misses")
+            _obs_count("hier.context_hits", len(members) - 1)
+            rep = members[0]
+            cell, transform = placements[rep]
+            local = local_cache[cell_name]
+            local_box = local.bbox()
+            context_box = transform.apply_rect(local_box).expanded(
+                interaction_radius_nm + ambit
+            )
+            context = Region()
+            for _bbox, (other_pid, loops) in index.query(context_box):
+                if other_pid == rep:
+                    continue
+                for loop in loops:
+                    context._add(loop)
+            context = (context & Region(context_box)).merged()
+            world_target = placed_regions[rep] | context
+            window = transform.apply_rect(local_box)
+            with _obs_span(
+                "opc.variant", cell=cell_name, placements=len(members)
+            ):
+                result = model_opc(
+                    world_target, simulator, window, recipe, dose=dose
+                )
+            # Keep the variant's own corrected geometry: allow the correction
+            # excursion beyond the cell bbox, but exclude the context copies
+            # (each context cell gets its own variant).
+            clip = Region(window.expanded(recipe.max_total_move_nm))
+            variant_world = result.corrected & clip
+            if not context.is_empty:
+                variant_world = variant_world - context.sized(
+                    recipe.max_total_move_nm + 1
+                )
+            variant_local = variant_world.transformed(transform.inverse())
+            for pid in members:
+                _cell, place = placements[pid]
+                corrected._add(variant_local.transformed(place))
+
+        # Top-level loose shapes are corrected flat against their
+        # surroundings.
+        if own.num_loops:
+            own_box = own.bbox()
+            context = Region()
+            for _bbox, (other_pid, loops) in index.query(
+                own_box.expanded(interaction_radius_nm + ambit)
+            ):
+                if other_pid == -1:
+                    continue
+                for loop in loops:
+                    context._add(loop)
+            with _obs_span("opc.variant", cell=top.name, placements=1):
+                result = model_opc(
+                    (own | context).merged(), simulator, own_box, recipe,
+                    dose=dose,
+                )
+            corrected._add(result.corrected & Region(own_box))
+
+        hier_span.set(
+            placements=len(placements),
+            variants_corrected=variants,
         )
-        corrected._add(result.corrected & Region(own_box))
 
     return HierarchicalOPCResult(
         corrected=corrected.merged(),
         placements=len(placements),
         variants_corrected=variants,
-        runtime_s=time.perf_counter() - started,
+        runtime_s=hier_span.duration_s,
         per_cell_variants=per_cell,
     )

@@ -26,7 +26,11 @@ from ..geometry import (
     fragment_region,
 )
 from ..litho import LithoSimulator, MaskSpec, binary_mask
+from ..obs import count as _obs_count, observe as _obs_observe, span as _obs_span
 from .report import IterationStats, OPCResult
+
+#: Histogram buckets for per-iteration worst-site EPE (nm).
+EPE_NM_BUCKETS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 #: Fragmentation used by model-based OPC (fine: sub-resolution fragments).
 DEFAULT_MODEL_FRAGMENTATION = FragmentationSpec(
@@ -105,42 +109,59 @@ def model_opc(
         for extra_defocus, factor, weight in recipe.process_corners
     )
 
-    for iteration in range(1, recipe.max_iterations + 1):
-        corrected = apply_biases(loops, biases)
-        mask = mask_builder(corrected)
-        active_sites = [sites[i] for i in active]
-        per_corner = [
-            simulator.edge_placement_errors_with_state(
-                mask,
-                window,
-                active_sites,
-                dose=dose * factor,
-                defocus_nm=corner_defocus,
-                search_nm=recipe.epe_search_nm,
-            )
-            for corner_defocus, factor, _weight in corners
-        ]
-        weights = [weight for _d, _f, weight in corners]
-        epes: List[Optional[float]] = [0.0] * len(sites)
-        states: List[str] = ["found"] * len(sites)
-        for position, slot in enumerate(active):
-            epes[slot], states[slot] = _combine_corners(
-                [measured[position] for measured in per_corner], weights
-            )
-        stats = _summarise(iteration, epes)
-        history.append(stats)
-        # Track the best iterate: EPE is not guaranteed monotone (adjacent
-        # fragments interact), and production OPC keeps the best pass.
-        score = stats.rms_epe_nm + 100.0 * stats.missing_edges
-        if score < best_rms:
-            best_rms = score
-            best_corrected = corrected
-        if stats.max_epe_nm <= recipe.epe_tolerance_nm and stats.missing_edges == 0:
-            converged = True
-            break
-        if iteration == recipe.max_iterations:
-            break
-        _update_biases(biases, epes, states, recipe)
+    with _obs_span("opc.model", fragments=len(sites)) as model_span:
+        for iteration in range(1, recipe.max_iterations + 1):
+            with _obs_span("opc.iteration", iteration=iteration) as it_span:
+                corrected = apply_biases(loops, biases)
+                mask = mask_builder(corrected)
+                active_sites = [sites[i] for i in active]
+                per_corner = [
+                    simulator.edge_placement_errors_with_state(
+                        mask,
+                        window,
+                        active_sites,
+                        dose=dose * factor,
+                        defocus_nm=corner_defocus,
+                        search_nm=recipe.epe_search_nm,
+                    )
+                    for corner_defocus, factor, _weight in corners
+                ]
+                weights = [weight for _d, _f, weight in corners]
+                epes: List[Optional[float]] = [0.0] * len(sites)
+                states: List[str] = ["found"] * len(sites)
+                for position, slot in enumerate(active):
+                    epes[slot], states[slot] = _combine_corners(
+                        [measured[position] for measured in per_corner], weights
+                    )
+                stats = _summarise(iteration, epes)
+                history.append(stats)
+                # Track the best iterate: EPE is not guaranteed monotone
+                # (adjacent fragments interact), and production OPC keeps
+                # the best pass.
+                score = stats.rms_epe_nm + 100.0 * stats.missing_edges
+                if score < best_rms:
+                    best_rms = score
+                    best_corrected = corrected
+                converged = (
+                    stats.max_epe_nm <= recipe.epe_tolerance_nm
+                    and stats.missing_edges == 0
+                )
+                it_span.set(
+                    rms_epe_nm=stats.rms_epe_nm,
+                    max_epe_nm=stats.max_epe_nm,
+                    moved_fragments=stats.moved_fragments,
+                    missing_edges=stats.missing_edges,
+                    converged=converged,
+                )
+                _obs_count("opc.iterations")
+                if np.isfinite(stats.max_epe_nm):
+                    _obs_observe(
+                        "opc.epe_nm", stats.max_epe_nm, EPE_NM_BUCKETS
+                    )
+            if converged or iteration == recipe.max_iterations:
+                break
+            _update_biases(biases, epes, states, recipe)
+        model_span.set(iterations=len(history), converged=converged)
 
     return OPCResult(
         target=merged,

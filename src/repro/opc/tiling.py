@@ -19,10 +19,14 @@ from typing import List, Optional
 from ..errors import OPCError
 from ..geometry import Rect, Region
 from ..litho import LithoSimulator
+from ..obs import count as _obs_count, observe as _obs_observe, span as _obs_span
 from .model_opc import MaskBuilder, ModelOPCRecipe, model_opc
 from .report import IterationStats, OPCResult
 
 from ..litho import binary_mask
+
+#: Histogram buckets for per-tile correction runtime (seconds).
+TILE_RUNTIME_BUCKETS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0)
 
 
 @dataclass(frozen=True)
@@ -66,35 +70,63 @@ def model_opc_tiled(
     assert box is not None
     tiles = _tile_grid(box, tiling.tile_nm)
     if len(tiles) == 1:
-        return model_opc(
-            merged, simulator, tiles[0], recipe,
-            mask_builder=mask_builder, dose=dose, defocus_nm=defocus_nm,
+        with _obs_span(
+            "opc.tile", tile=0, x1=tiles[0].x1, y1=tiles[0].y1,
+            halo_nm=tiling.halo_nm,
+        ) as tile_span:
+            result = model_opc(
+                merged, simulator, tiles[0], recipe,
+                mask_builder=mask_builder, dose=dose, defocus_nm=defocus_nm,
+            )
+            tile_span.set(
+                fragments=result.fragment_count, converged=result.converged
+            )
+        _obs_count("opc.tiles")
+        _obs_observe(
+            "tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS
         )
+        return result
 
     corrected = Region()
     history: List[IterationStats] = []
     fragments = 0
     converged = True
-    for tile in tiles:
+    for index, tile in enumerate(tiles):
         context_window = tile.expanded(tiling.halo_nm)
         context = merged & Region(
             context_window.expanded(simulator.config.ambit_nm)
         )
         if context.is_empty:
+            _obs_count("opc.tiles_empty")
             continue
-        result = model_opc(
-            context,
-            simulator,
-            tile,
-            recipe,
-            mask_builder=mask_builder,
-            dose=dose,
-            defocus_nm=defocus_nm,
+        with _obs_span(
+            "opc.tile", tile=index, x1=tile.x1, y1=tile.y1,
+            halo_nm=tiling.halo_nm,
+        ) as tile_span:
+            result = model_opc(
+                context,
+                simulator,
+                tile,
+                recipe,
+                mask_builder=mask_builder,
+                dose=dose,
+                defocus_nm=defocus_nm,
+            )
+            converged = converged and result.converged
+            fragments += result.fragment_count
+            history.extend(result.history)
+            stitched = result.corrected & Region(tile)
+            tile_span.set(
+                fragments=result.fragment_count,
+                converged=result.converged,
+                context_vertices=context.num_vertices,
+                stitched_vertices=stitched.num_vertices,
+            )
+            corrected._add(stitched)
+        _obs_count("opc.tiles")
+        _obs_observe(
+            "tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS
         )
-        converged = converged and result.converged
-        fragments += result.fragment_count
-        history.extend(result.history)
-        corrected._add(result.corrected & Region(tile))
     # Geometry cut at tile borders is rejoined by the merge; context copies
     # outside tiles were clipped away above.
     return OPCResult(

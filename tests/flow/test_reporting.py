@@ -45,3 +45,23 @@ class TestFlowReport:
         only = {CorrectionLevel.RULE: results[CorrectionLevel.RULE]}
         report = flow_report_markdown(only)
         assert "x1.0" in report
+
+    def test_header_separator_and_rows_share_column_count(self, results):
+        report = flow_report_markdown(results)
+        table = [line for line in report.splitlines()
+                 if line.startswith("|") and line.endswith("|")]
+        assert len(table) >= 4  # header, separator, two data rows
+        widths = {len(line.split("|")) for line in table}
+        assert len(widths) == 1, f"ragged table columns: {sorted(widths)}"
+
+    def test_trace_appendix(self, results):
+        from repro import obs
+
+        with obs.capture() as cap:
+            with obs.span("tapeout"):
+                with obs.span("tapeout.correct"):
+                    pass
+        report = flow_report_markdown(results, trace=cap.root)
+        assert "Stage breakdown" in report
+        assert "tapeout.correct" in report
+        assert "Stage breakdown" not in flow_report_markdown(results)

@@ -1,0 +1,17 @@
+"""Shared fixtures for observability tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts disabled with an empty registry and span store."""
+    obs.disable()
+    obs.reset_metrics()
+    obs.take_finished()
+    yield
+    obs.disable()
+    obs.reset_metrics()
+    obs.take_finished()

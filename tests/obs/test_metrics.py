@@ -1,0 +1,107 @@
+"""Tests for counters, gauges and fixed-bucket histograms."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+
+
+class TestCounter:
+    def test_counts_up(self):
+        counter = obs.registry().counter("opc.iterations")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_is_the_same_counter(self):
+        obs.registry().counter("x").inc()
+        assert obs.registry().counter("x").value == 1
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ReproError):
+            obs.registry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = obs.registry().gauge("mask.vertices")
+        assert gauge.value is None
+        gauge.set(10)
+        gauge.set(7)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_bucket_semantics(self):
+        histogram = obs.registry().histogram("epe", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            histogram.observe(value)
+        # Upper edges are inclusive; the last bucket is overflow.
+        assert histogram.bucket_counts == [2, 0, 1, 1]
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(104.5)
+        assert histogram.mean == pytest.approx(104.5 / 4)
+        assert histogram.min == 0.5
+        assert histogram.max == 100.0
+
+    def test_quantiles_have_bucket_resolution(self):
+        histogram = obs.registry().histogram("t", bounds=(1.0, 10.0))
+        for value in (0.5, 0.6, 0.7, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.8) == 10.0  # bucket upper edge
+        assert histogram.quantile(1.0) == 50.0  # overflow -> observed max
+        assert obs.registry().histogram("empty").quantile(0.5) is None
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ReproError):
+            obs.registry().histogram("bad", bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_kind_clash_raises(self):
+        obs.registry().counter("metric.a")
+        with pytest.raises(ReproError):
+            obs.registry().gauge("metric.a")
+
+    def test_reset_clears_everything(self):
+        obs.registry().counter("a").inc()
+        obs.registry().gauge("b").set(1)
+        obs.reset_metrics()
+        assert obs.registry().names() == []
+        assert obs.registry().get("a") is None
+
+    def test_registry_starts_empty_each_test(self):
+        # The autouse fixture resets the process-wide registry.
+        assert obs.registry().names() == []
+
+    def test_snapshot_is_json_ready(self):
+        obs.registry().counter("c").inc(2)
+        obs.registry().gauge("g").set(1.5)
+        obs.registry().histogram("h", bounds=(1.0,)).observe(0.5)
+        snapshot = obs.registry().snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded["c"] == {"kind": "counter", "value": 2}
+        assert decoded["g"]["value"] == 1.5
+        assert decoded["h"]["count"] == 1
+        assert decoded["h"]["buckets"][-1]["le"] == "inf"
+
+
+class TestGuardedHelpers:
+    def test_noop_while_disabled(self):
+        assert not obs.enabled()
+        obs.count("sim.aerial_calls")
+        obs.gauge_set("mask.vertices", 9)
+        obs.observe("tile.runtime_s", 0.5)
+        assert obs.registry().names() == []
+
+    def test_record_while_enabled(self):
+        with obs.enabled_scope(True):
+            obs.count("sim.aerial_calls", 3)
+            obs.gauge_set("mask.vertices", 9)
+            obs.observe("tile.runtime_s", 0.5, bounds=(1.0,))
+        assert obs.registry().counter("sim.aerial_calls").value == 3
+        assert obs.registry().gauge("mask.vertices").value == 9
+        assert obs.registry().histogram("tile.runtime_s", (1.0,)).count == 1

@@ -1,0 +1,132 @@
+"""Tests for the hierarchical span tracer."""
+
+import threading
+
+import pytest
+
+from repro import obs
+
+
+class TestNesting:
+    def test_spans_nest_into_a_tree(self):
+        with obs.capture() as cap:
+            with obs.span("root"):
+                with obs.span("child1"):
+                    with obs.span("grandchild"):
+                        pass
+                with obs.span("child2"):
+                    pass
+        root = cap.root
+        assert root is not None and root.name == "root"
+        assert [c.name for c in root.children] == ["child1", "child2"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_sibling_roots_all_collected(self):
+        with obs.capture() as cap:
+            with obs.span("first"):
+                pass
+            with obs.span("second"):
+                pass
+        assert [r.name for r in cap.roots] == ["first", "second"]
+
+    def test_durations_are_ordered(self):
+        with obs.capture() as cap:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        outer = cap.root
+        inner = outer.children[0]
+        assert 0.0 <= inner.duration_s <= outer.duration_s
+        assert outer.end_s is not None
+
+    def test_exception_still_closes_the_span(self):
+        with obs.capture() as cap:
+            with pytest.raises(ValueError):
+                with obs.span("doomed"):
+                    raise ValueError("boom")
+        assert cap.root.name == "doomed"
+        assert cap.root.end_s is not None
+        assert obs.current_span() is None
+
+    def test_find_and_walk(self):
+        with obs.capture() as cap:
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+                with obs.span("b"):
+                    pass
+        assert cap.root.find("b") is cap.root.children[0]
+        assert len(cap.root.find_all("b")) == 2
+        assert [s.name for s in cap.root.walk()] == ["a", "b", "b"]
+        assert cap.find("missing") is None
+
+
+class TestAttributes:
+    def test_attrs_at_creation_and_set(self):
+        with obs.capture() as cap:
+            with obs.span("work", kind="opc") as span:
+                span.set(iterations=3, converged=True)
+        assert cap.root.attrs == {
+            "kind": "opc", "iterations": 3, "converged": True
+        }
+
+    def test_current_span_is_the_innermost(self):
+        with obs.capture():
+            assert obs.current_span() is None
+            with obs.span("outer") as outer:
+                assert obs.current_span() is outer
+                with obs.span("inner") as inner:
+                    assert obs.current_span() is inner
+                assert obs.current_span() is outer
+            assert obs.current_span() is None
+
+
+class TestThreadIsolation:
+    def test_worker_spans_do_not_leak_into_the_main_tree(self):
+        worker_roots = []
+
+        def worker():
+            with obs.span("worker"):
+                pass
+            worker_roots.extend(obs.take_finished())
+
+        with obs.capture() as cap:
+            with obs.span("main"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        assert [r.name for r in cap.roots] == ["main"]
+        assert cap.root.children == []
+        assert [r.name for r in worker_roots] == ["worker"]
+
+
+class TestDisabledMode:
+    def test_disabled_spans_record_nothing(self):
+        assert not obs.enabled()
+        with obs.span("ghost") as span:
+            assert obs.current_span() is None
+            span.set(answer=42)
+        assert span.attrs == {}
+        assert obs.take_finished() == []
+
+    def test_disabled_spans_still_measure_time(self):
+        with obs.span("timed") as span:
+            pass
+        assert span.end_s is not None
+        assert span.duration_s >= 0.0
+
+    def test_capture_restores_the_disabled_state(self):
+        assert not obs.enabled()
+        with obs.capture():
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_stale_roots_are_dropped_by_capture(self):
+        obs.enable()
+        with obs.span("stale"):
+            pass
+        obs.disable()
+        with obs.capture() as cap:
+            with obs.span("fresh"):
+                pass
+        assert [r.name for r in cap.roots] == ["fresh"]

@@ -124,6 +124,17 @@ class TestCorrect:
         assert "| none |" in out and "| rule |" in out
         assert "Worst data volume" in out
 
+    def test_profile_flag_prints_span_tree(self, stdcell_gds, tmp_path, capsys):
+        code = main(
+            ["correct", str(stdcell_gds), "--cell", "INV", "--layer", "3",
+             "--level", "rule", "--dose", "1.0",
+             "-o", str(tmp_path / "inv.gds"), "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "### Span tree" in out
+        assert "| correct |" in out
+
     def test_report_bad_level(self, stdcell_gds, capsys):
         code = main(
             ["report", str(stdcell_gds), "--cell", "INV", "--layer", "3",
@@ -132,6 +143,56 @@ class TestCorrect:
         assert code == 2
         assert "unknown correction level" in capsys.readouterr().err
 
+    def test_trace_flag_writes_trace_json(self, stdcell_gds, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "inv_opc.gds"
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["correct", str(stdcell_gds), "--cell", "INV", "--layer", "3",
+             "--level", "rule", "--dose", "1.0", "-o", str(out),
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        document = json.loads(trace.read_text())
+        assert document["schema"].startswith("repro-trace/")
+        assert any(span["name"] == "correct" for span in document["spans"])
+        assert "wrote trace" in capsys.readouterr().out
+
+class TestProfile:
+    def test_profile_quickstart_smoke(self, capsys):
+        """`repro profile` on the built-in quickstart pattern exits 0."""
+        code = main(
+            ["profile", "--level", "rule", "--dose", "1.0", "--no-verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quickstart pattern" in out
+        assert "### Span tree" in out
+        assert "tapeout" in out
+
+    def test_profile_writes_trace_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "profile.json"
+        code = main(
+            ["profile", "--level", "rule", "--dose", "1.0", "--no-verify",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        document = json.loads(trace.read_text())
+        assert document["spans"][0]["name"] == "tapeout"
+        stage_names = {
+            child["name"] for child in document["spans"][0]["children"]
+        }
+        assert "tapeout.correct" in stage_names
+
+    def test_profile_gds_needs_layer(self, stdcell_gds, capsys):
+        assert main(["profile", str(stdcell_gds)]) == 2
+        assert "needs --layer" in capsys.readouterr().err
+
+
+class TestCorrectMore:
     def test_dark_field_flag_runs(self, tmp_path, capsys):
         from repro.design import contact_array
         from repro.layout import CONTACT, Cell, Library, write_gds
