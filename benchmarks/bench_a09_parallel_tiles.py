@@ -1,0 +1,71 @@
+"""Ablation A9: parallel tiled OPC -- speedup vs worker count, parity held.
+
+Tiled OPC is embarrassingly parallel: every tile corrects against frozen
+halo context, so a worker pool should scale wall time down roughly
+linearly until tile count or cores run out -- the economics that let OPC
+farms keep full-chip correction overnight (the paper's adoption
+argument).  The ablation corrects one line pattern spread over a grid of
+tiles with 1, 2 and 4 workers, records wall time and speedup, and
+asserts the deal the parallel layer offers: the stitched mask is
+byte-identical to the serial one at every worker count.
+
+The >=2x-speedup-at-4-workers assertion only fires on machines with at
+least 4 CPUs; parity is asserted unconditionally.
+"""
+
+import os
+import time
+
+from repro.design import line_space_array
+from repro.flow import print_table
+from repro.opc import ModelOPCRecipe, ParallelSpec, TilingSpec, model_opc_tiled
+
+WORKER_COUNTS = (1, 2, 4)
+RECIPE = ModelOPCRecipe(max_iterations=3)
+TILING = TilingSpec(tile_nm=1600, halo_nm=600)
+
+
+def run_experiment(simulator, anchor_dose):
+    pattern = line_space_array(180, 280, count=11, length=4800)
+    target = pattern.region
+    window = target.bbox()
+    serial = model_opc_tiled(
+        target, simulator, window, RECIPE, tiling=TILING, dose=anchor_dose
+    )
+    rows = []
+    baseline_s = None
+    for n_workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        result = model_opc_tiled(
+            target, simulator, window, RECIPE, tiling=TILING,
+            dose=anchor_dose,
+            parallel=ParallelSpec(n_workers=n_workers) if n_workers > 1 else None,
+        )
+        elapsed = time.perf_counter() - start
+        if baseline_s is None:
+            baseline_s = elapsed
+        identical = result.corrected.loops == serial.corrected.loops
+        rows.append(
+            [n_workers, elapsed, baseline_s / elapsed, identical,
+             result.fragment_count]
+        )
+    return rows
+
+
+def test_a09_parallel_tiles(benchmark, simulator, anchor_dose):
+    rows = benchmark.pedantic(
+        run_experiment, args=(simulator, anchor_dose), rounds=1, iterations=1
+    )
+    print()
+    print_table(
+        ["workers", "wall (s)", "speedup", "parity", "fragments"],
+        rows,
+        title="A9: parallel tiled OPC (11 lines, 4.8 um, 1600 nm tiles)",
+    )
+    by_workers = {r[0]: r for r in rows}
+    # The contract: every worker count stitches a byte-identical mask.
+    assert all(r[3] for r in rows)
+    assert len({r[4] for r in rows}) == 1
+    # Scaling only means something with the cores to back it.
+    if (os.cpu_count() or 1) >= 4:
+        assert by_workers[4][1] * 2.0 <= by_workers[1][1]

@@ -45,7 +45,7 @@ from .flow import (
 from .geometry import Rect, Region
 from .layout import Layer, Library, layout_stats, opc_layer, read_gds, sraf_layer, write_gds
 from .litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
-from .opc import ModelOPCRecipe, TilingSpec
+from .opc import ModelOPCRecipe, ParallelSpec, TilingSpec
 from .verify import run_drc
 
 _NODES = {"250nm": node_250nm, "180nm": node_180nm, "130nm": node_130nm}
@@ -103,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     correct.add_argument("-o", "--output", required=True)
     _add_obs_flags(correct)
+    _add_parallel_flags(correct)
 
     profile = sub.add_parser(
         "profile",
@@ -133,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="also write the trace document (JSON) to PATH",
     )
+    _add_parallel_flags(profile)
 
     report = sub.add_parser(
         "report", help="markdown tape-out report comparing correction levels"
@@ -149,6 +151,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--dose", default="auto")
     return parser
+
+
+def _add_parallel_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="correct tiles on N worker processes (1 = serial; the "
+        "stitched result is byte-identical either way)",
+    )
+    sub_parser.add_argument(
+        "--max-retries", type=int, default=1, metavar="K",
+        help="resubmit a failed/dead tile job up to K times",
+    )
+    sub_parser.add_argument(
+        "--on-failure", choices=["serial", "raise"], default="serial",
+        help="after retries: correct the tile in-process, or fail fast",
+    )
+
+
+def _parallel_spec(args) -> Optional[ParallelSpec]:
+    if getattr(args, "workers", 1) <= 1:
+        return None
+    return ParallelSpec(
+        n_workers=args.workers,
+        max_retries=args.max_retries,
+        on_failure=args.on_failure,
+    )
 
 
 def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
@@ -295,7 +323,7 @@ def _run_correct(args) -> int:
 
     result = correct_region(
         target, level, simulator=simulator, dose=dose,
-        dark_field=args.dark_field,
+        dark_field=args.dark_field, parallel=_parallel_spec(args),
     )
     corrected = result.corrected
     if args.smooth > 0:
@@ -375,7 +403,8 @@ def _profile(args) -> int:
         tile_nm=args.tile_nm
     )
     recipe = TapeoutRecipe(
-        level=_LEVELS[args.level], model_recipe=model_recipe, tiling=tiling
+        level=_LEVELS[args.level], model_recipe=model_recipe, tiling=tiling,
+        parallel=_parallel_spec(args),
     )
     with obs.capture() as cap:
         result = tapeout_region(

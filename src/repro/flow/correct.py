@@ -16,12 +16,13 @@ from typing import Optional
 from ..errors import ReproError
 from ..geometry import Rect, Region
 from ..layout import Cell, Layer
-from ..litho import LithoSimulator, MaskSpec, binary_mask
+from ..litho import BinaryMaskBuilder, LithoSimulator, MaskSpec, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
 from ..obs import gauge_set as _obs_gauge_set, span as _obs_span
 from ..opc import (
     ModelOPCRecipe,
     OPCResult,
+    ParallelSpec,
     RuleOPCRecipe,
     SRAFRecipe,
     TilingSpec,
@@ -70,6 +71,7 @@ def correct_region(
     sraf_recipe: SRAFRecipe = SRAFRecipe(),
     tiling: TilingSpec = TilingSpec(),
     dark_field: bool = False,
+    parallel: Optional[ParallelSpec] = None,
 ) -> FlowResult:
     """Apply ``level`` to a drawn region and collect impact statistics.
 
@@ -77,7 +79,9 @@ def correct_region(
     target bounding box plus margin by default).  Model correction runs
     tiled, so arbitrarily large windows are fine.  ``dark_field=True``
     treats features as clear openings on chrome (contact/via layers) and
-    flips the model-OPC failure semantics accordingly.
+    flips the model-OPC failure semantics accordingly.  ``parallel``
+    fans the tiles out over a multiprocessing pool (result byte-identical
+    to the serial run; see :class:`~repro.opc.ParallelSpec`).
     """
     import dataclasses
 
@@ -102,13 +106,9 @@ def correct_region(
             if level == CorrectionLevel.MODEL_SRAF:
                 with _obs_span("correct.sraf"):
                     srafs = insert_srafs(merged, sraf_recipe)
-                builder = lambda region: binary_mask(  # noqa: E731
-                    region, dark_field=dark_field, srafs=srafs
-                )
+                builder = BinaryMaskBuilder(dark_field=dark_field, srafs=srafs)
             else:
-                builder = lambda region: binary_mask(  # noqa: E731
-                    region, dark_field=dark_field
-                )
+                builder = BinaryMaskBuilder(dark_field=dark_field)
             if dark_field:
                 # Contact holes couple all four edges through one small
                 # aperture: the effective loop gain is ~4x a line edge's, so
@@ -123,6 +123,7 @@ def correct_region(
             opc_result = model_opc_tiled(
                 merged, simulator, window, recipe,
                 tiling=tiling, mask_builder=builder, dose=dose,
+                parallel=parallel,
             )
             corrected = opc_result.corrected
         else:  # pragma: no cover - enum is exhaustive

@@ -20,6 +20,7 @@ from ..obs import span as _obs_span
 from ..opc import (
     MRCRules,
     ModelOPCRecipe,
+    ParallelSpec,
     RetargetRules,
     TilingSpec,
     check_mask,
@@ -42,6 +43,8 @@ class TapeoutRecipe:
     orc_margin_nm: int = 50
     model_recipe: ModelOPCRecipe = ModelOPCRecipe()
     tiling: TilingSpec = TilingSpec()
+    #: Fan correction tiles out over a worker pool (None = serial).
+    parallel: Optional[ParallelSpec] = None
 
 
 @dataclass
@@ -97,6 +100,7 @@ def tapeout_region(
                 dark_field=recipe.dark_field,
                 model_recipe=recipe.model_recipe,
                 tiling=recipe.tiling,
+                parallel=recipe.parallel,
             )
 
         with _obs_span(

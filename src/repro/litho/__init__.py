@@ -20,7 +20,14 @@ Public surface:
 from .contour import cutline_cd, edge_offset, edge_offset_state, printed_region
 from .export import ascii_art, to_pgm
 from .imaging import AbbeEngine, SOCSEngine
-from .masks import ATTPSM_TRANSMISSION, MaskSpec, altpsm_mask, attpsm_mask, binary_mask
+from .masks import (
+    ATTPSM_TRANSMISSION,
+    BinaryMaskBuilder,
+    MaskSpec,
+    altpsm_mask,
+    attpsm_mask,
+    binary_mask,
+)
 from .metrics import image_contrast, image_log_slope, meef, nils
 from .optics import OpticalSettings, i_line, krf_annular, krf_conventional
 from .process_window import (
@@ -40,6 +47,7 @@ __all__ = [
     "ATTPSM_TRANSMISSION",
     "Aberrations",
     "AbbeEngine",
+    "BinaryMaskBuilder",
     "FocusExposureMatrix",
     "Grid",
     "LithoConfig",

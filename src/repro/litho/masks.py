@@ -77,6 +77,29 @@ def binary_mask(
     return MaskSpec(background, tuple(paints), name=name)
 
 
+@dataclass(frozen=True)
+class BinaryMaskBuilder:
+    """A picklable ``Region -> MaskSpec`` callable wrapping :func:`binary_mask`.
+
+    Model-OPC flows pass a mask builder down to per-tile workers; a frozen
+    dataclass (unlike a closure) survives the pickle boundary of a
+    multiprocessing pool while carrying the dark-field polarity and frozen
+    SRAF geometry along.
+    """
+
+    dark_field: bool = False
+    srafs: Optional[Region] = None
+    name: str = "binary"
+
+    def __call__(self, features: Region) -> MaskSpec:
+        return binary_mask(
+            features,
+            dark_field=self.dark_field,
+            srafs=self.srafs,
+            name=self.name,
+        )
+
+
 def attpsm_mask(
     features: Region,
     dark_field: bool = False,

@@ -32,6 +32,7 @@ from typing import Iterator, List, Optional
 from .export import (
     chrome_trace_events,
     metrics_markdown,
+    span_from_dict,
     span_to_dict,
     span_tree_markdown,
     trace_document,
@@ -46,12 +47,13 @@ from .metrics import (
     MetricsRegistry,
     count,
     gauge_set,
+    merge_snapshot,
     observe,
     registry,
 )
 from .metrics import reset as reset_metrics
 from .state import disable, enable, enabled, enabled_scope
-from .trace import Span, current_span, span, take_finished
+from .trace import Span, current_span, merge_spans, span, take_finished
 
 __all__ = [
     "Capture",
@@ -70,11 +72,14 @@ __all__ = [
     "enabled",
     "enabled_scope",
     "gauge_set",
+    "merge_snapshot",
+    "merge_spans",
     "metrics_markdown",
     "observe",
     "registry",
     "reset_metrics",
     "span",
+    "span_from_dict",
     "span_to_dict",
     "span_tree_markdown",
     "take_finished",

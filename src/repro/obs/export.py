@@ -36,6 +36,20 @@ def span_to_dict(span: Span) -> Dict[str, Any]:
     }
 
 
+def span_from_dict(data: Dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` tree from :func:`span_to_dict` output.
+
+    The inverse used to rehydrate worker span trees shipped across a
+    process boundary (pickled or as trace-document JSON) before merging
+    them into the parent trace with :func:`~repro.obs.merge_spans`.
+    """
+    span = Span(data["name"], dict(data.get("attrs") or {}))
+    span.start_s = float(data["start_s"])
+    span.end_s = span.start_s + float(data["duration_s"])
+    span.children = [span_from_dict(child) for child in data.get("children", [])]
+    return span
+
+
 def chrome_trace_events(
     roots: Sequence[Span], origin_s: Optional[float] = None
 ) -> List[Dict[str, Any]]:

@@ -148,6 +148,49 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The merge rules follow each metric's semantics: counters add,
+        gauges keep the incoming sample (last write wins), histograms sum
+        bucket-wise -- their bounds must match exactly.  This is how
+        per-worker metric snapshots from a multiprocessing OPC pool are
+        combined into the parent's registry so counter totals are exact.
+        """
+        for name, record in sorted(snapshot.items()):
+            kind = record.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(record["value"])
+            elif kind == "gauge":
+                if record["value"] is not None:
+                    self.gauge(name).set(record["value"])
+            elif kind == "histogram":
+                self._merge_histogram(name, record)
+            else:
+                raise ReproError(
+                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                )
+
+    def _merge_histogram(self, name: str, record: Dict[str, Any]) -> None:
+        buckets = record["buckets"]
+        bounds = tuple(entry["le"] for entry in buckets[:-1])
+        histogram = self.histogram(name, bounds or DEFAULT_BUCKETS)
+        if histogram.bounds != bounds:
+            raise ReproError(
+                f"histogram {name!r} bucket bounds differ: "
+                f"{histogram.bounds} vs {bounds}"
+            )
+        if record["count"] == 0:
+            return
+        for i, entry in enumerate(buckets):
+            histogram.bucket_counts[i] += entry["count"]
+        histogram.count += record["count"]
+        histogram.total += record["sum"]
+        if record["min"] is not None and record["min"] < histogram.min:
+            histogram.min = record["min"]
+        if record["max"] is not None and record["max"] > histogram.max:
+            histogram.max = record["max"]
+
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """A plain-data dump of every metric, JSON-ready."""
         out: Dict[str, Dict[str, Any]] = {}
@@ -210,3 +253,9 @@ def observe(
     """Record ``value`` into histogram ``name`` when recording is enabled."""
     if state.enabled():
         _registry.histogram(name, bounds).observe(value)
+
+
+def merge_snapshot(snapshot: Dict[str, Dict[str, Any]]) -> None:
+    """Merge a worker's snapshot into the global registry when enabled."""
+    if state.enabled():
+        _registry.merge_snapshot(snapshot)

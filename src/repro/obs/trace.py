@@ -26,7 +26,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from . import state
 
@@ -114,6 +114,47 @@ def take_finished() -> List[Span]:
     finished = _finished()
     _tls.finished = []
     return finished
+
+
+def merge_spans(
+    parent: Optional[Span],
+    roots: Sequence[Span],
+    rebase: bool = True,
+) -> None:
+    """Graft finished root spans from another thread or process into a tree.
+
+    ``roots`` (typically reconstructed from a worker's serialized trace)
+    become children of ``parent``, preserving their internal parent/child
+    nesting and every span's wall-clock duration.  ``parent=None`` grafts
+    under this thread's innermost open span, or -- with no span open --
+    collects the roots as finished roots of this thread.
+
+    ``rebase`` shifts the adopted trees so the earliest root starts at the
+    parent's start time: ``perf_counter`` origins are process-specific, so
+    raw worker timestamps are meaningless in the parent's timeline.
+    Relative offsets between roots of one merge call are preserved.
+    """
+    if not roots:
+        return
+    if parent is None:
+        parent = current_span()
+    if rebase:
+        origin = min(root.start_s for root in roots)
+        anchor = parent.start_s if parent is not None else origin
+        for root in roots:
+            _shift_tree(root, anchor - origin)
+    if parent is not None:
+        parent.children.extend(roots)
+    else:
+        _finished().extend(roots)
+
+
+def _shift_tree(span_node: Span, delta_s: float) -> None:
+    span_node.start_s += delta_s
+    if span_node.end_s is not None:
+        span_node.end_s += delta_s
+    for child in span_node.children:
+        _shift_tree(child, delta_s)
 
 
 @contextmanager

@@ -6,6 +6,10 @@ Public surface:
   :class:`BiasTable`, :func:`add_serifs`;
 * model-based OPC: :func:`model_opc`, :class:`ModelOPCRecipe`,
   :class:`OPCResult`, :class:`IterationStats`;
+* parallel tiled execution: :class:`ParallelSpec`, :class:`TileJob`,
+  :class:`TileOutcome`, :class:`TileCorrectionError`,
+  :func:`run_tile_jobs` (the multiprocessing farm behind
+  ``model_opc_tiled(..., parallel=...)``);
 * assist features: :func:`insert_srafs`, :class:`SRAFRecipe`;
 * alternating-PSM phase assignment: :func:`assign_phases`,
   :class:`PSMRecipe`, :class:`PhaseAssignment`;
@@ -15,7 +19,14 @@ Public surface:
 
 from .hierarchical import HierarchicalOPCResult, hierarchical_model_opc
 from .model_opc import DEFAULT_MODEL_FRAGMENTATION, ModelOPCRecipe, model_opc
-from .tiling import TilingSpec, model_opc_tiled
+from .parallel import (
+    ParallelSpec,
+    TileCorrectionError,
+    TileJob,
+    TileOutcome,
+    run_tile_jobs,
+)
+from .tiling import TilePlan, TilingSpec, model_opc_tiled, plan_tiles
 from .mrc import MRCReport, MRCRules, check_mask, repair_mask
 from .psm import PhaseAssignment, PSMRecipe, assign_phases, trim_mask_chrome
 from .report import IterationStats, OPCResult
@@ -48,10 +59,15 @@ __all__ = [
     "ModelOPCRecipe",
     "OPCResult",
     "PSMRecipe",
+    "ParallelSpec",
     "PhaseAssignment",
     "RetargetRules",
     "RuleOPCRecipe",
     "SRAFRecipe",
+    "TileCorrectionError",
+    "TileJob",
+    "TileOutcome",
+    "TilePlan",
     "TilingSpec",
     "add_serifs",
     "assign_phases",
@@ -63,8 +79,10 @@ __all__ = [
     "insert_srafs",
     "model_opc",
     "model_opc_tiled",
+    "plan_tiles",
     "repair_mask",
     "retarget",
     "rule_opc",
+    "run_tile_jobs",
     "trim_mask_chrome",
 ]

@@ -8,13 +8,17 @@ tile is corrected with frozen context geometry from its halo, and the
 per-tile corrections are stitched by clipping to the tile core.
 
 Tiling is also what makes OPC runtime *linear in area* (at a large
-constant), the scaling the runtime experiment measures.
+constant), the scaling the runtime experiment measures -- and, with a
+:class:`~repro.opc.parallel.ParallelSpec`, linear in area divided by
+worker count: tile jobs are independent, so :func:`model_opc_tiled` can
+fan them out over a process pool and stitch the outcomes back in
+deterministic tile order, byte-identical to the serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..errors import OPCError
 from ..geometry import Rect, Region
@@ -24,6 +28,9 @@ from .model_opc import MaskBuilder, ModelOPCRecipe, model_opc
 from .report import IterationStats, OPCResult
 
 from ..litho import binary_mask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .parallel import ParallelSpec
 
 #: Histogram buckets for per-tile correction runtime (seconds).
 TILE_RUNTIME_BUCKETS = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0)
@@ -45,63 +52,63 @@ class TilingSpec:
         return self
 
 
-def model_opc_tiled(
-    target: Region,
-    simulator: LithoSimulator,
-    window: Optional[Rect] = None,
-    recipe: ModelOPCRecipe = ModelOPCRecipe(),
-    tiling: TilingSpec = TilingSpec(),
-    mask_builder: MaskBuilder = binary_mask,
-    dose: float = 1.0,
-    defocus_nm: float = 0.0,
-) -> OPCResult:
-    """Model-based OPC over an arbitrarily large layout, tile by tile.
+@dataclass(frozen=True)
+class TilePlan:
+    """One tile's work order: the core rect plus its frozen halo context.
 
-    ``window`` bounds the corrected area (the target bounding box by
-    default).  Each tile is corrected against the target geometry within
-    its halo; SOCS kernels are shared across tiles because every tile
-    simulates on the same grid shape.
+    ``index`` is the tile's position in the deterministic grid enumeration
+    (column-major over :func:`_tile_grid`); stitching folds results back
+    in this order so serial and parallel runs are byte-identical.
     """
-    tiling = tiling.validated()
-    merged = target.merged()
-    if merged.is_empty:
-        return OPCResult(target=merged, corrected=merged)
-    box = window or merged.bbox()
-    assert box is not None
-    tiles = _tile_grid(box, tiling.tile_nm)
-    if len(tiles) == 1:
-        with _obs_span(
-            "opc.tile", tile=0, x1=tiles[0].x1, y1=tiles[0].y1,
-            halo_nm=tiling.halo_nm,
-        ) as tile_span:
-            result = model_opc(
-                merged, simulator, tiles[0], recipe,
-                mask_builder=mask_builder, dose=dose, defocus_nm=defocus_nm,
-            )
-            tile_span.set(
-                fragments=result.fragment_count, converged=result.converged
-            )
-        _obs_count("opc.tiles")
-        _obs_observe(
-            "tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS
-        )
-        return result
 
-    corrected = Region()
-    history: List[IterationStats] = []
-    fragments = 0
-    converged = True
-    for index, tile in enumerate(tiles):
+    index: int
+    tile: Rect
+    context: Region
+
+
+def plan_tiles(
+    merged: Region, box: Rect, tiling: TilingSpec, ambit_nm: int
+) -> List[TilePlan]:
+    """Cut ``box`` into tile work orders with halo+ambit context geometry.
+
+    Tiles whose context is empty are dropped (and counted under
+    ``opc.tiles_empty``): there is nothing to correct and nothing whose
+    proximity could matter.
+    """
+    plans: List[TilePlan] = []
+    for index, tile in enumerate(_tile_grid(box, tiling.tile_nm)):
         context_window = tile.expanded(tiling.halo_nm)
-        context = merged & Region(
-            context_window.expanded(simulator.config.ambit_nm)
-        )
+        context = merged & Region(context_window.expanded(ambit_nm))
         if context.is_empty:
             _obs_count("opc.tiles_empty")
             continue
+        plans.append(TilePlan(index=index, tile=tile, context=context))
+    return plans
+
+
+def correct_tile(
+    context: Region,
+    simulator: LithoSimulator,
+    tile: Rect,
+    index: int,
+    halo_nm: int,
+    recipe: ModelOPCRecipe = ModelOPCRecipe(),
+    mask_builder: MaskBuilder = binary_mask,
+    dose: float = 1.0,
+    defocus_nm: float = 0.0,
+) -> Tuple[OPCResult, Region]:
+    """Correct one tile and clip the result to its core.
+
+    The shared per-tile unit of work: the serial loop, the multiprocessing
+    workers and the serial-fallback path all run tiles through here, so
+    spans (``opc.tile``) and metrics (``opc.tiles`` / ``opc.tiles_failed``,
+    ``tile.runtime_s``) are recorded identically everywhere.  The runtime
+    histogram is observed on the failure path too -- a farm's slowest
+    tiles are often exactly the ones that die.
+    """
+    try:
         with _obs_span(
-            "opc.tile", tile=index, x1=tile.x1, y1=tile.y1,
-            halo_nm=tiling.halo_nm,
+            "opc.tile", tile=index, x1=tile.x1, y1=tile.y1, halo_nm=halo_nm
         ) as tile_span:
             result = model_opc(
                 context,
@@ -112,9 +119,6 @@ def model_opc_tiled(
                 dose=dose,
                 defocus_nm=defocus_nm,
             )
-            converged = converged and result.converged
-            fragments += result.fragment_count
-            history.extend(result.history)
             stitched = result.corrected & Region(tile)
             tile_span.set(
                 fragments=result.fragment_count,
@@ -122,11 +126,120 @@ def model_opc_tiled(
                 context_vertices=context.num_vertices,
                 stitched_vertices=stitched.num_vertices,
             )
-            corrected._add(stitched)
+    except BaseException:
+        _obs_count("opc.tiles_failed")
+        _obs_observe("tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS)
+        raise
+    _obs_count("opc.tiles")
+    _obs_observe("tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS)
+    return result, stitched
+
+
+def model_opc_tiled(
+    target: Region,
+    simulator: LithoSimulator,
+    window: Optional[Rect] = None,
+    recipe: ModelOPCRecipe = ModelOPCRecipe(),
+    tiling: TilingSpec = TilingSpec(),
+    mask_builder: MaskBuilder = binary_mask,
+    dose: float = 1.0,
+    defocus_nm: float = 0.0,
+    parallel: Optional["ParallelSpec"] = None,
+) -> OPCResult:
+    """Model-based OPC over an arbitrarily large layout, tile by tile.
+
+    ``window`` bounds the corrected area (the target bounding box by
+    default).  Each tile is corrected against the target geometry within
+    its halo; SOCS kernels are shared across tiles because every tile
+    simulates on the same grid shape.
+
+    ``parallel`` fans the tile jobs out over a multiprocessing worker
+    pool (see :class:`~repro.opc.parallel.ParallelSpec`); the stitched
+    result is guaranteed byte-identical to the serial run because
+    outcomes are folded back in tile-grid order.
+    """
+    tiling = tiling.validated()
+    if parallel is not None:
+        parallel = parallel.validated()
+    merged = target.merged()
+    if merged.is_empty:
+        return OPCResult(target=merged, corrected=merged)
+    box = window or merged.bbox()
+    assert box is not None
+    tiles = _tile_grid(box, tiling.tile_nm)
+    if len(tiles) == 1:
+        try:
+            with _obs_span(
+                "opc.tile", tile=0, x1=tiles[0].x1, y1=tiles[0].y1,
+                halo_nm=tiling.halo_nm,
+            ) as tile_span:
+                result = model_opc(
+                    merged, simulator, tiles[0], recipe,
+                    mask_builder=mask_builder, dose=dose,
+                    defocus_nm=defocus_nm,
+                )
+                tile_span.set(
+                    fragments=result.fragment_count, converged=result.converged
+                )
+        except BaseException:
+            _obs_count("opc.tiles_failed")
+            _obs_observe(
+                "tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS
+            )
+            raise
         _obs_count("opc.tiles")
         _obs_observe(
             "tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS
         )
+        return result
+
+    plans = plan_tiles(merged, box, tiling, simulator.config.ambit_nm)
+    if parallel is not None and parallel.n_workers > 1 and len(plans) > 1:
+        from .parallel import run_tile_jobs  # runtime import breaks the cycle
+
+        outcomes = run_tile_jobs(
+            plans,
+            simulator,
+            tiling,
+            parallel,
+            recipe=recipe,
+            mask_builder=mask_builder,
+            dose=dose,
+            defocus_nm=defocus_nm,
+        )
+        pieces = [
+            (outcome.stitched, outcome.history, outcome.converged,
+             outcome.fragment_count)
+            for outcome in outcomes
+        ]
+    else:
+        pieces = []
+        for plan in plans:
+            result, stitched = correct_tile(
+                plan.context,
+                simulator,
+                plan.tile,
+                plan.index,
+                tiling.halo_nm,
+                recipe,
+                mask_builder=mask_builder,
+                dose=dose,
+                defocus_nm=defocus_nm,
+            )
+            pieces.append(
+                (stitched, result.history, result.converged,
+                 result.fragment_count)
+            )
+
+    corrected = Region()
+    history: List[IterationStats] = []
+    fragments = 0
+    converged = True
+    for stitched, tile_history, tile_converged, tile_fragments in pieces:
+        converged = converged and tile_converged
+        fragments += tile_fragments
+        history.extend(tile_history)
+        corrected._add(stitched)
     # Geometry cut at tile borders is rejoined by the merge; context copies
     # outside tiles were clipped away above.
     return OPCResult(

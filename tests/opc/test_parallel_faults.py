@@ -1,0 +1,194 @@
+"""Fault-injection tests for the parallel tile worker pool.
+
+An env-triggered poison tile (see ``repro.opc.parallel``) makes one
+worker raise, die, or hang on demand -- deterministically once per run
+when pointed at a claim directory -- which lets the suite exercise the
+retry, serial-fallback, and fail-fast policies end to end.  The
+invariant under every fault: the stitched output is never corrupted --
+the run either completes byte-identical to serial or raises a
+structured :class:`TileCorrectionError` naming the tile.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import OPCError
+from repro.geometry import Rect, Region
+from repro.opc import (
+    ModelOPCRecipe,
+    ParallelSpec,
+    TileCorrectionError,
+    TilingSpec,
+    model_opc_tiled,
+)
+from repro.opc.parallel import (
+    POISON_MODE_ENV,
+    POISON_ONCE_ENV,
+    POISON_TILE_ENV,
+)
+
+RECIPE = ModelOPCRecipe(max_iterations=1)
+TILING = TilingSpec(tile_nm=1500, halo_nm=600)
+WINDOW = Rect(-1200, -1600, 1400, 1600)
+POISONED_INDEX = 1
+
+
+@pytest.fixture(scope="module")
+def serial(simulator, anchor_dose, mixed_lines):
+    return model_opc_tiled(
+        mixed_lines, simulator, WINDOW, RECIPE, tiling=TILING, dose=anchor_dose
+    )
+
+
+@pytest.fixture
+def poison(monkeypatch, tmp_path):
+    """Arm the poison tile; returns a function(mode, once=True)."""
+
+    def arm(mode, once=True):
+        monkeypatch.setenv(POISON_TILE_ENV, str(POISONED_INDEX))
+        monkeypatch.setenv(POISON_MODE_ENV, mode)
+        if once:
+            monkeypatch.setenv(POISON_ONCE_ENV, str(tmp_path / "claim"))
+        else:
+            monkeypatch.delenv(POISON_ONCE_ENV, raising=False)
+
+    return arm
+
+
+def _run(simulator, dose, mixed_lines, spec):
+    with obs.capture():
+        result = model_opc_tiled(
+            mixed_lines, simulator, WINDOW, RECIPE, tiling=TILING,
+            dose=dose, parallel=spec,
+        )
+        snapshot = obs.registry().snapshot()
+    return result, snapshot
+
+
+def _counter(snapshot, name):
+    record = snapshot.get(name)
+    return record["value"] if record else 0
+
+
+class TestRetry:
+    def test_transient_raise_is_retried(
+        self, poison, simulator, anchor_dose, mixed_lines, serial
+    ):
+        poison("raise", once=True)
+        result, snapshot = _run(
+            simulator, anchor_dose, mixed_lines,
+            ParallelSpec(n_workers=2, max_retries=1),
+        )
+        assert result.corrected.loops == serial.corrected.loops
+        assert _counter(snapshot, "opc.tile_retries") == 1
+        assert _counter(snapshot, "opc.tile_fallbacks") == 0
+
+    def test_worker_death_is_retried(
+        self, poison, simulator, anchor_dose, mixed_lines, serial
+    ):
+        poison("exit", once=True)
+        result, snapshot = _run(
+            simulator, anchor_dose, mixed_lines,
+            ParallelSpec(n_workers=2, max_retries=2),
+        )
+        assert result.corrected.loops == serial.corrected.loops
+        assert _counter(snapshot, "opc.tile_retries") >= 1
+
+    def test_hung_worker_is_timed_out_and_retried(
+        self, poison, simulator, anchor_dose, mixed_lines, serial
+    ):
+        poison("hang", once=True)
+        result, snapshot = _run(
+            simulator, anchor_dose, mixed_lines,
+            ParallelSpec(n_workers=2, max_retries=1, timeout_s=3.0),
+        )
+        assert result.corrected.loops == serial.corrected.loops
+        assert _counter(snapshot, "opc.tile_retries") == 1
+
+
+class TestSerialFallback:
+    def test_persistent_failure_falls_back_in_process(
+        self, poison, simulator, anchor_dose, mixed_lines, serial
+    ):
+        poison("raise", once=False)  # poison survives every retry
+        result, snapshot = _run(
+            simulator, anchor_dose, mixed_lines,
+            ParallelSpec(n_workers=2, max_retries=1, on_failure="serial"),
+        )
+        assert result.corrected.loops == serial.corrected.loops
+        assert _counter(snapshot, "opc.tile_retries") == 1
+        assert _counter(snapshot, "opc.tile_failures") == 1
+        assert _counter(snapshot, "opc.tile_fallbacks") == 1
+
+
+class TestFailFast:
+    def test_raise_policy_names_the_tile(
+        self, poison, simulator, anchor_dose, mixed_lines
+    ):
+        poison("raise", once=False)
+        with pytest.raises(TileCorrectionError) as excinfo:
+            _run(
+                simulator, anchor_dose, mixed_lines,
+                ParallelSpec(n_workers=2, max_retries=0, on_failure="raise"),
+            )
+        error = excinfo.value
+        assert error.index == POISONED_INDEX
+        assert isinstance(error.tile, Rect)
+        assert str(tuple(error.tile)) in str(error)
+        assert "RuntimeError" in (error.worker_traceback or "")
+        assert isinstance(error, OPCError)  # catchable as a library error
+
+
+class TestSpecValidation:
+    def test_bad_specs_are_rejected(self):
+        for bad in (
+            ParallelSpec(n_workers=0),
+            ParallelSpec(max_retries=-1),
+            ParallelSpec(on_failure="retry-forever"),
+            ParallelSpec(start_method="thread"),
+            ParallelSpec(timeout_s=0.0),
+        ):
+            with pytest.raises(OPCError):
+                bad.validated()
+
+    def test_unpicklable_mask_builder_is_rejected_up_front(
+        self, simulator, anchor_dose, mixed_lines
+    ):
+        with pytest.raises(OPCError, match="picklable"):
+            model_opc_tiled(
+                mixed_lines, simulator, WINDOW, RECIPE, tiling=TILING,
+                dose=anchor_dose,
+                mask_builder=lambda region: None,
+                parallel=ParallelSpec(n_workers=2),
+            )
+
+
+class TestFailurePathObservation:
+    def test_tile_runtime_histogram_includes_failed_tiles(
+        self, monkeypatch, simulator, anchor_dose, mixed_lines
+    ):
+        """Regression: ``tile.runtime_s`` used to skip tiles that raised."""
+        from repro.opc import tiling as tiling_module
+
+        calls = {"n": 0}
+        real_model_opc = tiling_module.model_opc
+
+        def flaky_model_opc(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected tile failure")
+            return real_model_opc(*args, **kwargs)
+
+        monkeypatch.setattr(tiling_module, "model_opc", flaky_model_opc)
+        with obs.capture():
+            with pytest.raises(RuntimeError):
+                model_opc_tiled(
+                    mixed_lines, simulator, WINDOW, RECIPE, tiling=TILING,
+                    dose=anchor_dose,
+                )
+            snapshot = obs.registry().snapshot()
+        histogram = snapshot["tile.runtime_s"]
+        # One successful tile, then the failing one: both observed.
+        assert histogram["count"] == 2
+        assert _counter(snapshot, "opc.tiles") == 1
+        assert _counter(snapshot, "opc.tiles_failed") == 1

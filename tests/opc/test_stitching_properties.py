@@ -1,0 +1,133 @@
+"""Property-style tests for the tile grid and stitching invariants.
+
+The byte-identical parallel guarantee rests on two geometric facts that
+these tests probe with seeded random inputs (plain ``random`` -- the
+environment has no hypothesis): the tile grid partitions the window
+exactly (no gaps, no double cover), and folding per-tile clips back into
+one region is invariant to enumeration order once merged.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect, Region
+from repro.opc import TilingSpec
+from repro.opc.tiling import TilePlan, _tile_grid, plan_tiles
+
+N_CASES = 25
+
+
+def _normalized(loops):
+    """Loop set with each loop rotated to start at its minimum vertex.
+
+    ``Region.merged()`` is deterministic for identical inputs (what the
+    byte-identical parallel guarantee needs) but cutting geometry at tile
+    borders and re-merging may rotate a loop's starting vertex relative
+    to the uncut merge, so cross-decomposition comparisons normalize.
+    """
+    out = []
+    for loop in loops:
+        pts = [tuple(p) for p in loop]
+        k = pts.index(min(pts))
+        out.append(tuple(pts[k:] + pts[:k]))
+    return sorted(out)
+
+
+def _random_box(rng):
+    x1 = rng.randrange(-5000, 5000)
+    y1 = rng.randrange(-5000, 5000)
+    return Rect(x1, y1, x1 + rng.randrange(500, 9000), y1 + rng.randrange(500, 9000))
+
+
+def _random_soup(rng, box, count):
+    region = Region()
+    for _ in range(count):
+        w = rng.randrange(40, max(41, box.width // 2))
+        h = rng.randrange(40, max(41, box.height // 2))
+        x = rng.randrange(box.x1 - 200, box.x2 + 200)
+        y = rng.randrange(box.y1 - 200, box.y2 + 200)
+        region._add(Region(Rect(x, y, x + w, y + h)))
+    return region.merged()
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_tile_grid_partitions_window_exactly(seed):
+    """Tiles cover the window with no gaps and no double cover."""
+    rng = random.Random(seed)
+    box = _random_box(rng)
+    tiles = _tile_grid(box, rng.choice([400, 700, 1500, 2400, 4000]))
+    for tile in tiles:
+        assert tile.width > 0 and tile.height > 0
+        assert tile.x1 >= box.x1 and tile.x2 <= box.x2
+        assert tile.y1 >= box.y1 and tile.y2 <= box.y2
+    # Union covers the box...
+    union = Region()
+    for tile in tiles:
+        union._add(Region(tile))
+    assert union.merged().loops == Region(box).merged().loops
+    # ...and summed areas equal the box area, so together: a partition.
+    assert sum(t.width * t.height for t in tiles) == box.width * box.height
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_stitching_is_enumeration_order_invariant(seed):
+    """Clip-to-core pieces merge to the same loops in any fold order."""
+    rng = random.Random(1000 + seed)
+    box = _random_box(rng)
+    soup = _random_soup(rng, box, rng.randrange(3, 20))
+    tiles = _tile_grid(box, rng.choice([700, 1500, 2400]))
+    pieces = [soup & Region(tile) for tile in tiles]
+
+    def stitched(order):
+        acc = Region()
+        for k in order:
+            acc._add(pieces[k])
+        return acc.merged().loops
+
+    baseline = stitched(range(len(pieces)))
+    for _ in range(3):
+        shuffled = list(range(len(pieces)))
+        rng.shuffle(shuffled)
+        assert stitched(shuffled) == baseline
+    # Stitching reconstructs the soup clipped to the window (up to loop
+    # rotation: cutting at tile borders may move a loop's start vertex).
+    assert _normalized(baseline) == _normalized(
+        (soup & Region(box)).merged().loops
+    )
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_plan_tiles_covers_all_occupied_tiles(seed):
+    """Every dropped tile is genuinely empty; kept contexts hold the core."""
+    rng = random.Random(2000 + seed)
+    box = _random_box(rng)
+    soup = _random_soup(rng, box, rng.randrange(2, 12))
+    tiling = TilingSpec(tile_nm=rng.choice([700, 1500, 2400]), halo_nm=600)
+    ambit_nm = 600
+    plans = plan_tiles(soup, box, tiling, ambit_nm)
+    tiles = _tile_grid(box, tiling.tile_nm)
+
+    planned = {plan.index for plan in plans}
+    assert all(isinstance(plan, TilePlan) for plan in plans)
+    # Indices refer to the deterministic grid enumeration, strictly rising.
+    assert sorted(planned) == [plan.index for plan in plans]
+    for index, tile in enumerate(tiles):
+        in_context = soup & Region(
+            tile.expanded(tiling.halo_nm).expanded(ambit_nm)
+        )
+        if index in planned:
+            plan = next(p for p in plans if p.index == index)
+            assert plan.tile == tile
+            # The context is exactly the halo+ambit clip of the target.
+            assert plan.context.merged().loops == in_context.merged().loops
+        else:
+            assert in_context.is_empty
+
+    # Stitching the planned cores reproduces the soup inside the window.
+    acc = Region()
+    for plan in plans:
+        acc._add(plan.context & Region(plan.tile))
+    assert _normalized(acc.merged().loops) == _normalized(
+        (soup & Region(box)).merged().loops
+    )
