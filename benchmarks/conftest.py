@@ -14,6 +14,7 @@ run either way.
 """
 
 import os
+import warnings
 from pathlib import Path
 
 import pytest
@@ -21,6 +22,7 @@ import pytest
 from repro import obs
 from repro.design import line_space_array, node_180nm
 from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+from repro.obs import runs as obs_runs
 from repro.opc import RuleOPCRecipe, calibrate_bias_table
 
 #: The drawn CD every experiment targets.
@@ -28,29 +30,53 @@ TARGET_CD = 180.0
 
 
 @pytest.fixture(autouse=True)
-def obs_trace_dump(request):
-    """Dump each benchmark's trace JSON next to its results.
+def obs_run_record(request):
+    """Append every benchmark invocation to the persistent run ledger.
 
-    Set ``REPRO_BENCH_TRACE_DIR=<dir>`` to record every benchmark with
-    :mod:`repro.obs` and write ``<nodeid>.trace.json`` (span tree, Chrome
-    trace events, metric snapshot) into that directory.  Without the
-    variable this fixture is inert and benchmarks run uninstrumented.
+    Set ``REPRO_RUNS_DIR=<dir>`` to record each benchmark with
+    :mod:`repro.obs` and append one :class:`repro.obs.runs.RunRecord`
+    (label ``bench:<nodeid>``, fingerprinted by the nodeid) to the ledger
+    there, so ``repro runs diff``/``check`` can compare bench runs over
+    time.  ``REPRO_BENCH_TRACE_DIR=<dir>`` is the deprecated alias for
+    the old per-benchmark ``<nodeid>.trace.json`` dumps and still works.
+    Without either variable this fixture is inert and benchmarks run
+    uninstrumented.
     """
-    out_dir = os.environ.get("REPRO_BENCH_TRACE_DIR")
-    if not out_dir:
+    runs_dir = os.environ.get(obs_runs.RUNS_DIR_ENV)
+    trace_dir = os.environ.get("REPRO_BENCH_TRACE_DIR")
+    if not runs_dir and not trace_dir:
         yield
         return
-    with obs.capture() as cap:
-        yield
+    if trace_dir:
+        warnings.warn(
+            "REPRO_BENCH_TRACE_DIR is deprecated; set REPRO_RUNS_DIR to "
+            "record benchmarks into the persistent run ledger instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    # The fixture records one aggregate run per benchmark; keep the flows
+    # inside it from auto-appending their own inner records.
+    with obs_runs.suppress_auto_record():
+        with obs.capture() as cap:
+            yield
     # The global registry still holds this run's metrics (capture resets
-    # it at entry, not exit), so write_trace_json's default picks them up.
-    directory = Path(out_dir)
-    directory.mkdir(parents=True, exist_ok=True)
-    safe = (
-        request.node.nodeid.replace("/", "_").replace("::", "-")
-        .replace("[", "(").replace("]", ")")
-    )
-    obs.write_trace_json(directory / f"{safe}.trace.json", cap.roots)
+    # it at entry, not exit), so the default snapshot picks them up.
+    nodeid = request.node.nodeid
+    if runs_dir:
+        record = obs_runs.new_record(
+            label=f"bench:{nodeid}",
+            config={"kind": "bench", "nodeid": nodeid},
+            roots=cap.roots,
+        )
+        obs_runs.RunLedger(runs_dir).append(record)
+    if trace_dir:
+        directory = Path(trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        safe = (
+            nodeid.replace("/", "_").replace("::", "-")
+            .replace("[", "(").replace("]", ")")
+        )
+        obs.write_trace_json(directory / f"{safe}.trace.json", cap.roots)
 
 
 @pytest.fixture(scope="session")

@@ -7,22 +7,29 @@ The subcommands mirror a minimal mask-synthesis flow::
     repro drc block.gds --node 180nm
     repro correct block.gds --layer 3 --level model --node 180nm -o out.gds
     repro profile block.gds --layer 3 --node 180nm
+    repro runs list
 
 ``correct`` writes the corrected geometry onto the OPC datatype (10) and
 SRAFs onto datatype 11 next to the drawn layer, the usual tape-out
 convention.  ``correct --profile`` (or ``--trace out.json``) and the
 ``profile`` subcommand record the run with :mod:`repro.obs` and report
 where the time went; ``profile`` without a GDS file runs the built-in
-quickstart pattern.
+quickstart pattern, and ``profile --record`` appends the run to the
+persistent ledger (:mod:`repro.obs.runs`).  The ``runs`` family
+(``list``/``show``/``diff``/``check``/``report``) inspects that ledger;
+``runs check`` exits non-zero on a perf/quality regression so CI can
+gate on it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from . import obs
+from .obs import runs as obs_runs
 from .design import (
     BlockSpec,
     StdCellGenerator,
@@ -40,6 +47,7 @@ from .flow import (
     TapeoutRecipe,
     correct_region,
     print_table,
+    tapeout_quality,
     tapeout_region,
 )
 from .geometry import Rect, Region
@@ -134,6 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="also write the trace document (JSON) to PATH",
     )
+    profile.add_argument(
+        "--record", action="store_true",
+        help="append this run to the persistent run ledger and print the "
+        "wall-time delta vs. the previous run of the same fingerprint",
+    )
+    profile.add_argument(
+        "--runs-dir", metavar="DIR", default=None,
+        help="run ledger directory (default: $REPRO_RUNS_DIR or .repro-runs)",
+    )
     _add_parallel_flags(profile)
 
     report = sub.add_parser(
@@ -150,7 +167,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated correction levels to compare",
     )
     report.add_argument("--dose", default="auto")
+
+    runs = sub.add_parser(
+        "runs", help="inspect and gate on the persistent run ledger"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_sub.add_parser("list", help="recorded runs, oldest first")
+    _add_runs_dir(runs_list)
+    runs_list.add_argument("--label", help="only runs with this label")
+    runs_list.add_argument("--fingerprint", help="only runs with this config")
+    runs_list.add_argument(
+        "-n", type=int, default=20, dest="limit",
+        help="show at most N most recent runs (default 20)",
+    )
+
+    runs_show = runs_sub.add_parser("show", help="one run in detail")
+    _add_runs_dir(runs_show)
+    runs_show.add_argument(
+        "run", help="run id prefix, or 'last' / 'prev' / 'last~N'"
+    )
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="per-span and per-metric deltas between two runs"
+    )
+    _add_runs_dir(runs_diff)
+    runs_diff.add_argument("base", help="baseline run reference")
+    runs_diff.add_argument("cand", help="candidate run reference")
+
+    runs_check = runs_sub.add_parser(
+        "check",
+        help="gate the newest run against baseline medians "
+        "(exit 1 on regression)",
+    )
+    _add_runs_dir(runs_check)
+    runs_check.add_argument(
+        "--run", default="last", help="candidate run reference (default last)"
+    )
+    runs_check.add_argument(
+        "--baseline", type=int, default=3, metavar="N",
+        help="median over up to N prior same-fingerprint runs (default 3)",
+    )
+    runs_check.add_argument(
+        "--against", metavar="REF",
+        help="compare against one explicit run instead of the fingerprint "
+        "history",
+    )
+    runs_check.add_argument(
+        "--rel", type=float, default=0.25, metavar="FRAC",
+        help="relative span slowdown threshold (default 0.25 = +25%%)",
+    )
+    runs_check.add_argument(
+        "--abs-floor", type=float, default=0.05, metavar="SECONDS",
+        help="noise floor: ignore span slowdowns below this (default 0.05 s)",
+    )
+    runs_check.add_argument(
+        "--quality-rel", type=float, default=0.10, metavar="FRAC",
+        help="relative quality-metric threshold (default 0.10)",
+    )
+
+    runs_report = runs_sub.add_parser(
+        "report", help="write the self-contained HTML dashboard"
+    )
+    _add_runs_dir(runs_report)
+    runs_report.add_argument(
+        "-o", "--output", default="repro-runs.html",
+        help="output HTML path (default repro-runs.html)",
+    )
+    runs_report.add_argument(
+        "--limit", type=int, default=50,
+        help="include at most N most recent runs (default 50)",
+    )
     return parser
+
+
+def _add_runs_dir(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--dir", dest="runs_dir", default=None, metavar="DIR",
+        help="run ledger directory (default: $REPRO_RUNS_DIR or .repro-runs)",
+    )
 
 
 def _add_parallel_flags(sub_parser: argparse.ArgumentParser) -> None:
@@ -205,6 +300,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _profile(args)
         if args.command == "report":
             return _report(args)
+        if args.command == "runs":
+            return _runs(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -406,7 +503,12 @@ def _profile(args) -> int:
         level=_LEVELS[args.level], model_recipe=model_recipe, tiling=tiling,
         parallel=_parallel_spec(args),
     )
-    with obs.capture() as cap:
+    from contextlib import nullcontext
+
+    # --record appends one aggregate record itself; keep the flow from
+    # auto-appending an inner "tapeout" record on top of it.
+    guard = obs_runs.suppress_auto_record() if args.record else nullcontext()
+    with guard, obs.capture() as cap:
         result = tapeout_region(
             target, simulator, dose, recipe, verify=not args.no_verify
         )
@@ -420,7 +522,127 @@ def _profile(args) -> int:
     if args.trace:
         obs.write_trace_json(args.trace, cap.roots)
         print(f"\nwrote trace {args.trace}")
+    if args.record:
+        config = {
+            "kind": "profile",
+            "node": args.node,
+            "level": args.level,
+            "gds": os.path.basename(args.gds) if args.gds else None,
+            "layer": args.layer,
+            "datatype": args.datatype,
+            "dose": dose,
+            "verify": not args.no_verify,
+            "recipe": recipe,
+            "litho": simulator.config,
+        }
+        ledger = obs_runs.ledger(args.runs_dir)
+        previous = ledger.entries(
+            fingerprint=obs_runs.config_fingerprint(config)
+        )
+        record = obs_runs.new_record(
+            label=f"profile:{name}", config=config, roots=cap.roots,
+            quality=tapeout_quality(result),
+        )
+        ledger.append(record)
+        line = (
+            f"recorded run {record.run_id} -> {ledger.root} "
+            f"(wall {record.wall_s:.3f} s"
+        )
+        if previous:
+            prev = previous[-1]
+            if prev.wall_s > 0:
+                delta = 100.0 * (record.wall_s - prev.wall_s) / prev.wall_s
+                line += f", {delta:+.1f}% vs {prev.run_id}"
+            else:
+                line += f", prev {prev.run_id}"
+        print(line + ")")
     return 0
+
+
+def _runs(args) -> int:
+    ledger = obs_runs.ledger(args.runs_dir)
+    if args.runs_command == "list":
+        entries = ledger.entries(
+            label=args.label, fingerprint=args.fingerprint
+        )
+        if not entries:
+            print(f"(no runs recorded in {ledger.root})")
+            return 0
+        rows = [
+            [e.run_id, e.timestamp, e.label, e.fingerprint, f"{e.wall_s:.3f}"]
+            for e in entries[-args.limit:]
+        ]
+        print_table(
+            ["run", "when (UTC)", "label", "fingerprint", "wall (s)"],
+            rows,
+            title=f"run ledger: {ledger.root}",
+        )
+        return 0
+
+    if args.runs_command == "show":
+        record = ledger.load_entry(ledger.resolve(args.run))
+        print(
+            f"run {record.run_id}  {record.timestamp}  label={record.label}\n"
+            f"fingerprint {record.fingerprint}  git {record.git_rev or '-'}  "
+            f"wall {record.wall_s:.3f} s"
+        )
+        if record.quality:
+            rows = [[key, value] for key, value in sorted(record.quality.items())]
+            print_table(["quality", "value"], rows)
+        spans = sorted(
+            record.span_times().items(),
+            key=lambda kv: kv[1].total_s,
+            reverse=True,
+        )[:15]
+        rows = [
+            [path, timing.calls, f"{timing.total_s:.3f}"]
+            for path, timing in spans
+        ]
+        print_table(["span path", "calls", "total (s)"], rows)
+        return 0
+
+    if args.runs_command == "diff":
+        base = ledger.load_entry(ledger.resolve(args.base))
+        cand = ledger.load_entry(ledger.resolve(args.cand))
+        print(obs_runs.diff_markdown(obs_runs.diff_runs(base, cand)))
+        return 0
+
+    if args.runs_command == "check":
+        candidate = ledger.load_entry(ledger.resolve(args.run))
+        if args.against:
+            baselines = [ledger.load_entry(ledger.resolve(args.against))]
+        else:
+            history = ledger.entries(fingerprint=candidate.fingerprint)
+            prior = [e for e in history if e.run_id != candidate.run_id]
+            if not prior:
+                print(
+                    f"runs check: no baseline with fingerprint "
+                    f"{candidate.fingerprint}; nothing to gate on (OK)"
+                )
+                return 0
+            baselines = [
+                ledger.load_entry(e) for e in prior[-args.baseline:]
+            ]
+        policy = obs_runs.RegressionPolicy(
+            rel_threshold=args.rel,
+            abs_floor_s=args.abs_floor,
+            quality_rel_threshold=args.quality_rel,
+        )
+        verdict = obs_runs.check_regressions(candidate, baselines, policy)
+        print(verdict.summary())
+        return 0 if verdict.ok else 1
+
+    if args.runs_command == "report":
+        entries = ledger.entries()
+        if not entries:
+            print(f"(no runs recorded in {ledger.root})")
+            return 0
+        records = list(ledger.records(entries[-args.limit:]))
+        obs_runs.write_dashboard_html(args.output, records)
+        print(f"wrote dashboard {args.output} ({len(records)} runs)")
+        return 0
+
+    raise ReproError(f"unknown runs command {args.runs_command!r}")
 
 
 def _report(args) -> int:

@@ -5,10 +5,22 @@ Public surface: :class:`CorrectionLevel`, :func:`correct_region`,
 (:func:`format_table`, :func:`print_table`, :func:`timed`).
 """
 
-from .correct import CorrectionLevel, FlowResult, correct_cell_layer, correct_region
+from .correct import (
+    CorrectionLevel,
+    FlowResult,
+    correct_cell_layer,
+    correct_region,
+    flow_quality,
+)
 from .experiments import format_table, print_table, timed
 from .reporting import flow_report_markdown
-from .tapeout import TapeoutRecipe, TapeoutResult, tapeout_cell_layer, tapeout_region
+from .tapeout import (
+    TapeoutRecipe,
+    TapeoutResult,
+    tapeout_cell_layer,
+    tapeout_quality,
+    tapeout_region,
+)
 
 __all__ = [
     "CorrectionLevel",
@@ -17,10 +29,12 @@ __all__ = [
     "TapeoutResult",
     "correct_cell_layer",
     "correct_region",
+    "flow_quality",
     "flow_report_markdown",
     "format_table",
     "print_table",
     "tapeout_cell_layer",
+    "tapeout_quality",
     "tapeout_region",
     "timed",
 ]

@@ -18,7 +18,12 @@ from ..geometry import Rect, Region
 from ..layout import Cell, Layer
 from ..litho import BinaryMaskBuilder, LithoSimulator, MaskSpec, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
-from ..obs import gauge_set as _obs_gauge_set, span as _obs_span
+from ..obs import (
+    current_span as _obs_current_span,
+    gauge_set as _obs_gauge_set,
+    span as _obs_span,
+)
+from ..obs import runs as _obs_runs
 from ..opc import (
     ModelOPCRecipe,
     OPCResult,
@@ -58,6 +63,30 @@ class FlowResult:
     def mask_region(self) -> Region:
         """Main features plus SRAFs (what MRC checks)."""
         return (self.corrected | self.srafs) if not self.srafs.is_empty else self.corrected
+
+
+def flow_quality(data: MaskDataStats, opc: Optional[OPCResult]) -> dict:
+    """First-class quality metrics of one correction run.
+
+    These land in a :class:`~repro.obs.runs.RunRecord`'s quality dict
+    and are what ``repro runs check`` gates besides wall time: mask
+    figure count and data volume, plus OPC convergence and residual EPE
+    when a model run produced them.
+    """
+    quality = {
+        "figures": data.figures,
+        "vertices": data.vertices,
+        "shots": data.shots,
+        "gds_bytes": data.gds_bytes,
+    }
+    if opc is not None:
+        quality["opc_iterations"] = opc.iterations
+        quality["opc_converged"] = int(opc.converged)
+        if opc.final_rms_epe_nm is not None:
+            quality["epe_rms_nm"] = opc.final_rms_epe_nm
+        if opc.final_max_epe_nm is not None:
+            quality["epe_max_nm"] = opc.final_max_epe_nm
+    return quality
 
 
 def correct_region(
@@ -138,6 +167,30 @@ def correct_region(
         data = mask_data_stats(combined)
         correct_span.set(figures=data.figures, vertices=data.vertices)
         _obs_gauge_set("mask.vertices", data.vertices)
+    # Standalone instrumented runs (not nested under a tapeout span) land
+    # in the persistent run ledger when $REPRO_RUNS_DIR is set.
+    if (
+        correct_span.recorded
+        and _obs_current_span() is None
+        and _obs_runs.auto_enabled()
+    ):
+        _obs_runs.record_run(
+            label="correct",
+            config={
+                "kind": "correct",
+                "level": level,
+                "dose": dose,
+                "dark_field": dark_field,
+                "rule_recipe": rule_recipe,
+                "model_recipe": model_recipe,
+                "sraf_recipe": sraf_recipe,
+                "tiling": tiling,
+                "parallel": parallel,
+                "litho": simulator.config if simulator is not None else None,
+            },
+            roots=[correct_span],
+            quality=flow_quality(data, opc_result),
+        )
     return FlowResult(
         level=level,
         target=merged,

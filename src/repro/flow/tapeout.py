@@ -16,7 +16,8 @@ from ..geometry import Rect, Region, smooth_jogs
 from ..layout import Cell, Layer
 from ..litho import LithoSimulator, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
-from ..obs import span as _obs_span
+from ..obs import current_span as _obs_current_span, span as _obs_span
+from ..obs import runs as _obs_runs
 from ..opc import (
     MRCRules,
     ModelOPCRecipe,
@@ -153,7 +154,7 @@ def tapeout_region(
             mrc_clean=mrc_clean,
         )
 
-    return TapeoutResult(
+    result = TapeoutResult(
         recipe=recipe,
         target=target,
         mask_geometry=mask_geometry,
@@ -162,6 +163,48 @@ def tapeout_region(
         mrc_clean=mrc_clean,
         orc=orc_report,
     )
+    # Root instrumented tapeouts append themselves to the persistent run
+    # ledger when $REPRO_RUNS_DIR is set (see repro.obs.runs).
+    if (
+        tapeout_span.recorded
+        and _obs_current_span() is None
+        and _obs_runs.auto_enabled()
+    ):
+        _obs_runs.record_run(
+            label="tapeout",
+            config={
+                "kind": "tapeout",
+                "recipe": recipe,
+                "dose": dose,
+                "verify": verify,
+                "window": window,
+                "litho": simulator.config,
+            },
+            roots=[tapeout_span],
+            quality=tapeout_quality(result),
+        )
+    return result
+
+
+def tapeout_quality(result: TapeoutResult) -> dict:
+    """First-class quality metrics of one tape-out run.
+
+    Extends :func:`~repro.flow.correct.flow_quality` with the sign-off
+    verdicts: MRC cleanliness and -- when ORC ran -- residual EPE
+    statistics and catastrophic pinch/bridge counts.
+    """
+    from .correct import flow_quality
+
+    quality = flow_quality(result.data, result.correction.opc)
+    quality["mrc_clean"] = int(result.mrc_clean)
+    if result.orc is not None:
+        quality["orc_clean"] = int(result.orc.is_clean)
+        quality["pinch_count"] = result.orc.pinch_count
+        quality["bridge_count"] = result.orc.bridge_count
+        quality["orc_epe_rms_nm"] = result.orc.epe.rms_nm
+        quality["orc_epe_max_nm"] = result.orc.epe.max_abs_nm
+        quality["orc_epe_p95_nm"] = result.orc.epe.p95_abs_nm
+    return quality
 
 
 def tapeout_cell_layer(

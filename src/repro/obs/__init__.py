@@ -52,6 +52,22 @@ from .metrics import (
     registry,
 )
 from .metrics import reset as reset_metrics
+from .runs import (
+    RUN_SCHEMA,
+    RegressionPolicy,
+    RegressionReport,
+    RunDiff,
+    RunLedger,
+    RunRecord,
+    check_regressions,
+    config_fingerprint,
+    dashboard_html,
+    diff_markdown,
+    diff_runs,
+    new_record,
+    record_run,
+    write_dashboard_html,
+)
 from .state import disable, enable, enabled, enabled_scope
 from .trace import Span, current_span, merge_spans, span, take_finished
 
@@ -62,11 +78,22 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RUN_SCHEMA",
+    "RegressionPolicy",
+    "RegressionReport",
+    "RunDiff",
+    "RunLedger",
+    "RunRecord",
     "Span",
     "capture",
+    "check_regressions",
     "chrome_trace_events",
+    "config_fingerprint",
     "count",
     "current_span",
+    "dashboard_html",
+    "diff_markdown",
+    "diff_runs",
     "disable",
     "enable",
     "enabled",
@@ -75,10 +102,13 @@ __all__ = [
     "merge_snapshot",
     "merge_spans",
     "metrics_markdown",
+    "new_record",
     "observe",
+    "record_run",
     "registry",
     "reset_metrics",
     "span",
+    "write_dashboard_html",
     "span_from_dict",
     "span_to_dict",
     "span_tree_markdown",

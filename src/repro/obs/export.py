@@ -99,14 +99,21 @@ def write_trace_json(
     roots: Union[Span, Sequence[Span]],
     metrics: Optional[MetricsRegistry] = None,
 ) -> None:
-    """Write :func:`trace_document` to ``path`` as indented JSON."""
+    """Write :func:`trace_document` to ``path`` as indented JSON.
+
+    Output is deterministic for a deterministic run: keys are sorted at
+    every nesting level and span/attr ordering is the stable pre-order
+    walk, so identical runs produce byte-identical files (modulo the
+    wall-clock timing values themselves) and diff cleanly in tests.
+    """
     with open(path, "w") as handle:
-        json.dump(trace_document(roots, metrics), handle, indent=1)
+        json.dump(trace_document(roots, metrics), handle, indent=1,
+                  sort_keys=True)
         handle.write("\n")
 
 
 def _jsonable(attrs: Dict[str, Any]) -> Dict[str, Any]:
-    return {key: _scalar(value) for key, value in attrs.items()}
+    return {key: _scalar(attrs[key]) for key in sorted(attrs)}
 
 
 def _scalar(value: Any) -> Any:

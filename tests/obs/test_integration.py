@@ -116,6 +116,22 @@ class TestExporters:
             assert stage in text
         assert "sim.aerial_calls" in text
 
+    def test_trace_json_is_deterministic(self, profiled_run, tmp_path):
+        """Same capture, two dumps: byte-identical, keys sorted throughout.
+
+        Run records and trace files must diff cleanly in tests, so the
+        exporter sorts keys at every nesting level and keeps the stable
+        pre-order span walk.
+        """
+        cap = profiled_run["cap"]
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        obs.write_trace_json(first, cap.roots)
+        obs.write_trace_json(second, cap.roots)
+        assert first.read_bytes() == second.read_bytes()
+        text = first.read_text()
+        document = json.loads(text)
+        assert text == json.dumps(document, indent=1, sort_keys=True) + "\n"
+
 
 def _walk(spans):
     for span in spans:

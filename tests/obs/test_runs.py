@@ -1,0 +1,332 @@
+"""The persistent run ledger: round-trip, fingerprints, diffing, gating.
+
+Covers the acceptance surface of ``repro.obs.runs``: write -> read ->
+diff of identical runs shows zero deltas, fingerprints are stable across
+process restarts, an injected 2x slowdown trips the regression checker
+with the offending span path named, and the canonical form is
+byte-stable modulo run id / timestamp / git revision.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.flow import CorrectionLevel, TapeoutRecipe, tapeout_region
+from repro.geometry import Rect, Region
+from repro.litho import LithoConfig, LithoSimulator, krf_annular
+from repro.obs import runs as obs_runs
+from repro.obs.trace import Span
+from repro.opc import ModelOPCRecipe, TilingSpec
+
+CONFIG = {"kind": "test", "node": "180nm", "tile_nm": 1500}
+
+
+def make_roots(scale=1.0, extra_child=None):
+    """A tiny synthetic tapeout-shaped span tree with known durations."""
+    root = Span("tapeout")
+    root.start_s, root.end_s = 0.0, 1.0 * scale
+    correct = Span("tapeout.correct")
+    correct.start_s, correct.end_s = 0.0, 0.8 * scale
+    root.children.append(correct)
+    tiny = Span("tapeout.orc")
+    tiny.start_s, tiny.end_s = 0.8 * scale, 0.8 * scale + 0.001 * scale
+    root.children.append(tiny)
+    if extra_child is not None:
+        root.children.append(extra_child)
+    return [root]
+
+
+def make_record(scale=1.0, quality=None, config=CONFIG, label="tapeout"):
+    return obs_runs.new_record(
+        label,
+        config,
+        make_roots(scale),
+        metrics={},
+        quality=quality if quality is not None else {"figures": 10},
+        git_rev=None,
+    )
+
+
+class TestFingerprint:
+    def test_equal_configs_equal_fingerprints(self):
+        recipe_a = TapeoutRecipe(model_recipe=ModelOPCRecipe(max_iterations=3))
+        recipe_b = TapeoutRecipe(model_recipe=ModelOPCRecipe(max_iterations=3))
+        assert obs_runs.config_fingerprint(
+            {"recipe": recipe_a}
+        ) == obs_runs.config_fingerprint({"recipe": recipe_b})
+
+    def test_config_change_changes_fingerprint(self):
+        base = TapeoutRecipe()
+        other = TapeoutRecipe(tiling=TilingSpec(tile_nm=1234))
+        assert obs_runs.config_fingerprint(
+            {"recipe": base}
+        ) != obs_runs.config_fingerprint({"recipe": other})
+
+    def test_dict_key_order_is_irrelevant(self):
+        assert obs_runs.config_fingerprint(
+            {"a": 1, "b": [1, 2]}
+        ) == obs_runs.config_fingerprint({"b": [1, 2], "a": 1})
+
+    def test_stable_across_process_restarts(self):
+        """A fresh interpreter computes the same fingerprint for the
+        same config -- the property the ledger's baseline lookup needs."""
+        snippet = (
+            "from repro.obs.runs import config_fingerprint\n"
+            "from repro.flow import TapeoutRecipe\n"
+            "from repro.litho import LithoConfig, krf_annular\n"
+            "print(config_fingerprint({'recipe': TapeoutRecipe(), "
+            "'litho': LithoConfig(optics=krf_annular())}))\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        fresh = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        ).stdout.strip()
+        here = obs_runs.config_fingerprint(
+            {
+                "recipe": TapeoutRecipe(),
+                "litho": LithoConfig(optics=krf_annular()),
+            }
+        )
+        assert fresh == here
+
+
+class TestLedgerRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        record = make_record()
+        ledger.append(record)
+        loaded = ledger.load(record.run_id)
+        assert loaded.to_dict() == record.to_dict()
+
+    def test_diff_of_identical_runs_is_all_zero(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        a, b = make_record(), make_record()
+        ledger.append(a)
+        ledger.append(b)
+        diff = obs_runs.diff_runs(
+            ledger.load(a.run_id), ledger.load(b.run_id)
+        )
+        assert not diff.changed_metrics
+        assert not diff.changed_quality
+        assert all(d.delta == 0.0 for d in diff.span_deltas)
+        assert "(no metric deltas)" in obs_runs.diff_markdown(diff)
+
+    def test_index_rebuilds_after_deletion(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        ids = []
+        for _ in range(3):
+            record = make_record()
+            ledger.append(record)
+            ids.append(record.run_id)
+        ledger.index_path.unlink()
+        assert [e.run_id for e in ledger.entries()] == ids
+        assert ledger.load(ids[1]).run_id == ids[1]
+
+    def test_resolve_references(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        records = [make_record() for _ in range(3)]
+        for record in records:
+            ledger.append(record)
+        assert ledger.resolve("last").run_id == records[-1].run_id
+        assert ledger.resolve("prev").run_id == records[-2].run_id
+        assert ledger.resolve("last~2").run_id == records[0].run_id
+        assert ledger.resolve(records[0].run_id[:8]).run_id == records[0].run_id
+        with pytest.raises(ReproError):
+            ledger.resolve("no-such-run")
+        with pytest.raises(ReproError):
+            ledger.resolve("last~9")
+
+    def test_entries_filter_by_fingerprint_and_label(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        a = make_record(config={"v": 1})
+        b = make_record(config={"v": 2}, label="other")
+        ledger.append(a)
+        ledger.append(b)
+        assert [e.run_id for e in ledger.entries(fingerprint=a.fingerprint)] == [
+            a.run_id
+        ]
+        assert [e.run_id for e in ledger.entries(label="other")] == [b.run_id]
+
+
+class TestCanonicalForm:
+    def test_byte_stable_modulo_volatile_fields(self):
+        """Two runs of the same config differ only in id/timestamp/rev
+        and wall-clock noise; their canonical JSON must be byte-equal."""
+        a = make_record(scale=1.0)
+        b = make_record(scale=1.37)  # different timings, same everything else
+        assert a.run_id != b.run_id
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_canonical_form_sees_real_changes(self):
+        a = make_record(quality={"figures": 10})
+        b = make_record(quality={"figures": 12})
+        assert a.canonical_json() != b.canonical_json()
+
+    def test_schema_version_enforced(self):
+        data = make_record().to_dict()
+        data["schema"] = "repro-run/999"
+        with pytest.raises(ReproError):
+            obs_runs.RunRecord.from_dict(data)
+
+
+class TestRegressionGate:
+    def test_identical_runs_pass(self):
+        baselines = [make_record() for _ in range(3)]
+        verdict = obs_runs.check_regressions(make_record(), baselines)
+        assert verdict.ok
+        assert verdict.checked_spans > 0
+
+    def test_injected_slowdown_fires_with_span_path_named(self):
+        baselines = [make_record() for _ in range(3)]
+        slow = make_record(scale=2.0)
+        verdict = obs_runs.check_regressions(slow, baselines)
+        assert not verdict.ok
+        keys = {r.key for r in verdict.regressions if r.kind == "span"}
+        assert "tapeout/tapeout.correct" in keys
+        assert "tapeout/tapeout.correct" in verdict.summary()
+
+    def test_noise_floor_protects_tiny_spans(self):
+        """The 1 ms orc span doubling must not trip the gate: it is
+        far below the absolute floor even at a huge relative delta."""
+        baselines = [make_record() for _ in range(3)]
+        slow = make_record(scale=2.0)
+        verdict = obs_runs.check_regressions(
+            slow, baselines,
+            obs_runs.RegressionPolicy(rel_threshold=0.25, abs_floor_s=0.05),
+        )
+        assert all(r.key != "tapeout/tapeout.orc" for r in verdict.regressions)
+
+    def test_quality_growth_fires(self):
+        baselines = [make_record(quality={"epe_rms_nm": 2.0})]
+        worse = make_record(quality={"epe_rms_nm": 3.0})
+        verdict = obs_runs.check_regressions(worse, baselines)
+        assert any(
+            r.kind == "quality" and r.key == "epe_rms_nm"
+            for r in verdict.regressions
+        )
+
+    def test_higher_is_better_keys_flip_direction(self):
+        baselines = [make_record(quality={"mrc_clean": 1})]
+        broken = make_record(quality={"mrc_clean": 0})
+        verdict = obs_runs.check_regressions(broken, baselines)
+        assert any(r.key == "mrc_clean" for r in verdict.regressions)
+        # ...and an improvement is not a regression.
+        better = make_record(quality={"mrc_clean": 1})
+        assert obs_runs.check_regressions(
+            better, [make_record(quality={"mrc_clean": 1})]
+        ).ok
+
+    def test_needs_a_baseline(self):
+        with pytest.raises(ReproError):
+            obs_runs.check_regressions(make_record(), [])
+
+
+class TestDashboard:
+    def test_dashboard_is_self_contained_html(self):
+        records = [make_record(), make_record(), make_record(scale=1.5)]
+        html = obs_runs.dashboard_html(records)
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html  # sparklines
+        assert records[-1].run_id in html
+        assert "http" not in html.split("</style>")[1]  # no external assets
+
+    def test_empty_ledger_renders(self):
+        assert "empty run ledger" in obs_runs.dashboard_html([])
+
+    def test_write_dashboard(self, tmp_path):
+        out = tmp_path / "dash.html"
+        obs_runs.write_dashboard_html(out, [make_record()])
+        assert out.read_text().startswith("<!doctype html>")
+
+
+class TestAutoRecord:
+    @pytest.fixture()
+    def small_tapeout(self):
+        target = Region.from_rects(
+            [Rect(x, -400, x + 180, 400) for x in (0, 460)]
+        )
+        simulator = LithoSimulator(
+            LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+        )
+        recipe = TapeoutRecipe(
+            level=CorrectionLevel.MODEL,
+            model_recipe=ModelOPCRecipe(max_iterations=1),
+            tiling=TilingSpec(tile_nm=1500, halo_nm=300),
+        )
+        return target, simulator, recipe
+
+    def test_instrumented_tapeout_appends_one_record(
+        self, tmp_path, monkeypatch, small_tapeout
+    ):
+        target, simulator, recipe = small_tapeout
+        monkeypatch.setenv(obs_runs.RUNS_DIR_ENV, str(tmp_path))
+        with obs.capture():
+            tapeout_region(target, simulator, dose=1.0, recipe=recipe,
+                           verify=False)
+        ledger = obs_runs.RunLedger(tmp_path)
+        entries = ledger.entries()
+        # Exactly one record: the nested correct_region must not add its own.
+        assert [e.label for e in entries] == ["tapeout"]
+        record = ledger.load_entry(entries[0])
+        assert record.quality["figures"] > 0
+        assert record.fingerprint
+        assert any(root["name"] == "tapeout" for root in record.spans)
+
+    def test_uninstrumented_run_records_nothing(
+        self, tmp_path, monkeypatch, small_tapeout
+    ):
+        target, simulator, recipe = small_tapeout
+        monkeypatch.setenv(obs_runs.RUNS_DIR_ENV, str(tmp_path))
+        tapeout_region(target, simulator, dose=1.0, recipe=recipe,
+                       verify=False)
+        assert obs_runs.RunLedger(tmp_path).entries() == []
+
+    def test_suppression_blocks_auto_record(
+        self, tmp_path, monkeypatch, small_tapeout
+    ):
+        target, simulator, recipe = small_tapeout
+        monkeypatch.setenv(obs_runs.RUNS_DIR_ENV, str(tmp_path))
+        with obs_runs.suppress_auto_record():
+            with obs.capture():
+                tapeout_region(target, simulator, dose=1.0, recipe=recipe,
+                               verify=False)
+        assert obs_runs.RunLedger(tmp_path).entries() == []
+
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv(obs_runs.RUNS_DIR_ENV, raising=False)
+        assert not obs_runs.auto_enabled()
+
+
+class TestQualityFromMetrics:
+    def test_quality_gauges_and_tile_counters_lift(self):
+        snapshot = {
+            "quality.pw_area": {"kind": "gauge", "value": 1.5},
+            "quality.lineend_pullback_nm": {"kind": "gauge", "value": 12.0},
+            "opc.tile_retries": {"kind": "counter", "value": 2},
+            "sim.aerial_calls": {"kind": "counter", "value": 99},
+        }
+        record = obs_runs.new_record(
+            "x", {}, make_roots(), metrics=snapshot, git_rev=None
+        )
+        assert record.quality["pw_area"] == 1.5
+        assert record.quality["lineend_pullback_nm"] == 12.0
+        assert record.quality["tile_retries"] == 2
+        assert "sim.aerial_calls" not in record.quality
+
+    def test_histograms_flatten_to_counts_only(self):
+        snapshot = {
+            "tile.runtime_s": {
+                "kind": "histogram", "count": 4, "sum": 1.23, "mean": 0.3,
+                "min": 0.1, "max": 0.9,
+                "buckets": [{"le": 1.0, "count": 4}, {"le": "inf", "count": 0}],
+            }
+        }
+        flat = obs_runs.flatten_metrics(snapshot)
+        assert flat == {"tile.runtime_s.count": 4}

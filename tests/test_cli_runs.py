@@ -1,0 +1,162 @@
+"""End-to-end tests for ``repro profile --record`` and ``repro runs``.
+
+Two identical recorded quickstart runs must diff to zero metric deltas
+and pass the regression gate against each other; a hand-injected 2x
+slowdown must make ``runs check`` exit non-zero naming the slow span.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import runs as obs_runs
+from repro.obs.trace import Span
+
+PROFILE_ARGS = [
+    "profile", "--record", "--max-iterations", "1", "--no-verify",
+    "--tile-nm", "3000",
+]
+
+
+@pytest.fixture(scope="module")
+def recorded_ledger(tmp_path_factory):
+    """A ledger with two identically-configured quickstart runs."""
+    runs_dir = tmp_path_factory.mktemp("ledger")
+    for _ in range(2):
+        assert main(PROFILE_ARGS + ["--runs-dir", str(runs_dir)]) == 0
+    return runs_dir
+
+
+class TestProfileRecord:
+    def test_two_runs_recorded_with_same_fingerprint(self, recorded_ledger):
+        entries = obs_runs.RunLedger(recorded_ledger).entries()
+        assert len(entries) == 2
+        assert entries[0].fingerprint == entries[1].fingerprint
+        assert all(e.label == "profile:quickstart pattern" for e in entries)
+
+    def test_delta_line_printed_on_second_run(self, recorded_ledger, capsys):
+        assert main(PROFILE_ARGS + ["--runs-dir", str(recorded_ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded run" in out
+        assert "% vs " in out  # one-line delta vs the previous fingerprint run
+
+    def test_records_are_byte_stable_modulo_volatile(self, recorded_ledger):
+        ledger = obs_runs.RunLedger(recorded_ledger)
+        entries = ledger.entries()[:2]
+        first, second = (ledger.load_entry(e) for e in entries)
+        assert first.run_id != second.run_id
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_quality_metrics_captured(self, recorded_ledger):
+        record = obs_runs.RunLedger(recorded_ledger).load_entry(
+            obs_runs.RunLedger(recorded_ledger).resolve("last")
+        )
+        assert record.quality["figures"] > 0
+        assert record.quality["vertices"] > 0
+        assert "mrc_clean" in record.quality
+
+
+class TestRunsCommands:
+    def test_list(self, recorded_ledger, capsys):
+        assert main(["runs", "list", "--dir", str(recorded_ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "profile:quickstart pattern" in out
+
+    def test_list_empty_dir(self, tmp_path, capsys):
+        assert main(["runs", "list", "--dir", str(tmp_path)]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_show(self, recorded_ledger, capsys):
+        assert main(["runs", "show", "last", "--dir", str(recorded_ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "tapeout" in out
+
+    def test_diff_identical_runs_zero_metric_deltas(self, recorded_ledger, capsys):
+        code = main(
+            ["runs", "diff", "last~1", "last", "--dir", str(recorded_ledger)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(no metric deltas)" in out
+        assert "span wall time" in out
+
+    def test_check_passes_against_itself(self, recorded_ledger, capsys):
+        code = main(
+            ["runs", "check", "--baseline", "1", "--dir", str(recorded_ledger)]
+        )
+        assert code == 0
+        assert "runs check: OK" in capsys.readouterr().out
+
+    def test_check_without_baseline_is_ok(self, tmp_path, capsys):
+        assert main(PROFILE_ARGS + ["--runs-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "check", "--dir", str(tmp_path)]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_report_writes_dashboard(self, recorded_ledger, tmp_path, capsys):
+        out_path = tmp_path / "dash.html"
+        code = main(
+            ["runs", "report", "--dir", str(recorded_ledger),
+             "-o", str(out_path)]
+        )
+        assert code == 0
+        html = out_path.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html
+
+    def test_unknown_run_reference_errors(self, recorded_ledger, capsys):
+        code = main(
+            ["runs", "show", "zzzznope", "--dir", str(recorded_ledger)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckGateFires:
+    def _slow_copy(self, record, factor):
+        """The same record with every span duration scaled by ``factor``."""
+        def scale(node):
+            return {
+                "name": node["name"],
+                "start_s": node["start_s"] * factor,
+                "duration_s": node["duration_s"] * factor,
+                "attrs": node.get("attrs", {}),
+                "children": [scale(c) for c in node.get("children", [])],
+            }
+
+        return obs_runs.new_record(
+            record.label,
+            record.config,
+            [scale(root) for root in record.spans],
+            metrics=record.metrics,
+            quality=record.quality,
+            git_rev=None,
+        )
+
+    def test_injected_slowdown_exits_nonzero(
+        self, recorded_ledger, tmp_path, capsys
+    ):
+        source = obs_runs.RunLedger(recorded_ledger)
+        baseline = source.load_entry(source.resolve("last"))
+        gated = obs_runs.RunLedger(tmp_path / "gated")
+        gated.append(self._slow_copy(baseline, 1.0))
+        gated.append(self._slow_copy(baseline, 2.0))
+        code = main(["runs", "check", "--dir", str(tmp_path / "gated")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "runs check: FAIL" in out
+        assert "tapeout/tapeout.correct" in out  # offending span path named
+
+    def test_against_explicit_baseline(self, recorded_ledger, tmp_path, capsys):
+        source = obs_runs.RunLedger(recorded_ledger)
+        baseline = source.load_entry(source.resolve("last"))
+        gated = obs_runs.RunLedger(tmp_path / "gated2")
+        first = self._slow_copy(baseline, 1.0)
+        gated.append(first)
+        gated.append(self._slow_copy(baseline, 2.0))
+        code = main(
+            ["runs", "check", "--against", first.run_id,
+             "--dir", str(tmp_path / "gated2")]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
