@@ -21,6 +21,12 @@ from repro.litho import Grid, rasterize
 #: cheapest hot kernel call it wraps.
 OVERHEAD_BUDGET = 0.02
 
+#: Budget for the spatial/convergence telemetry added to the OPC
+#: iteration loop (per-site EPE histograms, max-move tracking): when
+#: observability is off it must stay below 5% of one iteration's
+#: cheapest kernel work.
+SPATIAL_OVERHEAD_BUDGET = 0.05
+
 
 def _per_call_s(fn, repeats=20000):
     best = float("inf")
@@ -81,3 +87,33 @@ def test_disabled_metrics_overhead_under_budget():
         f"{100 * ratio:.4f}% overhead"
     )
     assert ratio < OVERHEAD_BUDGET
+
+
+def test_disabled_spatial_telemetry_overhead_under_budget():
+    """The OPC iteration's convergence telemetry must be free when off.
+
+    With observability on, every iteration loops over its sites to feed
+    the ``opc.site_epe_nm`` histogram; off, that whole loop must collapse
+    to one ``enabled()`` test plus the disabled span and max-move observe.
+    Price exactly that disabled sequence against one iteration's cheapest
+    kernel call (each iteration runs at least one full simulation).
+    """
+    from repro.obs.state import enabled as obs_enabled
+
+    assert not obs.enabled()
+
+    def disabled_iteration_telemetry():
+        with obs.span("opc.iteration", iteration=1):
+            if obs_enabled():  # pragma: no cover - obs is off here
+                raise AssertionError("obs unexpectedly enabled")
+            obs.observe("opc.max_move_nm", 8.0)
+
+    telemetry_cost = _per_call_s(disabled_iteration_telemetry)
+    kernel_cost = _kernel_per_call_s()
+    ratio = telemetry_cost / kernel_cost
+    print(
+        f"\ndisabled iteration telemetry: {telemetry_cost * 1e9:.0f} "
+        f"ns/call, kernel {kernel_cost * 1e6:.0f} us/call -> "
+        f"{100 * ratio:.4f}% overhead"
+    )
+    assert ratio < SPATIAL_OVERHEAD_BUDGET

@@ -11,10 +11,20 @@ Run the suite with::
 
 ``-s`` lets each experiment print its table; the qualitative assertions
 run either way.
+
+Result emission: every benchmark run writes one ``BENCH_<module>.json``
+summary per benchmark module (e.g. ``BENCH_bench_e01_proximity.json``)
+into ``$REPRO_BENCH_OUT`` when set, otherwise into the current working
+directory.  Each summary carries the per-test outcomes and call
+durations, so a CI trajectory can track benchmark wall time without
+parsing pytest output.  Set ``REPRO_RUNS_DIR`` as well to additionally
+append full instrumented records to the persistent run ledger.
 """
 
+import json
 import os
 import warnings
+from collections import defaultdict
 from pathlib import Path
 
 import pytest
@@ -27,6 +37,56 @@ from repro.opc import RuleOPCRecipe, calibrate_bias_table
 
 #: The drawn CD every experiment targets.
 TARGET_CD = 180.0
+
+#: Directory receiving the ``BENCH_*.json`` summaries (default: cwd).
+BENCH_OUT_ENV = "REPRO_BENCH_OUT"
+
+_bench_results = []
+
+
+def pytest_runtest_logreport(report):
+    """Collect call-phase outcomes of every benchmark test."""
+    if report.when != "call":
+        return
+    module = report.nodeid.split("::", 1)[0]
+    if Path(module).stem.startswith("bench_"):
+        _bench_results.append(
+            {
+                "nodeid": report.nodeid,
+                "outcome": report.outcome,
+                "duration_s": round(report.duration, 6),
+            }
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<module>.json`` summary per benchmark module.
+
+    The output directory is ``$REPRO_BENCH_OUT`` (created if missing) or
+    the current working directory -- the documented contract a results
+    trajectory scrapes after a benchmark run.
+    """
+    if not _bench_results:
+        return
+    out_dir = Path(os.environ.get(BENCH_OUT_ENV) or ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    by_module = defaultdict(list)
+    for result in _bench_results:
+        by_module[Path(result["nodeid"].split("::", 1)[0]).stem].append(result)
+    for module, tests in sorted(by_module.items()):
+        summary = {
+            "bench": module,
+            "tests": tests,
+            "passed": sum(1 for t in tests if t["outcome"] == "passed"),
+            "failed": sum(1 for t in tests if t["outcome"] == "failed"),
+            "total_duration_s": round(
+                sum(t["duration_s"] for t in tests), 6
+            ),
+        }
+        path = out_dir / f"BENCH_{module}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=1, sort_keys=True)
+            handle.write("\n")
 
 
 @pytest.fixture(autouse=True)

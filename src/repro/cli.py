@@ -18,7 +18,9 @@ quickstart pattern, and ``profile --record`` appends the run to the
 persistent ledger (:mod:`repro.obs.runs`).  The ``runs`` family
 (``list``/``show``/``diff``/``check``/``report``) inspects that ledger;
 ``runs check`` exits non-zero on a perf/quality regression so CI can
-gate on it.
+gate on it.  ``inspect`` opens one recorded run's spatial diagnostics
+(:mod:`repro.obs.spatial`): the worst-EPE-site table, per-tile
+convergence, and an SVG/HTML hotspot map written next to the CWD.
 """
 
 from __future__ import annotations
@@ -46,9 +48,11 @@ from .flow import (
     CorrectionLevel,
     TapeoutRecipe,
     correct_region,
+    hotspot_markdown,
     print_table,
     tapeout_quality,
     tapeout_region,
+    tapeout_spatial,
 )
 from .geometry import Rect, Region
 from .layout import Layer, Library, layout_stats, opc_layer, read_gds, sraf_layer, write_gds
@@ -238,6 +242,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=50,
         help="include at most N most recent runs (default 50)",
     )
+
+    inspect_cmd = sub.add_parser(
+        "inspect",
+        help="spatial hotspot inspection of one recorded run: worst EPE "
+        "sites, per-tile convergence, SVG/HTML hotspot map",
+    )
+    inspect_cmd.add_argument(
+        "run", nargs="?", default="last",
+        help="run id prefix, or 'last' / 'prev' / 'last~N' (default last)",
+    )
+    _add_runs_dir(inspect_cmd)
+    inspect_cmd.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="worst sites to print (default 10)",
+    )
+    inspect_cmd.add_argument(
+        "-o", "--output-prefix", default="repro-inspect", metavar="PREFIX",
+        help="write PREFIX.svg and PREFIX.html (default repro-inspect)",
+    )
+    inspect_cmd.add_argument(
+        "--no-artifacts", action="store_true",
+        help="print to stdout only, write no SVG/HTML files",
+    )
     return parser
 
 
@@ -302,6 +329,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _report(args)
         if args.command == "runs":
             return _runs(args)
+        if args.command == "inspect":
+            return _inspect(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -539,9 +568,13 @@ def _profile(args) -> int:
         previous = ledger.entries(
             fingerprint=obs_runs.config_fingerprint(config)
         )
+        spatial = tapeout_spatial(result, cap.roots)
+        quality = tapeout_quality(result)
+        if spatial is not None:
+            quality.update(obs.spatial_quality(spatial))
         record = obs_runs.new_record(
             label=f"profile:{name}", config=config, roots=cap.roots,
-            quality=tapeout_quality(result),
+            quality=quality, spatial=spatial,
         )
         ledger.append(record)
         line = (
@@ -586,6 +619,7 @@ def _runs(args) -> int:
             f"fingerprint {record.fingerprint}  git {record.git_rev or '-'}  "
             f"wall {record.wall_s:.3f} s"
         )
+        print(_spatial_summary_line(record))
         if record.quality:
             rows = [[key, value] for key, value in sorted(record.quality.items())]
             print_table(["quality", "value"], rows)
@@ -643,6 +677,58 @@ def _runs(args) -> int:
         return 0
 
     raise ReproError(f"unknown runs command {args.runs_command!r}")
+
+
+def _spatial_summary_line(record) -> str:
+    """One-line convergence/quality summary of a record's spatial data.
+
+    Pre-spatial (schema ``repro-run/1``) records get a pointer instead of
+    an error -- old ledgers stay readable under the new schema.
+    """
+    payload = record.spatial
+    if not payload:
+        return (
+            f"spatial: none recorded (schema {record.schema}; re-run with "
+            "verification to collect hotspot data)"
+        )
+    line = (
+        f"spatial: {payload.get('site_count', 0)} EPE sites "
+        f"({payload.get('missing_sites', 0)} missing)"
+    )
+    tiles = payload.get("tiles") or []
+    if tiles:
+        line += (
+            f", {payload.get('tiles_converged', 0)}/{len(tiles)} "
+            "tile(s) converged"
+        )
+    return line + f" -- `repro inspect {record.run_id}` for the map"
+
+
+def _inspect(args) -> int:
+    from .obs import spatial as obs_spatial
+
+    ledger = obs_runs.ledger(args.runs_dir)
+    record = ledger.load_entry(ledger.resolve(args.run))
+    print(
+        f"run {record.run_id}  {record.timestamp}  label={record.label}  "
+        f"schema {record.schema}"
+    )
+    payload = record.spatial
+    if not payload:
+        print(
+            "no spatial data: the record predates schema repro-run/1.1 or "
+            "was captured without verification sites or tiled correction"
+        )
+        return 0
+    print()
+    print(hotspot_markdown(payload, top=args.top))
+    if not args.no_artifacts:
+        svg_path = f"{args.output_prefix}.svg"
+        html_path = f"{args.output_prefix}.html"
+        obs_spatial.write_hotspot_svg(svg_path, payload)
+        obs_spatial.write_inspect_html(html_path, record)
+        print(f"\nwrote {svg_path} and {html_path}")
+    return 0
 
 
 def _report(args) -> int:

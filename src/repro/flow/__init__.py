@@ -13,13 +13,14 @@ from .correct import (
     flow_quality,
 )
 from .experiments import format_table, print_table, timed
-from .reporting import flow_report_markdown
+from .reporting import flow_report_markdown, hotspot_markdown
 from .tapeout import (
     TapeoutRecipe,
     TapeoutResult,
     tapeout_cell_layer,
     tapeout_quality,
     tapeout_region,
+    tapeout_spatial,
 )
 
 __all__ = [
@@ -32,9 +33,11 @@ __all__ = [
     "flow_quality",
     "flow_report_markdown",
     "format_table",
+    "hotspot_markdown",
     "print_table",
     "tapeout_cell_layer",
     "tapeout_quality",
     "tapeout_region",
+    "tapeout_spatial",
     "timed",
 ]

@@ -9,7 +9,7 @@ breakdown is appended to the report.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..errors import ReproError
 from ..mask import MaskCostModel, write_time_estimate_s
@@ -94,4 +94,60 @@ def flow_report_markdown(
     )
     if trace is not None:
         lines += ["", "### Stage breakdown", "", span_tree_markdown(trace)]
+    return "\n".join(lines)
+
+
+def hotspot_markdown(payload: Dict[str, Any], top: int = 10) -> str:
+    """Markdown tables over one spatial hotspot payload.
+
+    ``payload`` is the dict :func:`repro.obs.spatial.spatial_summary`
+    builds (and run records carry as ``spatial``): a ranked worst-site
+    table plus the per-tile convergence summary.  This is the text form
+    of what the SVG hotspot map shows.
+    """
+    lines: List[str] = ["### Worst EPE sites", ""]
+    sites = payload.get("worst_sites") or []
+    if sites:
+        lines += [
+            "| # | x (nm) | y (nm) | cell | tag | EPE (nm) | state |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for rank, site in enumerate(sites[:top], start=1):
+            epe = (
+                "MISSING"
+                if site.get("epe_nm") is None
+                else f"{site['epe_nm']:+.2f}"
+            )
+            lines.append(
+                f"| {rank} | {site.get('x')} | {site.get('y')} "
+                f"| {site.get('cell') or '-'} | {site.get('tag', '')} "
+                f"| {epe} | {site.get('state', 'found')} |"
+            )
+        missing = payload.get("missing_sites", 0)
+        lines += [
+            "",
+            f"{payload.get('site_count', len(sites))} sites measured, "
+            f"{missing} missing edge(s).",
+        ]
+    else:
+        lines.append("(no EPE sites recorded)")
+    tiles = payload.get("tiles") or []
+    if tiles:
+        lines += [
+            "",
+            "### Tile convergence",
+            "",
+            f"{payload.get('tiles_converged', 0)}/{len(tiles)} "
+            "tile(s) converged.",
+            "",
+            "| tile | iterations | final RMS (nm) | final max (nm) | status |",
+            "|---|---|---|---|---|",
+        ]
+        for tile in tiles:
+            status = "converged" if tile.get("converged") else "**stalled**"
+            lines.append(
+                f"| {tile.get('index')} | {tile.get('iterations')} "
+                f"| {tile.get('final_rms_nm', '-')} "
+                f"| {tile.get('final_max_nm', '-')} | {status} |"
+            )
     return "\n".join(lines)

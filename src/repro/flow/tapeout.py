@@ -18,6 +18,7 @@ from ..litho import LithoSimulator, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
 from ..obs import current_span as _obs_current_span, span as _obs_span
 from ..obs import runs as _obs_runs
+from ..obs import spatial as _obs_spatial
 from ..opc import (
     MRCRules,
     ModelOPCRecipe,
@@ -73,8 +74,14 @@ def tapeout_region(
     recipe: TapeoutRecipe = TapeoutRecipe(),
     window: Optional[Rect] = None,
     verify: bool = True,
+    source_cell: Optional[Cell] = None,
 ) -> TapeoutResult:
-    """Run the full mask-synthesis pipeline on one layer's drawn geometry."""
+    """Run the full mask-synthesis pipeline on one layer's drawn geometry.
+
+    ``source_cell`` is the layout hierarchy the drawn geometry came from,
+    when there is one; auto-recorded runs use it to attribute worst EPE
+    sites to their owning cells (see :mod:`repro.obs.spatial`).
+    """
     merged = drawn.merged()
     if merged.is_empty:
         raise ReproError("nothing to tape out")
@@ -170,6 +177,12 @@ def tapeout_region(
         and _obs_current_span() is None
         and _obs_runs.auto_enabled()
     ):
+        spatial = tapeout_spatial(
+            result, [tapeout_span], window, source_cell=source_cell
+        )
+        quality = tapeout_quality(result)
+        if spatial is not None:
+            quality.update(_obs_spatial.spatial_quality(spatial))
         _obs_runs.record_run(
             label="tapeout",
             config={
@@ -181,9 +194,35 @@ def tapeout_region(
                 "litho": simulator.config,
             },
             roots=[tapeout_span],
-            quality=tapeout_quality(result),
+            quality=quality,
+            spatial=spatial,
         )
     return result
+
+
+def tapeout_spatial(
+    result: TapeoutResult,
+    roots,
+    window: Optional[Rect] = None,
+    source_cell: Optional[Cell] = None,
+    top_k: int = 10,
+) -> Optional[dict]:
+    """The spatial hotspot payload of one tape-out run.
+
+    Combines the ORC site records (when verification ran) with the tile
+    convergence curves mined from ``roots`` (trace spans or span dicts).
+    Returns ``None`` when the run produced neither -- records stay lean
+    for unverified, untiled runs.
+    """
+    sites = list(result.orc.sites) if result.orc is not None else []
+    if sites and source_cell is not None:
+        sites = _obs_spatial.attribute_sites(sites, source_cell)
+    payload = _obs_spatial.spatial_summary(
+        roots, sites, window=window, top_k=top_k
+    )
+    if not sites and not payload["tiles"]:
+        return None
+    return payload
 
 
 def tapeout_quality(result: TapeoutResult) -> dict:
@@ -219,4 +258,6 @@ def tapeout_cell_layer(
     drawn = cell.flat_region(layer)
     if drawn.is_empty:
         raise ReproError(f"cell {cell.name!r} has nothing on {layer}")
-    return tapeout_region(drawn, simulator, dose, recipe, verify=verify)
+    return tapeout_region(
+        drawn, simulator, dose, recipe, verify=verify, source_cell=cell
+    )

@@ -12,6 +12,11 @@ pieces:
   ``tile.runtime_s``, ...).
 * :mod:`~repro.obs.export` -- JSON (span tree + Chrome-trace events +
   metric snapshot) and markdown exporters.
+* :mod:`~repro.obs.runs` -- the persistent run ledger (records, diffs,
+  regression gates, HTML dashboard).
+* :mod:`~repro.obs.spatial` -- spatial hotspot diagnostics: binned EPE
+  grids, worst-site ranking, per-tile convergence curves mined from the
+  trace, and SVG/HTML hotspot maps.
 
 Everything is off by default and costs one boolean test per guarded
 call; wrap a run in :func:`capture` (or call :func:`enable`) to record::
@@ -54,6 +59,7 @@ from .metrics import (
 from .metrics import reset as reset_metrics
 from .runs import (
     RUN_SCHEMA,
+    SUPPORTED_SCHEMAS,
     RegressionPolicy,
     RegressionReport,
     RunDiff,
@@ -67,6 +73,18 @@ from .runs import (
     new_record,
     record_run,
     write_dashboard_html,
+)
+from .spatial import (
+    attribute_sites,
+    canonical_spatial,
+    epe_grid,
+    hotspot_svg,
+    inspect_html,
+    spatial_quality,
+    spatial_summary,
+    tile_convergence,
+    write_hotspot_svg,
+    write_inspect_html,
 )
 from .state import disable, enable, enabled, enabled_scope
 from .trace import Span, current_span, merge_spans, span, take_finished
@@ -84,12 +102,23 @@ __all__ = [
     "RunDiff",
     "RunLedger",
     "RunRecord",
+    "SUPPORTED_SCHEMAS",
     "Span",
+    "attribute_sites",
+    "canonical_spatial",
     "capture",
     "check_regressions",
     "chrome_trace_events",
     "config_fingerprint",
     "count",
+    "epe_grid",
+    "hotspot_svg",
+    "inspect_html",
+    "spatial_quality",
+    "spatial_summary",
+    "tile_convergence",
+    "write_hotspot_svg",
+    "write_inspect_html",
     "current_span",
     "dashboard_html",
     "diff_markdown",

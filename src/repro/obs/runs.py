@@ -49,10 +49,16 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 from ..errors import ReproError
 from .export import span_to_dict
 from .metrics import registry as _global_registry
+from .spatial import canonical_spatial, hotspot_svg
 from .trace import Span
 
-#: Version stamp of the run-record schema.
-RUN_SCHEMA = "repro-run/1"
+#: Version stamp of the run-record schema.  ``1.1`` added the optional
+#: ``spatial`` payload (hotspot grids, worst sites, per-tile convergence);
+#: the change is purely additive, so ``1`` records still load.
+RUN_SCHEMA = "repro-run/1.1"
+
+#: Every schema revision :meth:`RunRecord.from_dict` accepts.
+SUPPORTED_SCHEMAS = ("repro-run/1", "repro-run/1.1")
 
 #: Environment variable naming the store directory (also the auto-record
 #: switch for :func:`auto_enabled`).
@@ -63,7 +69,14 @@ DEFAULT_STORE_DIR = ".repro-runs"
 
 #: Quality keys where a *drop* (not growth) is the regression.
 HIGHER_IS_BETTER = frozenset(
-    {"mrc_clean", "orc_clean", "opc_converged", "pw_area", "process_window_area"}
+    {
+        "mrc_clean",
+        "orc_clean",
+        "opc_converged",
+        "pw_area",
+        "process_window_area",
+        "tiles_converged",
+    }
 )
 
 #: Parallel-OPC counters lifted into every record's quality dict.
@@ -221,10 +234,11 @@ class RunRecord:
     spans: List[Dict[str, Any]]
     metrics: Dict[str, Dict[str, Any]]
     quality: Dict[str, Any]
+    spatial: Optional[Dict[str, Any]] = None
     schema: str = RUN_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "schema": self.schema,
             "run_id": self.run_id,
             "timestamp": self.timestamp,
@@ -237,13 +251,17 @@ class RunRecord:
             "metrics": self.metrics,
             "quality": self.quality,
         }
+        if self.spatial is not None:
+            data["spatial"] = self.spatial
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
         schema = data.get("schema")
-        if schema != RUN_SCHEMA:
+        if schema not in SUPPORTED_SCHEMAS:
             raise ReproError(
-                f"unsupported run-record schema {schema!r} (want {RUN_SCHEMA!r})"
+                f"unsupported run-record schema {schema!r} "
+                f"(supported: {', '.join(SUPPORTED_SCHEMAS)})"
             )
         return cls(
             run_id=data["run_id"],
@@ -256,6 +274,8 @@ class RunRecord:
             spans=data.get("spans", []),
             metrics=data.get("metrics", {}),
             quality=data.get("quality", {}),
+            spatial=data.get("spatial"),
+            schema=schema,
         )
 
     def span_times(self) -> Dict[str, SpanTiming]:
@@ -277,7 +297,7 @@ class RunRecord:
                 "children": [strip_span(c) for c in node.get("children", [])],
             }
 
-        return {
+        canonical = {
             "schema": self.schema,
             "label": self.label,
             "fingerprint": self.fingerprint,
@@ -290,6 +310,9 @@ class RunRecord:
                 if not key.endswith("_s")
             },
         }
+        if self.spatial is not None:
+            canonical["spatial"] = canonical_spatial(self.spatial)
+        return canonical
 
     def canonical_json(self) -> str:
         """Deterministic JSON of :meth:`canonical_dict`."""
@@ -302,6 +325,7 @@ def new_record(
     roots: Sequence[Union[Span, Dict[str, Any]]],
     metrics: Optional[Dict[str, Dict[str, Any]]] = None,
     quality: Optional[Dict[str, Any]] = None,
+    spatial: Optional[Dict[str, Any]] = None,
     run_id: Optional[str] = None,
     timestamp: Optional[str] = None,
     git_rev: Union[str, None, bool] = True,
@@ -310,6 +334,8 @@ def new_record(
 
     ``metrics`` defaults to the global registry's snapshot (which still
     holds a run's metrics right after :func:`repro.obs.capture` exits).
+    ``spatial`` is the hotspot payload from
+    :func:`repro.obs.spatial.spatial_summary`, when the caller built one.
     ``git_rev=True`` probes the repository; pass ``None`` to skip.
     """
     span_dicts = [
@@ -330,6 +356,7 @@ def new_record(
         spans=span_dicts,
         metrics=snapshot,
         quality=merged_quality,
+        spatial=spatial,
     )
 
 
@@ -568,10 +595,13 @@ def record_run(
     roots: Sequence[Union[Span, Dict[str, Any]]],
     quality: Optional[Dict[str, Any]] = None,
     metrics: Optional[Dict[str, Dict[str, Any]]] = None,
+    spatial: Optional[Dict[str, Any]] = None,
     root_dir: Optional[Union[str, Path]] = None,
 ) -> RunRecord:
     """Build a record and append it to the active store in one call."""
-    record = new_record(label, config, roots, metrics=metrics, quality=quality)
+    record = new_record(
+        label, config, roots, metrics=metrics, quality=quality, spatial=spatial
+    )
     ledger(root_dir).append(record)
     return record
 
@@ -915,6 +945,10 @@ def dashboard_html(
         f"({_html.escape(latest.label)}, {latest.timestamp}, "
         f"wall {latest.wall_s:.3f} s)</p>",
     ]
+
+    if latest.spatial:
+        parts.append(f"<h2>EPE hotspot map (run {latest.run_id})</h2>")
+        parts.append(hotspot_svg(latest.spatial))
 
     parts.append(f"<h2>Per-stage wall time (run {latest.run_id})</h2>")
     stages = sorted(

@@ -1,0 +1,718 @@
+"""Spatial hotspot diagnostics: put quality and runtime on the layout map.
+
+Aggregate EPE statistics say *how bad* a correction is; they never say
+*where*.  This module turns the tagged :class:`~repro.verify.epe.EPESite`
+records and the ``opc.tile`` / ``opc.iteration`` span trees that a run
+already produces into spatial artifacts:
+
+* a binned 2-D EPE grid plus a ranked worst-site list
+  (:func:`epe_grid`, :func:`spatial_summary`);
+* per-tile convergence curves recovered from the trace
+  (:func:`tile_convergence`) -- iterations, final RMS/max EPE, stall
+  status and runtime for every tile, serial or parallel;
+* owning-cell attribution against a layout hierarchy
+  (:func:`attribute_sites`) so a worst site reads ``sram_bit [r3c7]``
+  instead of a bare coordinate;
+* an SVG heatmap/overlay renderer and a self-contained HTML inspector
+  page (:func:`hotspot_svg`, :func:`inspect_html`) with no dependencies
+  beyond the standard library.
+
+The payload produced by :func:`spatial_summary` is plain JSON-ready data
+and rides inside the run ledger's :class:`~repro.obs.runs.RunRecord`
+(``spatial`` field, schema ``repro-run/1.1``).  Everything here is
+duck-typed against site objects/dicts and span objects/dicts so the
+module depends only on :mod:`repro.geometry` -- importing
+:mod:`repro.verify` from here would close an import cycle through
+:mod:`repro.litho`.
+"""
+
+from __future__ import annotations
+
+import math
+from html import escape as _escape
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..geometry import GridIndex, Rect, Transform
+
+#: Version of the ``spatial`` payload embedded in run records.
+SPATIAL_VERSION = 1
+
+#: Keys stripped from the payload's canonical (diff-stable) form.
+_VOLATILE_TILE_KEYS = ("runtime_s",)
+
+__all__ = [
+    "SPATIAL_VERSION",
+    "attribute_sites",
+    "canonical_spatial",
+    "cell_owner_index",
+    "epe_grid",
+    "hotspot_svg",
+    "inspect_html",
+    "site_severity",
+    "spatial_quality",
+    "spatial_summary",
+    "tile_convergence",
+    "worst_site_dicts",
+    "write_hotspot_svg",
+    "write_inspect_html",
+]
+
+
+# -- site handling ------------------------------------------------------------
+#
+# Sites arrive either as EPESite objects (fresh measurement) or as the
+# plain dicts EPESite.to_dict() persisted into a run record.  All code
+# below works on the dict form.
+
+
+def _site_dict(site: Any) -> Dict[str, Any]:
+    if isinstance(site, dict):
+        return site
+    to_dict = getattr(site, "to_dict", None)
+    if to_dict is None:
+        raise ReproError(f"not an EPE site: {site!r}")
+    return to_dict()
+
+
+def site_severity(site: Dict[str, Any]) -> float:
+    """Ranking key of a site dict: |EPE|, missing edges above any number."""
+    epe = site.get("epe_nm")
+    return float("inf") if epe is None else abs(float(epe))
+
+
+def worst_site_dicts(
+    sites: Iterable[Any], k: int = 10
+) -> List[Dict[str, Any]]:
+    """The ``k`` worst sites as dicts, deterministically ordered.
+
+    Ties break on fragment identity then position so identical runs
+    produce byte-identical records.
+    """
+    dicts = [_site_dict(site) for site in sites]
+    dicts.sort(
+        key=lambda s: (
+            -site_severity(s),
+            s.get("loop", 0),
+            s.get("fragment", 0),
+            s.get("x", 0),
+            s.get("y", 0),
+        )
+    )
+    return dicts[: max(0, k)]
+
+
+def _window_tuple(window: Any) -> Tuple[int, int, int, int]:
+    if isinstance(window, Rect):
+        return (window.x1, window.y1, window.x2, window.y2)
+    x1, y1, x2, y2 = window
+    return (int(x1), int(y1), int(x2), int(y2))
+
+
+# -- EPE grid -----------------------------------------------------------------
+
+
+def epe_grid(
+    sites: Iterable[Any],
+    window: Any,
+    nx: int = 24,
+    ny: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Bin site EPE over ``window`` into an ``nx`` x ``ny`` grid.
+
+    ``ny`` defaults to matching the window's aspect ratio.  Only occupied
+    bins are emitted (layouts are sparse); each carries a sample count,
+    missing-edge count, RMS and max |EPE|.
+    """
+    if nx < 1:
+        raise ReproError(f"grid needs at least one column, got nx={nx}")
+    x1, y1, x2, y2 = _window_tuple(window)
+    width = max(1, x2 - x1)
+    height = max(1, y2 - y1)
+    if ny is None:
+        ny = max(1, min(4 * nx, round(nx * height / width)))
+    if ny < 1:
+        raise ReproError(f"grid needs at least one row, got ny={ny}")
+
+    acc: Dict[Tuple[int, int], List[float]] = {}
+    for site in sites:
+        data = _site_dict(site)
+        x, y = data.get("x", 0), data.get("y", 0)
+        if not (x1 <= x <= x2 and y1 <= y <= y2):
+            continue
+        ix = min(nx - 1, (x - x1) * nx // width)
+        iy = min(ny - 1, (y - y1) * ny // height)
+        bucket = acc.setdefault((ix, iy), [0.0, 0.0, 0.0, 0.0])
+        epe = data.get("epe_nm")
+        bucket[0] += 1
+        if epe is None:
+            bucket[1] += 1
+        else:
+            bucket[2] += float(epe) ** 2
+            bucket[3] = max(bucket[3], abs(float(epe)))
+
+    bins = []
+    for (ix, iy), (count, missing, sum_sq, max_abs) in sorted(acc.items()):
+        measured = count - missing
+        rms = math.sqrt(sum_sq / measured) if measured else 0.0
+        bins.append(
+            {
+                "ix": int(ix),
+                "iy": int(iy),
+                "count": int(count),
+                "missing": int(missing),
+                "rms_nm": round(rms, 3),
+                "max_abs_nm": round(max_abs, 3),
+            }
+        )
+    return {
+        "window": [x1, y1, x2, y2],
+        "nx": int(nx),
+        "ny": int(ny),
+        "bins": bins,
+    }
+
+
+# -- tile convergence from span trees -----------------------------------------
+
+
+def _span_parts(
+    node: Any,
+) -> Tuple[str, Dict[str, Any], Sequence[Any], float]:
+    """(name, attrs, children, duration_s) of a Span object or span dict."""
+    if isinstance(node, dict):
+        return (
+            str(node.get("name", "")),
+            node.get("attrs") or {},
+            node.get("children") or (),
+            float(node.get("duration_s") or 0.0),
+        )
+    return (node.name, node.attrs, node.children, node.duration_s)
+
+
+def _walk_spans(node: Any) -> Iterator[Any]:
+    yield node
+    _name, _attrs, children, _dur = _span_parts(node)
+    for child in children:
+        yield from _walk_spans(child)
+
+
+def tile_convergence(roots: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Per-tile convergence records recovered from ``opc.tile`` spans.
+
+    Works on live :class:`~repro.obs.trace.Span` trees and on the span
+    dicts stored in run records alike.  Parallel runs need no special
+    casing: worker span trees are grafted under ``opc.parallel`` before
+    a record is cut, so their ``opc.tile`` spans are found by the same
+    walk.  Tiles are returned in tile-grid order.
+    """
+    tiles: List[Dict[str, Any]] = []
+    for root in roots:
+        for node in _walk_spans(root):
+            name, attrs, children, duration = _span_parts(node)
+            if name != "opc.tile":
+                continue
+            tiles.append(_tile_record(attrs, children, duration))
+    tiles.sort(key=lambda t: t["index"])
+    return tiles
+
+
+def _tile_record(
+    attrs: Dict[str, Any], children: Sequence[Any], duration: float
+) -> Dict[str, Any]:
+    curve: List[Dict[str, Any]] = []
+    iterations = 0
+    for child in children:
+        name, model_attrs, model_children, _dur = _span_parts(child)
+        if name != "opc.model":
+            continue
+        iterations = int(model_attrs.get("iterations", 0))
+        for grand in model_children:
+            it_name, it_attrs, _c, _d = _span_parts(grand)
+            if it_name != "opc.iteration":
+                continue
+            point = {
+                "iteration": int(it_attrs.get("iteration", len(curve) + 1)),
+                "rms_epe_nm": round(float(it_attrs.get("rms_epe_nm", 0.0)), 3),
+                "max_epe_nm": round(float(it_attrs.get("max_epe_nm", 0.0)), 3),
+                "moved_fragments": int(it_attrs.get("moved_fragments", 0)),
+                "missing_edges": int(it_attrs.get("missing_edges", 0)),
+                "converged": bool(it_attrs.get("converged", False)),
+            }
+            if "max_move_nm" in it_attrs:
+                point["max_move_nm"] = float(it_attrs["max_move_nm"])
+            curve.append(point)
+    curve.sort(key=lambda p: p["iteration"])
+    if not iterations:
+        iterations = len(curve)
+    converged = bool(attrs.get("converged", False))
+    if "converged" not in attrs and curve:
+        converged = curve[-1]["converged"]
+    record: Dict[str, Any] = {
+        "index": int(attrs.get("tile", 0)),
+        "rect": [
+            int(attrs.get("x1", 0)),
+            int(attrs.get("y1", 0)),
+            int(attrs.get("x2", 0)),
+            int(attrs.get("y2", 0)),
+        ],
+        "fragments": int(attrs.get("fragments", 0)),
+        "iterations": iterations,
+        "converged": converged,
+        "runtime_s": round(duration, 6),
+        "curve": curve,
+    }
+    if curve:
+        record["final_rms_nm"] = curve[-1]["rms_epe_nm"]
+        record["final_max_nm"] = curve[-1]["max_epe_nm"]
+    return record
+
+
+# -- the combined payload -----------------------------------------------------
+
+
+def spatial_summary(
+    roots: Iterable[Any] = (),
+    sites: Iterable[Any] = (),
+    window: Any = None,
+    top_k: int = 10,
+    bins: int = 24,
+) -> Dict[str, Any]:
+    """The full spatial payload a run record carries.
+
+    ``roots`` are trace roots (spans or span dicts) to mine for tile
+    convergence; ``sites`` are verification EPE sites.  ``window``
+    defaults to the bounding box of the sites, falling back to the tile
+    extents.  The result is JSON-ready and deterministic for identical
+    runs except for the per-tile ``runtime_s`` values, which
+    :func:`canonical_spatial` strips.
+    """
+    site_dicts = [_site_dict(site) for site in sites]
+    tiles = tile_convergence(roots)
+    if window is None:
+        window = _derive_window(site_dicts, tiles)
+    payload: Dict[str, Any] = {
+        "version": SPATIAL_VERSION,
+        "window": list(_window_tuple(window)) if window is not None else None,
+        "site_count": len(site_dicts),
+        "missing_sites": sum(
+            1 for s in site_dicts if s.get("epe_nm") is None
+        ),
+        "worst_sites": worst_site_dicts(site_dicts, top_k),
+        "epe_grid": (
+            epe_grid(site_dicts, window, nx=bins)
+            if site_dicts and window is not None
+            else None
+        ),
+        "tiles": tiles,
+        "tiles_converged": sum(1 for t in tiles if t["converged"]),
+        "tiles_stalled": sum(1 for t in tiles if not t["converged"]),
+    }
+    return payload
+
+
+def _derive_window(
+    site_dicts: Sequence[Dict[str, Any]], tiles: Sequence[Dict[str, Any]]
+) -> Optional[Tuple[int, int, int, int]]:
+    xs = [s["x"] for s in site_dicts if "x" in s]
+    ys = [s["y"] for s in site_dicts if "y" in s]
+    for tile in tiles:
+        x1, y1, x2, y2 = tile["rect"]
+        if (x1, y1) != (x2, y2):
+            xs.extend((x1, x2))
+            ys.extend((y1, y2))
+    if not xs:
+        return None
+    return (min(xs), min(ys), max(xs), max(ys))
+
+
+def canonical_spatial(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The payload minus wall-clock noise, for byte-stable canonical records."""
+    stable = dict(payload)
+    stable["tiles"] = [
+        {k: v for k, v in tile.items() if k not in _VOLATILE_TILE_KEYS}
+        for tile in payload.get("tiles", ())
+    ]
+    return stable
+
+
+def spatial_quality(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Quality-metric entries derived from a spatial payload."""
+    quality: Dict[str, Any] = {}
+    if payload.get("tiles"):
+        quality["tiles_converged"] = payload["tiles_converged"]
+        quality["tiles_stalled"] = payload["tiles_stalled"]
+    if payload.get("site_count"):
+        quality["missing_sites"] = payload["missing_sites"]
+    return quality
+
+
+# -- owning-cell attribution --------------------------------------------------
+
+
+def cell_owner_index(top: Any) -> GridIndex:
+    """Spatial index of every placed cell's bounding box under ``top``.
+
+    Items are ``(name, depth, area)`` tuples; deeper (then smaller)
+    placements win attribution, matching how a layout engineer reads a
+    hierarchy: the worst site is *in* the bit cell, not "in the chip".
+    """
+    placements: List[Tuple[Rect, Tuple[str, int, int]]] = []
+
+    def collect(cell: Any, transform: Transform, depth: int) -> None:
+        box = cell.bbox(recursive=True)
+        if box is not None:
+            placed = transform.apply_rect(box)
+            placements.append((placed, (cell.name, depth, placed.area)))
+        for ref in cell.references:
+            for place in ref.placements():
+                collect(ref.cell, place.then(transform), depth + 1)
+
+    collect(top, Transform.identity(), 0)
+    if not placements:
+        raise ReproError(f"cell {top.name!r} has no geometry to attribute against")
+    span = max(
+        max(box.width for box, _ in placements),
+        max(box.height for box, _ in placements),
+    )
+    index: GridIndex = GridIndex(cell_size=max(1, span // 16))
+    index.insert_all(placements)
+    return index
+
+
+def attribute_sites(sites: Sequence[Any], top: Any) -> List[Any]:
+    """Copy of ``sites`` with ``cell`` set to each site's owning cell.
+
+    Sites may be EPESite objects (returned re-created via
+    ``dataclasses.replace``) or dicts (returned as updated copies).
+    Anchors outside every placement fall back to the top cell's name.
+    """
+    from dataclasses import replace as _replace
+
+    index = cell_owner_index(top)
+    out: List[Any] = []
+    for site in sites:
+        data = _site_dict(site)
+        x, y = int(data.get("x", 0)), int(data.get("y", 0))
+        probe = Rect(x, y, x + 1, y + 1)
+        owner = top.name
+        best = (-1, float("inf"))  # (depth, area): deepest then smallest
+        for box, (name, depth, area) in index.query(probe):
+            if not box.contains((x, y)):
+                continue
+            if (depth, -area) > (best[0], -best[1]):
+                best = (depth, area)
+                owner = name
+        if isinstance(site, dict):
+            updated: Any = dict(site, cell=owner)
+        else:
+            updated = _replace(site, cell=owner)
+        out.append(updated)
+    return out
+
+
+# -- SVG rendering ------------------------------------------------------------
+
+_RAMP_LOW = (247, 247, 245)
+_RAMP_HIGH = (178, 24, 43)
+
+
+def _ramp(t: float) -> str:
+    t = max(0.0, min(1.0, t))
+    return "#%02x%02x%02x" % tuple(
+        round(lo + t * (hi - lo)) for lo, hi in zip(_RAMP_LOW, _RAMP_HIGH)
+    )
+
+
+def hotspot_svg(payload: Dict[str, Any], width: int = 900) -> str:
+    """Render a spatial payload as a standalone SVG hotspot map.
+
+    Layers, back to front: the binned |EPE| heatmap (white -> red by RMS),
+    tile outlines colored by convergence (solid green = converged, dashed
+    orange = stalled), and numbered markers on the worst sites (circles
+    for measured errors, crosses for missing edges).  Layout y grows
+    upward; SVG y grows downward, so the map is flipped to read like a
+    layout plot.
+    """
+    window = payload.get("window")
+    if not window:
+        return (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="400" height="60">'
+            '<text x="10" y="35" font-family="sans-serif" font-size="14">'
+            "no spatial data recorded</text></svg>"
+        )
+    x1, y1, x2, y2 = window
+    span_x = max(1, x2 - x1)
+    span_y = max(1, y2 - y1)
+    margin, top, right = 46, 54, 170
+    plot_w = max(100, width - margin - right)
+    plot_h = max(160, min(1200, round(plot_w * span_y / span_x)))
+    height = plot_h + top + margin
+    scale_x = plot_w / span_x
+    scale_y = plot_h / span_y
+
+    def sx(x: float) -> float:
+        return margin + (x - x1) * scale_x
+
+    def sy(y: float) -> float:
+        return top + plot_h - (y - y1) * scale_y
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif">',
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="white"/>',
+        f'<rect x="{margin}" y="{top}" width="{plot_w}" height="{plot_h}" '
+        'fill="#fbfbfa" stroke="#888"/>',
+    ]
+    title = (
+        f"EPE hotspot map — {payload.get('site_count', 0)} sites, "
+        f"{payload.get('tiles_converged', 0)}/{len(payload.get('tiles', []))} "
+        "tiles converged"
+    )
+    parts.append(
+        f'<text x="{margin}" y="24" font-size="15" font-weight="bold">'
+        f"{_escape(title)}</text>"
+    )
+    parts.append(
+        f'<text x="{margin}" y="42" font-size="11" fill="#555">window '
+        f"[{x1}, {y1}] — [{x2}, {y2}] nm</text>"
+    )
+
+    grid = payload.get("epe_grid")
+    vmax = 0.0
+    if grid and grid.get("bins"):
+        vmax = max(
+            max(b["rms_nm"] for b in grid["bins"]),
+            max(float(b["missing"] > 0) for b in grid["bins"]),
+            1e-9,
+        )
+        cell_w = span_x / grid["nx"] * scale_x
+        cell_h = span_y / grid["ny"] * scale_y
+        for b in grid["bins"]:
+            gx = margin + b["ix"] * span_x / grid["nx"] * scale_x
+            gy = top + plot_h - (b["iy"] + 1) * span_y / grid["ny"] * scale_y
+            heat = 1.0 if b["missing"] else b["rms_nm"] / vmax
+            parts.append(
+                f'<rect x="{gx:.1f}" y="{gy:.1f}" width="{cell_w:.1f}" '
+                f'height="{cell_h:.1f}" fill="{_ramp(heat)}">'
+                f"<title>{b['count']} sites, rms {b['rms_nm']} nm, "
+                f"max {b['max_abs_nm']} nm, {b['missing']} missing</title>"
+                "</rect>"
+            )
+
+    for tile in payload.get("tiles", ()):  # outlines above the heat bins
+        tx1, ty1, tx2, ty2 = tile["rect"]
+        if (tx1, ty1) == (tx2, ty2):
+            continue
+        style = (
+            'stroke="#2c7a43" stroke-width="1.5"'
+            if tile["converged"]
+            else 'stroke="#d97706" stroke-width="2" stroke-dasharray="6,3"'
+        )
+        parts.append(
+            f'<rect x="{sx(tx1):.1f}" y="{sy(ty2):.1f}" '
+            f'width="{(tx2 - tx1) * scale_x:.1f}" '
+            f'height="{(ty2 - ty1) * scale_y:.1f}" fill="none" {style}>'
+            f"<title>tile {tile['index']}: {tile['iterations']} iterations, "
+            f"{'converged' if tile['converged'] else 'stalled'}</title></rect>"
+        )
+        parts.append(
+            f'<text x="{sx(tx1) + 4:.1f}" y="{sy(ty2) + 13:.1f}" '
+            f'font-size="10" fill="#666">{tile["index"]}</text>'
+        )
+
+    for rank, site in enumerate(payload.get("worst_sites", ()), start=1):
+        cx, cy = sx(site["x"]), sy(site["y"])
+        if site.get("epe_nm") is None:
+            label = f"missing ({site.get('state', '?')})"
+            parts.append(
+                f'<path d="M {cx - 5:.1f} {cy - 5:.1f} L {cx + 5:.1f} '
+                f'{cy + 5:.1f} M {cx - 5:.1f} {cy + 5:.1f} L {cx + 5:.1f} '
+                f'{cy - 5:.1f}" stroke="#7b1fa2" stroke-width="2.5"/>'
+            )
+        else:
+            label = f"{site['epe_nm']:+.2f} nm"
+            parts.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="6" fill="none" '
+                'stroke="#b2182b" stroke-width="2"/>'
+            )
+        owner = f" [{site['cell']}]" if site.get("cell") else ""
+        parts.append(
+            f'<text x="{cx + 8:.1f}" y="{cy + 4:.1f}" font-size="10" '
+            f'fill="#333">{rank}<title>#{rank} ({site["x"]}, {site["y"]}) '
+            f"{_escape(site.get('tag', ''))} {_escape(label)}"
+            f"{_escape(owner)}</title></text>"
+        )
+
+    # Legend: color ramp + marker key.
+    lx = margin + plot_w + 16
+    parts.append(
+        f'<text x="{lx}" y="{top + 10}" font-size="11" '
+        'font-weight="bold">bin RMS EPE</text>'
+    )
+    steps = 8
+    for i in range(steps):
+        parts.append(
+            f'<rect x="{lx}" y="{top + 18 + i * 14}" width="18" height="14" '
+            f'fill="{_ramp((steps - i) / steps)}" stroke="#999" '
+            'stroke-width="0.3"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 24}" y="{top + 29 + i * 14}" font-size="10" '
+            f'fill="#555">{vmax * (steps - i) / steps:.2f} nm</text>'
+        )
+    key_y = top + 18 + steps * 14 + 20
+    for dy, swatch, text in (
+        (0, '<circle cx="9" cy="-4" r="6" fill="none" stroke="#b2182b" '
+            'stroke-width="2"/>', "worst site"),
+        (18, '<path d="M 4 -9 L 14 1 M 4 1 L 14 -9" stroke="#7b1fa2" '
+             'stroke-width="2.5"/>', "missing edge"),
+        (36, '<rect x="2" y="-10" width="14" height="10" fill="none" '
+             'stroke="#2c7a43" stroke-width="1.5"/>', "tile converged"),
+        (54, '<rect x="2" y="-10" width="14" height="10" fill="none" '
+             'stroke="#d97706" stroke-width="2" stroke-dasharray="6,3"/>',
+         "tile stalled"),
+    ):
+        parts.append(f'<g transform="translate({lx},{key_y + dy})">{swatch}'
+                     f'<text x="24" y="0" font-size="10">{text}</text></g>')
+
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def write_hotspot_svg(path: Any, payload: Dict[str, Any]) -> None:
+    """Write :func:`hotspot_svg` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(hotspot_svg(payload))
+        handle.write("\n")
+
+
+# -- inspector HTML -----------------------------------------------------------
+
+_INSPECT_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #222; max-width: 1100px; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table { border-collapse: collapse; font-size: 0.85em; }
+th, td { border: 1px solid #ccc; padding: 3px 9px; text-align: right; }
+th { background: #f0f0ee; } td.t { text-align: left; }
+.meta { color: #555; font-size: 0.9em; }
+.stalled { color: #b45309; font-weight: bold; }
+.converged { color: #15803d; }
+.missing { color: #7b1fa2; font-weight: bold; }
+"""
+
+
+def inspect_html(record: Any) -> str:
+    """A self-contained inspector page for one run record.
+
+    ``record`` is duck-typed (:class:`~repro.obs.runs.RunRecord` or
+    anything with the same attributes).  Pre-spatial (schema ``repro-run/1``)
+    records render with a note instead of the map.
+    """
+    run_id = getattr(record, "run_id", "?")
+    payload = getattr(record, "spatial", None)
+    rows = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>repro inspect — {_escape(str(run_id))}</title>",
+        f"<style>{_INSPECT_CSS}</style></head><body>",
+        f"<h1>repro inspect — run <code>{_escape(str(run_id))}</code></h1>",
+        "<p class='meta'>"
+        f"label <b>{_escape(str(getattr(record, 'label', '?')))}</b>"
+        f" · recorded {_escape(str(getattr(record, 'timestamp', '?')))}"
+        f" · wall {float(getattr(record, 'wall_s', 0.0)):.2f} s"
+        "</p>",
+    ]
+    quality = getattr(record, "quality", None) or {}
+    if quality:
+        rows.append("<h2>Quality</h2><table><tr>")
+        rows.extend(f"<th>{_escape(str(k))}</th>" for k in sorted(quality))
+        rows.append("</tr><tr>")
+        rows.extend(
+            f"<td>{_fmt_value(quality[k])}</td>" for k in sorted(quality)
+        )
+        rows.append("</tr></table>")
+
+    if not payload:
+        rows.append(
+            "<p>This record predates spatial diagnostics (schema "
+            "<code>repro-run/1</code>) or was captured without "
+            "verification sites — no hotspot map available.</p>"
+        )
+    else:
+        rows.append("<h2>Hotspot map</h2>")
+        rows.append(hotspot_svg(payload))
+        rows.append("<h2>Worst EPE sites</h2>")
+        rows.append(_worst_sites_table(payload.get("worst_sites", ())))
+        tiles = payload.get("tiles", ())
+        if tiles:
+            rows.append("<h2>Tile convergence</h2>")
+            rows.append(_tiles_table(tiles))
+    rows.append("</body></html>")
+    return "\n".join(rows)
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return _escape(str(value))
+
+
+def _worst_sites_table(sites: Sequence[Dict[str, Any]]) -> str:
+    if not sites:
+        return "<p>No EPE sites recorded.</p>"
+    rows = [
+        "<table><tr><th>#</th><th>x (nm)</th><th>y (nm)</th><th>cell</th>"
+        "<th>tag</th><th>EPE (nm)</th><th>state</th></tr>"
+    ]
+    for rank, site in enumerate(sites, start=1):
+        epe = site.get("epe_nm")
+        epe_cell = (
+            "<td class='missing'>—</td>" if epe is None
+            else f"<td>{epe:+.2f}</td>"
+        )
+        state = site.get("state", "found")
+        state_class = " class='missing'" if epe is None else ""
+        rows.append(
+            f"<tr><td>{rank}</td><td>{site.get('x')}</td>"
+            f"<td>{site.get('y')}</td>"
+            f"<td class='t'>{_escape(str(site.get('cell') or '—'))}</td>"
+            f"<td class='t'>{_escape(str(site.get('tag', '')))}</td>"
+            f"{epe_cell}<td class='t'{state_class}>{_escape(state)}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _tiles_table(tiles: Sequence[Dict[str, Any]]) -> str:
+    rows = [
+        "<table><tr><th>tile</th><th>rect (nm)</th><th>fragments</th>"
+        "<th>iterations</th><th>final RMS</th><th>final max</th>"
+        "<th>runtime (s)</th><th>status</th></tr>"
+    ]
+    for tile in tiles:
+        x1, y1, x2, y2 = tile["rect"]
+        status = (
+            "<td class='converged t'>converged</td>"
+            if tile["converged"]
+            else "<td class='stalled t'>stalled</td>"
+        )
+        rows.append(
+            f"<tr><td>{tile['index']}</td>"
+            f"<td class='t'>[{x1}, {y1}] — [{x2}, {y2}]</td>"
+            f"<td>{tile.get('fragments', 0)}</td>"
+            f"<td>{tile['iterations']}</td>"
+            f"<td>{tile.get('final_rms_nm', '—')}</td>"
+            f"<td>{tile.get('final_max_nm', '—')}</td>"
+            f"<td>{tile.get('runtime_s', 0.0):.3f}</td>"
+            f"{status}</tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def write_inspect_html(path: Any, record: Any) -> None:
+    """Write :func:`inspect_html` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(inspect_html(record))
+        handle.write("\n")

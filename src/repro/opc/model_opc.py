@@ -26,11 +26,23 @@ from ..geometry import (
     fragment_region,
 )
 from ..litho import LithoSimulator, MaskSpec, binary_mask
-from ..obs import count as _obs_count, observe as _obs_observe, span as _obs_span
+from ..obs import (
+    count as _obs_count,
+    gauge_set as _obs_gauge_set,
+    observe as _obs_observe,
+    span as _obs_span,
+)
+from ..obs.state import enabled as _obs_enabled
 from .report import IterationStats, OPCResult
 
 #: Histogram buckets for per-iteration worst-site EPE (nm).
 EPE_NM_BUCKETS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Histogram buckets for signed per-site |EPE| samples (nm).
+SITE_EPE_NM_BUCKETS = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+#: Histogram buckets for the largest fragment move applied per iteration (nm).
+MOVE_NM_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 #: Fragmentation used by model-based OPC (fine: sub-resolution fragments).
 DEFAULT_MODEL_FRAGMENTATION = FragmentationSpec(
@@ -158,10 +170,33 @@ def model_opc(
                     _obs_observe(
                         "opc.epe_nm", stats.max_epe_nm, EPE_NM_BUCKETS
                     )
-            if converged or iteration == recipe.max_iterations:
+                if _obs_enabled():
+                    # Per-site |EPE| distribution of this iteration.  The
+                    # enabled() guard keeps the disabled path at zero cost
+                    # (no per-site loop); buckets merge exactly across
+                    # parallel workers.
+                    for position in active:
+                        epe = epes[position]
+                        if epe is not None:
+                            _obs_observe(
+                                "opc.site_epe_nm", abs(epe),
+                                SITE_EPE_NM_BUCKETS,
+                            )
+                last = converged or iteration == recipe.max_iterations
+                if not last:
+                    max_move = _update_biases(biases, epes, states, recipe)
+                    it_span.set(max_move_nm=max_move)
+                    _obs_observe(
+                        "opc.max_move_nm", float(max_move), MOVE_NM_BUCKETS
+                    )
+            if last:
                 break
-            _update_biases(biases, epes, states, recipe)
-        model_span.set(iterations=len(history), converged=converged)
+        model_span.set(
+            iterations=len(history), converged=converged,
+            damping=recipe.damping,
+        )
+        _obs_gauge_set("opc.damping", recipe.damping)
+        _obs_count("opc.converged" if converged else "opc.stalled")
 
     return OPCResult(
         target=merged,
@@ -233,11 +268,17 @@ def _update_biases(
     epes: Sequence[Optional[float]],
     states: Sequence[str],
     recipe: ModelOPCRecipe,
-) -> None:
-    """Damped per-fragment move against the measured EPE, with clamps."""
+) -> int:
+    """Damped per-fragment move against the measured EPE, with clamps.
+
+    Returns the largest bias change actually applied (nm) -- the
+    convergence-telemetry "max move" of this iteration, which goes to
+    zero as the correction settles.
+    """
     cursor = 0
     clamp = recipe.max_move_per_iteration_nm
     total = recipe.max_total_move_nm
+    max_applied = 0
     for loop_biases in biases:
         for i in range(len(loop_biases)):
             epe = epes[cursor]
@@ -259,4 +300,9 @@ def _update_biases(
                 # Positive EPE = printed edge outside target = pull mask in.
                 move = int(round(-recipe.damping * epe))
                 move = max(-clamp, min(clamp, move))
-            loop_biases[i] = max(-total, min(total, loop_biases[i] + move))
+            updated = max(-total, min(total, loop_biases[i] + move))
+            applied = abs(updated - loop_biases[i])
+            if applied > max_applied:
+                max_applied = applied
+            loop_biases[i] = updated
+    return max_applied

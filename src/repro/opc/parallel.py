@@ -321,9 +321,12 @@ def run_tile_jobs(
             queue = _run_round(
                 queue, outcomes, attempts, stats, simulator, spec
             )
+        converged_tiles = 0
         for index in sorted(outcomes):
             outcome = outcomes[index]
             outcome.attempts = attempts[index] + 1
+            if outcome.converged:
+                converged_tiles += 1
             if observe and outcome.spans:
                 obs.merge_spans(
                     pool_span,
@@ -331,10 +334,17 @@ def run_tile_jobs(
                 )
             if observe and outcome.metrics:
                 obs.merge_snapshot(outcome.metrics)
+        # Cross-worker convergence rollup: the per-tile opc.converged /
+        # opc.stalled counters already merged exactly through the metric
+        # snapshots above (serial-fallback tiles count in-process); the
+        # pool span carries the aggregate so one glance at the trace shows
+        # how much of the layout settled.
         pool_span.set(
             retries=stats["retries"],
             fallbacks=stats["fallbacks"],
             failures=stats["failures"],
+            tiles_converged=converged_tiles,
+            tiles_stalled=len(outcomes) - converged_tiles,
         )
     return [outcomes[index] for index in sorted(outcomes)]
 

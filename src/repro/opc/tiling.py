@@ -108,7 +108,8 @@ def correct_tile(
     """
     try:
         with _obs_span(
-            "opc.tile", tile=index, x1=tile.x1, y1=tile.y1, halo_nm=halo_nm
+            "opc.tile", tile=index, x1=tile.x1, y1=tile.y1,
+            x2=tile.x2, y2=tile.y2, halo_nm=halo_nm,
         ) as tile_span:
             result = model_opc(
                 context,
@@ -171,7 +172,7 @@ def model_opc_tiled(
         try:
             with _obs_span(
                 "opc.tile", tile=0, x1=tiles[0].x1, y1=tiles[0].y1,
-                halo_nm=tiling.halo_nm,
+                x2=tiles[0].x2, y2=tiles[0].y2, halo_nm=tiling.halo_nm,
             ) as tile_span:
                 result = model_opc(
                     merged, simulator, tiles[0], recipe,

@@ -6,7 +6,8 @@ Public surface:
   :func:`space_rule`, :func:`enclosure_rule`, :func:`area_rule`) and the
   low-level checks (:func:`check_width`, :func:`check_space`,
   :func:`check_enclosure`, :func:`check_min_area`);
-* EPE: :func:`measure_epe`, :func:`epe_sites`, :class:`EPEStats`;
+* EPE: :func:`measure_epe`, :func:`measure_epe_sites`, :func:`epe_sites`,
+  :func:`worst_sites`, :class:`EPEStats`, :class:`EPESite`;
 * ORC: :func:`run_orc`, :func:`orc_through_window`, :func:`worst_corner`,
   :class:`ORCReport`, :class:`ProcessCorner`.
 """
@@ -32,7 +33,15 @@ from .drc import (
     space_rule,
     width_rule,
 )
-from .epe import DEFAULT_EPE_FRAGMENTATION, EPEStats, epe_sites, measure_epe
+from .epe import (
+    DEFAULT_EPE_FRAGMENTATION,
+    EPESite,
+    EPEStats,
+    epe_sites,
+    measure_epe,
+    measure_epe_sites,
+    worst_sites,
+)
 from .orc import ORCReport, ProcessCorner, orc_through_window, run_orc, worst_corner
 
 __all__ = [
@@ -43,6 +52,7 @@ __all__ = [
     "Netlist",
     "DRCRule",
     "DRCViolation",
+    "EPESite",
     "EPEStats",
     "ORCReport",
     "ProcessCorner",
@@ -55,6 +65,7 @@ __all__ = [
     "epe_sites",
     "extract_nets",
     "measure_epe",
+    "measure_epe_sites",
     "orc_through_window",
     "run_drc",
     "run_orc",
@@ -62,4 +73,5 @@ __all__ = [
     "verify_routed_nets",
     "width_rule",
     "worst_corner",
+    "worst_sites",
 ]

@@ -3,12 +3,17 @@
 Generates EPE control sites from a target region's fragmentation and turns
 the per-site measurements into the summary numbers the evaluation tables
 report (mean, RMS, worst-case, failure count).
+
+Beyond the aggregates, :func:`measure_epe_sites` keeps every measurement
+as a tagged :class:`EPESite` record -- location, outward normal, fragment
+identity, signed error and failure state -- which is what the spatial
+hotspot diagnostics (:mod:`repro.obs.spatial`) attribute, rank and render.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +27,77 @@ DEFAULT_EPE_FRAGMENTATION = FragmentationSpec(
 )
 
 Site = Tuple[Tuple[float, float], Tuple[float, float]]
+
+#: Tags whose sites are dropped by ``include_corners=False``.
+_CORNER_TAGS = (FragmentTag.CORNER_CONVEX, FragmentTag.CORNER_CONCAVE)
+
+
+@dataclass(frozen=True)
+class EPESite:
+    """One attributed EPE control site.
+
+    ``(x, y)`` is the measurement anchor on the target edge (dbu/nm),
+    ``normal`` the unit outward normal the search runs along.  The
+    fragment identity (``loop_index``, ``fragment_index``) names exactly
+    which piece of which boundary loop the site controls, and ``cell``
+    -- when a layout hierarchy is available -- the deepest placed cell
+    whose bounding box owns the anchor.  ``epe_nm`` is the signed error
+    (positive = printed edge outside target); ``None`` with a ``state``
+    of ``"dark"``/``"bright"`` marks a catastrophic site where no edge
+    crossed the search span.
+    """
+
+    x: int
+    y: int
+    normal: Tuple[int, int]
+    tag: str
+    loop_index: int
+    fragment_index: int
+    epe_nm: Optional[float] = None
+    state: str = "found"
+    cell: Optional[str] = None
+
+    @property
+    def severity(self) -> float:
+        """Ranking key: |EPE|, with missing edges worse than any number."""
+        return float("inf") if self.epe_nm is None else abs(self.epe_nm)
+
+    @property
+    def anchor(self) -> Tuple[int, int]:
+        return (self.x, self.y)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form persisted into run records."""
+        return {
+            "x": self.x,
+            "y": self.y,
+            "normal": list(self.normal),
+            "tag": self.tag,
+            "loop": self.loop_index,
+            "fragment": self.fragment_index,
+            "epe_nm": self.epe_nm,
+            "state": self.state,
+            "cell": self.cell,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EPESite":
+        return cls(
+            x=int(data["x"]),
+            y=int(data["y"]),
+            normal=tuple(data.get("normal", (0, 0))),
+            tag=data.get("tag", FragmentTag.NORMAL.value),
+            loop_index=int(data.get("loop", 0)),
+            fragment_index=int(data.get("fragment", 0)),
+            epe_nm=data.get("epe_nm"),
+            state=data.get("state", "found"),
+            cell=data.get("cell"),
+        )
+
+    def __str__(self) -> str:
+        error = "MISSING" if self.epe_nm is None else f"{self.epe_nm:+.2f} nm"
+        owner = f" [{self.cell}]" if self.cell else ""
+        return f"({self.x}, {self.y}) {self.tag} {error}{owner}"
 
 
 @dataclass(frozen=True)
@@ -109,17 +185,76 @@ def measure_epe(
     physical (a diffraction-limited image cannot hold a square corner), so
     run/line-end statistics are the OPC quality metric.
     """
-    tagged = epe_sites_tagged(target, window, spec)
-    if not include_corners:
-        tagged = [
-            (site, tag)
-            for site, tag in tagged
-            if tag not in (FragmentTag.CORNER_CONVEX, FragmentTag.CORNER_CONCAVE)
-        ]
-    sites = [site for site, _tag in tagged]
+    stats, sites = measure_epe_sites(
+        simulator, mask, target, window, dose=dose, defocus_nm=defocus_nm,
+        spec=spec, search_nm=search_nm, include_corners=include_corners,
+    )
+    return stats, [site.epe_nm for site in sites]
+
+
+def measure_epe_sites(
+    simulator: LithoSimulator,
+    mask: MaskSpec,
+    target: Region,
+    window: Rect,
+    dose: float = 1.0,
+    defocus_nm: float = 0.0,
+    spec: FragmentationSpec = DEFAULT_EPE_FRAGMENTATION,
+    search_nm: float = 80.0,
+    include_corners: bool = True,
+) -> Tuple[EPEStats, List[EPESite]]:
+    """Like :func:`measure_epe`, but keeps every measurement attributed.
+
+    Returns the summary statistics plus one :class:`EPESite` per control
+    site, in fragmentation order, each carrying its location, fragment
+    identity, signed error and failure state.  Owning-cell attribution is
+    added separately (see :func:`repro.obs.spatial.attribute_sites`)
+    because it needs the layout hierarchy, not the flat region.
+    """
+    sites: List[EPESite] = []
+    for loop_index, fragments in enumerate(fragment_region(target, spec)):
+        for fragment_index, fragment in enumerate(fragments):
+            anchor = fragment.control_point()
+            if window is not None and not window.contains(anchor):
+                continue
+            if not include_corners and fragment.tag in _CORNER_TAGS:
+                continue
+            sites.append(
+                EPESite(
+                    x=anchor[0],
+                    y=anchor[1],
+                    normal=fragment.normal,
+                    tag=fragment.tag.value,
+                    loop_index=loop_index,
+                    fragment_index=fragment_index,
+                )
+            )
     if not sites:
         raise VerificationError("target has no measurable edges inside the window")
-    values = simulator.edge_placement_errors(
-        mask, window, sites, dose=dose, defocus_nm=defocus_nm, search_nm=search_nm
+    measured = simulator.edge_placement_errors_with_state(
+        mask,
+        window,
+        [(site.anchor, site.normal) for site in sites],
+        dose=dose,
+        defocus_nm=defocus_nm,
+        search_nm=search_nm,
     )
-    return EPEStats.from_values(values), values
+    sites = [
+        replace(site, epe_nm=value, state=state)
+        for site, (value, state) in zip(sites, measured)
+    ]
+    return EPEStats.from_values([site.epe_nm for site in sites]), sites
+
+
+def worst_sites(sites: Sequence[EPESite], k: int = 10) -> List[EPESite]:
+    """The ``k`` worst sites, most severe first.
+
+    Missing-edge sites (catastrophic failures) outrank any finite EPE;
+    ties break deterministically on fragment identity so ranked tables
+    are stable run to run.
+    """
+    ranked = sorted(
+        sites,
+        key=lambda s: (-s.severity, s.loop_index, s.fragment_index, s.x, s.y),
+    )
+    return ranked[: max(k, 0)]

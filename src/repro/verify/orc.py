@@ -14,7 +14,7 @@ from typing import List, Sequence
 from ..errors import VerificationError
 from ..geometry import FragmentationSpec, Rect, Region
 from ..litho import LithoSimulator, MaskSpec
-from .epe import DEFAULT_EPE_FRAGMENTATION, EPEStats, measure_epe
+from .epe import DEFAULT_EPE_FRAGMENTATION, EPESite, EPEStats, measure_epe_sites
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,9 @@ class ORCReport:
     epe: EPEStats
     pinch_sites: Region
     bridge_sites: Region
+    #: Per-site attributed measurements behind ``epe`` (same order the
+    #: aggregate was computed from); spatial diagnostics rank and map these.
+    sites: List[EPESite] = field(default_factory=list)
 
     @property
     def pinch_count(self) -> int:
@@ -74,7 +77,7 @@ def run_orc(
     printed = simulator.printed(
         mask, window, defocus_nm=corner.defocus_nm, dose=corner.dose
     )
-    epe_stats, _values = measure_epe(
+    epe_stats, epe_sites = measure_epe_sites(
         simulator,
         mask,
         target,
@@ -90,6 +93,7 @@ def run_orc(
         epe=epe_stats,
         pinch_sites=_filter_area(pinch, min_defect_area),
         bridge_sites=_filter_area(bridge, min_defect_area),
+        sites=epe_sites,
     )
 
 

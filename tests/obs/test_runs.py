@@ -330,3 +330,91 @@ class TestQualityFromMetrics:
         }
         flat = obs_runs.flatten_metrics(snapshot)
         assert flat == {"tile.runtime_s.count": 4}
+
+
+class TestSchemaCompat:
+    """Pre-spatial (``repro-run/1``) records stay loadable under 1.1."""
+
+    def make_spatial(self, runtime=0.5):
+        return {
+            "version": 1,
+            "window": [0, 0, 1000, 1000],
+            "site_count": 1,
+            "missing_sites": 0,
+            "worst_sites": [
+                {"x": 5, "y": 5, "normal": [1, 0], "tag": "normal",
+                 "loop": 0, "fragment": 0, "epe_nm": 2.0,
+                 "state": "found", "cell": None}
+            ],
+            "epe_grid": None,
+            "tiles": [
+                {"index": 0, "rect": [0, 0, 1000, 1000], "fragments": 4,
+                 "iterations": 2, "converged": True,
+                 "runtime_s": runtime, "curve": []}
+            ],
+            "tiles_converged": 1,
+            "tiles_stalled": 0,
+        }
+
+    def test_v1_record_loads_with_schema_preserved(self):
+        data = make_record().to_dict()
+        assert data["schema"] == obs_runs.RUN_SCHEMA  # new records are 1.1
+        data.pop("spatial", None)
+        data["schema"] = "repro-run/1"
+        record = obs_runs.RunRecord.from_dict(data)
+        assert record.schema == "repro-run/1"
+        assert record.spatial is None
+        assert record.to_dict() == data  # byte-for-byte round trip
+
+    def test_v1_record_round_trips_through_ledger(self, tmp_path):
+        """A ledger written by the previous release loads, diffs and
+        serialises unchanged under the 1.1 code."""
+        data = make_record().to_dict()
+        data.pop("spatial", None)
+        data["schema"] = "repro-run/1"
+        path = tmp_path / "runs.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(data, sort_keys=True) + "\n")
+        ledger = obs_runs.RunLedger(tmp_path)
+        loaded = ledger.load(data["run_id"])
+        assert loaded.schema == "repro-run/1"
+        assert loaded.to_dict() == data
+        diff = obs_runs.diff_runs(loaded, make_record())
+        assert not diff.changed_quality
+
+    def test_spatial_payload_round_trips(self):
+        record = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={}, quality={"figures": 1},
+            spatial=self.make_spatial(), git_rev=None,
+        )
+        assert record.schema == obs_runs.RUN_SCHEMA
+        back = obs_runs.RunRecord.from_dict(record.to_dict())
+        assert back.spatial == record.spatial
+        assert back.canonical_json() == record.canonical_json()
+
+    def test_canonical_form_ignores_tile_runtime(self):
+        fast = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={},
+            spatial=self.make_spatial(runtime=0.1), git_rev=None,
+        )
+        slow = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={},
+            spatial=self.make_spatial(runtime=9.9), git_rev=None,
+        )
+        assert fast.to_dict()["spatial"] != slow.to_dict()["spatial"]
+        assert fast.canonical_json() == slow.canonical_json()
+
+    def test_canonical_form_sees_spatial_changes(self):
+        good = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={},
+            spatial=self.make_spatial(), git_rev=None,
+        )
+        stalled_payload = self.make_spatial()
+        stalled_payload["tiles"][0]["converged"] = False
+        stalled_payload["tiles_converged"] = 0
+        stalled_payload["tiles_stalled"] = 1
+        stalled = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={},
+            spatial=stalled_payload, git_rev=None,
+        )
+        assert good.canonical_json() != stalled.canonical_json()

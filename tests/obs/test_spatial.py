@@ -1,0 +1,307 @@
+"""Spatial hotspot diagnostics: grids, tile convergence, SVG, attribution.
+
+Covers the acceptance surface of ``repro.obs.spatial``: worst-site
+ranking (missing edges above any finite error, deterministic ties), EPE
+binning, tile convergence mined from live span trees and from the
+persisted dict form alike, owning-cell attribution against a small
+hierarchy, the canonical form's wall-clock stripping, and well-formed
+SVG/HTML rendering.
+"""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ReproError
+from repro.geometry import Rect, Transform
+from repro.layout import Cell, CellArray, POLY
+from repro.obs import span_to_dict, spatial
+from repro.obs.trace import Span
+
+
+def site(x, y, epe, tag="normal", loop=0, fragment=0, state="found"):
+    """A site in the persisted dict form (EPESite.to_dict keys)."""
+    return {
+        "x": x, "y": y, "normal": [1, 0], "tag": tag, "loop": loop,
+        "fragment": fragment, "epe_nm": epe,
+        "state": state if epe is not None else "bright", "cell": None,
+    }
+
+
+def make_tile_span(index, rect, iterations, converged, rms_by_iter=None):
+    """An ``opc.tile`` span shaped exactly like the OPC engine emits it."""
+    x1, y1, x2, y2 = rect
+    tile = Span("opc.tile", {
+        "tile": index, "x1": x1, "y1": y1, "x2": x2, "y2": y2,
+        "fragments": 40 + index, "converged": converged,
+    })
+    tile.start_s, tile.end_s = 0.0, 0.5 + 0.1 * index
+    model = Span("opc.model", {"iterations": iterations, "converged": converged})
+    tile.children.append(model)
+    for i in range(1, iterations + 1):
+        rms = (rms_by_iter or {}).get(i, 4.0 / i)
+        it = Span("opc.iteration", {
+            "iteration": i, "rms_epe_nm": rms, "max_epe_nm": 3 * rms,
+            "moved_fragments": 10 - i, "missing_edges": 0,
+            "converged": converged and i == iterations,
+            "max_move_nm": 8.0 / i,
+        })
+        model.children.append(it)
+    return tile
+
+
+class TestWorstSites:
+    def test_missing_edge_outranks_any_finite_error(self):
+        sites = [site(0, 0, -2.0), site(10, 0, None), site(20, 0, 99.0)]
+        ranked = spatial.worst_site_dicts(sites, k=3)
+        assert ranked[0]["x"] == 10  # missing edge first
+        assert ranked[1]["epe_nm"] == 99.0
+
+    def test_ranked_by_absolute_error(self):
+        sites = [site(0, 0, 1.0), site(1, 0, -5.0), site(2, 0, 3.0)]
+        assert [s["epe_nm"] for s in spatial.worst_site_dicts(sites)] == [
+            -5.0, 3.0, 1.0
+        ]
+
+    def test_ties_break_deterministically_on_fragment_identity(self):
+        a = site(5, 0, 2.0, loop=1, fragment=3)
+        b = site(0, 0, 2.0, loop=0, fragment=7)
+        assert spatial.worst_site_dicts([a, b]) == [b, a]
+        assert spatial.worst_site_dicts([b, a]) == [b, a]
+
+    def test_k_truncates(self):
+        sites = [site(i, 0, float(i)) for i in range(20)]
+        assert len(spatial.worst_site_dicts(sites, k=4)) == 4
+
+    def test_severity(self):
+        assert spatial.site_severity(site(0, 0, -3.5)) == 3.5
+        assert spatial.site_severity(site(0, 0, None)) == float("inf")
+
+    def test_non_site_rejected(self):
+        with pytest.raises(ReproError):
+            spatial.worst_site_dicts([object()])
+
+
+class TestEPEGrid:
+    def test_bins_carry_count_rms_and_max(self):
+        sites = [site(100, 100, 3.0), site(120, 110, -4.0), site(900, 900, 1.0)]
+        grid = spatial.epe_grid(sites, Rect(0, 0, 1000, 1000), nx=10)
+        assert grid["nx"] == 10 and grid["ny"] == 10
+        dense = next(b for b in grid["bins"] if b["ix"] == 1 and b["iy"] == 1)
+        assert dense["count"] == 2
+        assert dense["max_abs_nm"] == 4.0
+        assert dense["rms_nm"] == pytest.approx((12.5) ** 0.5, abs=1e-3)
+        assert len(grid["bins"]) == 2  # sparse: only occupied bins emitted
+
+    def test_missing_edges_counted_separately(self):
+        grid = spatial.epe_grid(
+            [site(5, 5, None), site(6, 5, 2.0)], Rect(0, 0, 10, 10), nx=1
+        )
+        (b,) = grid["bins"]
+        assert b["count"] == 2 and b["missing"] == 1
+        assert b["rms_nm"] == 2.0  # RMS over the measured sites only
+
+    def test_sites_outside_window_are_skipped(self):
+        grid = spatial.epe_grid([site(-50, 0, 9.0)], Rect(0, 0, 100, 100))
+        assert grid["bins"] == []
+
+    def test_ny_defaults_to_aspect_ratio(self):
+        grid = spatial.epe_grid([], Rect(0, 0, 4000, 1000), nx=24)
+        assert grid["ny"] == 6
+        tall = spatial.epe_grid([], Rect(0, 0, 10, 100000), nx=8)
+        assert tall["ny"] == 32  # clamped at 4*nx
+
+    def test_boundary_sites_land_in_last_bin(self):
+        grid = spatial.epe_grid([site(100, 100, 1.0)], Rect(0, 0, 100, 100), nx=4)
+        (b,) = grid["bins"]
+        assert (b["ix"], b["iy"]) == (3, 3)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ReproError):
+            spatial.epe_grid([], Rect(0, 0, 10, 10), nx=0)
+
+
+class TestTileConvergence:
+    def test_mined_from_live_span_tree(self):
+        root = Span("tapeout")
+        pool = Span("opc.parallel")
+        root.children.append(pool)
+        pool.children.append(make_tile_span(1, (1000, 0, 2000, 1000), 3, False))
+        pool.children.append(make_tile_span(0, (0, 0, 1000, 1000), 2, True))
+        tiles = spatial.tile_convergence([root])
+        assert [t["index"] for t in tiles] == [0, 1]  # tile-grid order
+        assert tiles[0]["converged"] is True
+        assert tiles[0]["iterations"] == 2
+        assert tiles[0]["rect"] == [0, 0, 1000, 1000]
+        assert tiles[1]["converged"] is False
+        assert tiles[1]["final_rms_nm"] == pytest.approx(4.0 / 3, abs=1e-3)
+        assert tiles[1]["final_max_nm"] == pytest.approx(4.0, abs=1e-3)
+        assert len(tiles[1]["curve"]) == 3
+        assert tiles[1]["curve"][0]["max_move_nm"] == 8.0
+
+    def test_dict_form_gives_identical_result(self):
+        """Persisted span dicts must mine exactly like live Span trees --
+        the property that lets ``repro inspect`` re-render old records."""
+        root = Span("tapeout")
+        root.children.append(make_tile_span(0, (0, 0, 500, 500), 2, True))
+        live = spatial.tile_convergence([root])
+        persisted = spatial.tile_convergence([span_to_dict(root)])
+        assert persisted == live
+
+    def test_converged_falls_back_to_last_curve_point(self):
+        tile = make_tile_span(0, (0, 0, 100, 100), 2, True)
+        del tile.attrs["converged"]
+        (record,) = spatial.tile_convergence([tile])
+        assert record["converged"] is True
+
+    def test_no_tiles_in_tree(self):
+        assert spatial.tile_convergence([Span("tapeout")]) == []
+
+
+class TestSpatialSummary:
+    def test_payload_shape_and_counts(self):
+        sites = [site(0, 0, 1.0), site(500, 500, None), site(900, 100, -6.0)]
+        roots = [make_tile_span(0, (0, 0, 1000, 1000), 2, True)]
+        payload = spatial.spatial_summary(roots, sites, top_k=2)
+        assert payload["version"] == spatial.SPATIAL_VERSION
+        assert payload["site_count"] == 3
+        assert payload["missing_sites"] == 1
+        assert len(payload["worst_sites"]) == 2
+        assert payload["worst_sites"][0]["epe_nm"] is None
+        assert payload["tiles_converged"] == 1
+        assert payload["tiles_stalled"] == 0
+        assert payload["epe_grid"]["bins"]
+
+    def test_window_derived_from_sites_and_tiles(self):
+        sites = [site(-200, 50, 1.0)]
+        roots = [make_tile_span(0, (0, 0, 1000, 800), 1, True)]
+        payload = spatial.spatial_summary(roots, sites)
+        assert payload["window"] == [-200, 0, 1000, 800]
+
+    def test_empty_inputs_give_empty_payload(self):
+        payload = spatial.spatial_summary()
+        assert payload["window"] is None
+        assert payload["site_count"] == 0
+        assert payload["epe_grid"] is None
+        assert payload["tiles"] == []
+
+    def test_canonical_strips_per_tile_runtime_only(self):
+        roots_fast = [make_tile_span(0, (0, 0, 100, 100), 2, True)]
+        roots_slow = [make_tile_span(0, (0, 0, 100, 100), 2, True)]
+        roots_slow[0].end_s = 9.9  # same work, different wall clock
+        fast = spatial.spatial_summary(roots_fast, [site(5, 5, 1.0)])
+        slow = spatial.spatial_summary(roots_slow, [site(5, 5, 1.0)])
+        assert fast != slow  # runtime_s differs...
+        assert spatial.canonical_spatial(fast) == spatial.canonical_spatial(slow)
+        assert "runtime_s" not in spatial.canonical_spatial(fast)["tiles"][0]
+
+    def test_quality_entries(self):
+        payload = spatial.spatial_summary(
+            [make_tile_span(0, (0, 0, 10, 10), 1, False)], [site(0, 0, None)]
+        )
+        assert spatial.spatial_quality(payload) == {
+            "tiles_converged": 0, "tiles_stalled": 1, "missing_sites": 1,
+        }
+        assert spatial.spatial_quality(spatial.spatial_summary()) == {}
+
+
+class TestCellAttribution:
+    @pytest.fixture()
+    def hierarchy(self):
+        """top > row(3x bit); one loose top-level rect on the side."""
+        bit = Cell("bit")
+        bit.add(POLY, Rect(0, 0, 100, 100))
+        row = Cell("row")
+        row.references.append(
+            CellArray(bit, cols=3, rows=1, col_pitch=200, row_pitch=100)
+        )
+        top = Cell("top")
+        top.add(POLY, Rect(1000, 0, 1200, 100))
+        top.place(row, Transform.translation(0, 0))
+        return top
+
+    def test_deepest_cell_wins(self, hierarchy):
+        sites = [
+            site(50, 50, 1.0),     # inside bit[0]
+            site(450, 50, 2.0),    # inside bit[2] (array placement)
+            site(1100, 50, 3.0),   # the loose top-level rect
+            site(5000, 5000, 4.0),  # outside everything
+        ]
+        attributed = spatial.attribute_sites(sites, hierarchy)
+        assert [s["cell"] for s in attributed] == ["bit", "bit", "top", "top"]
+        assert sites[0]["cell"] is None  # inputs untouched
+
+    def test_epe_site_objects_come_back_as_objects(self, hierarchy):
+        from repro.verify.epe import EPESite
+
+        epe_site = EPESite(
+            x=50, y=50, normal=(1, 0), tag="normal",
+            loop_index=0, fragment_index=0, epe_nm=1.5,
+        )
+        (out,) = spatial.attribute_sites([epe_site], hierarchy)
+        assert isinstance(out, EPESite)
+        assert out.cell == "bit"
+        assert epe_site.cell is None
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(ReproError):
+            spatial.cell_owner_index(Cell("empty"))
+
+
+class TestRendering:
+    def payload(self):
+        return spatial.spatial_summary(
+            [make_tile_span(0, (0, 0, 1000, 1000), 2, True),
+             make_tile_span(1, (1000, 0, 2000, 1000), 3, False)],
+            [site(100, 200, 4.5), site(1500, 800, None), site(300, 300, -1.0)],
+        )
+
+    def test_svg_is_well_formed_xml_with_all_layers(self):
+        svg = spatial.hotspot_svg(self.payload())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert "tiles converged" in svg   # title line
+        assert "stroke-dasharray" in svg  # stalled tile outline
+        assert "<circle" in svg           # worst-site marker
+        assert "missing edge" in svg      # legend entry
+
+    def test_svg_placeholder_without_window(self):
+        svg = spatial.hotspot_svg(spatial.spatial_summary())
+        ET.fromstring(svg)
+        assert "no spatial data" in svg
+
+    def test_write_svg(self, tmp_path):
+        path = tmp_path / "map.svg"
+        spatial.write_hotspot_svg(path, self.payload())
+        ET.fromstring(path.read_text())
+
+    def test_inspect_html_with_spatial(self, tmp_path):
+        class FakeRecord:
+            run_id = "abc123"
+            label = "test"
+            timestamp = "2026-01-01T00:00:00Z"
+            wall_s = 1.5
+            quality = {"epe_rms_nm": 1.2, "tiles_converged": 1}
+            spatial = self.payload()
+
+        html = spatial.inspect_html(FakeRecord())
+        assert "<svg" in html
+        assert "Worst EPE sites" in html
+        assert "Tile convergence" in html
+        assert "stalled" in html
+        path = tmp_path / "inspect.html"
+        spatial.write_inspect_html(path, FakeRecord())
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_inspect_html_pre_spatial_record(self):
+        class OldRecord:
+            run_id = "old00000"
+            label = "legacy"
+            timestamp = "2025-01-01T00:00:00Z"
+            wall_s = 2.0
+            quality = {"figures": 10}
+            spatial = None
+
+        html = spatial.inspect_html(OldRecord())
+        assert "predates spatial diagnostics" in html
+        assert "<svg" not in html

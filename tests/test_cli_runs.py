@@ -5,6 +5,9 @@ and pass the regression gate against each other; a hand-injected 2x
 slowdown must make ``runs check`` exit non-zero naming the slow span.
 """
 
+import json
+import xml.etree.ElementTree as ET
+
 import pytest
 
 from repro.cli import main
@@ -160,3 +163,97 @@ class TestCheckGateFires:
         )
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestInspect:
+    """``repro inspect``: worst-site table, artifacts, pre-spatial grace."""
+
+    @pytest.fixture(scope="class")
+    def spatial_ledger(self, tmp_path_factory):
+        """One recorded run with verification on, so sites are captured."""
+        runs_dir = tmp_path_factory.mktemp("spatial-ledger")
+        args = [
+            "profile", "--record", "--max-iterations", "1",
+            "--tile-nm", "3000", "--runs-dir", str(runs_dir),
+        ]
+        assert main(args) == 0
+        return runs_dir
+
+    def test_record_carries_spatial_and_quality(self, spatial_ledger):
+        ledger = obs_runs.RunLedger(spatial_ledger)
+        record = ledger.load_entry(ledger.resolve("last"))
+        assert record.schema == obs_runs.RUN_SCHEMA
+        payload = record.spatial
+        assert payload["site_count"] > 0
+        assert payload["worst_sites"]
+        assert payload["tiles"]
+        assert record.quality["tiles_converged"] + record.quality[
+            "tiles_stalled"
+        ] == len(payload["tiles"])
+        assert "missing_sites" in record.quality
+
+    def test_show_prints_spatial_summary_line(self, spatial_ledger, capsys):
+        assert main(["runs", "show", "last", "--dir", str(spatial_ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "spatial:" in out
+        assert "EPE sites" in out
+        assert "repro inspect" in out
+
+    def test_inspect_prints_tables_and_writes_artifacts(
+        self, spatial_ledger, tmp_path, capsys
+    ):
+        prefix = str(tmp_path / "map")
+        code = main(
+            ["inspect", "last", "--dir", str(spatial_ledger), "-o", prefix]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Worst EPE sites" in out
+        assert "Tile convergence" in out
+        assert "| # | x | y |" in out.replace("(nm)", "").replace("  ", " ")
+        svg = (tmp_path / "map.svg").read_text()
+        ET.fromstring(svg)  # valid XML
+        assert "EPE hotspot map" in svg
+        html = (tmp_path / "map.html").read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+
+    def test_inspect_no_artifacts_flag(self, spatial_ledger, tmp_path, capsys):
+        prefix = str(tmp_path / "skip")
+        code = main(
+            ["inspect", "last", "--dir", str(spatial_ledger),
+             "-o", prefix, "--no-artifacts"]
+        )
+        assert code == 0
+        assert not (tmp_path / "skip.svg").exists()
+        assert "wrote" not in capsys.readouterr().out
+
+    def test_inspect_defaults_to_last(self, spatial_ledger, capsys):
+        code = main(
+            ["inspect", "--dir", str(spatial_ledger), "--no-artifacts"]
+        )
+        assert code == 0
+        assert "Worst EPE sites" in capsys.readouterr().out
+
+    @pytest.fixture()
+    def v1_ledger(self, tmp_path, spatial_ledger):
+        """A ledger holding one pre-spatial (schema repro-run/1) record."""
+        source = obs_runs.RunLedger(spatial_ledger)
+        data = source.load_entry(source.resolve("last")).to_dict()
+        data.pop("spatial", None)
+        data["schema"] = "repro-run/1"
+        with open(tmp_path / "runs.jsonl", "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(data, sort_keys=True) + "\n")
+        return tmp_path
+
+    def test_inspect_pre_spatial_record_is_graceful(self, v1_ledger, capsys):
+        code = main(["inspect", "last", "--dir", str(v1_ledger)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no spatial data" in out
+        assert "repro-run/1" in out
+
+    def test_show_pre_spatial_record_is_graceful(self, v1_ledger, capsys):
+        assert main(["runs", "show", "last", "--dir", str(v1_ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "spatial: none recorded" in out

@@ -1,0 +1,123 @@
+"""Per-site EPE attribution on a hand-placed line-end fixture.
+
+A dense grating with one isolated finger poking into open field: the
+finger's line end pulls back tens of nm uncorrected -- the canonical
+OPC failure mode -- so the worst attributed site must land exactly on
+that line-end edge with a negative signed error, and the per-site
+records must reproduce the aggregate statistics ``measure_epe`` reports.
+"""
+
+import math
+
+import pytest
+
+from repro.geometry import FragmentTag, Rect, Region
+from repro.litho import LithoConfig, LithoSimulator, binary_mask, krf_annular
+from repro.verify import EPESite, measure_epe, measure_epe_sites, worst_sites
+
+#: The isolated vertical finger whose line ends pull back (both tips are
+#: equally isolated, so the correction problem is symmetric).
+FINGER = Rect(1200, -900, 1380, 900)
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return LithoSimulator(
+        LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    )
+
+
+@pytest.fixture(scope="module")
+def fixture(simulator):
+    """Target, window and dose-to-size anchored on the dense lines."""
+    target = Region.from_rects(
+        [Rect(x, -900, x + 180, 900) for x in (-920, -460, 0)] + [FINGER]
+    )
+    window = Rect(-1100, -1100, 1600, 1100)
+    dose = simulator.dose_to_size(
+        binary_mask(target), Rect(-600, -500, 500, 500), (90, 0), 180.0
+    )
+    return target, window, dose
+
+
+@pytest.fixture(scope="module")
+def measured(simulator, fixture):
+    """Run/line-end sites only: corner rounding is physical and would
+    otherwise dominate the ranking with expected MISSING corners."""
+    target, window, dose = fixture
+    return measure_epe_sites(
+        simulator, binary_mask(target), target, window, dose=dose,
+        include_corners=False,
+    )
+
+
+class TestLineEndAttribution:
+    def test_worst_site_is_the_pulled_back_line_end(self, measured):
+        _stats, sites = measured
+        worst = worst_sites(sites, k=1)[0]
+        assert worst.tag == FragmentTag.LINE_END.value
+        assert worst.y in (FINGER.y1, FINGER.y2)     # on a tip edge
+        assert FINGER.x1 <= worst.x <= FINGER.x2
+        assert worst.normal in ((0, 1), (0, -1))     # outward along the line
+
+    def test_pullback_is_signed_negative_and_large(self, measured):
+        """The tip prints inside the target: signed EPE < 0, tens of nm."""
+        _stats, sites = measured
+        worst = worst_sites(sites, k=1)[0]
+        assert worst.epe_nm is not None
+        assert worst.epe_nm < -10.0
+
+    def test_line_end_dominates_run_sites(self, measured):
+        _stats, sites = measured
+        run = [
+            s for s in sites
+            if s.tag == FragmentTag.NORMAL.value and s.epe_nm is not None
+        ]
+        worst = worst_sites(sites, k=1)[0]
+        assert abs(worst.epe_nm) > max(abs(s.epe_nm) for s in run)
+
+
+class TestAggregateConsistency:
+    def test_stats_match_per_site_records(self, measured):
+        """The summary statistics must be recomputable from the sites."""
+        stats, sites = measured
+        values = [s.epe_nm for s in sites if s.epe_nm is not None]
+        assert stats.count == len(values)
+        assert stats.missing == sum(1 for s in sites if s.epe_nm is None)
+        assert stats.max_abs_nm == pytest.approx(
+            max(abs(v) for v in values), abs=1e-9
+        )
+        assert stats.rms_nm == pytest.approx(
+            math.sqrt(sum(v * v for v in values) / len(values)), abs=1e-9
+        )
+
+    def test_measure_epe_agrees_site_for_site(self, simulator, fixture, measured):
+        """``measure_epe`` is the same measurement minus the attribution."""
+        target, window, dose = fixture
+        agg_stats, values = measure_epe(
+            simulator, binary_mask(target), target, window, dose=dose,
+            include_corners=False,
+        )
+        site_stats, sites = measured
+        assert values == [s.epe_nm for s in sites]
+        assert agg_stats == site_stats
+
+
+class TestSiteRecords:
+    def test_fragment_identity_is_attributed(self, measured):
+        _stats, sites = measured
+        assert len({(s.loop_index, s.fragment_index) for s in sites}) == len(
+            sites
+        )
+        assert all(s.anchor == (s.x, s.y) for s in sites)
+
+    def test_dict_round_trip(self, measured):
+        _stats, sites = measured
+        for site in sites[:5]:
+            assert EPESite.from_dict(site.to_dict()) == site
+
+    def test_str_form_readable(self, measured):
+        _stats, sites = measured
+        worst = worst_sites(sites, k=1)[0]
+        text = str(worst)
+        assert "line_end" in text and "nm" in text
