@@ -8,7 +8,6 @@ Expected shape: EPE improves as fragments shrink, with diminishing
 returns; vertices and runtime grow roughly inversely with fragment size.
 """
 
-import dataclasses
 import time
 
 from repro.design import StdCellGenerator
@@ -27,12 +26,12 @@ def run_experiment(simulator, anchor_dose, rules):
     target = cell.flat_region(POLY)
     window = cell.bbox().expanded(100)
     rows = []
-    for max_length in FRAGMENT_LENGTHS:
+    for max_length_nm in FRAGMENT_LENGTHS:
         spec = FragmentationSpec(
-            corner_length=40,
-            max_length=max_length,
-            min_length=20,
-            line_end_max=260,
+            corner_length_nm=40,
+            max_length_nm=max_length_nm,
+            min_length_nm=20,
+            line_end_max_nm=260,
         )
         recipe = ModelOPCRecipe(fragmentation=spec)
         start = time.perf_counter()
@@ -44,7 +43,7 @@ def run_experiment(simulator, anchor_dose, rules):
         )
         rows.append(
             [
-                max_length,
+                max_length_nm,
                 result.fragment_count,
                 result.corrected.merged().num_vertices,
                 stats.rms_nm,

@@ -10,8 +10,6 @@ closer to target at the defocused corners (at worst a negligible nominal
 penalty).
 """
 
-import numpy as np
-
 from repro.design import line_space_array
 from repro.flow import print_table
 from repro.litho import binary_mask

@@ -8,7 +8,7 @@ pitch axis and report the curve for any correction state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 from ..errors import ReproError
 from ..design.testpatterns import isolated_line, line_space_array

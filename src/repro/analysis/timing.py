@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ReproError
-from ..geometry import Rect, Region
+from ..geometry import Rect
 from ..litho import LithoSimulator, MaskSpec
 
 

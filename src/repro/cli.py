@@ -5,6 +5,7 @@ The subcommands mirror a minimal mask-synthesis flow::
     repro generate block --node 180nm -o block.gds
     repro stats block.gds
     repro drc block.gds --node 180nm
+    repro check block.gds --layer 3 --format sarif -o check.sarif
     repro correct block.gds --layer 3 --level model --node 180nm -o out.gds
     repro profile block.gds --layer 3 --node 180nm
     repro runs list
@@ -114,8 +115,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="post-OPC jog smoothing tolerance in nm (0 = off)",
     )
     correct.add_argument("-o", "--output", required=True)
+    correct.add_argument(
+        "--no-preflight", action="store_true",
+        help="skip the static lint gate that runs before correction",
+    )
     _add_obs_flags(correct)
     _add_parallel_flags(correct)
+
+    check = sub.add_parser(
+        "check",
+        help="static preflight lint of a layout + recipe (no simulation); "
+        "exit 1 on error-severity findings",
+    )
+    check.add_argument(
+        "gds", nargs="?",
+        help="GDS file to lint (omit for the built-in quickstart pattern)",
+    )
+    check.add_argument("--layer", type=int, help="GDS layer number")
+    check.add_argument("--datatype", type=int, default=0)
+    check.add_argument("--cell", help="cell name (default: the top cell)")
+    check.add_argument("--node", choices=sorted(_NODES), default="180nm")
+    check.add_argument("--level", choices=sorted(_LEVELS), default="model")
+    check.add_argument(
+        "--grid-nm", type=int, default=1, metavar="NM",
+        help="mask manufacturing grid for the off-grid vertex rule "
+        "(default 1 = every integer vertex is legal)",
+    )
+    check.add_argument(
+        "--dark-field", action="store_true",
+        help="lint as a contact/via (clear-openings-on-chrome) flow",
+    )
+    check.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (default text)",
+    )
+    check.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    _add_parallel_flags(check)
 
     profile = sub.add_parser(
         "profile",
@@ -154,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--runs-dir", metavar="DIR", default=None,
         help="run ledger directory (default: $REPRO_RUNS_DIR or .repro-runs)",
+    )
+    profile.add_argument(
+        "--no-preflight", action="store_true",
+        help="skip the static lint gate that runs before the tapeout",
     )
     _add_parallel_flags(profile)
 
@@ -323,6 +365,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _drc(args)
         if args.command == "correct":
             return _correct(args)
+        if args.command == "check":
+            return _check(args)
         if args.command == "profile":
             return _profile(args)
         if args.command == "report":
@@ -450,6 +494,7 @@ def _run_correct(args) -> int:
     result = correct_region(
         target, level, simulator=simulator, dose=dose,
         dark_field=args.dark_field, parallel=_parallel_spec(args),
+        preflight=not args.no_preflight,
     )
     corrected = result.corrected
     if args.smooth > 0:
@@ -471,6 +516,69 @@ def _run_correct(args) -> int:
     )
     print(f"wrote {args.output} ({size} bytes)")
     return 0
+
+
+def _check(args) -> int:
+    """Static preflight lint: layout + recipe in, diagnostics out.
+
+    Never touches the simulator; a full-block check completes in
+    milliseconds.  Exit 0 when viable (warnings/info allowed), 1 on
+    error-severity findings, 2 on operational errors.
+    """
+    from . import lint
+
+    rules = _NODES[args.node]()
+    cell = None
+    artifact = None
+    if args.gds:
+        if args.layer is None:
+            raise ReproError("check needs --layer with a GDS file")
+        library = read_gds(args.gds)
+        cell = _pick_cell(library, args.cell)
+        drawn = Layer(args.layer, args.datatype)
+        target = cell.flat_region(drawn)
+        if target.is_empty:
+            raise ReproError(
+                f"cell {cell.name!r} has no geometry on layer "
+                f"{args.layer}/{args.datatype}"
+            )
+        artifact = args.gds
+    else:
+        target = _quickstart_pattern(rules)
+    litho = LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    recipe = TapeoutRecipe(
+        level=_LEVELS[args.level],
+        dark_field=args.dark_field,
+        parallel=_parallel_spec(args),
+    )
+    context = lint.LintContext.for_tapeout(
+        recipe,
+        litho=litho,
+        layout=target,
+        cell=cell,
+        raw_loops=target.loops,
+        mask_grid_nm=args.grid_nm,
+        artifact=artifact,
+    )
+    report = lint.run_lint(context)
+    if args.format == "json":
+        rendered = lint.to_json(report)
+    elif args.format == "sarif":
+        rendered = lint.to_sarif(report, artifact=artifact)
+    else:
+        rendered = lint.to_text(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}")
+        summary = report.summary_dict()
+        print(
+            f"{summary['errors']} error(s), {summary['warnings']} "
+            f"warning(s), {summary['info']} info"
+        )
+    else:
+        print(rendered)
+    return 1 if report.has_errors else 0
 
 
 def _resolve_dose(args, rules, simulator) -> float:
@@ -539,7 +647,8 @@ def _profile(args) -> int:
     guard = obs_runs.suppress_auto_record() if args.record else nullcontext()
     with guard, obs.capture() as cap:
         result = tapeout_region(
-            target, simulator, dose, recipe, verify=not args.no_verify
+            target, simulator, dose, recipe, verify=not args.no_verify,
+            preflight=not args.no_preflight,
         )
     print(
         f"profiled tapeout of {name}: {result.data.figures} figures, "
@@ -572,9 +681,21 @@ def _profile(args) -> int:
         quality = tapeout_quality(result)
         if spatial is not None:
             quality.update(obs.spatial_quality(spatial))
+        # The flow's own preflight verdict would land on the suppressed
+        # inner record; re-lint the (already gated, so error-free) job
+        # so the aggregate record carries the summary too.
+        preflight_summary = None
+        if not args.no_preflight:
+            from . import lint
+
+            preflight_summary = lint.run_lint(
+                lint.LintContext.for_tapeout(
+                    recipe, litho=simulator.config, layout=target
+                )
+            ).summary_dict()
         record = obs_runs.new_record(
             label=f"profile:{name}", config=config, roots=cap.roots,
-            quality=quality, spatial=spatial,
+            quality=quality, spatial=spatial, preflight=preflight_summary,
         )
         ledger.append(record)
         line = (
@@ -620,6 +741,7 @@ def _runs(args) -> int:
             f"wall {record.wall_s:.3f} s"
         )
         print(_spatial_summary_line(record))
+        print(_preflight_summary_line(record))
         if record.quality:
             rows = [[key, value] for key, value in sorted(record.quality.items())]
             print_table(["quality", "value"], rows)
@@ -702,6 +824,30 @@ def _spatial_summary_line(record) -> str:
             "tile(s) converged"
         )
     return line + f" -- `repro inspect {record.run_id}` for the map"
+
+
+def _preflight_summary_line(record) -> str:
+    """One-line static-lint verdict of a record (schema ``repro-run/1.2``).
+
+    Pre-1.2 records (and runs that skipped the gate) get a note instead
+    of an error -- old ledgers stay readable.
+    """
+    payload = record.preflight
+    if not payload:
+        return (
+            f"preflight: none recorded (schema {record.schema}; the gate "
+            "was skipped or predates repro-run/1.2)"
+        )
+    verdict = "ok" if payload.get("ok") else "FAILED"
+    line = (
+        f"preflight: {verdict} ({payload.get('errors', 0)} error(s), "
+        f"{payload.get('warnings', 0)} warning(s), "
+        f"{payload.get('info', 0)} info)"
+    )
+    codes = payload.get("codes") or []
+    if codes:
+        line += f" rules: {', '.join(codes)}"
+    return line
 
 
 def _inspect(args) -> int:

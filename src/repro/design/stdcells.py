@@ -14,10 +14,9 @@ the same generator emits 250/180/130 nm libraries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from ..errors import DesignError
-from ..geometry import Rect, Region
+from ..geometry import Rect
 from ..layout import (
     ACTIVE,
     BOUNDARY,

@@ -8,7 +8,7 @@ tests never re-derive coordinates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..errors import DesignError
 from ..geometry import Coord, Rect, Region

@@ -39,5 +39,18 @@ class VerificationError(ReproError):
     """Physical-verification (DRC/ORC) configuration error."""
 
 
+class PreflightError(ReproError):
+    """Static preflight found blocking problems; the job never started.
+
+    ``diagnostics`` holds the full list of
+    :class:`repro.lint.Diagnostic` findings (errors and otherwise) so
+    callers can render or persist the report without re-running lint.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
 class DesignError(ReproError):
     """Design-generator error (rule set violation, unroutable request)."""

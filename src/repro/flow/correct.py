@@ -9,13 +9,14 @@ simulate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
 from ..errors import ReproError
 from ..geometry import Rect, Region
 from ..layout import Cell, Layer
+from ..lint import preflight_correction
 from ..litho import BinaryMaskBuilder, LithoSimulator, MaskSpec, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
 from ..obs import (
@@ -101,6 +102,7 @@ def correct_region(
     tiling: TilingSpec = TilingSpec(),
     dark_field: bool = False,
     parallel: Optional[ParallelSpec] = None,
+    preflight: bool = True,
 ) -> FlowResult:
     """Apply ``level`` to a drawn region and collect impact statistics.
 
@@ -111,11 +113,35 @@ def correct_region(
     flips the model-OPC failure semantics accordingly.  ``parallel``
     fans the tiles out over a multiprocessing pool (result byte-identical
     to the serial run; see :class:`~repro.opc.ParallelSpec`).
+    ``preflight`` statically lints the job first (see :mod:`repro.lint`)
+    and raises :class:`~repro.errors.PreflightError` on blocking
+    findings.
     """
     import dataclasses
 
     with _obs_span("correct", level=level.value) as correct_span:
         merged = target.merged()
+        preflight_summary = None
+        with _obs_span(
+            "correct.preflight", skipped=not preflight
+        ) as preflight_span:
+            if preflight:
+                report = preflight_correction(
+                    merged,
+                    level.value,
+                    litho=simulator.config if simulator is not None else None,
+                    model_recipe=model_recipe,
+                    tiling=tiling,
+                    parallel=parallel,
+                    sraf_recipe=sraf_recipe,
+                    dark_field=dark_field,
+                )
+                preflight_summary = report.summary_dict()
+                preflight_span.set(
+                    errors=report.error_count,
+                    warnings=report.warning_count,
+                    info=report.info_count,
+                )
         srafs = Region()
         opc_result: Optional[OPCResult] = None
 
@@ -190,6 +216,7 @@ def correct_region(
             },
             roots=[correct_span],
             quality=flow_quality(data, opc_result),
+            preflight=preflight_summary,
         )
     return FlowResult(
         level=level,

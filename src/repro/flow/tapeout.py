@@ -29,13 +29,19 @@ from ..opc import (
     repair_mask,
     retarget,
 )
+from ..lint import preflight_tapeout
 from ..verify import ORCReport, ProcessCorner, run_orc
 from .correct import CorrectionLevel, FlowResult, correct_region
 
 
 @dataclass(frozen=True)
 class TapeoutRecipe:
-    """Knobs of the standard pipeline (all optional stages on by default)."""
+    """Knobs of the standard pipeline (all optional stages on by default).
+
+    Validation is eager: a recipe that cannot run raises
+    :class:`~repro.errors.ReproError` at construction, naming the bad
+    field, instead of failing deep inside a stage minutes later.
+    """
 
     level: CorrectionLevel = CorrectionLevel.MODEL
     smooth_tolerance_nm: int = 4
@@ -47,6 +53,34 @@ class TapeoutRecipe:
     tiling: TilingSpec = TilingSpec()
     #: Fan correction tiles out over a worker pool (None = serial).
     parallel: Optional[ParallelSpec] = None
+
+    def __post_init__(self):
+        self.validated()
+
+    def validated(self) -> "TapeoutRecipe":
+        """Return self, raising :class:`ReproError` on nonsense values."""
+        if not isinstance(self.level, CorrectionLevel):
+            raise ReproError(
+                f"level must be a CorrectionLevel, got {self.level!r}"
+            )
+        if self.smooth_tolerance_nm < 0:
+            raise ReproError(
+                f"smooth_tolerance_nm must be >= 0 (0 disables smoothing), "
+                f"got {self.smooth_tolerance_nm}"
+            )
+        if self.orc_margin_nm < 0:
+            raise ReproError(
+                f"orc_margin_nm must be >= 0, got {self.orc_margin_nm}"
+            )
+        # Sub-specs carry their own validators; run them here so the
+        # recipe as a whole is known-runnable the moment it exists.
+        self.mrc.validated()
+        self.model_recipe.validated()
+        self.tiling.validated()
+        if self.retarget_rules is not None:
+            self.retarget_rules.validated()
+        # ParallelSpec already validates eagerly in its own constructor.
+        return self
 
 
 @dataclass
@@ -75,12 +109,18 @@ def tapeout_region(
     window: Optional[Rect] = None,
     verify: bool = True,
     source_cell: Optional[Cell] = None,
+    preflight: bool = True,
 ) -> TapeoutResult:
     """Run the full mask-synthesis pipeline on one layer's drawn geometry.
 
     ``source_cell`` is the layout hierarchy the drawn geometry came from,
     when there is one; auto-recorded runs use it to attribute worst EPE
     sites to their owning cells (see :mod:`repro.obs.spatial`).
+
+    ``preflight`` statically lints the job (layout + recipe + litho
+    config, see :mod:`repro.lint`) before the first simulator call and
+    raises :class:`~repro.errors.PreflightError` on blocking findings;
+    pass ``False`` to skip the gate.
     """
     merged = drawn.merged()
     if merged.is_empty:
@@ -91,6 +131,24 @@ def tapeout_region(
     with _obs_span(
         "tapeout", level=recipe.level.value, dark_field=recipe.dark_field
     ) as tapeout_span:
+        preflight_summary = None
+        with _obs_span(
+            "tapeout.preflight", skipped=not preflight
+        ) as preflight_span:
+            if preflight:
+                report = preflight_tapeout(
+                    merged,
+                    recipe,
+                    litho=simulator.config,
+                    cell=source_cell,
+                )
+                preflight_summary = report.summary_dict()
+                preflight_span.set(
+                    errors=report.error_count,
+                    warnings=report.warning_count,
+                    info=report.info_count,
+                )
+
         with _obs_span(
             "tapeout.retarget", skipped=recipe.retarget_rules is None
         ):
@@ -109,6 +167,7 @@ def tapeout_region(
                 model_recipe=recipe.model_recipe,
                 tiling=recipe.tiling,
                 parallel=recipe.parallel,
+                preflight=False,  # the tapeout-level gate already ran
             )
 
         with _obs_span(
@@ -196,6 +255,7 @@ def tapeout_region(
             roots=[tapeout_span],
             quality=quality,
             spatial=spatial,
+            preflight=preflight_summary,
         )
     return result
 

@@ -91,24 +91,24 @@ class Fragment:
 class FragmentationSpec:
     """Fragmentation recipe.
 
-    ``corner_length``: length reserved next to each corner for a dedicated
-    corner fragment.  ``max_length``: maximum run-fragment length.
-    ``min_length``: below this an edge is not subdivided at all.
-    ``line_end_max``: edges no longer than this whose neighbouring corners
+    ``corner_length_nm``: length reserved next to each corner for a dedicated
+    corner fragment.  ``max_length_nm``: maximum run-fragment length.
+    ``min_length_nm``: below this an edge is not subdivided at all.
+    ``line_end_max_nm``: edges no longer than this whose neighbouring corners
     are both convex are tagged as line ends.
     """
 
-    corner_length: int
-    max_length: int
-    min_length: int
-    line_end_max: int
+    corner_length_nm: int
+    max_length_nm: int
+    min_length_nm: int
+    line_end_max_nm: int
 
     def validated(self) -> "FragmentationSpec":
         """Return self, raising :class:`GeometryError` on nonsense values."""
-        if min(self.corner_length, self.max_length, self.min_length) <= 0:
+        if min(self.corner_length_nm, self.max_length_nm, self.min_length_nm) <= 0:
             raise GeometryError("fragmentation lengths must be positive")
-        if self.max_length < self.min_length:
-            raise GeometryError("max_length must be >= min_length")
+        if self.max_length_nm < self.min_length_nm:
+            raise GeometryError("max_length_nm must be >= min_length_nm")
         return self
 
 
@@ -156,14 +156,14 @@ def _fragment_edge(
     def frag(a: Coord, b: Coord, tag: FragmentTag) -> Fragment:
         return Fragment(a, b, tag, loop_index, edge_index)
 
-    if length <= spec.line_end_max and start_convex and end_convex:
+    if length <= spec.line_end_max_nm and start_convex and end_convex:
         return [frag(start, end, FragmentTag.LINE_END)]
-    if length < 2 * spec.corner_length + spec.min_length:
+    if length < 2 * spec.corner_length_nm + spec.min_length_nm:
         return [frag(start, end, FragmentTag.NORMAL)]
 
     pieces: List[Fragment] = []
-    head = _along(start, end, spec.corner_length)
-    tail = _along(end, start, spec.corner_length)
+    head = _along(start, end, spec.corner_length_nm)
+    tail = _along(end, start, spec.corner_length_nm)
     pieces.append(
         frag(
             start,
@@ -171,9 +171,9 @@ def _fragment_edge(
             FragmentTag.CORNER_CONVEX if start_convex else FragmentTag.CORNER_CONCAVE,
         )
     )
-    # Split the interior run into near-equal chunks no longer than max_length.
-    run = length - 2 * spec.corner_length
-    chunks = max(1, -(-run // spec.max_length))
+    # Split the interior run into near-equal chunks no longer than max_length_nm.
+    run = length - 2 * spec.corner_length_nm
+    chunks = max(1, -(-run // spec.max_length_nm))
     cursor = head
     for k in range(1, chunks + 1):
         nxt = _along(head, tail, (run * k) // chunks)

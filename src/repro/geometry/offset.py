@@ -15,7 +15,6 @@ from ..errors import GeometryError
 from .booleans import boolean_loops
 from .point import Coord
 from .region import Region
-from .rect import Rect
 
 
 def sized(region: Region, amount: int) -> "Region":

@@ -1,0 +1,46 @@
+"""Static preflight diagnostics for OPC jobs (``repro.lint``).
+
+Analyzes a layout plus its recipe/litho/parallel configuration *without
+running the simulator* and emits structured diagnostics with stable rule
+codes (``LNT1xx`` config, ``LNT2xx`` layout, ``LNT3xx`` pipeline),
+severities, layout locations with owning cells, and fix hints.  Reports
+render as text, JSON, or SARIF 2.1.0.
+
+Entry points:
+
+* :func:`run_lint` over a :class:`LintContext` -- the raw engine;
+* :func:`preflight_tapeout` / :func:`preflight_correction` -- the
+  fail-fast gates the flows call (raise
+  :class:`~repro.errors.PreflightError` on error-severity findings);
+* ``repro check`` -- the CLI front end.
+"""
+
+from .diagnostics import Diagnostic, LintReport, Severity
+from .engine import LintContext, LintRule, get_rule, registered_rules, rule, run_lint
+from .emit import sarif_log, to_json, to_sarif, to_text
+
+# Importing the rule modules registers every built-in rule.
+from . import rules_config  # noqa: E402,F401
+from . import rules_layout  # noqa: E402,F401
+from . import rules_pipeline  # noqa: E402,F401
+
+from .preflight import gate, preflight_correction, preflight_tapeout
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "Severity",
+    "gate",
+    "get_rule",
+    "preflight_correction",
+    "preflight_tapeout",
+    "registered_rules",
+    "rule",
+    "run_lint",
+    "sarif_log",
+    "to_json",
+    "to_sarif",
+    "to_text",
+]

@@ -1,0 +1,129 @@
+"""Lint report emitters: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI systems and editors ingest natively
+(GitHub code scanning, VS Code SARIF viewer).  Layout findings do not
+map onto SARIF's line/column regions, so the physical rectangle rides in
+each result's ``properties`` bag and the logical location carries the
+owning cell.  Output is fully deterministic -- no timestamps, stable
+ordering -- so SARIF files are snapshot-testable and diffable run to
+run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .diagnostics import Diagnostic, LintReport
+from .engine import registered_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/repro/repro"
+
+
+def to_text(report: LintReport) -> str:
+    """The human-readable form printed by ``repro check``."""
+    lines = [str(diagnostic) for diagnostic in report]
+    lines.append(
+        f"{report.error_count} error(s), {report.warning_count} "
+        f"warning(s), {report.info_count} info"
+    )
+    return "\n".join(lines)
+
+
+def to_json(report: LintReport) -> str:
+    """A machine-readable JSON document of the full report."""
+    payload = {
+        "tool": TOOL_NAME,
+        "summary": report.summary_dict(),
+        "diagnostics": [d.to_dict() for d in report],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def to_sarif(report: LintReport, artifact: Optional[str] = None) -> str:
+    """A SARIF 2.1.0 log of the report as a JSON string.
+
+    ``artifact`` (the layout file path, when one exists) becomes the
+    physical artifact location of every result; findings without a
+    layout source are emitted without a physical location, which SARIF
+    permits.
+    """
+    return json.dumps(
+        sarif_log(report, artifact=artifact), indent=2, sort_keys=True
+    )
+
+
+def sarif_log(
+    report: LintReport, artifact: Optional[str] = None
+) -> Dict[str, Any]:
+    """The SARIF log as a plain dict (for tests and embedding)."""
+    rules = [
+        {
+            "id": lint_rule.code,
+            "name": lint_rule.name,
+            "shortDescription": {"text": lint_rule.description},
+        }
+        for lint_rule in registered_rules()
+    ]
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    results = [
+        _sarif_result(diagnostic, rule_index, artifact)
+        for diagnostic in report
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def _sarif_result(
+    diagnostic: Diagnostic,
+    rule_index: Dict[str, int],
+    artifact: Optional[str],
+) -> Dict[str, Any]:
+    message = diagnostic.message
+    if diagnostic.hint:
+        message += f" Hint: {diagnostic.hint}"
+    result: Dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "level": diagnostic.severity.sarif_level,
+        "message": {"text": message},
+    }
+    if diagnostic.code in rule_index:
+        result["ruleIndex"] = rule_index[diagnostic.code]
+    location: Dict[str, Any] = {}
+    if artifact is not None:
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": artifact}
+        }
+    if diagnostic.cell is not None:
+        location["logicalLocations"] = [
+            {"name": diagnostic.cell, "kind": "module"}
+        ]
+    if location:
+        result["locations"] = [location]
+    if diagnostic.location is not None:
+        box = diagnostic.location
+        result["properties"] = {
+            "layoutRect_nm": [box.x1, box.y1, box.x2, box.y2]
+        }
+    return result

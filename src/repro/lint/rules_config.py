@@ -1,0 +1,274 @@
+"""Config-layer lint rules (LNT1xx): physics and recipe sanity.
+
+These rules inspect :class:`~repro.litho.LithoConfig`,
+:class:`~repro.opc.TilingSpec`, :class:`~repro.opc.ParallelSpec` and the
+model-OPC recipe for settings that are legal individually but doomed in
+combination -- the kind of mistake that otherwise only surfaces after
+minutes of correction or a full mask write.
+
+All optical thresholds derive from the configured kernel, never from
+hard-coded node numbers: with lambda/NA the characteristic length scale,
+0.61*lambda/NA is the Rayleigh resolution and 2*lambda/NA a conservative
+proximity interaction radius.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from .diagnostics import Diagnostic, Severity
+from .engine import LintContext, rule
+
+
+def _lambda_over_na(litho) -> float:
+    return litho.optics.wavelength_nm / litho.optics.na
+
+
+@rule(
+    "LNT101",
+    "optics-ranges",
+    "Illumination settings outside the regime the simulator is "
+    "calibrated for (NA, partial coherence).",
+    requires=("litho",),
+)
+def check_optics_ranges(ctx: LintContext) -> Iterator[Diagnostic]:
+    optics = ctx.litho.optics
+    if not (0.5 <= optics.na <= 0.93):
+        yield Diagnostic(
+            code="LNT101",
+            severity=Severity.WARNING,
+            message=(
+                f"numerical aperture {optics.na} is outside the "
+                f"validated dry-lithography band [0.5, 0.93]"
+            ),
+            hint="use an NA the resist model was calibrated against",
+        )
+    sigma_max = optics.source.sigma_max
+    if sigma_max < 0.2 or sigma_max > 1.0:
+        yield Diagnostic(
+            code="LNT101",
+            severity=Severity.WARNING,
+            message=(
+                f"source extent sigma_max={sigma_max:.2f} is outside "
+                f"the practical partial-coherence range [0.2, 1.0]"
+            ),
+            hint=(
+                "near-coherent or beyond-pupil sources make the SOCS "
+                "kernel decomposition ill-conditioned"
+            ),
+        )
+
+
+@rule(
+    "LNT102",
+    "pixel-sampling",
+    "Simulation pixel too coarse to resolve the optical image "
+    "(Nyquist criterion over the band-limited aerial image).",
+    requires=("litho",),
+)
+def check_pixel_sampling(ctx: LintContext) -> Iterator[Diagnostic]:
+    litho = ctx.litho
+    optics = litho.optics
+    sigma_max = optics.source.sigma_max
+    # The aerial image is band-limited at NA*(1+sigma_max)/lambda, so
+    # Nyquist sampling needs a pixel of at most half that wavelength.
+    nyquist_nm = optics.wavelength_nm / (2.0 * optics.na * (1.0 + sigma_max))
+    if litho.pixel_nm > nyquist_nm:
+        yield Diagnostic(
+            code="LNT102",
+            severity=Severity.ERROR,
+            message=(
+                f"pixel_nm={litho.pixel_nm:g} exceeds the Nyquist limit "
+                f"{nyquist_nm:.1f} nm for lambda={optics.wavelength_nm:g}, "
+                f"NA={optics.na:g}, sigma_max={sigma_max:.2f}; the aerial "
+                f"image will alias"
+            ),
+            hint=f"set pixel_nm <= {nyquist_nm / 2:.0f} for headroom",
+        )
+    elif litho.pixel_nm > nyquist_nm / 2.0:
+        yield Diagnostic(
+            code="LNT102",
+            severity=Severity.WARNING,
+            message=(
+                f"pixel_nm={litho.pixel_nm:g} is within a factor of two "
+                f"of the Nyquist limit {nyquist_nm:.1f} nm; contour and "
+                f"EPE accuracy degrade near the limit"
+            ),
+            hint=f"prefer pixel_nm <= {nyquist_nm / 2:.0f}",
+        )
+
+
+@rule(
+    "LNT103",
+    "tile-halo",
+    "Tile context (halo + ambit) smaller than the optical interaction "
+    "radius, so tile seams see different proximity environments.",
+    requires=("litho", "tiling"),
+)
+def check_tile_halo(ctx: LintContext) -> Iterator[Diagnostic]:
+    litho = ctx.litho
+    scale = _lambda_over_na(litho)
+    # plan_tiles() clips context at halo + ambit beyond the tile edge;
+    # that sum is the geometry a seam fragment actually sees.
+    effective_nm = ctx.tiling.halo_nm + litho.ambit_nm
+    rayleigh_nm = 0.61 * scale
+    interaction_nm = 2.0 * scale
+    if effective_nm < rayleigh_nm:
+        yield Diagnostic(
+            code="LNT103",
+            severity=Severity.ERROR,
+            message=(
+                f"tile context halo_nm+ambit_nm={effective_nm:g} is below "
+                f"the Rayleigh resolution {rayleigh_nm:.0f} nm; corrected "
+                f"tiles will not stitch (seam fragments miss even their "
+                f"nearest neighbours)"
+            ),
+            hint=(
+                f"raise TilingSpec.halo_nm or LithoConfig.ambit_nm so "
+                f"their sum is >= {interaction_nm:.0f}"
+            ),
+        )
+    elif effective_nm < interaction_nm:
+        yield Diagnostic(
+            code="LNT103",
+            severity=Severity.WARNING,
+            message=(
+                f"tile context halo_nm+ambit_nm={effective_nm:g} is below "
+                f"the proximity interaction radius 2*lambda/NA = "
+                f"{interaction_nm:.0f} nm; long-range flare at seams is "
+                f"truncated"
+            ),
+            hint=f"prefer halo_nm + ambit_nm >= {interaction_nm:.0f}",
+        )
+
+
+@rule(
+    "LNT104",
+    "worker-pool",
+    "Worker-pool settings that waste capacity or mask faults.",
+    requires=("parallel",),
+)
+def check_worker_pool(ctx: LintContext) -> Iterator[Diagnostic]:
+    spec = ctx.parallel
+    cpus = os.cpu_count() or 1
+    if spec.n_workers > cpus:
+        yield Diagnostic(
+            code="LNT104",
+            severity=Severity.WARNING,
+            message=(
+                f"n_workers={spec.n_workers} exceeds the {cpus} CPUs "
+                f"available; extra workers only add scheduling overhead"
+            ),
+            hint=f"use n_workers <= {cpus}",
+        )
+    if spec.timeout_s is not None and spec.timeout_s < 1.0:
+        yield Diagnostic(
+            code="LNT104",
+            severity=Severity.WARNING,
+            message=(
+                f"timeout_s={spec.timeout_s:g} is below one second; "
+                f"healthy tiles routinely take longer, so the pool will "
+                f"retry or fail work that was not stuck"
+            ),
+            hint="set timeout_s well above the slowest expected tile",
+        )
+    if spec.on_failure == "raise" and spec.max_retries == 0:
+        yield Diagnostic(
+            code="LNT104",
+            severity=Severity.INFO,
+            message=(
+                "on_failure='raise' with max_retries=0 aborts the whole "
+                "job on the first transient worker fault"
+            ),
+            hint="allow at least one retry, or use on_failure='serial'",
+        )
+
+
+@rule(
+    "LNT105",
+    "recipe-consistency",
+    "Model-OPC recipe fields that contradict each other.",
+    requires=("model_recipe",),
+)
+def check_recipe_consistency(ctx: LintContext) -> Iterator[Diagnostic]:
+    recipe = ctx.model_recipe
+    if recipe.epe_search_nm < recipe.epe_tolerance_nm:
+        yield Diagnostic(
+            code="LNT105",
+            severity=Severity.ERROR,
+            message=(
+                f"epe_search_nm={recipe.epe_search_nm:g} is smaller than "
+                f"epe_tolerance_nm={recipe.epe_tolerance_nm:g}; the EPE "
+                f"probe cannot even resolve the convergence target"
+            ),
+            hint="set epe_search_nm to several times epe_tolerance_nm",
+        )
+    if recipe.max_move_per_iteration_nm > recipe.max_total_move_nm:
+        yield Diagnostic(
+            code="LNT105",
+            severity=Severity.ERROR,
+            message=(
+                f"max_move_per_iteration_nm="
+                f"{recipe.max_move_per_iteration_nm} exceeds "
+                f"max_total_move_nm={recipe.max_total_move_nm}; a single "
+                f"iteration saturates the total move budget"
+            ),
+            hint="keep the per-iteration cap below the total budget",
+        )
+    if recipe.max_iterations > 50:
+        yield Diagnostic(
+            code="LNT105",
+            severity=Severity.WARNING,
+            message=(
+                f"max_iterations={recipe.max_iterations} is far beyond "
+                f"the usual convergence horizon; unconverged fragments "
+                f"should be flagged, not iterated forever"
+            ),
+            hint="model OPC typically converges within ~10 iterations",
+        )
+    if recipe.damping < 0.15:
+        yield Diagnostic(
+            code="LNT105",
+            severity=Severity.WARNING,
+            message=(
+                f"damping={recipe.damping:g} moves edges by under 15% of "
+                f"the measured EPE per iteration; convergence will stall "
+                f"against max_iterations"
+            ),
+            hint="use damping in roughly [0.3, 0.8]",
+        )
+
+
+@rule(
+    "LNT106",
+    "ambit",
+    "Proximity ambit too small for the configured optics.",
+    requires=("litho",),
+)
+def check_ambit(ctx: LintContext) -> Iterator[Diagnostic]:
+    litho = ctx.litho
+    scale = _lambda_over_na(litho)
+    rayleigh_nm = 0.61 * scale
+    if litho.ambit_nm < rayleigh_nm:
+        yield Diagnostic(
+            code="LNT106",
+            severity=Severity.ERROR,
+            message=(
+                f"ambit_nm={litho.ambit_nm:g} is below the Rayleigh "
+                f"resolution {rayleigh_nm:.0f} nm; simulation windows "
+                f"exclude the very neighbours that set the image"
+            ),
+            hint=f"use ambit_nm >= {scale:.0f} (lambda/NA)",
+        )
+    elif litho.ambit_nm < scale:
+        yield Diagnostic(
+            code="LNT106",
+            severity=Severity.WARNING,
+            message=(
+                f"ambit_nm={litho.ambit_nm:g} is below lambda/NA = "
+                f"{scale:.0f} nm; second-ring proximity effects are "
+                f"truncated"
+            ),
+            hint=f"prefer ambit_nm >= {scale:.0f}",
+        )

@@ -1,0 +1,170 @@
+"""Pipeline-layer lint rules (LNT3xx): recipe features with no effect.
+
+A recipe step that silently does nothing is worse than one that fails:
+the run completes, the ledger records success, and the missing
+correction only shows up at wafer.  These rules cross-check recipe
+stages against each other and against the layout they will process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..opc import SRAFRecipe
+from ..verify.drc import check_space, check_width
+from .diagnostics import Diagnostic, Severity
+from .engine import LintContext, rule
+
+
+@rule(
+    "LNT301",
+    "sraf-unwritable",
+    "SRAF recipe produces bars the MRC stage must delete or repair, "
+    "so the assist features never reach the mask.",
+    requires=("mrc", "level"),
+)
+def check_sraf_writable(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.level != "model+sraf":
+        return
+    sraf = ctx.sraf_recipe if ctx.sraf_recipe is not None else SRAFRecipe()
+    if sraf.bar_width_nm < ctx.mrc.min_width_nm:
+        yield Diagnostic(
+            code="LNT301",
+            severity=Severity.WARNING,
+            message=(
+                f"SRAF bar_width_nm={sraf.bar_width_nm} is below the MRC "
+                f"minimum width {ctx.mrc.min_width_nm}; every scattering "
+                f"bar will be deleted at mask rule check"
+            ),
+            hint=(
+                "widen the bars to at least the MRC minimum, or drop to "
+                "level 'model' and stop paying for SRAF insertion"
+            ),
+        )
+    if sraf.mrc_space_nm < ctx.mrc.min_space_nm:
+        yield Diagnostic(
+            code="LNT301",
+            severity=Severity.WARNING,
+            message=(
+                f"SRAF mrc_space_nm={sraf.mrc_space_nm} is below the MRC "
+                f"minimum space {ctx.mrc.min_space_nm}; bars will be "
+                f"placed only to be clipped or merged into main features"
+            ),
+            hint=f"set mrc_space_nm >= {ctx.mrc.min_space_nm}",
+        )
+
+
+@rule(
+    "LNT302",
+    "retarget-noop",
+    "Retarget rules configured but nothing in the layout is below "
+    "their floors; the stage runs (and costs wall time) for nothing.",
+    requires=("retarget_rules", "layout"),
+)
+def check_retarget_noop(ctx: LintContext) -> Iterator[Diagnostic]:
+    rules = ctx.retarget_rules
+    merged = ctx.merged_layout()
+    if merged.is_empty:
+        return
+    narrow = check_width(merged, rules.min_width_nm)
+    tight = check_space(merged, rules.min_space_nm)
+    if narrow.is_empty and tight.is_empty:
+        yield Diagnostic(
+            code="LNT302",
+            severity=Severity.INFO,
+            message=(
+                f"retarget rules (min width {rules.min_width_nm}, min "
+                f"space {rules.min_space_nm}) match nothing in this "
+                f"layout; the retarget stage is a no-op here"
+            ),
+            hint="drop retarget_rules for this layer to save a pass",
+        )
+
+
+@rule(
+    "LNT303",
+    "smooth-undoes-opc",
+    "Smoothing tolerance larger than the per-iteration OPC move; the "
+    "jog cleanup erases the corrections it follows.",
+    requires=("smooth_tolerance_nm", "model_recipe"),
+)
+def check_smooth_tolerance(ctx: LintContext) -> Iterator[Diagnostic]:
+    tol = ctx.smooth_tolerance_nm
+    per_iter = ctx.model_recipe.max_move_per_iteration_nm
+    if tol > per_iter:
+        yield Diagnostic(
+            code="LNT303",
+            severity=Severity.WARNING,
+            message=(
+                f"smooth_tolerance_nm={tol} exceeds "
+                f"max_move_per_iteration_nm={per_iter}; smoothing can "
+                f"flatten single-iteration edge moves back out of the "
+                f"mask"
+            ),
+            hint="keep the smoothing tolerance below the OPC step size",
+        )
+
+
+@rule(
+    "LNT304",
+    "parallel-noop",
+    "Parallel execution requested where it cannot help.",
+    requires=("parallel",),
+)
+def check_parallel_noop(ctx: LintContext) -> Iterator[Diagnostic]:
+    spec = ctx.parallel
+    if spec.n_workers == 1:
+        yield Diagnostic(
+            code="LNT304",
+            severity=Severity.INFO,
+            message=(
+                "parallel spec with n_workers=1 runs the serial path "
+                "with pool overhead on top"
+            ),
+            hint="omit the parallel spec, or raise n_workers",
+        )
+        return
+    if ctx.tiling is not None and ctx.layout is not None:
+        merged = ctx.merged_layout()
+        box = merged.bbox()
+        if (
+            box is not None
+            and box.width <= ctx.tiling.tile_nm
+            and box.height <= ctx.tiling.tile_nm
+        ):
+            yield Diagnostic(
+                code="LNT304",
+                severity=Severity.INFO,
+                message=(
+                    f"layout ({box.width} x {box.height} nm) fits in a "
+                    f"single {ctx.tiling.tile_nm} nm tile; "
+                    f"{spec.n_workers} workers will leave all but one "
+                    f"idle"
+                ),
+                hint="shrink tile_nm or run serially for this layout",
+            )
+
+
+@rule(
+    "LNT305",
+    "polarity-mismatch",
+    "Bright-feature model on a clear-field flow (or vice versa); the "
+    "EPE sign convention inverts and OPC walks edges the wrong way.",
+    requires=("model_recipe",),
+)
+def check_polarity(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.model_recipe.bright_feature and not ctx.dark_field:
+        yield Diagnostic(
+            code="LNT305",
+            severity=Severity.WARNING,
+            message=(
+                "model recipe sets bright_feature=True but the flow is "
+                "not dark-field; drawn chrome will be corrected with an "
+                "inverted polarity model"
+            ),
+            hint=(
+                "set dark_field=True on the recipe (the flow then forces "
+                "bright_feature and clamps damping) or reset "
+                "bright_feature"
+            ),
+        )

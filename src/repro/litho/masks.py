@@ -10,7 +10,7 @@ the 2001 RET toolbox from layout regions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

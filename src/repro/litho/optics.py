@@ -8,7 +8,7 @@ k1 = 0.4-0.5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import LithoError
 from .source import SourceSpec, annular, conventional

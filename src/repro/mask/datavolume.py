@@ -14,7 +14,6 @@ record size per shot, the structure of MEBES/VSB formats.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..errors import ReproError
 from ..geometry import Region, fracture

@@ -39,7 +39,7 @@ import os
 import subprocess
 import uuid
 from contextlib import contextmanager
-from dataclasses import dataclass, field, fields, is_dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from datetime import datetime, timezone
 from enum import Enum
 from pathlib import Path
@@ -54,11 +54,13 @@ from .trace import Span
 
 #: Version stamp of the run-record schema.  ``1.1`` added the optional
 #: ``spatial`` payload (hotspot grids, worst sites, per-tile convergence);
-#: the change is purely additive, so ``1`` records still load.
-RUN_SCHEMA = "repro-run/1.1"
+#: ``1.2`` added the optional ``preflight`` summary (static lint verdict
+#: recorded by the flow gates).  Both changes are purely additive, so
+#: older records still load.
+RUN_SCHEMA = "repro-run/1.2"
 
 #: Every schema revision :meth:`RunRecord.from_dict` accepts.
-SUPPORTED_SCHEMAS = ("repro-run/1", "repro-run/1.1")
+SUPPORTED_SCHEMAS = ("repro-run/1", "repro-run/1.1", "repro-run/1.2")
 
 #: Environment variable naming the store directory (also the auto-record
 #: switch for :func:`auto_enabled`).
@@ -235,6 +237,9 @@ class RunRecord:
     metrics: Dict[str, Dict[str, Any]]
     quality: Dict[str, Any]
     spatial: Optional[Dict[str, Any]] = None
+    #: Summary of the static preflight (``repro.lint``) that gated this
+    #: run: ``{"ok", "errors", "warnings", "info", "codes"}`` (schema 1.2).
+    preflight: Optional[Dict[str, Any]] = None
     schema: str = RUN_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
@@ -253,6 +258,8 @@ class RunRecord:
         }
         if self.spatial is not None:
             data["spatial"] = self.spatial
+        if self.preflight is not None:
+            data["preflight"] = self.preflight
         return data
 
     @classmethod
@@ -275,6 +282,7 @@ class RunRecord:
             metrics=data.get("metrics", {}),
             quality=data.get("quality", {}),
             spatial=data.get("spatial"),
+            preflight=data.get("preflight"),
             schema=schema,
         )
 
@@ -312,6 +320,8 @@ class RunRecord:
         }
         if self.spatial is not None:
             canonical["spatial"] = canonical_spatial(self.spatial)
+        if self.preflight is not None:
+            canonical["preflight"] = self.preflight
         return canonical
 
     def canonical_json(self) -> str:
@@ -326,6 +336,7 @@ def new_record(
     metrics: Optional[Dict[str, Dict[str, Any]]] = None,
     quality: Optional[Dict[str, Any]] = None,
     spatial: Optional[Dict[str, Any]] = None,
+    preflight: Optional[Dict[str, Any]] = None,
     run_id: Optional[str] = None,
     timestamp: Optional[str] = None,
     git_rev: Union[str, None, bool] = True,
@@ -357,6 +368,7 @@ def new_record(
         metrics=snapshot,
         quality=merged_quality,
         spatial=spatial,
+        preflight=preflight,
     )
 
 
@@ -596,11 +608,13 @@ def record_run(
     quality: Optional[Dict[str, Any]] = None,
     metrics: Optional[Dict[str, Dict[str, Any]]] = None,
     spatial: Optional[Dict[str, Any]] = None,
+    preflight: Optional[Dict[str, Any]] = None,
     root_dir: Optional[Union[str, Path]] = None,
 ) -> RunRecord:
     """Build a record and append it to the active store in one call."""
     record = new_record(
-        label, config, roots, metrics=metrics, quality=quality, spatial=spatial
+        label, config, roots, metrics=metrics, quality=quality,
+        spatial=spatial, preflight=preflight,
     )
     ledger(root_dir).append(record)
     return record

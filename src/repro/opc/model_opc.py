@@ -11,7 +11,7 @@ later explored).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,7 +46,7 @@ MOVE_NM_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 #: Fragmentation used by model-based OPC (fine: sub-resolution fragments).
 DEFAULT_MODEL_FRAGMENTATION = FragmentationSpec(
-    corner_length=40, max_length=80, min_length=20, line_end_max=260
+    corner_length_nm=40, max_length_nm=80, min_length_nm=20, line_end_max_nm=260
 )
 
 #: Builds the mask to simulate from corrected main-feature geometry.

@@ -34,8 +34,8 @@ class MRCRules:
 class MRCReport:
     """Violation geometry found by :func:`check_mask`."""
 
-    width_violations: Region
-    space_violations: Region
+    width_violations: Region  # repro-lint: ignore[R002] -- geometry, not a length
+    space_violations: Region  # repro-lint: ignore[R002] -- geometry, not a length
 
     @property
     def width_violation_count(self) -> int:

@@ -40,7 +40,7 @@ from concurrent.futures import (
     TimeoutError as _FutureTimeout,
 )
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from .. import obs
 from ..errors import OPCError
@@ -107,6 +107,11 @@ class ParallelSpec:
     #: crashed worker (the pool is torn down and the job retried).
     #: ``None`` waits forever.
     timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        # Eager validation: a bad spec should die at construction (where
+        # the operator typo is), not minutes later inside the pool.
+        self.validated()
 
     def validated(self) -> "ParallelSpec":
         """Return self, raising :class:`OPCError` on nonsense values."""

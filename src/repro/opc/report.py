@@ -15,7 +15,7 @@ class IterationStats:
     iteration: int
     rms_epe_nm: float
     max_epe_nm: float
-    moved_fragments: int
+    moved_fragments: int  # repro-lint: ignore[R002] -- a count, not a length
     missing_edges: int
 
     def __str__(self) -> str:

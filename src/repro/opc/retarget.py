@@ -23,7 +23,7 @@ from ..geometry import (
 
 #: Coarse fragmentation: retargeting moves whole edges, not sub-fragments.
 RETARGET_FRAGMENTATION = FragmentationSpec(
-    corner_length=20, max_length=100_000, min_length=10, line_end_max=1
+    corner_length_nm=20, max_length_nm=100_000, min_length_nm=10, line_end_max_nm=1
 )
 
 

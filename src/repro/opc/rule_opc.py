@@ -14,7 +14,7 @@ never saw get the wrong correction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List
 
 from ..errors import OPCError
 from ..geometry import (
@@ -31,7 +31,7 @@ from .rules import BiasTable, default_bias_table_180nm
 
 #: Fragmentation used by rule-based OPC (coarse: whole edges mostly).
 DEFAULT_RULE_FRAGMENTATION = FragmentationSpec(
-    corner_length=40, max_length=400, min_length=20, line_end_max=260
+    corner_length_nm=40, max_length_nm=400, min_length_nm=20, line_end_max_nm=260
 )
 
 

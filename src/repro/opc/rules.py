@@ -22,17 +22,17 @@ ISOLATED = 10**9
 
 @dataclass(frozen=True)
 class BiasRule:
-    """One bin of a bias table: applies when ``space < space_below``."""
+    """One bin of a bias table: applies when ``space < space_below_nm``."""
 
-    space_below: int
+    space_below_nm: int
     bias_nm: int
 
 
 class BiasTable:
     """Per-edge bias as a monotone binning over the facing space.
 
-    Rules are sorted by ``space_below``; an edge with measured space ``s``
-    receives the bias of the first rule with ``s < space_below``.  Edges
+    Rules are sorted by ``space_below_nm``; an edge with measured space ``s``
+    receives the bias of the first rule with ``s < space_below_nm``.  Edges
     facing nothing (isolated) match the last rule when its bound is
     :data:`ISOLATED`.
     """
@@ -40,8 +40,8 @@ class BiasTable:
     def __init__(self, rules: Sequence[BiasRule]):
         if not rules:
             raise OPCError("bias table needs at least one rule")
-        ordered = sorted(rules, key=lambda r: r.space_below)
-        bounds = [r.space_below for r in ordered]
+        ordered = sorted(rules, key=lambda r: r.space_below_nm)
+        bounds = [r.space_below_nm for r in ordered]
         if len(set(bounds)) != len(bounds):
             raise OPCError("bias table bins must have distinct bounds")
         self.rules: Tuple[BiasRule, ...] = tuple(ordered)
@@ -50,7 +50,7 @@ class BiasTable:
         """The bias of the bin containing ``space`` (``None`` = isolated)."""
         effective = ISOLATED - 1 if space is None else space
         for rule in self.rules:
-            if effective < rule.space_below:
+            if effective < rule.space_below_nm:
                 return rule.bias_nm
         return self.rules[-1].bias_nm
 
@@ -67,11 +67,11 @@ def default_bias_table_180nm() -> BiasTable:
     """
     return BiasTable(
         [
-            BiasRule(space_below=320, bias_nm=0),
-            BiasRule(space_below=480, bias_nm=4),
-            BiasRule(space_below=700, bias_nm=8),
-            BiasRule(space_below=1100, bias_nm=12),
-            BiasRule(space_below=ISOLATED, bias_nm=16),
+            BiasRule(space_below_nm=320, bias_nm=0),
+            BiasRule(space_below_nm=480, bias_nm=4),
+            BiasRule(space_below_nm=700, bias_nm=8),
+            BiasRule(space_below_nm=1100, bias_nm=12),
+            BiasRule(space_below_nm=ISOLATED, bias_nm=16),
         ]
     )
 
@@ -125,5 +125,5 @@ def calibrate_bias_table(
             )
         else:
             upper = ISOLATED
-        rules.append(BiasRule(space_below=upper, bias_nm=bias))
+        rules.append(BiasRule(space_below_nm=upper, bias_nm=bias))
     return BiasTable(rules)

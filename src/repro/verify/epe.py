@@ -23,7 +23,7 @@ from ..litho import LithoSimulator, MaskSpec
 
 #: Fragmentation used for verification sites (finer than correction).
 DEFAULT_EPE_FRAGMENTATION = FragmentationSpec(
-    corner_length=40, max_length=100, min_length=20, line_end_max=260
+    corner_length_nm=40, max_length_nm=100, min_length_nm=20, line_end_max_nm=260
 )
 
 Site = Tuple[Tuple[float, float], Tuple[float, float]]

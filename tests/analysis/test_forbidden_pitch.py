@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    PitchRestriction,
     forbidden_pitches,
     usable_pitch_fraction,
 )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import CDSpec, CDUResult, ProcessControl, monte_carlo_cdu
+from repro.analysis import CDSpec, ProcessControl, monte_carlo_cdu
 from repro.errors import ReproError
 from repro.litho import FocusExposureMatrix
 

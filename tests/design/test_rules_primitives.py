@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import DesignError
 from repro.design import (
-    DesignRules,
     node_130nm,
     node_180nm,
     node_250nm,

@@ -81,3 +81,36 @@ class TestTapeoutCellLayer:
     def test_missing_layer_rejected(self, simulator, dose):
         with pytest.raises(ReproError):
             tapeout_cell_layer(Cell("empty"), POLY, simulator, dose)
+
+
+class TestRecipeValidation:
+    """A bad recipe dies at construction, not minutes into the flow."""
+
+    def test_default_recipe_constructs(self):
+        assert TapeoutRecipe().validated() is not None
+
+    def test_level_must_be_the_enum(self):
+        with pytest.raises(ReproError):
+            TapeoutRecipe(level="model")
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ReproError):
+            TapeoutRecipe(smooth_tolerance_nm=-1)
+
+    def test_negative_orc_margin_rejected(self):
+        with pytest.raises(ReproError):
+            TapeoutRecipe(orc_margin_nm=-5)
+
+    def test_nested_recipes_validated_eagerly(self):
+        from repro.opc import MRCRules, ModelOPCRecipe
+
+        with pytest.raises(ReproError):
+            TapeoutRecipe(mrc=MRCRules(min_width_nm=0))
+        with pytest.raises(ReproError):
+            TapeoutRecipe(model_recipe=ModelOPCRecipe(damping=0.0))
+
+    def test_bad_retarget_rules_rejected(self):
+        with pytest.raises(ReproError):
+            TapeoutRecipe(
+                retarget_rules=RetargetRules(min_width_nm=-10, min_space_nm=50)
+            )

@@ -1,6 +1,5 @@
 """Boolean-engine edge cases: degenerate touches, nesting, extremes."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

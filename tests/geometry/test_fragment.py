@@ -15,7 +15,7 @@ from repro.geometry import (
     fragment_region,
 )
 
-SPEC = FragmentationSpec(corner_length=20, max_length=60, min_length=10, line_end_max=50)
+SPEC = FragmentationSpec(corner_length_nm=20, max_length_nm=60, min_length_nm=10, line_end_max_nm=50)
 
 
 def line(width=40, length=400):
@@ -61,7 +61,7 @@ class TestFragmentation:
         frags = fragment_region(line(length=1000), SPEC)[0]
         for f in frags:
             if f.tag == FragmentTag.NORMAL:
-                assert f.length <= SPEC.max_length
+                assert f.length <= SPEC.max_length_nm
 
     def test_outward_normals(self):
         frags = fragment_region(line(), SPEC)[0]

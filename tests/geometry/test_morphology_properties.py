@@ -1,6 +1,5 @@
 """Property tests for classical morphology identities."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

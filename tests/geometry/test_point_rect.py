@@ -1,6 +1,5 @@
 """Unit tests for Point and Rect primitives."""
 
-import pytest
 
 from repro.geometry import Point, Rect, bounding_box
 

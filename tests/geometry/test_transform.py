@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import GeometryError
-from repro.geometry import Point, Rect, Region, Transform
+from repro.geometry import Rect, Region, Transform
 
 
 class TestApply:

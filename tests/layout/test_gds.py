@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.errors import GDSError
 from repro.geometry import Polygon, Rect, Transform
 from repro.layout import (
-    Cell,
     GDSReader,
     GDSWriter,
     Library,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import GDSError
 from repro.geometry import Rect, Transform
-from repro.layout import Cell, GDSReader, GDSWriter, Library, POLY
+from repro.layout import GDSReader, GDSWriter, Library, POLY
 from repro.layout.gds import pack_real8
 
 

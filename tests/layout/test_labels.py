@@ -52,8 +52,8 @@ class TestGDSRoundtrip:
         cell.add_label(METAL1, "OUT", (50, 50))
         cell.add_label(POLY, "IN", (-10, 70))
         restored = GDSReader().read(GDSWriter().to_bytes(lib))
-        assert sorted(l.text for l in restored["c"].labels) == ["IN", "OUT"]
-        by_text = {l.text: l for l in restored["c"].labels}
+        assert sorted(lab.text for lab in restored["c"].labels) == ["IN", "OUT"]
+        by_text = {lab.text: lab for lab in restored["c"].labels}
         assert by_text["OUT"].position == (50, 50)
         assert by_text["OUT"].layer == METAL1
 

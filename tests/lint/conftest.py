@@ -1,0 +1,20 @@
+"""Shared fixtures for the static-lint tests."""
+
+import pytest
+
+from repro.geometry import Rect, Region
+from repro.litho import LithoConfig, krf_annular
+
+
+@pytest.fixture()
+def litho():
+    """The standard KrF setup every flow test uses (lint-clean)."""
+    return LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+
+
+@pytest.fixture()
+def clean_lines():
+    """Printable 180 nm lines at a relaxed pitch (no layout findings)."""
+    return Region.from_rects(
+        [Rect(x, 0, x + 180, 2000) for x in (0, 500, 1000)]
+    )

@@ -1,0 +1,156 @@
+"""Emitters: text, JSON, and the SARIF 2.1.0 golden snapshot.
+
+The SARIF emitter is deliberately deterministic (no timestamps, sorted
+keys), so the golden file is compared byte-for-byte.  Regenerate it with
+``python tests/lint/test_emit_sarif.py`` after an intentional change.
+"""
+
+import json
+from pathlib import Path
+
+from repro.geometry import Rect
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    registered_rules,
+    sarif_log,
+    to_json,
+    to_sarif,
+    to_text,
+)
+
+GOLDEN = Path(__file__).parent / "golden_check.sarif"
+
+
+def golden_report() -> LintReport:
+    """A fixed report exercising every emitter feature."""
+    return LintReport([
+        Diagnostic(
+            code="LNT201",
+            severity=Severity.ERROR,
+            message="drawn feature narrower than the 91 nm printability floor",
+            hint="widen the feature or retarget it before OPC",
+            location=Rect(-1, -1, 21, 501),
+            cell="SLIVER",
+        ),
+        Diagnostic(
+            code="LNT104",
+            severity=Severity.WARNING,
+            message="n_workers=64 exceeds the 8 CPUs available",
+            hint="use n_workers <= 8",
+        ),
+        Diagnostic(
+            code="LNT304",
+            severity=Severity.INFO,
+            message="parallel spec with n_workers=1 runs the serial path",
+            hint="omit the parallel spec, or raise n_workers",
+        ),
+    ])
+
+
+class TestText:
+    def test_counts_footer(self):
+        text = to_text(golden_report())
+        assert text.endswith("1 error(s), 1 warning(s), 1 info")
+
+    def test_one_line_per_finding_worst_first(self):
+        lines = to_text(golden_report()).splitlines()
+        assert lines[0].startswith("LNT201 error")
+        assert lines[1].startswith("LNT104 warning")
+        assert lines[2].startswith("LNT304 info")
+
+
+class TestJSON:
+    def test_parses_and_carries_summary(self):
+        payload = json.loads(to_json(golden_report()))
+        assert payload["tool"] == "repro-lint"
+        assert payload["summary"]["errors"] == 1
+        assert payload["summary"]["codes"] == ["LNT104", "LNT201", "LNT304"]
+        assert len(payload["diagnostics"]) == 3
+
+    def test_location_serialised_as_rect(self):
+        payload = json.loads(to_json(golden_report()))
+        worst = payload["diagnostics"][0]
+        assert worst["location"] == [-1, -1, 21, 501]
+        assert worst["cell"] == "SLIVER"
+
+
+class TestSARIFStructure:
+    def log(self):
+        return sarif_log(golden_report(), artifact="block.gds")
+
+    def test_version_and_schema(self):
+        log = self.log()
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+
+    def test_driver_lists_every_registered_rule(self):
+        driver = self.log()["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        ids = [entry["id"] for entry in driver["rules"]]
+        assert ids == [r.code for r in registered_rules()]
+        assert ids == sorted(ids)
+
+    def test_rule_index_points_at_the_right_rule(self):
+        log = self.log()
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        for result in log["runs"][0]["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_severity_mapping_info_becomes_note(self):
+        levels = {
+            r["ruleId"]: r["level"] for r in self.log()["runs"][0]["results"]
+        }
+        assert levels["LNT201"] == "error"
+        assert levels["LNT104"] == "warning"
+        assert levels["LNT304"] == "note"
+
+    def test_layout_rect_rides_in_properties(self):
+        results = self.log()["runs"][0]["results"]
+        located = [r for r in results if r["ruleId"] == "LNT201"]
+        assert located[0]["properties"]["layoutRect_nm"] == [-1, -1, 21, 501]
+
+    def test_owning_cell_is_a_logical_location(self):
+        results = self.log()["runs"][0]["results"]
+        located = [r for r in results if r["ruleId"] == "LNT201"]
+        logical = located[0]["locations"][0]["logicalLocations"]
+        assert logical == [{"kind": "module", "name": "SLIVER"}]
+
+    def test_artifact_uri_attached_when_given(self):
+        results = self.log()["runs"][0]["results"]
+        uris = {
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in results
+            if "locations" in r and "physicalLocation" in r["locations"][0]
+        }
+        assert uris == {"block.gds"}
+
+    def test_hint_embedded_in_message(self):
+        results = self.log()["runs"][0]["results"]
+        assert all("Hint:" in r["message"]["text"] for r in results)
+
+    def test_no_timestamps_anywhere(self):
+        rendered = to_sarif(golden_report())
+        for volatile in ("startTimeUtc", "endTimeUtc", "invocations"):
+            assert volatile not in rendered
+
+
+class TestGoldenSnapshot:
+    def test_snapshot_matches_byte_for_byte(self):
+        rendered = to_sarif(golden_report(), artifact="block.gds")
+        assert GOLDEN.exists(), "golden file missing; regenerate it"
+        assert rendered == GOLDEN.read_text(encoding="utf-8").rstrip("\n")
+
+    def test_emitter_is_deterministic(self):
+        first = to_sarif(golden_report(), artifact="block.gds")
+        second = to_sarif(golden_report(), artifact="block.gds")
+        assert first == second
+
+
+if __name__ == "__main__":  # regenerate the golden snapshot
+    GOLDEN.write_text(
+        to_sarif(golden_report(), artifact="block.gds") + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {GOLDEN}")

@@ -1,0 +1,140 @@
+"""The lint engine: registry, context gating, report ordering."""
+
+import pytest
+
+from repro import lint
+from repro.errors import ReproError
+from repro.geometry import Rect
+from repro.lint import (
+    Diagnostic,
+    LintContext,
+    LintReport,
+    Severity,
+    get_rule,
+    registered_rules,
+    run_lint,
+)
+
+
+class TestRegistry:
+    def test_rule_count_in_spec_band(self):
+        # The issue asks for ~12-15 rules across three layers.
+        assert 12 <= len(registered_rules()) <= 18
+
+    def test_codes_unique_sorted_and_stable(self):
+        codes = [r.code for r in registered_rules()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+        assert all(code.startswith("LNT") for code in codes)
+
+    def test_three_layers_present(self):
+        codes = [r.code for r in registered_rules()]
+        assert any(c.startswith("LNT1") for c in codes)  # config
+        assert any(c.startswith("LNT2") for c in codes)  # layout
+        assert any(c.startswith("LNT3") for c in codes)  # pipeline
+
+    def test_every_rule_has_metadata(self):
+        for entry in registered_rules():
+            assert entry.name
+            assert entry.description
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ReproError):
+            get_rule("LNT999")
+        with pytest.raises(ReproError):
+            run_lint(LintContext(), codes=["LNT999"])
+
+    def test_duplicate_registration_rejected(self):
+        existing = registered_rules()[0].code
+        with pytest.raises(ReproError):
+            lint.rule(existing, "dup", "duplicate")(lambda ctx: iter(()))
+
+
+class TestContextGating:
+    def test_empty_context_is_clean(self):
+        # No inputs -> every requiring rule skips -> nothing to report.
+        report = run_lint(LintContext())
+        assert report.is_clean
+        assert len(report) == 0
+
+    def test_config_only_check_never_touches_layout_rules(self, litho):
+        report = run_lint(LintContext(litho=litho))
+        assert not any(d.code.startswith("LNT2") for d in report)
+
+    def test_code_subset_restricts_the_run(self, litho):
+        bad = LintContext(litho=litho.__class__(
+            optics=litho.optics, pixel_nm=8.0, ambit_nm=50
+        ))
+        full = run_lint(bad)
+        only_103 = run_lint(bad, codes=["LNT103"])
+        assert {d.code for d in full} >= {d.code for d in only_103}
+        assert all(d.code == "LNT103" for d in only_103)
+
+    def test_for_tapeout_rejects_unknown_override(self):
+        class FakeRecipe:
+            pass
+
+        with pytest.raises(ReproError):
+            LintContext.for_tapeout(FakeRecipe(), not_a_field=1)
+
+    def test_for_tapeout_unwraps_level_enum(self):
+        class FakeLevel:
+            value = "model"
+
+        class FakeRecipe:
+            level = FakeLevel()
+
+        ctx = LintContext.for_tapeout(FakeRecipe())
+        assert ctx.level == "model"
+
+
+class TestReport:
+    def mixed(self):
+        return LintReport([
+            Diagnostic("LNT302", Severity.INFO, "c"),
+            Diagnostic("LNT105", Severity.ERROR, "a"),
+            Diagnostic("LNT104", Severity.WARNING, "b"),
+            Diagnostic("LNT102", Severity.ERROR, "d"),
+        ])
+
+    def test_sorted_errors_first_then_by_code(self):
+        report = self.mixed()
+        assert [d.code for d in report] == [
+            "LNT102", "LNT105", "LNT104", "LNT302",
+        ]
+
+    def test_counts_and_flags(self):
+        report = self.mixed()
+        assert report.error_count == 2
+        assert report.warning_count == 1
+        assert report.info_count == 1
+        assert report.has_errors
+        assert not report.is_clean
+
+    def test_summary_dict_is_ledger_shaped(self):
+        summary = self.mixed().summary_dict()
+        assert summary == {
+            "ok": False,
+            "errors": 2,
+            "warnings": 1,
+            "info": 1,
+            "codes": ["LNT102", "LNT104", "LNT105", "LNT302"],
+        }
+
+    def test_diagnostic_str_carries_location_and_cell(self):
+        d = Diagnostic(
+            "LNT201", Severity.ERROR, "too narrow",
+            hint="widen it", location=Rect(0, 0, 20, 500), cell="INV",
+        )
+        text = str(d)
+        assert "LNT201" in text and "error" in text
+        assert "INV" in text and "widen it" in text
+
+    def test_diagnostic_dict_round_trip_fields(self):
+        d = Diagnostic(
+            "LNT201", Severity.ERROR, "m", location=Rect(1, 2, 3, 4)
+        )
+        data = d.to_dict()
+        assert data["code"] == "LNT201"
+        assert data["severity"] == "error"
+        assert data["location"] == [1, 2, 3, 4]

@@ -1,0 +1,83 @@
+"""Property tests: degenerate layouts never crash the lint engine.
+
+The engine's whole job is surviving layouts too broken to simulate, so
+hypothesis feeds it arbitrary raw loops (including zero-area slivers,
+under-vertexed fragments and off-grid vertices) and asserts the run
+always completes with a well-formed report.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, Region
+from repro.lint import LintContext, LintReport, Severity, run_lint, to_sarif
+
+coord = st.integers(min_value=-2000, max_value=2000)
+vertex = st.tuples(coord, coord)
+loop = st.lists(vertex, min_size=1, max_size=12)
+
+
+@given(loops=st.lists(loop, min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_arbitrary_raw_loops_never_crash(loops):
+    report = run_lint(
+        LintContext(raw_loops=loops, mask_grid_nm=5),
+        codes=["LNT202", "LNT203", "LNT204"],
+    )
+    assert isinstance(report, LintReport)
+    for diagnostic in report:
+        assert diagnostic.code in ("LNT202", "LNT203", "LNT204")
+        assert diagnostic.severity in tuple(Severity)
+        assert diagnostic.message
+
+
+@given(loops=st.lists(loop, min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_every_report_serialises_to_sarif(loops):
+    report = run_lint(
+        LintContext(raw_loops=loops, mask_grid_nm=3),
+        codes=["LNT202", "LNT203", "LNT204"],
+    )
+    rendered = to_sarif(report)
+    assert '"version": "2.1.0"' in rendered
+
+
+@given(n=st.integers(min_value=1, max_value=3))
+@settings(max_examples=10, deadline=None)
+def test_under_vertexed_loops_always_flagged(n):
+    points = [(i * 10, i * 10) for i in range(n)]
+    report = run_lint(
+        LintContext(raw_loops=[points]), codes=["LNT203"]
+    )
+    assert report.has_errors
+
+
+@given(
+    x=st.integers(min_value=0, max_value=500),
+    grid=st.sampled_from([5, 10, 25]),
+)
+@settings(max_examples=40, deadline=None)
+def test_off_grid_detection_matches_arithmetic(x, grid):
+    region = Region(Rect(x, 0, x + grid * 20, grid * 40))
+    report = run_lint(
+        LintContext(layout=region, mask_grid_nm=grid), codes=["LNT202"]
+    )
+    flagged = bool(report.by_code("LNT202"))
+    assert flagged == (x % grid != 0)
+
+
+@given(width=st.integers(min_value=5, max_value=400))
+@settings(max_examples=30, deadline=None)
+def test_sub_resolution_verdict_is_monotone_in_width(width):
+    # 0.25*lambda/NA ~= 91 nm for the KrF setup; DRC's check_width
+    # flags strictly-below-limit geometry only.
+    from repro.litho import LithoConfig, krf_annular
+
+    litho = LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    region = Region(Rect(0, 0, width, 2000))
+    report = run_lint(
+        LintContext(litho=litho, layout=region), codes=["LNT201"]
+    )
+    flagged = bool(report.by_code("LNT201"))
+    floor_nm = round(0.25 * litho.optics.wavelength_nm / litho.optics.na)
+    assert flagged == (width < floor_nm)

@@ -1,0 +1,171 @@
+"""Config-layer rules (LNT1xx): physics and recipe sanity.
+
+All thresholds derive from the configured optics (KrF annular:
+lambda/NA ~= 365 nm, Rayleigh ~= 222 nm, Nyquist pixel ~= 99 nm), so the
+fixtures below sit deliberately on either side of those lines.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.lint import LintContext, Severity, run_lint
+from repro.litho import LithoConfig, krf_annular
+from repro.litho.source import conventional
+from repro.opc import ModelOPCRecipe, ParallelSpec, TilingSpec
+
+
+def codes(report):
+    return {d.code for d in report}
+
+
+def one(report, code):
+    found = report.by_code(code)
+    assert found, f"{code} did not fire"
+    return found[0]
+
+
+class TestOpticsRanges:
+    def test_standard_krf_is_clean(self, litho):
+        assert "LNT101" not in codes(run_lint(LintContext(litho=litho)))
+
+    def test_low_na_warns(self, litho):
+        low = dataclasses.replace(
+            litho, optics=dataclasses.replace(litho.optics, na=0.45)
+        )
+        d = one(run_lint(LintContext(litho=low), codes=["LNT101"]), "LNT101")
+        assert d.severity is Severity.WARNING
+        assert "0.45" in d.message
+
+    def test_near_coherent_source_warns(self, litho):
+        coherent = dataclasses.replace(
+            litho,
+            optics=dataclasses.replace(
+                litho.optics, source=conventional(0.15)
+            ),
+        )
+        report = run_lint(LintContext(litho=coherent), codes=["LNT101"])
+        assert "sigma_max" in one(report, "LNT101").message
+
+
+class TestPixelSampling:
+    def test_fine_pixel_is_clean(self, litho):
+        assert "LNT102" not in codes(run_lint(LintContext(litho=litho)))
+
+    def test_aliasing_pixel_is_an_error(self, litho):
+        coarse = dataclasses.replace(litho, pixel_nm=120.0)
+        d = one(run_lint(LintContext(litho=coarse)), "LNT102")
+        assert d.severity is Severity.ERROR
+        assert "Nyquist" in d.message
+
+    def test_marginal_pixel_warns(self, litho):
+        marginal = dataclasses.replace(litho, pixel_nm=60.0)
+        d = one(run_lint(LintContext(litho=marginal)), "LNT102")
+        assert d.severity is Severity.WARNING
+
+
+class TestTileHalo:
+    def test_default_tiling_is_clean(self, litho):
+        ctx = LintContext(litho=litho, tiling=TilingSpec())
+        assert "LNT103" not in codes(run_lint(ctx, codes=["LNT103"]))
+
+    def test_starved_context_is_an_error(self, litho):
+        starved = dataclasses.replace(litho, ambit_nm=100)
+        ctx = LintContext(litho=starved, tiling=TilingSpec(halo_nm=50))
+        d = one(run_lint(ctx, codes=["LNT103"]), "LNT103")
+        assert d.severity is Severity.ERROR
+        assert "stitch" in d.message
+
+    def test_truncated_interaction_warns(self, litho):
+        # halo + ambit = 500: above Rayleigh (222) but below 2*lambda/NA
+        # (729), so seams lose long-range flare only.
+        short = dataclasses.replace(litho, ambit_nm=250)
+        ctx = LintContext(litho=short, tiling=TilingSpec(halo_nm=250))
+        d = one(run_lint(ctx, codes=["LNT103"]), "LNT103")
+        assert d.severity is Severity.WARNING
+
+    def test_ambit_counts_toward_context(self, litho):
+        # A tiny halo is fine when the ambit already carries the reach:
+        # plan_tiles clips context at halo + ambit.
+        ctx = LintContext(litho=litho, tiling=TilingSpec(halo_nm=150))
+        assert "LNT103" not in codes(run_lint(ctx, codes=["LNT103"]))
+
+
+class TestWorkerPool:
+    def test_oversubscribed_pool_warns(self):
+        too_many = (os.cpu_count() or 1) + 1
+        ctx = LintContext(parallel=ParallelSpec(n_workers=too_many))
+        d = one(run_lint(ctx, codes=["LNT104"]), "LNT104")
+        assert d.severity is Severity.WARNING
+
+    def test_subsecond_timeout_warns(self):
+        ctx = LintContext(parallel=ParallelSpec(timeout_s=0.5))
+        report = run_lint(ctx, codes=["LNT104"])
+        assert any("timeout" in d.message for d in report.warnings)
+
+    def test_brittle_failure_policy_is_info(self):
+        ctx = LintContext(
+            parallel=ParallelSpec(on_failure="raise", max_retries=0)
+        )
+        report = run_lint(ctx, codes=["LNT104"])
+        assert report.info_count == 1
+        assert not report.has_errors
+
+    def test_sane_spec_is_clean(self):
+        ctx = LintContext(parallel=ParallelSpec(n_workers=1, timeout_s=60.0))
+        assert "LNT104" not in codes(run_lint(ctx, codes=["LNT104"]))
+
+
+class TestRecipeConsistency:
+    def test_default_recipe_is_clean(self):
+        ctx = LintContext(model_recipe=ModelOPCRecipe())
+        assert "LNT105" not in codes(run_lint(ctx))
+
+    def test_search_below_tolerance_is_an_error(self):
+        bad = ModelOPCRecipe(epe_search_nm=1.0, epe_tolerance_nm=1.5)
+        d = one(run_lint(LintContext(model_recipe=bad)), "LNT105")
+        assert d.severity is Severity.ERROR
+
+    def test_single_step_exceeding_budget_is_an_error(self):
+        bad = ModelOPCRecipe(
+            max_move_per_iteration_nm=50, max_total_move_nm=40
+        )
+        d = one(run_lint(LintContext(model_recipe=bad)), "LNT105")
+        assert d.severity is Severity.ERROR
+
+    def test_runaway_iterations_warn(self):
+        loopy = ModelOPCRecipe(max_iterations=100)
+        report = run_lint(LintContext(model_recipe=loopy))
+        assert any(
+            d.code == "LNT105" and d.severity is Severity.WARNING
+            for d in report
+        )
+
+    def test_stalling_damping_warns(self):
+        sluggish = ModelOPCRecipe(damping=0.05)
+        report = run_lint(LintContext(model_recipe=sluggish))
+        assert any("damping" in d.message for d in report.warnings)
+
+
+class TestAmbit:
+    def test_standard_ambit_is_clean(self, litho):
+        assert "LNT106" not in codes(run_lint(LintContext(litho=litho)))
+
+    def test_sub_rayleigh_ambit_is_an_error(self, litho):
+        blind = dataclasses.replace(litho, ambit_nm=100)
+        d = one(run_lint(LintContext(litho=blind), codes=["LNT106"]), "LNT106")
+        assert d.severity is Severity.ERROR
+
+    def test_short_ambit_warns(self, litho):
+        short = dataclasses.replace(litho, ambit_nm=300)
+        d = one(run_lint(LintContext(litho=short), codes=["LNT106"]), "LNT106")
+        assert d.severity is Severity.WARNING
+
+
+class TestHintsEverywhere:
+    @pytest.mark.parametrize("pixel_nm", [120.0, 60.0])
+    def test_config_findings_carry_hints(self, litho, pixel_nm):
+        bad = dataclasses.replace(litho, pixel_nm=pixel_nm)
+        for d in run_lint(LintContext(litho=bad)).by_code("LNT102"):
+            assert d.hint

@@ -1,0 +1,225 @@
+"""Layout-layer rules (LNT2xx): drawn-geometry hazards, run statically."""
+
+from repro.analysis import PitchRestriction
+from repro.geometry import Rect, Region, Transform
+from repro.layout import Cell, Layer
+from repro.lint import LintContext, Severity, run_lint
+from repro.lint.rules_layout import MAX_LOCATIONS
+from repro.opc import PSMRecipe
+
+POLY = Layer(3)
+
+
+def codes(report):
+    return {d.code for d in report}
+
+
+class TestSubResolution:
+    def test_printable_lines_are_clean(self, litho, clean_lines):
+        ctx = LintContext(litho=litho, layout=clean_lines)
+        assert "LNT201" not in codes(run_lint(ctx, codes=["LNT201"]))
+
+    def test_unprintable_sliver_is_an_error_with_location(self, litho):
+        # 20 nm wide: far below the 91 nm floor (0.25*lambda/NA for KrF).
+        sliver = Region(Rect(0, 0, 20, 500))
+        report = run_lint(
+            LintContext(litho=litho, layout=sliver), codes=["LNT201"]
+        )
+        found = report.by_code("LNT201")
+        assert found and found[0].severity is Severity.ERROR
+        assert found[0].location is not None
+        # The DRC marker box covers the offending sliver.
+        assert found[0].location.intersection(Rect(0, 0, 20, 500))
+
+    def test_owner_cell_attributed(self, litho):
+        leaf = Cell("SLIVER").add(POLY, Rect(0, 0, 20, 500))
+        top = Cell("TOP")
+        top.place(leaf, Transform())
+        layout = top.flat_region(POLY)
+        report = run_lint(
+            LintContext(litho=litho, layout=layout, cell=top),
+            codes=["LNT201"],
+        )
+        assert report.by_code("LNT201")[0].cell == "SLIVER"
+
+    def test_location_flood_is_capped(self, litho):
+        slivers = Region.from_rects(
+            [Rect(x * 200, 0, x * 200 + 20, 500) for x in range(30)]
+        )
+        report = run_lint(
+            LintContext(litho=litho, layout=slivers), codes=["LNT201"]
+        )
+        found = report.by_code("LNT201")
+        assert len(found) == MAX_LOCATIONS + 1
+        assert "more instance(s)" in found[-1].message
+
+
+class TestOffGrid:
+    def test_unit_grid_accepts_everything(self, clean_lines):
+        ctx = LintContext(layout=clean_lines, mask_grid_nm=1)
+        assert "LNT202" not in codes(run_lint(ctx, codes=["LNT202"]))
+
+    def test_off_grid_vertex_warns(self):
+        off = Region(Rect(0, 0, 105, 200))
+        report = run_lint(
+            LintContext(layout=off, mask_grid_nm=10), codes=["LNT202"]
+        )
+        found = report.by_code("LNT202")
+        assert found and found[0].severity is Severity.WARNING
+        assert any("105" in str(tuple(d.location)) for d in found if d.location)
+
+    def test_snapped_layout_is_clean(self):
+        snapped = Region(Rect(0, 0, 100, 200))
+        ctx = LintContext(layout=snapped, mask_grid_nm=10)
+        assert "LNT202" not in codes(run_lint(ctx, codes=["LNT202"]))
+
+
+class TestDegenerateLoops:
+    def flag(self, loop):
+        report = run_lint(
+            LintContext(raw_loops=[loop]), codes=["LNT203"]
+        )
+        return report.by_code("LNT203")
+
+    def test_under_vertexed_loop(self):
+        found = self.flag([(0, 0), (100, 0), (100, 100)])
+        assert found and "3 vertices" in found[0].message
+
+    def test_duplicate_vertex(self):
+        found = self.flag([(0, 0), (100, 0), (100, 0), (100, 100), (0, 100)])
+        assert found and "duplicate" in found[0].message
+
+    def test_non_manhattan_edge(self):
+        found = self.flag([(0, 0), (100, 50), (100, 100), (0, 100)])
+        assert found and "non-Manhattan" in found[0].message
+
+    def test_zero_area_loop(self):
+        found = self.flag([(0, 0), (100, 0), (0, 0), (100, 0)])
+        assert found  # duplicate-free zero-area degenerate
+
+    def test_good_rectangle_is_clean(self):
+        assert not self.flag([(0, 0), (100, 0), (100, 100), (0, 100)])
+
+    def test_all_degenerates_are_errors(self):
+        for loop in (
+            [(0, 0), (1, 0), (1, 1)],
+            [(0, 0), (50, 50), (100, 0), (0, 0)],
+        ):
+            for d in self.flag(loop):
+                assert d.severity is Severity.ERROR
+
+
+class TestSelfIntersection:
+    def test_crossing_loop_is_an_error_at_the_crossing(self):
+        # The vertical run at x=5 crosses the bottom edge at y=0.
+        bowtie = [(0, 0), (10, 0), (10, 10), (5, 10), (5, -5), (0, -5)]
+        report = run_lint(
+            LintContext(raw_loops=[bowtie]), codes=["LNT204"]
+        )
+        found = report.by_code("LNT204")
+        assert found and found[0].severity is Severity.ERROR
+        assert found[0].location == Rect(5, 0, 5, 0)
+
+    def test_simple_l_shape_is_clean(self):
+        ell = [(0, 0), (100, 0), (100, 40), (40, 40), (40, 100), (0, 100)]
+        ctx = LintContext(raw_loops=[ell])
+        assert "LNT204" not in codes(run_lint(ctx, codes=["LNT204"]))
+
+    def test_abutting_edges_do_not_count(self):
+        # A loop that touches itself at a vertex (no proper crossing).
+        touch = [
+            (0, 0), (100, 0), (100, 50), (50, 50),
+            (50, 100), (0, 100),
+        ]
+        ctx = LintContext(raw_loops=[touch])
+        assert "LNT204" not in codes(run_lint(ctx, codes=["LNT204"]))
+
+
+class TestForbiddenPitch:
+    def test_restricted_pitch_occupancy_warns(self):
+        # Two 180 nm lines with a 220 nm gap: pitch 400, inside the band.
+        lines = Region.from_rects(
+            [Rect(0, 0, 180, 2000), Rect(400, 0, 580, 2000)]
+        )
+        restriction = PitchRestriction(
+            low_pitch_nm=390, high_pitch_nm=410, worst_error_nm=6.0
+        )
+        report = run_lint(
+            LintContext(layout=lines, pitch_restrictions=(restriction,)),
+            codes=["LNT205"],
+        )
+        found = report.by_code("LNT205")
+        assert found and found[0].severity is Severity.WARNING
+        assert "400" in found[0].message
+
+    def test_relaxed_pitch_is_clean(self, clean_lines):
+        restriction = PitchRestriction(
+            low_pitch_nm=390, high_pitch_nm=410, worst_error_nm=6.0
+        )
+        ctx = LintContext(
+            layout=clean_lines, pitch_restrictions=(restriction,)
+        )
+        assert "LNT205" not in codes(run_lint(ctx, codes=["LNT205"]))
+
+    def test_no_restrictions_means_rule_skipped(self, clean_lines):
+        ctx = LintContext(layout=clean_lines)
+        assert "LNT205" not in codes(run_lint(ctx, codes=["LNT205"]))
+
+
+class TestPhaseConflict:
+    def test_odd_cycle_is_an_error_with_location(self):
+        # A short narrow critical line whose two shifters wrap around and
+        # collide: the same conflict fixture the PSM unit tests use.
+        line = Region(Rect(0, 0, 100, 400))
+        recipe = PSMRecipe(
+            critical_width_nm=200,
+            shifter_width_nm=250,
+            min_shifter_space_nm=120,
+            min_critical_length_nm=300,
+        )
+        report = run_lint(
+            LintContext(layout=line, psm_recipe=recipe), codes=["LNT206"]
+        )
+        found = report.by_code("LNT206")
+        assert found and found[0].severity is Severity.ERROR
+        assert found[0].location is not None
+
+    def test_colorable_pair_is_clean(self):
+        lines = Region.from_rects(
+            [Rect(0, 0, 150, 2000), Rect(450, 0, 600, 2000)]
+        )
+        ctx = LintContext(layout=lines, psm_recipe=PSMRecipe())
+        assert "LNT206" not in codes(run_lint(ctx, codes=["LNT206"]))
+
+
+class TestOverlappingPlacements:
+    def leaf(self):
+        return Cell("LEAF").add(POLY, Rect(0, 0, 1000, 1000))
+
+    def test_overlap_warns_with_both_names(self):
+        top = Cell("TOP")
+        leaf = self.leaf()
+        top.place_at(leaf, 0, 0)
+        top.place_at(leaf, 500, 0)  # overlaps the first placement
+        report = run_lint(LintContext(cell=top), codes=["LNT207"])
+        found = report.by_code("LNT207")
+        assert found and found[0].severity is Severity.WARNING
+        assert "LEAF" in found[0].message
+
+    def test_abutting_placements_are_clean(self):
+        top = Cell("TOP")
+        leaf = self.leaf()
+        top.place_at(leaf, 0, 0)
+        top.place_at(leaf, 1000, 0)  # shares an edge, zero-area overlap
+        ctx = LintContext(cell=top)
+        assert "LNT207" not in codes(run_lint(ctx, codes=["LNT207"]))
+
+    def test_nested_hierarchy_overlap_detected(self):
+        leaf = self.leaf()
+        mid = Cell("MID")
+        mid.place_at(leaf, 0, 0)
+        top = Cell("TOP")
+        top.place_at(mid, 0, 0)
+        top.place_at(leaf, 200, 200)
+        report = run_lint(LintContext(cell=top), codes=["LNT207"])
+        assert report.by_code("LNT207")

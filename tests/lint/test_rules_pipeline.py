@@ -1,0 +1,125 @@
+"""Pipeline-layer rules (LNT3xx): recipe stages with no effect."""
+
+from repro.geometry import Rect, Region
+from repro.lint import LintContext, Severity, run_lint
+from repro.opc import (
+    MRCRules,
+    ModelOPCRecipe,
+    ParallelSpec,
+    RetargetRules,
+    SRAFRecipe,
+    TilingSpec,
+)
+
+
+def codes(report):
+    return {d.code for d in report}
+
+
+class TestSRAFWritable:
+    def test_unwritable_bars_warn(self):
+        ctx = LintContext(
+            level="model+sraf",
+            mrc=MRCRules(min_width_nm=80),  # bars default to 60 nm
+            sraf_recipe=SRAFRecipe(),
+        )
+        found = run_lint(ctx, codes=["LNT301"]).by_code("LNT301")
+        assert found and found[0].severity is Severity.WARNING
+        assert "deleted" in found[0].message
+
+    def test_tight_bar_space_warns(self):
+        ctx = LintContext(
+            level="model+sraf",
+            mrc=MRCRules(min_space_nm=120),
+            sraf_recipe=SRAFRecipe(mrc_space_nm=100),
+        )
+        report = run_lint(ctx, codes=["LNT301"])
+        assert any("mrc_space_nm" in d.message for d in report.warnings)
+
+    def test_writable_defaults_are_clean(self):
+        ctx = LintContext(level="model+sraf", mrc=MRCRules())
+        assert "LNT301" not in codes(run_lint(ctx, codes=["LNT301"]))
+
+    def test_rule_idle_below_sraf_level(self):
+        ctx = LintContext(level="model", mrc=MRCRules(min_width_nm=80))
+        assert "LNT301" not in codes(run_lint(ctx, codes=["LNT301"]))
+
+
+class TestRetargetNoop:
+    def test_matching_nothing_is_info(self, clean_lines):
+        # Floors well below the drawn 180/320 widths and spaces.
+        rules = RetargetRules(min_width_nm=50, min_space_nm=50)
+        ctx = LintContext(layout=clean_lines, retarget_rules=rules)
+        found = run_lint(ctx, codes=["LNT302"]).by_code("LNT302")
+        assert found and found[0].severity is Severity.INFO
+
+    def test_active_retarget_is_clean(self, clean_lines):
+        # The 180 nm lines are below a 200 nm floor: the stage will act.
+        rules = RetargetRules(min_width_nm=200, min_space_nm=50)
+        ctx = LintContext(layout=clean_lines, retarget_rules=rules)
+        assert "LNT302" not in codes(run_lint(ctx, codes=["LNT302"]))
+
+
+class TestSmoothUndoesOPC:
+    def test_oversized_tolerance_warns(self):
+        ctx = LintContext(
+            smooth_tolerance_nm=20,
+            model_recipe=ModelOPCRecipe(max_move_per_iteration_nm=8),
+        )
+        found = run_lint(ctx, codes=["LNT303"]).by_code("LNT303")
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_fine_tolerance_is_clean(self):
+        ctx = LintContext(
+            smooth_tolerance_nm=4, model_recipe=ModelOPCRecipe()
+        )
+        assert "LNT303" not in codes(run_lint(ctx, codes=["LNT303"]))
+
+
+class TestParallelNoop:
+    def test_single_worker_pool_is_info(self):
+        ctx = LintContext(parallel=ParallelSpec(n_workers=1))
+        found = run_lint(ctx, codes=["LNT304"]).by_code("LNT304")
+        assert found and found[0].severity is Severity.INFO
+
+    def test_single_tile_layout_with_many_workers_is_info(self):
+        small = Region(Rect(0, 0, 800, 800))
+        ctx = LintContext(
+            layout=small,
+            tiling=TilingSpec(tile_nm=2400),
+            parallel=ParallelSpec(n_workers=4),
+        )
+        found = run_lint(ctx, codes=["LNT304"]).by_code("LNT304")
+        assert found and "single" in found[0].message
+
+    def test_genuinely_parallel_job_is_clean(self):
+        wide = Region.from_rects(
+            [Rect(x, 0, x + 180, 6000) for x in range(0, 6000, 500)]
+        )
+        ctx = LintContext(
+            layout=wide,
+            tiling=TilingSpec(tile_nm=2400),
+            parallel=ParallelSpec(n_workers=2),
+        )
+        assert "LNT304" not in codes(run_lint(ctx, codes=["LNT304"]))
+
+
+class TestPolarityMismatch:
+    def test_bright_model_on_clear_field_warns(self):
+        ctx = LintContext(
+            model_recipe=ModelOPCRecipe(bright_feature=True),
+            dark_field=False,
+        )
+        found = run_lint(ctx, codes=["LNT305"]).by_code("LNT305")
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_dark_field_flow_is_clean(self):
+        ctx = LintContext(
+            model_recipe=ModelOPCRecipe(bright_feature=True),
+            dark_field=True,
+        )
+        assert "LNT305" not in codes(run_lint(ctx, codes=["LNT305"]))
+
+    def test_default_clear_field_is_clean(self):
+        ctx = LintContext(model_recipe=ModelOPCRecipe())
+        assert "LNT305" not in codes(run_lint(ctx, codes=["LNT305"]))

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import LithoError
-from repro.geometry import Rect, Region
+from repro.geometry import Rect
 from repro.litho import (
     Grid,
     cutline_cd,

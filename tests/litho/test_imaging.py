@@ -8,9 +8,6 @@ from repro.geometry import Rect, Region
 from repro.litho import (
     AbbeEngine,
     Grid,
-    LithoConfig,
-    LithoSimulator,
-    MaskSpec,
     SOCSEngine,
     attpsm_mask,
     binary_mask,

@@ -4,12 +4,11 @@ import numpy as np
 import pytest
 
 from repro.errors import LithoError
-from repro.geometry import Rect, Region
+from repro.geometry import Region
 from repro.litho import (
     FocusExposureMatrix,
     LithoConfig,
     LithoSimulator,
-    binary_mask,
     dof_at_exposure_latitude,
     dose_bounds,
     exposure_latitude_curve,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ReproError
 from repro.geometry import Rect, Region
 from repro.mask import (
-    DEFAULT_MAX_FIGURE_NM,
     SHOT_RECORD_BYTES,
     mask_data_stats,
     write_time_estimate_s,

@@ -16,6 +16,7 @@ from repro.litho import LithoConfig, LithoSimulator, krf_annular
 from repro.opc import ModelOPCRecipe, TilingSpec
 
 STAGES = [
+    "tapeout.preflight",
     "tapeout.retarget",
     "tapeout.correct",
     "tapeout.smooth",

@@ -418,3 +418,88 @@ class TestSchemaCompat:
             spatial=stalled_payload, git_rev=None,
         )
         assert good.canonical_json() != stalled.canonical_json()
+
+
+class TestPreflightSchema:
+    """Schema 1.2: the additive static-preflight summary field."""
+
+    PREFLIGHT = {
+        "ok": True,
+        "errors": 0,
+        "warnings": 1,
+        "info": 0,
+        "codes": ["LNT104"],
+    }
+
+    def test_new_records_are_schema_1_2(self):
+        assert obs_runs.RUN_SCHEMA == "repro-run/1.2"
+        assert make_record().schema == "repro-run/1.2"
+
+    def test_preflight_payload_round_trips(self):
+        record = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={}, quality={"figures": 1},
+            preflight=self.PREFLIGHT, git_rev=None,
+        )
+        back = obs_runs.RunRecord.from_dict(record.to_dict())
+        assert back.preflight == self.PREFLIGHT
+        assert back.canonical_json() == record.canonical_json()
+
+    def test_absent_preflight_omitted_from_dict(self):
+        data = make_record().to_dict()
+        assert "preflight" not in data
+
+    def test_pre_1_2_record_loads_and_diffs(self, tmp_path):
+        """A 1.1 ledger (no preflight field) loads, diffs and serialises
+        unchanged under the 1.2 code."""
+        data = make_record().to_dict()
+        data["schema"] = "repro-run/1.1"
+        path = tmp_path / "runs.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(data, sort_keys=True) + "\n")
+        ledger = obs_runs.RunLedger(tmp_path)
+        loaded = ledger.load(data["run_id"])
+        assert loaded.schema == "repro-run/1.1"
+        assert loaded.preflight is None
+        assert loaded.to_dict() == data
+        fresh = obs_runs.new_record(
+            "tapeout", CONFIG, make_roots(), metrics={},
+            quality={"figures": 10}, preflight=self.PREFLIGHT, git_rev=None,
+        )
+        diff = obs_runs.diff_runs(loaded, fresh)
+        assert not diff.changed_quality
+
+    def test_preflight_round_trips_through_ledger(self, tmp_path):
+        record = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={}, quality={"figures": 1},
+            preflight=self.PREFLIGHT, git_rev=None,
+        )
+        ledger = obs_runs.RunLedger(tmp_path)
+        ledger.append(record)
+        assert ledger.load(record.run_id).preflight == self.PREFLIGHT
+
+    def test_instrumented_tapeout_records_preflight_verdict(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.litho import LithoSimulator, krf_annular
+        from repro.opc import ModelOPCRecipe, TilingSpec
+
+        target = Region.from_rects(
+            [Rect(x, -400, x + 180, 400) for x in (0, 460)]
+        )
+        simulator = LithoSimulator(
+            LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+        )
+        recipe = TapeoutRecipe(
+            level=CorrectionLevel.MODEL,
+            model_recipe=ModelOPCRecipe(max_iterations=1),
+            tiling=TilingSpec(tile_nm=1500, halo_nm=300),
+        )
+        monkeypatch.setenv(obs_runs.RUNS_DIR_ENV, str(tmp_path))
+        with obs.capture():
+            tapeout_region(target, simulator, dose=1.0, recipe=recipe,
+                           verify=False)
+        ledger = obs_runs.RunLedger(tmp_path)
+        record = ledger.load_entry(ledger.entries()[0])
+        assert record.preflight is not None
+        assert record.preflight["ok"] is True
+        assert record.preflight["errors"] == 0

@@ -13,7 +13,7 @@ import pytest
 
 from repro import obs
 from repro.errors import OPCError
-from repro.geometry import Rect, Region
+from repro.geometry import Rect
 from repro.opc import (
     ModelOPCRecipe,
     ParallelSpec,
@@ -140,16 +140,22 @@ class TestFailFast:
 
 
 class TestSpecValidation:
-    def test_bad_specs_are_rejected(self):
-        for bad in (
-            ParallelSpec(n_workers=0),
-            ParallelSpec(max_retries=-1),
-            ParallelSpec(on_failure="retry-forever"),
-            ParallelSpec(start_method="thread"),
-            ParallelSpec(timeout_s=0.0),
+    def test_bad_specs_are_rejected_at_construction(self):
+        # Validation is eager: the constructor itself raises, so a typo'd
+        # spec never survives long enough to reach the worker pool.
+        for bad_kwargs in (
+            dict(n_workers=0),
+            dict(max_retries=-1),
+            dict(on_failure="retry-forever"),
+            dict(start_method="thread"),
+            dict(timeout_s=0.0),
         ):
             with pytest.raises(OPCError):
-                bad.validated()
+                ParallelSpec(**bad_kwargs)
+
+    def test_good_spec_validates_to_itself(self):
+        spec = ParallelSpec(n_workers=2, timeout_s=30.0)
+        assert spec.validated() is spec
 
     def test_unpicklable_mask_builder_is_rejected_up_front(
         self, simulator, anchor_dose, mixed_lines

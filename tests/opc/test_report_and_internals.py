@@ -1,6 +1,5 @@
 """Tests for OPC result records and simulator internals."""
 
-import pytest
 
 from repro.geometry import Rect, Region
 from repro.litho import LithoConfig, LithoSimulator, krf_annular, krf_conventional

@@ -143,7 +143,7 @@ class TestCalibration:
         )
 
     def test_bins_cover_all_spaces(self, table):
-        assert table.rules[-1].space_below == ISOLATED
+        assert table.rules[-1].space_below_nm == ISOLATED
 
     def test_dense_bin_near_zero(self, table, anchor_dose):
         # The process is anchored at space 280, so its bias must be tiny.

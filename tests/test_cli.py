@@ -57,7 +57,7 @@ class TestDRC:
 
     def test_violating_layout(self, tmp_path, capsys):
         from repro.geometry import Rect
-        from repro.layout import Cell, Library, POLY, write_gds
+        from repro.layout import Library, POLY, write_gds
 
         lib = Library("bad")
         cell = lib.new_cell("bad")
@@ -195,7 +195,7 @@ class TestProfile:
 class TestCorrectMore:
     def test_dark_field_flag_runs(self, tmp_path, capsys):
         from repro.design import contact_array
-        from repro.layout import CONTACT, Cell, Library, write_gds
+        from repro.layout import CONTACT, Library, write_gds
 
         lib = Library("cts")
         cell = lib.new_cell("cts")

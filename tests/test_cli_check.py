@@ -1,0 +1,113 @@
+"""End-to-end tests for the ``repro check`` subcommand."""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.geometry import Rect
+from repro.layout import Layer
+from repro.layout.library import Library
+from repro.layout.gds import write_gds
+
+POLY = Layer(3)
+
+
+@pytest.fixture(scope="module")
+def clean_gds(tmp_path_factory):
+    """Printable 180 nm lines on layer 3: no error-severity findings."""
+    lib = Library("check")
+    cell = lib.new_cell("LINES")
+    for x in (0, 500, 1000):
+        cell.add(POLY, Rect(x, 0, x + 180, 2000))
+    path = tmp_path_factory.mktemp("check") / "clean.gds"
+    write_gds(lib, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def bad_gds(tmp_path_factory):
+    """A 20 nm sliver: sub-resolution under KrF, an LNT201 error."""
+    lib = Library("check")
+    cell = lib.new_cell("SLIVER")
+    cell.add(POLY, Rect(0, 0, 20, 500))
+    cell.add(POLY, Rect(200, 0, 380, 2000))
+    path = tmp_path_factory.mktemp("check") / "bad.gds"
+    write_gds(lib, path)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_layout_exits_zero(self, clean_gds, capsys):
+        assert main(["check", str(clean_gds), "--layer", "3"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_findings_exit_one(self, bad_gds, capsys):
+        assert main(["check", str(bad_gds), "--layer", "3"]) == 1
+        assert "LNT201" in capsys.readouterr().out
+
+    def test_builtin_pattern_without_gds(self, capsys):
+        assert main(["check"]) == 0
+
+    def test_gds_without_layer_is_operational_error(self, clean_gds, capsys):
+        assert main(["check", str(clean_gds)]) == 2
+
+    def test_missing_layer_is_operational_error(self, clean_gds, capsys):
+        assert main(["check", str(clean_gds), "--layer", "9"]) == 2
+
+
+class TestFormats:
+    def test_json_format_parses(self, bad_gds, capsys):
+        main(["check", str(bad_gds), "--layer", "3", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-lint"
+        assert payload["summary"]["ok"] is False
+        assert "LNT201" in payload["summary"]["codes"]
+
+    def test_sarif_format_is_valid_2_1_0(self, bad_gds, capsys):
+        main(["check", str(bad_gds), "--layer", "3", "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert any(r["ruleId"] == "LNT201" for r in results)
+        # The GDS path rides along as the SARIF artifact.
+        uri = results[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        assert uri.endswith("bad.gds")
+
+    def test_output_file(self, bad_gds, tmp_path, capsys):
+        out = tmp_path / "check.sarif"
+        main([
+            "check", str(bad_gds), "--layer", "3",
+            "--format", "sarif", "-o", str(out),
+        ])
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestKnobs:
+    def test_grid_flag_activates_off_grid_rule(self, tmp_path, capsys):
+        lib = Library("grid")
+        cell = lib.new_cell("OFFGRID")
+        cell.add(POLY, Rect(0, 0, 185, 2000))
+        path = tmp_path / "offgrid.gds"
+        write_gds(lib, path)
+        # Warnings only -> still exit 0, but the finding is reported.
+        assert main([
+            "check", str(path), "--layer", "3", "--grid-nm", "10",
+        ]) == 0
+        assert "LNT202" in capsys.readouterr().out
+
+    def test_parallel_flags_reach_the_rules(self, clean_gds, capsys):
+        # The whole layout fits one tile, so a 2-worker pool is a no-op
+        # (LNT304 info); warnings/info never change the exit code.
+        assert main([
+            "check", str(clean_gds), "--layer", "3", "--workers", "2",
+        ]) == 0
+        assert "LNT304" in capsys.readouterr().out
+
+    def test_check_is_fast(self, bad_gds):
+        start = time.perf_counter()
+        main(["check", str(bad_gds), "--layer", "3"])
+        assert time.perf_counter() - start < 1.0

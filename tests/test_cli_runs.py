@@ -12,7 +12,6 @@ import pytest
 
 from repro.cli import main
 from repro.obs import runs as obs_runs
-from repro.obs.trace import Span
 
 PROFILE_ARGS = [
     "profile", "--record", "--max-iterations", "1", "--no-verify",

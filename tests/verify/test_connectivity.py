@@ -5,7 +5,7 @@ import pytest
 from repro.errors import VerificationError
 from repro.geometry import Rect
 from repro.layout import Cell, CONTACT, METAL1, METAL2, POLY, VIA1
-from repro.verify import Netlist, extract_nets, verify_routed_nets
+from repro.verify import extract_nets, verify_routed_nets
 
 
 def simple_stack():
@@ -123,7 +123,6 @@ class TestStdCellNets:
 class TestRoutedBlock:
     def test_router_output_conducts(self):
         from repro.design import GridRouter
-        from repro.design.primitives import wire
 
         cell = Cell("routes")
         router = GridRouter(Rect(0, 0, 20000, 20000), 1000, 280)

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Repo-specific static lint over ``src/repro`` (stdlib ``ast`` only).
+
+Three rules the generic linters cannot express:
+
+R001  No wall-clock or unseeded-random calls in deterministic hot paths
+      (``repro.geometry``, ``repro.opc``).  Tile stitching is
+      byte-identical across worker counts and run-to-run; one
+      ``time.time()`` or ``random.random()`` in the correction path
+      silently breaks that contract.  ``time.sleep`` is allowed (used
+      only by the fault-injection poison stub).
+
+R002  Physical-length dataclass fields must carry the ``_nm`` unit
+      suffix in the physics packages.  Every geometry coordinate is an
+      integer nanometre; an unsuffixed ``halo``/``width``/``pitch``
+      field invites a unit bug at a call site.
+
+R003  No callable/mutable defaults on fields of picklable worker-payload
+      dataclasses (``repro.opc.parallel``): lambdas and local functions
+      don't pickle, so such a default works in-process and explodes only
+      under the ``spawn`` start method.
+
+Waive a finding with a trailing ``# repro-lint: ignore[R00X]`` comment
+on the offending line.  Exit 1 when findings remain.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: R001 scope: packages whose results must be bit-deterministic.
+HOT_PACKAGES = ("geometry", "opc")
+
+#: R001: banned call roots (module attribute chains).
+CLOCK_CALLS = {
+    "time.time",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.process_time",
+    "time.time_ns",
+    "time.monotonic_ns",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+RANDOM_MODULES = ("random", "np.random", "numpy.random")
+
+#: R002 scope: packages where dataclass fields are physical quantities.
+UNIT_PACKAGES = ("geometry", "opc", "litho", "verify", "flow", "analysis")
+
+#: R002: a field whose name contains one of these words measures a
+#: length and must end in ``_nm``.
+LENGTH_WORDS = (
+    "width",
+    "space",
+    "length",
+    "halo",
+    "pitch",
+    "offset",
+    "margin",
+    "radius",
+    "ambit",
+    "pullback",
+    "move",
+    "tolerance",
+)
+#: ...unless it is one of these (dimensionless or non-length by intent).
+LENGTH_EXEMPT = re.compile(
+    r"(_nm$|_nm2$|_px$|_s$|_fraction$|_count$|^n_|_id$|_deg$)"
+)
+
+#: R003 scope: modules holding picklable worker payloads.
+PAYLOAD_MODULES = ("opc/parallel.py",)
+
+WAIVER = re.compile(r"#\s*repro-lint:\s*ignore\[(R\d{3})\]")
+
+
+class Finding(NamedTuple):
+    code: str
+    path: Path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO)
+        return f"{rel}:{self.line}: {self.code} {self.message}"
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for an attribute chain, or ``""`` when not a plain chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def in_packages(path: Path, packages) -> bool:
+    rel = path.relative_to(SRC)
+    return rel.parts and rel.parts[0] in packages
+
+
+def check_determinism(path: Path, tree: ast.AST) -> Iterator[Finding]:
+    """R001: wall-clock / unseeded-random calls in hot paths."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if not name:
+            continue
+        if name in CLOCK_CALLS:
+            yield Finding(
+                "R001", path, node.lineno,
+                f"wall-clock call {name}() in a deterministic hot path; "
+                f"results must not depend on when they run",
+            )
+        elif any(
+            name.startswith(mod + ".") for mod in RANDOM_MODULES
+        ) and not name.endswith((".seed", ".default_rng", ".Random", ".RandomState")):
+            yield Finding(
+                "R001", path, node.lineno,
+                f"unseeded random call {name}() in a deterministic hot "
+                f"path; thread an explicitly seeded generator through "
+                f"instead",
+            )
+
+
+def is_dataclass_def(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if dotted_name(target) in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def check_unit_suffix(path: Path, tree: ast.AST) -> Iterator[Finding]:
+    """R002: physical-length dataclass fields need the ``_nm`` suffix."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or not is_dataclass_def(node):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            field_name = stmt.target.id
+            if field_name.startswith("_"):
+                continue
+            lowered = field_name.lower()
+            if not any(word in lowered for word in LENGTH_WORDS):
+                continue
+            if LENGTH_EXEMPT.search(lowered):
+                continue
+            yield Finding(
+                "R002", path, stmt.lineno,
+                f"dataclass field {node.name}.{field_name} looks like a "
+                f"physical length but lacks the _nm unit suffix",
+            )
+
+
+def check_payload_defaults(path: Path, tree: ast.AST) -> Iterator[Finding]:
+    """R003: non-picklable defaults on worker-payload dataclass fields."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or not is_dataclass_def(node):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                continue
+            for sub in ast.walk(stmt.value):
+                if isinstance(sub, ast.Lambda):
+                    yield Finding(
+                        "R003", path, stmt.lineno,
+                        f"lambda default on {node.name}."
+                        f"{getattr(stmt.target, 'id', '?')} will not "
+                        f"pickle under the spawn start method",
+                    )
+
+
+def waived_lines(source: str) -> dict:
+    waivers: dict = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        match = WAIVER.search(line)
+        if match:
+            waivers.setdefault(i, set()).add(match.group(1))
+    return waivers
+
+
+def lint_file(path: Path) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    findings: List[Finding] = []
+    if in_packages(path, HOT_PACKAGES):
+        findings.extend(check_determinism(path, tree))
+    if in_packages(path, UNIT_PACKAGES):
+        findings.extend(check_unit_suffix(path, tree))
+    rel = str(path.relative_to(SRC)).replace("\\", "/")
+    if rel in PAYLOAD_MODULES:
+        findings.extend(check_payload_defaults(path, tree))
+    waivers = waived_lines(source)
+    return [
+        f for f in findings if f.code not in waivers.get(f.line, ())
+    ]
+
+
+def main() -> int:
+    findings: List[Finding] = []
+    for path in sorted(SRC.rglob("*.py")):
+        findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"repro-lint: clean ({len(list(SRC.rglob('*.py')))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
