@@ -27,6 +27,10 @@ OVERHEAD_BUDGET = 0.02
 #: cheapest kernel work.
 SPATIAL_OVERHEAD_BUDGET = 0.05
 
+#: Budget for a live event sink: streaming JSONL telemetry may cost at
+#: most this fraction of the cheapest kernel call per emit point.
+EVENTS_ENABLED_BUDGET = 0.05
+
 
 def _per_call_s(fn, repeats=20000):
     best = float("inf")
@@ -117,3 +121,87 @@ def test_disabled_spatial_telemetry_overhead_under_budget():
         f"{100 * ratio:.4f}% overhead"
     )
     assert ratio < SPATIAL_OVERHEAD_BUDGET
+
+
+def test_inactive_event_emit_overhead_under_budget():
+    """An emit point with no sinks attached must cost ~one boolean test.
+
+    Every ``tile.*`` / ``opc.iteration`` hook in the correction path runs
+    this guard unconditionally, so the no-sink price is held to the same
+    2% budget as disabled spans.
+    """
+    from repro.obs import events
+
+    assert not events.active()
+
+    def inactive_emit():
+        events.emit("opc.iteration", iteration=1, rms_epe_nm=2.0)
+
+    emit_cost = _per_call_s(inactive_emit)
+    kernel_cost = _kernel_per_call_s()
+    ratio = emit_cost / kernel_cost
+    print(
+        f"\ninactive event emit: {emit_cost * 1e9:.0f} ns/call, kernel "
+        f"{kernel_cost * 1e6:.0f} us/call -> {100 * ratio:.4f}% overhead"
+    )
+    assert ratio < OVERHEAD_BUDGET
+
+
+def test_jsonl_sink_emit_overhead_under_budget(tmp_path):
+    """A live JSONL sink stays under 5% of the cheapest kernel call.
+
+    This is the full enabled price: schema stamp, seq assignment under
+    the lock, ``json.dumps(sort_keys=True)``, write and flush.
+    """
+    from repro.obs import events
+
+    sink = events.bus().attach(events.JsonlSink(tmp_path / "bench.jsonl"))
+    try:
+
+        def live_emit():
+            events.emit("opc.iteration", iteration=1, rms_epe_nm=2.0)
+
+        emit_cost = _per_call_s(live_emit, repeats=5000)
+    finally:
+        events.bus().detach(sink)
+        sink.close()
+    kernel_cost = _kernel_per_call_s()
+    ratio = emit_cost / kernel_cost
+    print(
+        f"\nJSONL event emit: {emit_cost * 1e9:.0f} ns/call, kernel "
+        f"{kernel_cost * 1e6:.0f} us/call -> {100 * ratio:.4f}% overhead"
+    )
+    assert ratio < EVENTS_ENABLED_BUDGET
+
+
+def test_full_queue_drop_path_overhead_under_budget():
+    """A worker emitting into a full bounded queue must stay cheap.
+
+    This is the backpressure worst case: every ``put_nowait`` raises
+    ``queue.Full``, the drop counter increments, and the worker moves on
+    without ever blocking.  The price is held to the enabled budget and
+    the drops are fully accounted.
+    """
+    import queue as queue_mod
+
+    from repro.obs import events
+
+    tiny = queue_mod.Queue(maxsize=1)
+    tiny.put({"type": "progress", "ts": 0.0, "pid": 1, "data": {}})
+    sink = events.bus().attach(events.QueueSink(tiny))
+    try:
+
+        def dropped_emit():
+            events.emit("opc.iteration", iteration=1)
+
+        emit_cost = _per_call_s(dropped_emit, repeats=5000)
+        assert sink.dropped >= 5000  # every emit was counted, none blocked
+    finally:
+        events.bus().detach(sink)
+    kernel_cost = _kernel_per_call_s()
+    ratio = emit_cost / kernel_cost
+    print(
+        f"\nfull-queue drop path: {emit_cost * 1e9:.0f} ns/call, kernel "
+        f"{kernel_cost * 1e6:.0f} us/call -> {100 * ratio:.4f}% overhead"
+    )
+    assert ratio < EVENTS_ENABLED_BUDGET

@@ -27,8 +27,10 @@ convergence, and an SVG/HTML hotspot map written next to the CWD.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from contextlib import contextmanager, nullcontext
 from typing import Optional, Sequence
 
 from . import obs
@@ -197,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-preflight", action="store_true",
         help="skip the static lint gate that runs before the tapeout",
     )
+    _add_events_flag(profile)
     _add_parallel_flags(profile)
 
     report = sub.add_parser(
@@ -227,11 +230,19 @@ def build_parser() -> argparse.ArgumentParser:
         "-n", type=int, default=20, dest="limit",
         help="show at most N most recent runs (default 20)",
     )
+    runs_list.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (deterministic, sort_keys)",
+    )
 
     runs_show = runs_sub.add_parser("show", help="one run in detail")
     _add_runs_dir(runs_show)
     runs_show.add_argument(
         "run", help="run id prefix, or 'last' / 'prev' / 'last~N'"
+    )
+    runs_show.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (deterministic, sort_keys)",
     )
 
     runs_diff = runs_sub.add_parser(
@@ -283,6 +294,46 @@ def build_parser() -> argparse.ArgumentParser:
     runs_report.add_argument(
         "--limit", type=int, default=50,
         help="include at most N most recent runs (default 50)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="live progress view of an in-flight run (tails its --events "
+        "stream), or replay a persisted event log",
+    )
+    watch.add_argument(
+        "events", nargs="?",
+        help="event log (JSONL) of an in-flight run to tail; may not exist "
+        "yet (omit with --replay)",
+    )
+    watch.add_argument(
+        "--replay", metavar="RUN_OR_PATH",
+        help="replay a persisted event log: a file path, or a ledger run "
+        "reference ('last', 'prev', 'last~N', id prefix) whose recorded "
+        "stream is loaded from the ledger",
+    )
+    _add_runs_dir(watch)
+    watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="refresh interval while tailing (default 0.5)",
+    )
+    watch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up when no new events arrive for this long "
+        "(default: wait forever)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render one frame from the log's current contents and exit",
+    )
+    watch.add_argument(
+        "--validate", action="store_true",
+        help="check every event against the repro-event/1 schema and the "
+        "strictly-increasing sequence invariant",
+    )
+    watch.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (plain logs)",
     )
 
     inspect_cmd = sub.add_parser(
@@ -352,6 +403,35 @@ def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="record the run and print the span-tree/metrics profile",
     )
+    _add_events_flag(sub_parser)
+
+
+def _add_events_flag(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--events", metavar="PATH", dest="events_path",
+        help="stream live repro-event/1 telemetry (JSONL) to PATH; tail it "
+        "from another terminal with `repro watch PATH`",
+    )
+
+
+@contextmanager
+def _events_sink(args):
+    """Attach a JSONL event sink for the duration of a ``--events`` run.
+
+    Attaching the sink is what turns the live bus on, so ``--events``
+    works on its own -- no ``--profile``/``--trace`` needed.
+    """
+    path = getattr(args, "events_path", None)
+    if not path:
+        yield None
+        return
+    sink = obs.event_bus().attach(obs.JsonlSink(path))
+    try:
+        yield sink
+    finally:
+        obs.event_bus().detach(sink)
+        sink.close()
+        print(f"wrote events {path}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -373,6 +453,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _report(args)
         if args.command == "runs":
             return _runs(args)
+        if args.command == "watch":
+            return _watch(args)
         if args.command == "inspect":
             return _inspect(args)
     except ReproError as error:
@@ -449,8 +531,9 @@ def _drc(args) -> int:
 
 def _correct(args) -> int:
     if not (args.trace or args.profile):
-        return _run_correct(args)
-    with obs.capture() as cap:
+        with _events_sink(args):
+            return _run_correct(args)
+    with _events_sink(args), obs.capture() as cap:
         code = _run_correct(args)
     if args.trace:
         obs.write_trace_json(args.trace, cap.roots)
@@ -640,12 +723,14 @@ def _profile(args) -> int:
         level=_LEVELS[args.level], model_recipe=model_recipe, tiling=tiling,
         parallel=_parallel_spec(args),
     )
-    from contextlib import nullcontext
-
     # --record appends one aggregate record itself; keep the flow from
-    # auto-appending an inner "tapeout" record on top of it.
+    # auto-appending an inner "tapeout" record on top of it.  The outer
+    # run_scope takes over run.start/run.end (and, with --record, the
+    # full stream capture) from the tapeout's now-nested scope.
     guard = obs_runs.suppress_auto_record() if args.record else nullcontext()
-    with guard, obs.capture() as cap:
+    with _events_sink(args), obs.run_scope(
+        f"profile:{name}", force=args.record
+    ) as run_events, guard, obs.capture() as cap:
         result = tapeout_region(
             target, simulator, dose, recipe, verify=not args.no_verify,
             preflight=not args.no_preflight,
@@ -697,6 +782,11 @@ def _profile(args) -> int:
             label=f"profile:{name}", config=config, roots=cap.roots,
             quality=quality, spatial=spatial, preflight=preflight_summary,
         )
+        if run_events.captured:
+            obs_runs.persist_run_events(
+                ledger.root, record, run_events.events,
+                run_events.progress_summary(),
+            )
         ledger.append(record)
         line = (
             f"recorded run {record.run_id} -> {ledger.root} "
@@ -719,6 +809,12 @@ def _runs(args) -> int:
         entries = ledger.entries(
             label=args.label, fingerprint=args.fingerprint
         )
+        if args.json:
+            print(json.dumps(
+                [e.to_dict() for e in entries[-args.limit:]],
+                sort_keys=True,
+            ))
+            return 0
         if not entries:
             print(f"(no runs recorded in {ledger.root})")
             return 0
@@ -735,6 +831,9 @@ def _runs(args) -> int:
 
     if args.runs_command == "show":
         record = ledger.load_entry(ledger.resolve(args.run))
+        if args.json:
+            print(json.dumps(record.to_dict(), sort_keys=True))
+            return 0
         print(
             f"run {record.run_id}  {record.timestamp}  label={record.label}\n"
             f"fingerprint {record.fingerprint}  git {record.git_rev or '-'}  "
@@ -799,6 +898,53 @@ def _runs(args) -> int:
         return 0
 
     raise ReproError(f"unknown runs command {args.runs_command!r}")
+
+
+def _watch(args) -> int:
+    """Tail a live ``--events`` stream, or replay a persisted one."""
+    from .obs import watch as obs_watch
+
+    if args.replay:
+        path = args.replay
+        record = None
+        if not os.path.exists(path):
+            # Not a file on disk: treat it as a ledger run reference and
+            # load the stream record_run persisted next to the record.
+            ledger = obs_runs.ledger(args.runs_dir)
+            record = ledger.load_entry(ledger.resolve(args.replay))
+            if not record.events_path:
+                raise ReproError(
+                    f"run {record.run_id} has no recorded event stream "
+                    "(pre-repro-run/1.3, or captured without the ledger)"
+                )
+            path = os.path.join(str(ledger.root), record.events_path)
+        tracker = obs_watch.replay(path, validate=True)
+        print(obs_watch.render_frame(tracker))
+        if record is not None and record.progress is not None:
+            if tracker.summary() == record.progress:
+                print("replay matches the recorded progress summary")
+            else:
+                print(
+                    "replay DIVERGES from the recorded progress summary:\n"
+                    f"  recorded: {json.dumps(record.progress, sort_keys=True)}\n"
+                    f"  replayed: {json.dumps(tracker.summary(), sort_keys=True)}"
+                )
+                return 1
+        return 0
+    if not args.events:
+        raise ReproError("watch needs an event log path or --replay RUN_OR_PATH")
+    if args.once:
+        tracker = obs_watch.replay(args.events, validate=args.validate)
+        print(obs_watch.render_frame(tracker))
+        return 0
+    obs_watch.watch_live(
+        args.events,
+        interval_s=args.interval,
+        timeout_s=args.timeout,
+        validate=args.validate,
+        clear=not args.no_clear,
+    )
+    return 0
 
 
 def _spatial_summary_line(record) -> str:

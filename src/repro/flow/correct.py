@@ -24,6 +24,7 @@ from ..obs import (
     gauge_set as _obs_gauge_set,
     span as _obs_span,
 )
+from ..obs import events as _obs_events
 from ..obs import runs as _obs_runs
 from ..opc import (
     ModelOPCRecipe,
@@ -119,7 +120,11 @@ def correct_region(
     """
     import dataclasses
 
-    with _obs_span("correct", level=level.value) as correct_span:
+    # Bracket the flow with run.start/run.end on the live event bus; a
+    # correct nested inside a tapeout adds no events of its own.
+    with _obs_events.run_scope("correct") as run_events, _obs_span(
+        "correct", level=level.value
+    ) as correct_span:
         merged = target.merged()
         preflight_summary = None
         with _obs_span(
@@ -217,6 +222,7 @@ def correct_region(
             roots=[correct_span],
             quality=flow_quality(data, opc_result),
             preflight=preflight_summary,
+            events=run_events,
         )
     return FlowResult(
         level=level,

@@ -17,6 +17,7 @@ from ..layout import Cell, Layer
 from ..litho import LithoSimulator, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
 from ..obs import current_span as _obs_current_span, span as _obs_span
+from ..obs import events as _obs_events
 from ..obs import runs as _obs_runs
 from ..obs import spatial as _obs_spatial
 from ..opc import (
@@ -128,7 +129,10 @@ def tapeout_region(
     if window is None:
         window = merged.bbox().expanded(200)
 
-    with _obs_span(
+    # The event scope brackets the pipeline with run.start/run.end on the
+    # live bus and -- for runs headed to the ledger -- captures the full
+    # stream so record_run can persist it for `repro watch --replay`.
+    with _obs_events.run_scope("tapeout") as run_events, _obs_span(
         "tapeout", level=recipe.level.value, dark_field=recipe.dark_field
     ) as tapeout_span:
         preflight_summary = None
@@ -256,6 +260,7 @@ def tapeout_region(
             quality=quality,
             spatial=spatial,
             preflight=preflight_summary,
+            events=run_events,
         )
     return result
 

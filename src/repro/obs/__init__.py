@@ -17,6 +17,12 @@ pieces:
 * :mod:`~repro.obs.spatial` -- spatial hotspot diagnostics: binned EPE
   grids, worst-site ranking, per-tile convergence curves mined from the
   trace, and SVG/HTML hotspot maps.
+* :mod:`~repro.obs.events` -- the live ``repro-event/1`` event bus:
+  typed run/phase/tile/iteration/resource/progress events streamed to
+  pluggable sinks (JSONL, ring buffer, callback) across the process
+  boundary while a run executes.
+* :mod:`~repro.obs.watch` -- tail/replay/render consumers of the event
+  stream behind the ``repro watch`` CLI.
 
 Everything is off by default and costs one boolean test per guarded
 call; wrap a run in :func:`capture` (or call :func:`enable`) to record::
@@ -34,6 +40,22 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
+from .events import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    CallbackSink,
+    EventBus,
+    JsonlSink,
+    PoolProgress,
+    ProgressTracker,
+    RingBufferSink,
+    RunEvents,
+    run_scope,
+    validate_event,
+    validate_events,
+)
+from .events import bus as event_bus
+from .events import emit as emit_event
 from .export import (
     chrome_trace_events,
     metrics_markdown,
@@ -71,6 +93,7 @@ from .runs import (
     diff_markdown,
     diff_runs,
     new_record,
+    persist_run_events,
     record_run,
     write_dashboard_html,
 )
@@ -88,15 +111,25 @@ from .spatial import (
 )
 from .state import disable, enable, enabled, enabled_scope
 from .trace import Span, current_span, merge_spans, span, take_finished
+from .watch import read_events, render_frame, replay, tail_events, watch_live
 
 __all__ = [
+    "CallbackSink",
     "Capture",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "EventBus",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
+    "PoolProgress",
+    "ProgressTracker",
     "RUN_SCHEMA",
+    "RingBufferSink",
+    "RunEvents",
     "RegressionPolicy",
     "RegressionReport",
     "RunDiff",
@@ -124,26 +157,37 @@ __all__ = [
     "diff_markdown",
     "diff_runs",
     "disable",
+    "emit_event",
     "enable",
     "enabled",
     "enabled_scope",
+    "event_bus",
     "gauge_set",
     "merge_snapshot",
     "merge_spans",
     "metrics_markdown",
     "new_record",
     "observe",
+    "persist_run_events",
+    "read_events",
     "record_run",
     "registry",
+    "render_frame",
+    "replay",
     "reset_metrics",
+    "run_scope",
     "span",
     "write_dashboard_html",
     "span_from_dict",
     "span_to_dict",
     "span_tree_markdown",
+    "tail_events",
     "take_finished",
     "trace_document",
     "trace_markdown",
+    "validate_event",
+    "validate_events",
+    "watch_live",
     "write_trace_json",
 ]
 

@@ -55,12 +55,17 @@ from .trace import Span
 #: Version stamp of the run-record schema.  ``1.1`` added the optional
 #: ``spatial`` payload (hotspot grids, worst sites, per-tile convergence);
 #: ``1.2`` added the optional ``preflight`` summary (static lint verdict
-#: recorded by the flow gates).  Both changes are purely additive, so
-#: older records still load.
-RUN_SCHEMA = "repro-run/1.2"
+#: recorded by the flow gates); ``1.3`` added the optional ``events_path``
+#: (persisted ``repro-event/1`` stream, relative to the ledger root) and
+#: ``progress`` (final live-progress digest) so any ledgered run can be
+#: replayed with ``repro watch --replay``.  All changes are purely
+#: additive, so older records still load.
+RUN_SCHEMA = "repro-run/1.3"
 
 #: Every schema revision :meth:`RunRecord.from_dict` accepts.
-SUPPORTED_SCHEMAS = ("repro-run/1", "repro-run/1.1", "repro-run/1.2")
+SUPPORTED_SCHEMAS = (
+    "repro-run/1", "repro-run/1.1", "repro-run/1.2", "repro-run/1.3"
+)
 
 #: Environment variable naming the store directory (also the auto-record
 #: switch for :func:`auto_enabled`).
@@ -240,6 +245,12 @@ class RunRecord:
     #: Summary of the static preflight (``repro.lint``) that gated this
     #: run: ``{"ok", "errors", "warnings", "info", "codes"}`` (schema 1.2).
     preflight: Optional[Dict[str, Any]] = None
+    #: Ledger-root-relative path of the run's persisted ``repro-event/1``
+    #: stream, when live telemetry was captured (schema 1.3).
+    events_path: Optional[str] = None
+    #: Final progress digest of the captured event stream
+    #: (:meth:`repro.obs.events.ProgressTracker.summary`; schema 1.3).
+    progress: Optional[Dict[str, Any]] = None
     schema: str = RUN_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
@@ -260,6 +271,10 @@ class RunRecord:
             data["spatial"] = self.spatial
         if self.preflight is not None:
             data["preflight"] = self.preflight
+        if self.events_path is not None:
+            data["events_path"] = self.events_path
+        if self.progress is not None:
+            data["progress"] = self.progress
         return data
 
     @classmethod
@@ -283,6 +298,8 @@ class RunRecord:
             quality=data.get("quality", {}),
             spatial=data.get("spatial"),
             preflight=data.get("preflight"),
+            events_path=data.get("events_path"),
+            progress=data.get("progress"),
             schema=schema,
         )
 
@@ -455,7 +472,15 @@ class RunLedger:
                 line = line.strip()
                 if not line:
                     continue
-                data = json.loads(line)
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    # A corrupt index is recoverable: rebuild it from the
+                    # runs file and start the listing over.  (The rebuild
+                    # raises if runs.jsonl itself is corrupt, and writes
+                    # only valid JSON otherwise, so this terminates.)
+                    self._rebuild_index()
+                    return self.entries(label=label, fingerprint=fingerprint)
                 entry = RunIndexEntry(
                     run_id=data["run_id"],
                     timestamp=data["timestamp"],
@@ -476,10 +501,17 @@ class RunLedger:
             self.index_path, "w", encoding="utf-8"
         ) as index:
             offset = 0
-            for line in runs:
+            for lineno, line in enumerate(runs, start=1):
                 stripped = line.strip()
                 if stripped:
-                    data = json.loads(stripped.decode("utf-8"))
+                    try:
+                        data = json.loads(stripped.decode("utf-8"))
+                    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                        raise ReproError(
+                            f"run ledger {self.root} is corrupt: "
+                            f"runs.jsonl line {lineno} is not valid JSON "
+                            f"({error})"
+                        ) from None
                     entry = {
                         "run_id": data["run_id"],
                         "timestamp": data["timestamp"],
@@ -495,9 +527,15 @@ class RunLedger:
         """The full record behind one index entry (seeks, parses one line)."""
         with open(self.runs_path, "rb") as handle:
             handle.seek(entry.offset)
-            record = RunRecord.from_dict(
-                json.loads(handle.readline().decode("utf-8"))
-            )
+            raw = handle.readline()
+        try:
+            record = RunRecord.from_dict(json.loads(raw.decode("utf-8")))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # A stale offset landing mid-line looks like corruption;
+            # rebuild (which raises if the runs file really is corrupt)
+            # and retry through the fresh index.
+            self._rebuild_index()
+            return self.load(entry.run_id)
         if record.run_id != entry.run_id:
             # The index went stale (hand-edited store); rebuild and retry.
             self._rebuild_index()
@@ -601,6 +639,32 @@ def auto_enabled() -> bool:
     return bool(os.environ.get(RUNS_DIR_ENV)) and not _suppressed
 
 
+def persist_run_events(
+    root: Union[str, Path],
+    record: RunRecord,
+    events: Sequence[Dict[str, Any]],
+    progress: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a run's event stream next to the ledger and stamp the record.
+
+    The stream lands in ``<root>/events/<run_id>.jsonl`` (one
+    ``sort_keys`` JSON line per event, the same bytes a live
+    :class:`~repro.obs.events.JsonlSink` writes), and the record gets its
+    schema-1.3 ``events_path`` / ``progress`` fields -- so call this
+    *before* appending the record.  Returns the written path.
+    """
+    root = Path(root)
+    events_dir = root / "events"
+    events_dir.mkdir(parents=True, exist_ok=True)
+    path = events_dir / f"{record.run_id}.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    record.events_path = f"events/{record.run_id}.jsonl"
+    record.progress = progress
+    return path
+
+
 def record_run(
     label: str,
     config: Any,
@@ -609,14 +673,25 @@ def record_run(
     metrics: Optional[Dict[str, Dict[str, Any]]] = None,
     spatial: Optional[Dict[str, Any]] = None,
     preflight: Optional[Dict[str, Any]] = None,
+    events: Optional[Any] = None,
     root_dir: Optional[Union[str, Path]] = None,
 ) -> RunRecord:
-    """Build a record and append it to the active store in one call."""
+    """Build a record and append it to the active store in one call.
+
+    ``events`` is the :class:`~repro.obs.events.RunEvents` handle of the
+    run's event scope, when one captured the live stream; it is persisted
+    via :func:`persist_run_events` so the run can be replayed later.
+    """
     record = new_record(
         label, config, roots, metrics=metrics, quality=quality,
         spatial=spatial, preflight=preflight,
     )
-    ledger(root_dir).append(record)
+    led = ledger(root_dir)
+    if events is not None and getattr(events, "captured", False):
+        persist_run_events(
+            led.root, record, events.events, events.progress_summary()
+        )
+    led.append(record)
     return record
 
 

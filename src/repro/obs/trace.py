@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
+from . import events as _events
 from . import state
 
 
@@ -165,14 +166,27 @@ def span(name: str, **attrs: Any) -> Iterator[Span]:
     linked under the current parent (or collected as a finished root).
     When disabled it still measures wall time -- callers may read
     ``duration_s`` either way -- but records nothing else.
+
+    Pipeline-stage spans (:data:`repro.obs.events.PHASE_SPANS`) also
+    report ``phase.start`` / ``phase.end`` on the live event bus when a
+    sink is attached, independent of whether span recording is on.
     """
+    phased = _events._active and name in _events.PHASE_SPANS
     if not state.enabled():
         unrecorded = Span(name, recorded=False)
         unrecorded.start_s = perf_counter()
+        if phased:
+            _events.emit("phase.start", name=name)
         try:
             yield unrecorded
         finally:
             unrecorded.end_s = perf_counter()
+            if phased:
+                _events.emit(
+                    "phase.end",
+                    name=name,
+                    duration_s=round(unrecorded.duration_s, 6),
+                )
         return
 
     current = Span(name, dict(attrs))
@@ -180,6 +194,8 @@ def span(name: str, **attrs: Any) -> Iterator[Span]:
     parent = stack[-1] if stack else None
     stack.append(current)
     current.start_s = perf_counter()
+    if phased:
+        _events.emit("phase.start", name=name)
     try:
         yield current
     finally:
@@ -190,3 +206,7 @@ def span(name: str, **attrs: Any) -> Iterator[Span]:
             parent.children.append(current)
         else:
             _finished().append(current)
+        if phased:
+            _events.emit(
+                "phase.end", name=name, duration_s=round(current.duration_s, 6)
+            )

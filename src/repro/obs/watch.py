@@ -1,0 +1,228 @@
+"""Tail, replay and render ``repro-event/1`` streams (``repro watch``).
+
+Stdlib-only consumer side of :mod:`repro.obs.events`: read a persisted
+event log back (:func:`read_events`), fold it into a progress state
+(:func:`replay`), follow a growing log of an in-flight run
+(:func:`tail_events`) and render a terminal progress frame
+(:func:`render_frame` / :func:`watch_live`).
+
+Replay is deterministic: :class:`~repro.obs.events.ProgressTracker` is a
+pure function of the event stream, so replaying a ledgered run's
+persisted log reproduces the run record's stored ``progress`` digest
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import monotonic, sleep
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
+
+from ..errors import ReproError
+from .events import ProgressTracker, validate_event
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a persisted JSONL event log; errors name the offending line."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"event log {path} does not exist")
+    events: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"event log {path} line {lineno} is not valid JSON: {error}"
+                ) from error
+    return events
+
+
+def replay(
+    path: Union[str, Path], validate: bool = True
+) -> ProgressTracker:
+    """Fold a persisted event log into its final progress state.
+
+    ``validate`` additionally checks every event against the
+    ``repro-event/1`` schema and the strictly-increasing-sequence
+    invariant, raising :class:`~repro.errors.ReproError` on the first
+    violation.
+    """
+    events = read_events(path)
+    if validate:
+        prev: Optional[int] = None
+        for i, event in enumerate(events, start=1):
+            try:
+                prev = validate_event(event, prev)
+            except ReproError as error:
+                raise ReproError(f"event log {path} line {i}: {error}") from error
+    tracker = ProgressTracker()
+    tracker.consume_all(events)
+    return tracker
+
+
+def tail_events(
+    path: Union[str, Path],
+    poll_s: float = 0.2,
+    timeout_s: Optional[float] = None,
+) -> Iterator[List[Dict[str, Any]]]:
+    """Yield batches of events from a (possibly still growing) log.
+
+    Handles the file not existing yet (an in-flight run that has not
+    opened its sink), partial trailing lines (a writer mid-``write``)
+    and stops after the batch carrying ``run.end``.  ``timeout_s`` bounds
+    the wait for *new* data -- any arriving batch resets the deadline --
+    and raises :class:`~repro.errors.ReproError` when it expires.  Idle
+    polls yield an empty batch so callers can refresh a display.
+    """
+    path = Path(path)
+    offset = 0
+    buffer = ""
+    deadline = None if timeout_s is None else monotonic() + timeout_s
+    while True:
+        batch: List[Dict[str, Any]] = []
+        if path.exists():
+            with open(path, encoding="utf-8") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                offset = handle.tell()
+            buffer += chunk
+            lines = buffer.split("\n")
+            buffer = lines.pop()  # trailing partial (or empty) fragment
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    batch.append(json.loads(line))
+                except json.JSONDecodeError as error:
+                    raise ReproError(
+                        f"event log {path}: corrupt line while tailing: {error}"
+                    ) from error
+        if batch:
+            if timeout_s is not None:
+                deadline = monotonic() + timeout_s
+            yield batch
+            if any(event.get("type") == "run.end" for event in batch):
+                return
+            continue
+        if deadline is not None and monotonic() > deadline:
+            raise ReproError(
+                f"timed out after {timeout_s:.0f}s waiting for events in {path}"
+            )
+        yield []
+        sleep(poll_s)
+
+
+def _fmt_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    seconds = max(0.0, float(seconds))
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{int(seconds) // 60}m{int(seconds) % 60:02d}s"
+    return f"{seconds:.1f}s"
+
+
+def _fmt_bytes(n: Optional[int]) -> str:
+    if not n:
+        return "--"
+    return f"{n / (1024 * 1024):.0f}MB"
+
+
+def render_frame(tracker: ProgressTracker, clear: bool = False) -> str:
+    """One terminal frame of the live progress view."""
+    s = tracker.summary()
+    lines: List[str] = []
+    state = "done" if s["complete"] else "live"
+    label = s["run_label"] or "?"
+    header = f"repro watch · {label} [{state}]"
+    if s["run_wall_s"] is not None:
+        header += f" · wall {_fmt_seconds(s['run_wall_s'])}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    phase = tracker.phase or ("-" if not s["phases"] else s["phases"][-1] + " ✓")
+    lines.append(f"phase      {phase}")
+    total = s["tiles_total"]
+    if total:
+        pct = 100.0 * s["tiles_done"] / total
+        bar_n = int(pct / 5)
+        bar = "#" * bar_n + "." * (20 - bar_n)
+        eta = "" if s["complete"] else f"  eta {_fmt_seconds(tracker.eta_s)}"
+        lines.append(
+            f"tiles      [{bar}] {s['tiles_done']}/{total} ({pct:.0f}%){eta}"
+        )
+        if tracker.ewma_tile_s is not None:
+            lines.append(f"tile time  {tracker.ewma_tile_s:.3f}s (EWMA)")
+    lines.append(
+        f"health     retries {s['retries']}  failures {s['failures']}  "
+        f"fallbacks {s['fallbacks']}  dropped {s['dropped']}"
+    )
+    if s["iterations"]:
+        worst = s["worst_max_epe_nm"]
+        last = s["last_rms_epe_nm"]
+        lines.append(
+            f"opc        {s['iterations']} iterations  "
+            f"worst max EPE {worst if worst is not None else '--'} nm  "
+            f"last rms {last if last is not None else '--'} nm"
+        )
+    for pid in sorted(tracker.workers):
+        info = tracker.workers[pid]
+        cpu = info.get("cpu_percent")
+        cpu_text = f"{cpu:.0f}%" if cpu is not None else "--"
+        lines.append(
+            f"worker     pid {pid}  cpu {cpu_text}  "
+            f"rss {_fmt_bytes(info.get('rss_bytes'))}"
+        )
+    lines.append(f"events     {s['events']} seen · seq "
+                 f"{'ok' if s['seq_monotonic'] else 'NON-MONOTONIC'}")
+    frame = "\n".join(lines)
+    return (_CLEAR + frame) if clear else frame
+
+
+def watch_live(
+    path: Union[str, Path],
+    interval_s: float = 0.5,
+    timeout_s: Optional[float] = None,
+    validate: bool = False,
+    clear: bool = True,
+    stream: Optional[TextIO] = None,
+    max_frames: Optional[int] = None,
+) -> ProgressTracker:
+    """Follow a growing event log, re-rendering the progress view.
+
+    Returns the final :class:`~repro.obs.events.ProgressTracker` once the
+    run ends (or ``max_frames`` frames were drawn -- the test hook).
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    tracker = ProgressTracker()
+    prev_seq: Optional[int] = None
+    frames = 0
+    last_draw: Optional[float] = None
+    for batch in tail_events(path, poll_s=min(interval_s, 0.2),
+                             timeout_s=timeout_s):
+        for event in batch:
+            if validate:
+                prev_seq = validate_event(event, prev_seq)
+            tracker.consume(event)
+        now = monotonic()
+        if batch or last_draw is None or now - last_draw >= interval_s:
+            out.write(render_frame(tracker, clear=clear) + "\n")
+            out.flush()
+            last_draw = now
+            frames += 1
+            if max_frames is not None and frames >= max_frames:
+                break
+        if tracker.run_ended:
+            break
+    return tracker

@@ -32,6 +32,7 @@ from ..obs import (
     observe as _obs_observe,
     span as _obs_span,
 )
+from ..obs import events as _obs_events
 from ..obs.state import enabled as _obs_enabled
 from .report import IterationStats, OPCResult
 
@@ -166,6 +167,20 @@ def model_opc(
                     converged=converged,
                 )
                 _obs_count("opc.iterations")
+                if _obs_events.active():
+                    # Live per-iteration EPE stats; non-finite values map
+                    # to null (JSON has no Infinity).
+                    _obs_events.emit(
+                        "opc.iteration",
+                        iteration=iteration,
+                        rms_epe_nm=round(stats.rms_epe_nm, 3)
+                        if np.isfinite(stats.rms_epe_nm) else None,
+                        max_epe_nm=round(stats.max_epe_nm, 3)
+                        if np.isfinite(stats.max_epe_nm) else None,
+                        moved_fragments=stats.moved_fragments,
+                        missing_edges=stats.missing_edges,
+                        converged=converged,
+                    )
                 if np.isfinite(stats.max_epe_nm):
                     _obs_observe(
                         "opc.epe_nm", stats.max_epe_nm, EPE_NM_BUCKETS

@@ -47,6 +47,7 @@ from ..errors import OPCError
 from ..geometry import Rect, Region
 from ..litho import LithoConfig, LithoSimulator, binary_mask
 from ..obs import count as _obs_count, span as _obs_span
+from ..obs import events as _events
 from ..obs.state import enabled as _obs_enabled, enabled_scope as _obs_enabled_scope
 from .model_opc import MaskBuilder, ModelOPCRecipe
 from .report import IterationStats
@@ -184,14 +185,17 @@ class TileOutcome:
 _worker_simulator: Optional[LithoSimulator] = None
 
 
-def _pool_init(config: LithoConfig) -> None:
+def _pool_init(config: LithoConfig, events_queue: Optional[Any] = None) -> None:
     """Per-worker initializer: build the simulator once per process.
 
     Workers rebuild from the picklable :class:`LithoConfig` rather than
     receiving a pickled simulator, so engine caches (SOCS kernels) are
     process-local and the pool works under ``spawn``.  Under ``fork`` the
-    child also inherits the parent's thread-local span stack mid-capture;
-    it is cleared here so worker spans root cleanly.
+    child also inherits the parent's thread-local span stack mid-capture
+    and the parent's event-bus sinks; both are reset here so worker spans
+    root cleanly and worker events only ever travel over ``events_queue``
+    (when live telemetry is on) instead of scribbling into the parent's
+    sink files.
     """
     global _worker_simulator
     _worker_simulator = LithoSimulator(config)
@@ -200,6 +204,7 @@ def _pool_init(config: LithoConfig) -> None:
     obs.take_finished()
     _trace._tls.stack = []
     obs.disable()
+    _events.install_worker_forwarding(events_queue)
 
 
 def _maybe_poison(index: int) -> None:
@@ -295,6 +300,13 @@ def run_tile_jobs(
     bookkeeping lands under an ``opc.parallel`` span with
     ``opc.tile_retries`` / ``opc.tile_fallbacks`` / ``opc.tile_failures``
     counters.
+
+    With a live event sink attached (:mod:`repro.obs.events`), workers
+    forward their ``tile.*`` / ``opc.iteration`` / ``worker.resource``
+    events over a bounded ``multiprocessing.Queue`` that the parent
+    drains while waiting on futures, so telemetry streams *during*
+    execution; a full queue drops events (counted) rather than ever
+    stalling a worker.
     """
     spec = spec.validated()
     _ensure_picklable(mask_builder, recipe)
@@ -316,16 +328,33 @@ def run_tile_jobs(
     outcomes: Dict[int, TileOutcome] = {}
     attempts: Dict[int, int] = {job.index: 0 for job in jobs}
     stats = {"retries": 0, "fallbacks": 0, "failures": 0}
+    # Live telemetry: one bounded queue per pool run, created from the
+    # same multiprocessing context as the executor so it works under
+    # spawn as well as fork.  None when no sink is attached -- the whole
+    # streaming path then costs a single boolean test.
+    events_queue: Optional[Any] = None
+    if _events.active():
+        mp_context = multiprocessing.get_context(spec.start_method)
+        events_queue = mp_context.Queue(maxsize=_events.queue_max())
+    progress = _events.PoolProgress(total=len(jobs), n_workers=spec.n_workers)
+    for job in jobs:
+        progress.scheduled(job.index, job.tile)
 
     with _obs_span(
         "opc.parallel", n_workers=spec.n_workers, tiles=len(jobs),
         start_method=spec.start_method or "default",
     ) as pool_span:
-        queue = jobs
-        while queue:
-            queue = _run_round(
-                queue, outcomes, attempts, stats, simulator, spec
-            )
+        try:
+            queue = jobs
+            while queue:
+                queue = _run_round(
+                    queue, outcomes, attempts, stats, simulator, spec,
+                    events_queue, progress,
+                )
+        finally:
+            if events_queue is not None:
+                _events.drain_queue(events_queue)
+                events_queue.close()
         converged_tiles = 0
         for index in sorted(outcomes):
             outcome = outcomes[index]
@@ -361,6 +390,8 @@ def _run_round(
     stats: Dict[str, int],
     simulator: LithoSimulator,
     spec: ParallelSpec,
+    events_queue: Optional[Any] = None,
+    progress: Optional[_events.PoolProgress] = None,
 ) -> List[TileJob]:
     """Submit ``queue`` to a fresh pool; return the jobs needing another round.
 
@@ -370,7 +401,7 @@ def _run_round(
     pool is torn down (hung or dead workers cannot be reused), finished
     results are harvested, and unfinished jobs are resubmitted next round.
     """
-    executor = _new_executor(spec, simulator.config)
+    executor = _new_executor(spec, simulator.config, events_queue)
     restart = False
     retry: List[TileJob] = []
     try:
@@ -388,31 +419,37 @@ def _run_round(
                 outcome = _harvest_done(future)
                 if outcome is not None:
                     _absorb(outcome, job, outcomes, attempts, stats, retry,
-                            simulator, spec)
+                            simulator, spec, progress)
                 else:
                     retry.append(job)
                 continue
             try:
-                outcome = future.result(timeout=spec.timeout_s)
+                outcome = _events.result_draining(
+                    future, spec.timeout_s, events_queue
+                )
             except _FutureTimeout:
                 restart = True
                 _register_failure(
                     job, f"tile timed out after {spec.timeout_s} s",
                     None, attempts, stats, retry, outcomes, simulator, spec,
+                    progress,
                 )
             except BrokenExecutor as death:
                 restart = True
                 _register_failure(
                     job, f"worker process died: {death or 'terminated'}",
                     None, attempts, stats, retry, outcomes, simulator, spec,
+                    progress,
                 )
             else:
                 _absorb(outcome, job, outcomes, attempts, stats, retry,
-                        simulator, spec)
+                        simulator, spec, progress)
     except TileCorrectionError:
         restart = True  # fail fast: kill in-flight workers on the way out
         raise
     finally:
+        if events_queue is not None:
+            _events.drain_queue(events_queue)
         _teardown(executor, kill=restart)
     return retry
 
@@ -426,15 +463,18 @@ def _absorb(
     retry: List[TileJob],
     simulator: LithoSimulator,
     spec: ParallelSpec,
+    progress: Optional[_events.PoolProgress] = None,
 ) -> None:
     if outcome.ok:
         outcomes[outcome.index] = outcome
+        if progress is not None:
+            progress.tile_done(outcome.index)
         return
     _register_failure(
         job,
         f"worker raised {outcome.error.kind}: {outcome.error.message}",
         outcome.error.worker_traceback,
-        attempts, stats, retry, outcomes, simulator, spec,
+        attempts, stats, retry, outcomes, simulator, spec, progress,
     )
 
 
@@ -448,23 +488,32 @@ def _register_failure(
     outcomes: Dict[int, TileOutcome],
     simulator: LithoSimulator,
     spec: ParallelSpec,
+    progress: Optional[_events.PoolProgress] = None,
 ) -> None:
     """Retry a failed job, or apply the end-of-retries policy."""
     attempts[job.index] += 1
     if attempts[job.index] <= spec.max_retries:
         stats["retries"] += 1
         _obs_count("opc.tile_retries")
+        if progress is not None:
+            progress.retry(job.index, attempts[job.index] + 1, message)
         retry.append(job)
         return
     stats["failures"] += 1
     _obs_count("opc.tile_failures")
     if spec.on_failure == "raise":
+        if progress is not None:
+            progress.failed(job.index, message, fallback=False)
         raise TileCorrectionError(message, job.tile, job.index, worker_traceback)
     # Serial fallback: correct the tile in-process.  Spans and metrics are
     # recorded directly into the parent trace, so the outcome carries none.
     stats["fallbacks"] += 1
     _obs_count("opc.tile_fallbacks")
+    if progress is not None:
+        progress.failed(job.index, message, fallback=True)
     result, stitched = _run_tile(job, simulator)
+    if progress is not None:
+        progress.tile_done(job.index)
     outcomes[job.index] = TileOutcome(
         index=job.index,
         tile=job.tile,
@@ -486,17 +535,19 @@ def _harvest_done(future: Future) -> Optional[TileOutcome]:
         return None  # broken alongside the pool; the job is requeued
 
 
-def _new_executor(spec: ParallelSpec, config: LithoConfig) -> ProcessPoolExecutor:
-    context = (
-        multiprocessing.get_context(spec.start_method)
-        if spec.start_method
-        else None
-    )
+def _new_executor(
+    spec: ParallelSpec,
+    config: LithoConfig,
+    events_queue: Optional[Any] = None,
+) -> ProcessPoolExecutor:
+    # get_context(None) is the platform default, and matches the context
+    # the events queue was created from in run_tile_jobs.
+    context = multiprocessing.get_context(spec.start_method)
     return ProcessPoolExecutor(
         max_workers=spec.n_workers,
         mp_context=context,
         initializer=_pool_init,
-        initargs=(config,),
+        initargs=(config, events_queue),
     )
 
 

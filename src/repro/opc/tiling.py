@@ -24,6 +24,7 @@ from ..errors import OPCError
 from ..geometry import Rect, Region
 from ..litho import LithoSimulator
 from ..obs import count as _obs_count, observe as _obs_observe, span as _obs_span
+from ..obs import events as _events
 from .model_opc import MaskBuilder, ModelOPCRecipe, model_opc
 from .report import IterationStats, OPCResult
 
@@ -105,7 +106,14 @@ def correct_tile(
     ``tile.runtime_s``) are recorded identically everywhere.  The runtime
     histogram is observed on the failure path too -- a farm's slowest
     tiles are often exactly the ones that die.
+
+    Live telemetry mirrors the same unit: ``tile.start`` before the
+    correction, ``tile.done`` (with runtime and convergence) after, and a
+    non-final ``tile.failed`` on the exception path -- emitted on
+    whichever bus this process has (a worker forwards over its queue, the
+    serial loop and fallback path emit straight into the parent's sinks).
     """
+    _events.emit("tile.start", index=index)
     try:
         with _obs_span(
             "opc.tile", tile=index, x1=tile.x1, y1=tile.y1,
@@ -127,12 +135,22 @@ def correct_tile(
                 context_vertices=context.num_vertices,
                 stitched_vertices=stitched.num_vertices,
             )
-    except BaseException:
+    except BaseException as error:
         _obs_count("opc.tiles_failed")
         _obs_observe("tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS)
+        _events.emit(
+            "tile.failed", index=index, final=False, reason=str(error)[:200]
+        )
         raise
     _obs_count("opc.tiles")
     _obs_observe("tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS)
+    _events.emit(
+        "tile.done",
+        index=index,
+        runtime_s=round(tile_span.duration_s, 6),
+        converged=result.converged,
+        fragments=result.fragment_count,
+    )
     return result, stitched
 
 
@@ -169,6 +187,7 @@ def model_opc_tiled(
     assert box is not None
     tiles = _tile_grid(box, tiling.tile_nm)
     if len(tiles) == 1:
+        _events.emit("tile.start", index=0)
         try:
             with _obs_span(
                 "opc.tile", tile=0, x1=tiles[0].x1, y1=tiles[0].y1,
@@ -182,15 +201,25 @@ def model_opc_tiled(
                 tile_span.set(
                     fragments=result.fragment_count, converged=result.converged
                 )
-        except BaseException:
+        except BaseException as error:
             _obs_count("opc.tiles_failed")
             _obs_observe(
                 "tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS
+            )
+            _events.emit(
+                "tile.failed", index=0, final=False, reason=str(error)[:200]
             )
             raise
         _obs_count("opc.tiles")
         _obs_observe(
             "tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS
+        )
+        _events.emit(
+            "tile.done",
+            index=0,
+            runtime_s=round(tile_span.duration_s, 6),
+            converged=result.converged,
+            fragments=result.fragment_count,
         )
         return result
 
@@ -214,6 +243,9 @@ def model_opc_tiled(
             for outcome in outcomes
         ]
     else:
+        progress = _events.PoolProgress(total=len(plans), n_workers=1)
+        for plan in plans:
+            progress.scheduled(plan.index, plan.tile)
         pieces = []
         for plan in plans:
             result, stitched = correct_tile(
@@ -227,6 +259,7 @@ def model_opc_tiled(
                 dose=dose,
                 defocus_nm=defocus_nm,
             )
+            progress.tile_done(plan.index)
             pieces.append(
                 (stitched, result.history, result.converged,
                  result.fragment_count)

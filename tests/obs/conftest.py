@@ -11,7 +11,9 @@ def clean_obs_state():
     obs.disable()
     obs.reset_metrics()
     obs.take_finished()
+    obs.event_bus().clear()
     yield
     obs.disable()
     obs.reset_metrics()
     obs.take_finished()
+    obs.event_bus().clear()

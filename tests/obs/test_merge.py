@@ -195,6 +195,111 @@ class TestMergeSnapshot:
         assert obs.registry().counter("opc.tiles").value == 4
 
 
+class TestWorkerOutcomeEdgeCases:
+    """The degenerate payloads a faulted pool actually produces.
+
+    A tile that died mid-run ships no spans (or a minimal dict without
+    the optional keys); its telemetry events may arrive after the
+    failure was registered, or be drained out of worker-time order.
+    None of that may corrupt the merged trace or the event stream.
+    """
+
+    def test_merge_empty_worker_span_list_leaves_parent_intact(self):
+        # A retried-then-dead tile contributes zero roots; the pool span
+        # must still close cleanly with only its healthy children.
+        healthy = [span_from_dict(span_to_dict(r)) for r in _worker_roots()]
+        obs.enable()
+        with obs.span("opc.parallel") as pool_span:
+            obs.merge_spans(pool_span, healthy)
+            obs.merge_spans(pool_span, [])  # the failed tile's share
+        assert len(pool_span.children) == 2
+        assert pool_span.find("opc.iteration") is not None
+
+    def test_span_from_dict_tolerates_minimal_payload(self):
+        span = span_from_dict(
+            {"name": "opc.tile", "start_s": 1.0, "duration_s": 0.5}
+        )
+        assert span.name == "opc.tile"
+        assert span.attrs == {}
+        assert span.children == []
+        assert span.duration_s == pytest.approx(0.5)
+
+    def test_span_from_dict_tolerates_null_attrs(self):
+        span = span_from_dict(
+            {"name": "opc.tile", "start_s": 0.0, "duration_s": 0.1,
+             "attrs": None, "children": []}
+        )
+        assert span.attrs == {}
+
+    def test_events_after_tile_failure_keep_stream_consistent(self):
+        from repro.obs import events as ev
+
+        ring = ev.bus().attach(obs.RingBufferSink())
+        # The pool registers the final failure, then the fallback rerun
+        # emits a late tile.done -- exactly the serial-fallback order.
+        ev.emit("tile.scheduled", index=0)
+        ev.emit("tile.scheduled", index=1)
+        ev.emit("tile.failed", index=1, final=True, fallback=True,
+                reason="worker died")
+        ev.emit("tile.done", index=1, runtime_s=0.1)
+        ev.emit("tile.done", index=0, runtime_s=0.1)
+        ev.emit("progress", done=2, total=2, failures=1, fallbacks=1)
+        assert ev.validate_events(ring.events) == 6
+        tracker = obs.ProgressTracker()
+        tracker.consume_all(ring.events)
+        summary = tracker.summary()
+        assert summary["tiles_done"] == 2
+        assert summary["tiles_total"] == 2
+        assert summary["failures"] == 1
+        assert summary["fallbacks"] == 1
+
+    def test_out_of_order_queue_drain_restamps_monotonically(self):
+        from repro.obs import events as ev
+
+        ring = ev.bus().attach(obs.RingBufferSink())
+        # Two workers' messages interleave with wildly out-of-order
+        # worker timestamps (their clocks are independent); the parent's
+        # re-stamped seq must stay strictly increasing regardless.
+        messages = [
+            {"type": "tile.start", "ts": 900.0, "pid": 11, "data": {"index": 2}},
+            {"type": "tile.start", "ts": 100.0, "pid": 12, "data": {"index": 0}},
+            {"type": "tile.done", "ts": 950.0, "pid": 11, "data": {"index": 2}},
+            {"type": "tile.done", "ts": 105.0, "pid": 12, "data": {"index": 0}},
+        ]
+        import queue as queue_mod
+
+        q = queue_mod.Queue()
+        for message in messages:
+            q.put(message)
+        assert ev.drain_queue(q) == 4
+        events = ring.events
+        assert ev.validate_events(events) == 4  # includes monotone seq
+        # Worker timestamps and pids survive the re-stamp untouched.
+        assert [e["ts"] for e in events] == [900.0, 100.0, 950.0, 105.0]
+        assert [e["pid"] for e in events] == [11, 12, 11, 12]
+
+    def test_replay_of_drained_stream_is_deterministic(self, tmp_path):
+        from repro.obs import events as ev
+        from repro.obs import watch
+
+        path = tmp_path / "events.jsonl"
+        sink = ev.bus().attach(obs.JsonlSink(path))
+        ring = ev.bus().attach(obs.RingBufferSink())
+        with ev.run_scope("merge-demo"):
+            ev.bus().forward(
+                {"type": "tile.done", "ts": 55.5, "pid": 7,
+                 "data": {"index": 0}, "drops": 2}
+            )
+            ev.emit("progress", done=1, total=1)
+        ev.bus().detach(sink)
+        ev.bus().detach(ring)
+        sink.close()
+        live = obs.ProgressTracker()
+        live.consume_all(ring.events)
+        assert watch.replay(path).summary() == live.summary()
+        assert live.summary()["dropped"] == 2
+
+
 class TestTraceDocumentRoundTrip:
     def test_document_with_merged_worker_spans_round_trips(self):
         worker = [span_from_dict(span_to_dict(r)) for r in _worker_roots()]

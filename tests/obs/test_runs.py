@@ -431,9 +431,9 @@ class TestPreflightSchema:
         "codes": ["LNT104"],
     }
 
-    def test_new_records_are_schema_1_2(self):
-        assert obs_runs.RUN_SCHEMA == "repro-run/1.2"
-        assert make_record().schema == "repro-run/1.2"
+    def test_new_records_carry_the_current_schema(self):
+        assert obs_runs.RUN_SCHEMA == "repro-run/1.3"
+        assert make_record().schema == "repro-run/1.3"
 
     def test_preflight_payload_round_trips(self):
         record = obs_runs.new_record(
@@ -503,3 +503,129 @@ class TestPreflightSchema:
         assert record.preflight is not None
         assert record.preflight["ok"] is True
         assert record.preflight["errors"] == 0
+
+
+class TestEventsSchema:
+    """Schema 1.3: the additive ``events_path`` + ``progress`` fields."""
+
+    PROGRESS = {
+        "complete": True, "dropped": 0, "events": 12, "failures": 0,
+        "fallbacks": 0, "iterations": 3, "last_rms_epe_nm": 1.5,
+        "phases": ["tapeout.correct"], "retries": 0, "run_label": "tapeout",
+        "run_wall_s": 0.5, "seq_monotonic": True, "tiles_done": 2,
+        "tiles_total": 2, "workers": 1, "worst_max_epe_nm": 40.0,
+    }
+
+    def _events(self, n=3):
+        base = {"schema": "repro-event/1", "ts": 0.0, "pid": 1, "data": {}}
+        stream = [{**base, "seq": 0, "type": "run.start"}]
+        stream += [
+            {**base, "seq": i, "type": "progress"} for i in range(1, n + 1)
+        ]
+        stream.append({**base, "seq": n + 1, "type": "run.end"})
+        return stream
+
+    def test_persist_run_events_writes_and_stamps(self, tmp_path):
+        record = make_record()
+        events = self._events()
+        path = obs_runs.persist_run_events(
+            tmp_path, record, events, self.PROGRESS
+        )
+        assert record.events_path == f"events/{record.run_id}.jsonl"
+        assert record.progress == self.PROGRESS
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines == events
+        for line in path.read_text().splitlines():
+            assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_events_fields_round_trip_through_ledger(self, tmp_path):
+        record = make_record()
+        obs_runs.persist_run_events(
+            tmp_path, record, self._events(), self.PROGRESS
+        )
+        ledger = obs_runs.RunLedger(tmp_path)
+        ledger.append(record)
+        loaded = ledger.load(record.run_id)
+        assert loaded.events_path == record.events_path
+        assert loaded.progress == self.PROGRESS
+
+    def test_absent_events_fields_omitted_from_dict(self):
+        data = make_record().to_dict()
+        assert "events_path" not in data
+        assert "progress" not in data
+
+    def test_canonical_form_excludes_events_and_progress(self, tmp_path):
+        plain = make_record()
+        stamped = make_record()
+        obs_runs.persist_run_events(
+            tmp_path, stamped, self._events(), self.PROGRESS
+        )
+        assert plain.canonical_json() == stamped.canonical_json()
+
+    def test_pre_1_3_record_loads_unchanged(self, tmp_path):
+        data = make_record().to_dict()
+        data["schema"] = "repro-run/1.2"
+        path = tmp_path / "runs.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(data, sort_keys=True) + "\n")
+        loaded = obs_runs.RunLedger(tmp_path).load(data["run_id"])
+        assert loaded.schema == "repro-run/1.2"
+        assert loaded.events_path is None
+        assert loaded.progress is None
+        assert loaded.to_dict() == data
+
+    def test_record_run_persists_captured_events(self, tmp_path, monkeypatch):
+        from repro.obs import events as ev
+        from repro.obs import watch
+
+        monkeypatch.setenv(obs_runs.RUNS_DIR_ENV, str(tmp_path))
+        with ev.run_scope("tapeout") as run_events:
+            ev.emit("tile.scheduled", index=0)
+            ev.emit("tile.done", index=0)
+            ev.emit("progress", done=1, total=1)
+        obs_runs.record_run(
+            label="tapeout", config=CONFIG, roots=make_roots(),
+            quality={"figures": 1}, events=run_events,
+        )
+        ledger = obs_runs.RunLedger(tmp_path)
+        record = ledger.load_entry(ledger.entries()[0])
+        assert record.events_path
+        log_path = Path(tmp_path) / record.events_path
+        tracker = watch.replay(log_path)
+        assert tracker.summary() == record.progress
+        assert record.progress["tiles_done"] == 1
+        assert record.progress["complete"] is True
+
+
+class TestCorruptLedger:
+    """Corrupt or truncated ledger files fail as one-line ReproErrors.
+
+    The regression this guards: a half-written ``runs.jsonl`` line (a
+    crashed run, a full disk) used to escape as a raw ``JSONDecodeError``
+    traceback from every ``repro runs`` subcommand.
+    """
+
+    def test_corrupt_runs_jsonl_is_a_repro_error(self, tmp_path):
+        (tmp_path / "runs.jsonl").write_text('{"truncated": \n')
+        with pytest.raises(ReproError, match="line 1 is not valid JSON"):
+            obs_runs.RunLedger(tmp_path).entries()
+
+    def test_corrupt_line_in_healthy_ledger_names_the_line(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        ledger.append(make_record())
+        with open(tmp_path / "runs.jsonl", "a", encoding="utf-8") as handle:
+            handle.write("{oops\n")
+        (tmp_path / "index.jsonl").unlink()  # force a rebuild
+        with pytest.raises(ReproError, match="line 2 is not valid JSON"):
+            obs_runs.RunLedger(tmp_path).entries()
+
+    def test_corrupt_index_is_rebuilt_from_healthy_runs(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        record = make_record()
+        ledger.append(record)
+        (tmp_path / "index.jsonl").write_text("not json at all\n")
+        fresh = obs_runs.RunLedger(tmp_path)
+        entries = fresh.entries()
+        assert [e.run_id for e in entries] == [record.run_id]
+        # The rebuild also repaired the sidecar for the next reader.
+        assert fresh.load_entry(entries[0]).run_id == record.run_id

@@ -1,0 +1,198 @@
+"""Tests for :mod:`repro.obs.watch`: tail, replay, render.
+
+The load-bearing property is replay determinism -- folding a persisted
+event log must reproduce the progress digest captured live, which is the
+contract ``repro watch --replay`` asserts against the run ledger.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.obs import events as ev
+from repro.obs import watch
+
+
+def _write_demo_log(path, with_end=True):
+    """A small but representative stream, via the real bus + sink."""
+    sink = ev.bus().attach(obs.JsonlSink(path))
+    with ev.run_scope("demo"):
+        with obs.span("tapeout.correct"):
+            for i in range(3):
+                ev.emit("tile.scheduled", index=i)
+            for i in range(3):
+                ev.emit("tile.start", index=i)
+                ev.emit("opc.iteration", iteration=i, rms_epe_nm=3.0 - i,
+                        max_epe_nm=50.0 + i)
+                ev.emit("tile.done", index=i)
+                ev.emit("progress", done=i + 1, total=3)
+    ev.bus().detach(sink)
+    sink.close()
+    if not with_end:
+        lines = path.read_text().splitlines()
+        kept = [l for l in lines if json.loads(l)["type"] != "run.end"]
+        path.write_text("\n".join(kept) + "\n")
+
+
+class TestReadEvents:
+    def test_missing_file_is_named(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            watch.read_events(tmp_path / "nope.jsonl")
+
+    def test_corrupt_line_is_named(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "repro-event/1"}\n{oops\n')
+        with pytest.raises(ReproError, match="line 2"):
+            watch.read_events(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_demo_log(path)
+        text = path.read_text().replace("\n", "\n\n")
+        path.write_text(text)
+        assert len(watch.read_events(path)) > 0
+
+
+class TestReplay:
+    def test_replay_reproduces_live_summary(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = ev.bus().attach(obs.JsonlSink(path))
+        with ev.run_scope("demo") as handle:
+            ev.emit("tile.scheduled", index=0)
+            ev.emit("tile.done", index=0)
+            ev.emit("progress", done=1, total=1)
+        ev.bus().detach(sink)
+        sink.close()
+        live = handle.progress_summary()
+        replayed = watch.replay(path).summary()
+        assert replayed == live
+        assert json.dumps(replayed, sort_keys=True) == json.dumps(
+            live, sort_keys=True
+        )
+
+    def test_replay_is_idempotent(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_demo_log(path)
+        assert watch.replay(path).summary() == watch.replay(path).summary()
+
+    def test_validate_catches_bad_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_demo_log(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"schema": "repro-event/1", "type": "nonsense", "seq": 9999,
+                 "ts": 0.0, "pid": 1, "data": {}}
+            ) + "\n")
+        with pytest.raises(ReproError, match="unknown event type"):
+            watch.replay(path, validate=True)
+        # Without validation the unknown type is ignored by the fold.
+        watch.replay(path, validate=False)
+
+
+class TestTailEvents:
+    def test_tail_sees_appends_and_stops_at_run_end(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+
+        def writer():
+            _write_demo_log(path)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        collected = []
+        for batch in watch.tail_events(path, poll_s=0.01, timeout_s=10):
+            collected.extend(batch)
+        thread.join()
+        assert collected[-1]["type"] == "run.end"
+        assert ev.validate_events(collected) == len(collected)
+
+    def test_tail_handles_partial_trailing_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        full = json.dumps(
+            {"schema": "repro-event/1", "type": "run.end", "seq": 1,
+             "ts": 0.0, "pid": 1, "data": {}}, sort_keys=True,
+        )
+        first = json.dumps(
+            {"schema": "repro-event/1", "type": "run.start", "seq": 0,
+             "ts": 0.0, "pid": 1, "data": {}}, sort_keys=True,
+        )
+        # Write a complete first line and half of the second.
+        path.write_text(first + "\n" + full[: len(full) // 2])
+        gen = watch.tail_events(path, poll_s=0.01, timeout_s=5)
+        batch = next(gen)
+        assert [e["type"] for e in batch] == ["run.start"]
+        # Finish the partial line; the tail must reassemble it.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(full[len(full) // 2:] + "\n")
+        batch = next(b for b in gen if b)
+        assert [e["type"] for e in batch] == ["run.end"]
+
+    def test_tail_times_out_without_data(self, tmp_path):
+        gen = watch.tail_events(
+            tmp_path / "never.jsonl", poll_s=0.01, timeout_s=0.05
+        )
+        with pytest.raises(ReproError, match="timed out"):
+            for _ in gen:
+                pass
+
+
+class TestRenderFrame:
+    def test_full_frame_contents(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_demo_log(path)
+        frame = watch.render_frame(watch.replay(path))
+        assert "repro watch · demo [done]" in frame
+        assert "tiles      [####################] 3/3 (100%)" in frame
+        assert "health     retries 0  failures 0  fallbacks 0  dropped 0" in frame
+        assert "3 iterations" in frame
+        assert "worst max EPE 52.0" in frame
+        assert "seq ok" in frame
+        assert "\x1b" not in frame  # no clear codes unless asked
+
+    def test_live_frame_shows_eta_and_clear_code(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_demo_log(path, with_end=False)
+        tracker = watch.replay(path)
+        frame = watch.render_frame(tracker, clear=True)
+        assert frame.startswith("\x1b[2J\x1b[H")
+        assert "[live]" in frame
+        assert "eta" in frame
+
+    def test_empty_tracker_renders(self):
+        frame = watch.render_frame(obs.ProgressTracker())
+        assert "repro watch · ? [live]" in frame
+        assert "events     0 seen" in frame
+
+
+class TestWatchLive:
+    def test_follows_to_completion(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+
+        def writer():
+            _write_demo_log(path)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        out = io.StringIO()
+        tracker = watch.watch_live(
+            path, interval_s=0.01, timeout_s=10, validate=True,
+            clear=False, stream=out,
+        )
+        thread.join()
+        assert tracker.run_ended
+        assert tracker.tiles_done == 3
+        assert "3/3 (100%)" in out.getvalue()
+
+    def test_max_frames_stops_early(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_demo_log(path, with_end=False)
+        out = io.StringIO()
+        tracker = watch.watch_live(
+            path, interval_s=0.01, timeout_s=5, clear=False,
+            stream=out, max_frames=1,
+        )
+        assert not tracker.run_ended
+        assert out.getvalue().count("repro watch ·") == 1

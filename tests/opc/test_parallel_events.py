@@ -1,0 +1,224 @@
+"""Live telemetry across the process boundary during parallel tiled OPC.
+
+The acceptance property of the ``repro.obs.events`` bus: a parallel run
+streams ``tile.*`` / ``opc.iteration`` / ``worker.resource`` / ``progress``
+events to the parent's sinks *while tiles execute* (not in one burst at
+completion), with strictly increasing sequence numbers after the parent
+re-stamps forwarded worker events -- and none of it may change the
+corrected geometry or survive into later runs.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.geometry import Rect
+from repro.obs import events as ev
+from repro.opc import ModelOPCRecipe, ParallelSpec, TilingSpec, model_opc_tiled
+from repro.opc.parallel import POISON_MODE_ENV, POISON_ONCE_ENV, POISON_TILE_ENV
+
+RECIPE = ModelOPCRecipe(max_iterations=1)
+TILING = TilingSpec(tile_nm=1500, halo_nm=600)
+WINDOW = Rect(-1200, -1600, 1400, 1600)
+
+
+@pytest.fixture(autouse=True)
+def clean_bus():
+    ev.bus().clear()
+    yield
+    ev.bus().clear()
+
+
+class Collector:
+    """Callback sink that notes how live each worker event arrived."""
+
+    def __init__(self):
+        self.events = []
+        self.done_when_seen = []
+
+    def __call__(self, event):
+        if event["type"] == "tile.start":
+            done = sum(1 for e in self.events if e["type"] == "tile.done")
+            self.done_when_seen.append(done)
+        self.events.append(event)
+
+    def of_type(self, type_):
+        return [e for e in self.events if e["type"] == type_]
+
+
+@pytest.fixture
+def collector(monkeypatch):
+    monkeypatch.setenv(ev.RESOURCE_INTERVAL_ENV, "0")
+    collected = Collector()
+    ev.bus().attach(obs.CallbackSink(collected))
+    return collected
+
+
+def _run(simulator, dose, mixed_lines, spec):
+    return model_opc_tiled(
+        mixed_lines, simulator, WINDOW, RECIPE, tiling=TILING,
+        dose=dose, parallel=spec,
+    )
+
+
+class TestLiveParallelStream:
+    def test_events_stream_during_execution(
+        self, collector, simulator, anchor_dose, mixed_lines
+    ):
+        result = _run(
+            simulator, anchor_dose, mixed_lines, ParallelSpec(n_workers=2)
+        )
+        assert result.converged is not None  # the run itself completed
+
+        scheduled = collector.of_type("tile.scheduled")
+        starts = collector.of_type("tile.start")
+        dones = collector.of_type("tile.done")
+        progress = collector.of_type("progress")
+        n_tiles = len(scheduled)
+        assert n_tiles >= 2
+        assert len(starts) == n_tiles
+        assert len(dones) == n_tiles
+        assert len(progress) == n_tiles
+
+        # Live, not a completion burst: some tile.start arrived while
+        # other tiles were still outstanding.
+        assert any(done < n_tiles - 1 for done in collector.done_when_seen)
+
+        # Worker events really crossed the process boundary.
+        parent = os.getpid()
+        worker_pids = {e["pid"] for e in starts}
+        assert worker_pids and parent not in worker_pids
+        assert all(e["pid"] == parent for e in scheduled)
+
+        # tile.scheduled carries the tile geometry.
+        assert {"index", "x1", "y1", "x2", "y2"} <= set(scheduled[0]["data"])
+
+        # Final progress event accounts for every tile.
+        final = progress[-1]["data"]
+        assert final["done"] == final["total"] == n_tiles
+
+    def test_merged_stream_validates_with_monotone_seq(
+        self, collector, simulator, anchor_dose, mixed_lines
+    ):
+        _run(simulator, anchor_dose, mixed_lines, ParallelSpec(n_workers=2))
+        assert ev.validate_events(collector.events) == len(collector.events)
+
+    def test_opc_iterations_and_resources_forwarded(
+        self, collector, simulator, anchor_dose, mixed_lines
+    ):
+        _run(simulator, anchor_dose, mixed_lines, ParallelSpec(n_workers=2))
+        iterations = collector.of_type("opc.iteration")
+        assert iterations
+        sample = iterations[0]["data"]
+        assert {"iteration", "rms_epe_nm", "max_epe_nm", "moved_fragments"} <= set(
+            sample
+        )
+        resources = collector.of_type("worker.resource")
+        assert {e["pid"] for e in resources} - {os.getpid()}
+        assert all(e["data"]["rss_bytes"] > 0 for e in resources)
+
+    def test_parity_with_serial_unchanged_by_telemetry(
+        self, collector, simulator, anchor_dose, mixed_lines
+    ):
+        with_events = _run(
+            simulator, anchor_dose, mixed_lines, ParallelSpec(n_workers=2)
+        )
+        ev.bus().clear()
+        serial = model_opc_tiled(
+            mixed_lines, simulator, WINDOW, RECIPE, tiling=TILING,
+            dose=anchor_dose,
+        )
+        assert with_events.corrected.loops == serial.corrected.loops
+        assert with_events.history == serial.history
+
+    def test_serial_tiled_run_also_streams(
+        self, collector, simulator, anchor_dose, mixed_lines
+    ):
+        model_opc_tiled(
+            mixed_lines, simulator, WINDOW, RECIPE, tiling=TILING,
+            dose=anchor_dose,
+        )
+        assert collector.of_type("tile.scheduled")
+        assert collector.of_type("tile.done")
+        final = collector.of_type("progress")[-1]["data"]
+        assert final["done"] == final["total"]
+        assert ev.validate_events(collector.events) == len(collector.events)
+
+    def test_inactive_bus_adds_no_overhead_paths(
+        self, simulator, anchor_dose, mixed_lines
+    ):
+        """Without sinks the parallel path must not build a queue at all."""
+        result = _run(
+            simulator, anchor_dose, mixed_lines, ParallelSpec(n_workers=2)
+        )
+        assert result.fragment_count > 0
+        assert ev.bus().emitted >= 0  # and nothing crashed
+
+
+class TestBackpressure:
+    def test_tiny_queue_bound_completes_and_counts_drops(
+        self, collector, simulator, anchor_dose, mixed_lines, monkeypatch
+    ):
+        monkeypatch.setenv(ev.QUEUE_MAX_ENV, "1")
+        result = _run(
+            simulator, anchor_dose, mixed_lines, ParallelSpec(n_workers=2)
+        )
+        assert result.fragment_count > 0  # telemetry never stalls the pool
+        assert ev.validate_events(collector.events) == len(collector.events)
+        # The parent-side lifecycle survives even when worker events drop.
+        assert collector.of_type("tile.scheduled")
+        assert collector.of_type("progress")
+
+
+class TestFaultTelemetry:
+    def test_retry_and_recovery_emit_events(
+        self, collector, simulator, anchor_dose, mixed_lines,
+        monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(POISON_TILE_ENV, "1")
+        monkeypatch.setenv(POISON_MODE_ENV, "raise")
+        monkeypatch.setenv(POISON_ONCE_ENV, str(tmp_path / "claim"))
+        result = _run(
+            simulator, anchor_dose, mixed_lines,
+            ParallelSpec(n_workers=2, max_retries=1),
+        )
+        assert result.fragment_count > 0
+        retries = collector.of_type("tile.retry")
+        assert len(retries) == 1
+        assert retries[0]["data"]["index"] == 1
+        # "attempt" numbers the attempt being scheduled: the first retry
+        # is the tile's second attempt.
+        assert retries[0]["data"]["attempt"] == 2
+        assert retries[0]["data"]["reason"]
+        # The worker-side failure is reported as non-final...
+        worker_failures = collector.of_type("tile.failed")
+        assert all(not e["data"].get("final") for e in worker_failures)
+        # ...and the final progress event still reaches 100% with the
+        # retry tallied.
+        final = collector.of_type("progress")[-1]["data"]
+        assert final["done"] == final["total"]
+        assert final["retries"] == 1
+        assert final["failures"] == 0
+
+    def test_fallback_emits_final_failure_event(
+        self, collector, simulator, anchor_dose, mixed_lines, monkeypatch
+    ):
+        monkeypatch.setenv(POISON_TILE_ENV, "1")
+        monkeypatch.setenv(POISON_MODE_ENV, "raise")
+        monkeypatch.delenv(POISON_ONCE_ENV, raising=False)
+        result = _run(
+            simulator, anchor_dose, mixed_lines,
+            ParallelSpec(n_workers=2, max_retries=1, on_failure="serial"),
+        )
+        assert result.fragment_count > 0
+        finals = [
+            e for e in collector.of_type("tile.failed") if e["data"].get("final")
+        ]
+        assert len(finals) == 1
+        assert finals[0]["data"]["fallback"] is True
+        final = collector.of_type("progress")[-1]["data"]
+        assert final["done"] == final["total"]
+        assert final["failures"] == 1
+        assert final["fallbacks"] == 1
+        assert ev.validate_events(collector.events) == len(collector.events)
