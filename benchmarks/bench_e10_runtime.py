@@ -12,6 +12,7 @@ for in 2001.
 
 import time
 
+from repro import obs
 from repro.design import BlockSpec, random_logic_block
 from repro.flow import print_table
 from repro.layout import POLY
@@ -75,6 +76,13 @@ def test_e10_runtime_scaling(benchmark, simulator, anchor_dose, rule_recipe, rul
         rows,
         title="E10: OPC runtime vs layout size",
     )
+    # Per-size timings as quality gauges: with REPRO_RUNS_DIR set they
+    # land in the run ledger, so ``repro runs check`` gates sim/OPC
+    # runtime regressions (lower is better by default).
+    registry = obs.registry()
+    for name, _figures, _area, rule_s, model_s in rows:
+        registry.gauge(f"quality.e10_rule_opc_{name}_s").set(rule_s)
+        registry.gauge(f"quality.e10_model_opc_{name}_s").set(model_s)
     small_area, small_rule, small_model = scaling[0]
     large_area, large_rule, large_model = scaling[-1]
     # Shape: model OPC costs >> rule OPC everywhere; model runtime grows

@@ -7,8 +7,19 @@ kernel performance regressions show up as timing shifts in CI history.
 
 import pytest
 
+from repro import obs
 from repro.geometry import Rect, Region, fracture, smooth_jogs
-from repro.litho import Grid, SOCSEngine, binary_mask, krf_annular, rasterize
+from repro.litho import (
+    Grid,
+    KernelStore,
+    SOCSEngine,
+    binary_mask,
+    krf_annular,
+    rasterize,
+)
+
+#: Grid of the kernel cold/warm micro-benchmarks (a typical OPC tile).
+KERNEL_GRID = Grid(0, 0, 8.0, 256, 256)
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +70,44 @@ def test_micro_socs_image(benchmark, dense_region):
     engine.image(field, grid)  # build kernels outside the timed loop
     image = benchmark(lambda: engine.image(field, grid))
     assert image.max() > 0.5
+
+
+def test_micro_kernel_build_cold(benchmark):
+    """The full TCC decomposition: the kernel cache's miss path.
+
+    A fresh engine per call defeats the process-local memo, so every
+    round pays the eigendecomposition.  The mean lands in the run ledger
+    as ``quality.kernel_build_cold_s`` for ``repro runs check`` gating.
+    """
+    kernels = benchmark(
+        lambda: SOCSEngine(krf_annular()).kernel_set(KERNEL_GRID, 0.0)
+    )
+    assert len(kernels.eigenvalues) > 0
+    obs.registry().gauge("quality.kernel_build_cold_s").set(
+        benchmark.stats.stats.mean
+    )
+
+
+def test_micro_kernel_cache_warm(benchmark, tmp_path):
+    """mmap-loading a stored decomposition: the kernel cache's hit path.
+
+    One engine publishes the entry; every timed round then loads it into
+    a fresh engine, which is exactly what each multiprocessing OPC worker
+    does on its first simulation.  Gated as
+    ``quality.kernel_cache_warm_s``.
+    """
+    store = KernelStore(tmp_path)
+    SOCSEngine(krf_annular(), kernel_store=store).kernel_set(KERNEL_GRID, 0.0)
+
+    def load():
+        engine = SOCSEngine(krf_annular(), kernel_store=store)
+        return engine.kernel_set(KERNEL_GRID, 0.0)
+
+    kernels = benchmark(load)
+    assert len(kernels.eigenvalues) > 0
+    obs.registry().gauge("quality.kernel_cache_warm_s").set(
+        benchmark.stats.stats.mean
+    )
 
 
 def test_micro_fracture(benchmark, dense_region):

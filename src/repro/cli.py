@@ -123,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(correct)
     _add_parallel_flags(correct)
+    _add_litho_flags(correct)
 
     check = sub.add_parser(
         "check",
@@ -156,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report to PATH instead of stdout",
     )
     _add_parallel_flags(check)
+    _add_litho_flags(check)
 
     profile = sub.add_parser(
         "profile",
@@ -201,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_events_flag(profile)
     _add_parallel_flags(profile)
+    _add_litho_flags(profile)
 
     report = sub.add_parser(
         "report", help="markdown tape-out report comparing correction levels"
@@ -216,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated correction levels to compare",
     )
     report.add_argument("--dose", default="auto")
+    _add_litho_flags(report)
 
     runs = sub.add_parser(
         "runs", help="inspect and gate on the persistent run ledger"
@@ -382,6 +386,28 @@ def _add_parallel_flags(sub_parser: argparse.ArgumentParser) -> None:
         "--on-failure", choices=["serial", "raise"], default="serial",
         help="after retries: correct the tile in-process, or fail fast",
     )
+    sub_parser.add_argument(
+        "--no-shm", action="store_true",
+        help="ship tile payloads by per-job pickle instead of one "
+        "shared-memory segment (identical results, slower fan-out)",
+    )
+
+
+def _add_litho_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--no-kernel-cache", action="store_true",
+        help="always rebuild SOCS kernels in-process instead of reusing "
+        "the persistent store under $REPRO_KERNEL_CACHE_DIR / "
+        "$REPRO_RUNS_DIR/kernels (identical results, slower start)",
+    )
+
+
+def _litho_config(args) -> LithoConfig:
+    """The CLI's standard litho model, honouring ``--no-kernel-cache``."""
+    return LithoConfig(
+        optics=krf_annular(), pixel_nm=8.0, ambit_nm=600,
+        use_kernel_cache=not getattr(args, "no_kernel_cache", False),
+    )
 
 
 def _parallel_spec(args) -> Optional[ParallelSpec]:
@@ -391,6 +417,7 @@ def _parallel_spec(args) -> Optional[ParallelSpec]:
         n_workers=args.workers,
         max_retries=args.max_retries,
         on_failure=args.on_failure,
+        use_shared_memory=not getattr(args, "no_shm", False),
     )
 
 
@@ -559,9 +586,7 @@ def _run_correct(args) -> int:
     simulator = None
     dose = 1.0
     if level in (CorrectionLevel.MODEL, CorrectionLevel.MODEL_SRAF) or args.dose == "auto":
-        simulator = LithoSimulator(
-            LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
-        )
+        simulator = LithoSimulator(_litho_config(args))
     if args.dose == "auto":
         anchor = line_space_array(rules.poly_width, rules.poly_space)
         dose = simulator.dose_to_size(
@@ -628,7 +653,7 @@ def _check(args) -> int:
         artifact = args.gds
     else:
         target = _quickstart_pattern(rules)
-    litho = LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    litho = _litho_config(args)
     recipe = TapeoutRecipe(
         level=_LEVELS[args.level],
         dark_field=args.dark_field,
@@ -689,9 +714,7 @@ def _quickstart_pattern(rules) -> Region:
 
 def _profile(args) -> int:
     rules = _NODES[args.node]()
-    simulator = LithoSimulator(
-        LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
-    )
+    simulator = LithoSimulator(_litho_config(args))
     if args.gds:
         if args.layer is None:
             raise ReproError("profile needs --layer with a GDS file")
@@ -1040,9 +1063,7 @@ def _report(args) -> int:
     except KeyError as bad:
         raise ReproError(f"unknown correction level {bad}") from None
     rules = _NODES[args.node]()
-    simulator = LithoSimulator(
-        LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
-    )
+    simulator = LithoSimulator(_litho_config(args))
     dose = _resolve_dose(args, rules, simulator)
     results = {
         level: correct_region(target, level, simulator=simulator, dose=dose)

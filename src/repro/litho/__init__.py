@@ -17,9 +17,16 @@ Public surface:
   :func:`exposure_latitude_curve`, :func:`dof_at_exposure_latitude`).
 """
 
-from .contour import cutline_cd, edge_offset, edge_offset_state, printed_region
+from .contour import (
+    cutline_cd,
+    edge_offset,
+    edge_offset_state,
+    edge_offsets_batch,
+    printed_region,
+)
 from .export import ascii_art, to_pgm
 from .imaging import AbbeEngine, SOCSEngine
+from .kernel_cache import KernelSet, KernelStore, kernel_fingerprint
 from .masks import (
     ATTPSM_TRANSMISSION,
     BinaryMaskBuilder,
@@ -50,6 +57,8 @@ __all__ = [
     "BinaryMaskBuilder",
     "FocusExposureMatrix",
     "Grid",
+    "KernelSet",
+    "KernelStore",
     "LithoConfig",
     "LithoSimulator",
     "MaskSpec",
@@ -71,10 +80,12 @@ __all__ = [
     "dose_bounds",
     "edge_offset",
     "edge_offset_state",
+    "edge_offsets_batch",
     "exposure_latitude_curve",
     "i_line",
     "image_contrast",
     "image_log_slope",
+    "kernel_fingerprint",
     "krf_annular",
     "krf_conventional",
     "meef",

@@ -13,7 +13,7 @@ Three measurement styles, in increasing precision:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -111,6 +111,56 @@ def edge_offset_state(
         if best is None or abs(t) < abs(best):
             best = float(t)
     return best, "found"
+
+
+def edge_offsets_batch(
+    image: np.ndarray,
+    grid: Grid,
+    sites: Sequence[Tuple[Tuple[float, float], Tuple[float, float]]],
+    threshold: float,
+    search_nm: float = 80.0,
+    step_nm: float = 1.0,
+) -> List[Tuple[Optional[float], str]]:
+    """Vectorized :func:`edge_offset_state` over many ``(anchor, normal)`` sites.
+
+    One :meth:`Grid.sample` gather evaluates every probe point of every
+    site at once -- the hot loop of model-based OPC, where a tile carries
+    hundreds of control sites per iteration.  The arithmetic is the same
+    IEEE operations per element as the scalar path, in the same order,
+    so the results are byte-identical to calling
+    :func:`edge_offset_state` per site (the parity tests assert this).
+    """
+    if len(sites) == 0:
+        return []
+    anchors = np.array([anchor for anchor, _normal in sites], dtype=float)
+    normals = np.array([normal for _anchor, normal in sites], dtype=float)
+    norms = np.hypot(normals[:, 0], normals[:, 1])
+    if np.any(norms == 0):
+        raise LithoError("direction must be non-zero")
+    dx = normals[:, 0] / norms
+    dy = normals[:, 1] / norms
+    offsets = np.arange(-search_nm, search_nm + step_nm / 2, step_nm)
+    # (n_sites, n_steps) probe coordinates, flattened into one gather.
+    px = anchors[:, 0, np.newaxis] + offsets[np.newaxis, :] * dx[:, np.newaxis]
+    py = anchors[:, 1, np.newaxis] + offsets[np.newaxis, :] * dy[:, np.newaxis]
+    points = np.stack([px.ravel(), py.ravel()], axis=1)
+    samples = grid.sample(image, points).reshape(len(sites), len(offsets))
+    above = samples >= threshold
+    flips = above[:, 1:] != above[:, :-1]
+    results: List[Tuple[Optional[float], str]] = []
+    for row in range(len(sites)):
+        crossings = np.flatnonzero(flips[row])
+        if len(crossings) == 0:
+            results.append((None, "bright" if above[row].all() else "dark"))
+            continue
+        lo = samples[row, crossings]
+        hi = samples[row, crossings + 1]
+        frac = (threshold - lo) / (hi - lo)
+        t = offsets[crossings] + frac * step_nm
+        # argmin keeps the first minimal |t|, matching the scalar loop's
+        # strict-< comparison.
+        results.append((float(t[np.argmin(np.abs(t))]), "found"))
+    return results
 
 
 def cutline_cd(

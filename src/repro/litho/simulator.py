@@ -16,8 +16,14 @@ import numpy as np
 from ..errors import LithoError
 from ..geometry import Rect, Region
 from ..obs import count as _obs_count, observe as _obs_observe
-from .contour import cutline_cd, edge_offset_state, printed_region
+from .contour import (
+    cutline_cd,
+    edge_offset_state,
+    edge_offsets_batch,
+    printed_region,
+)
 from .imaging import AbbeEngine, SOCSEngine
+from .kernel_cache import KernelStore
 from .masks import MaskSpec
 from .optics import OpticalSettings
 from .pupil import Aberrations
@@ -44,6 +50,19 @@ class LithoConfig:
     #: to the Abbe engine: building the TCC stops amortising for windows
     #: simulated once (tiled OPC keeps every window small and cached).
     socs_support_limit: int = 3000
+    #: Share SOCS kernel decompositions across processes and runs through
+    #: the persistent fingerprint-keyed store (see
+    #: :mod:`repro.litho.kernel_cache`); the store location comes from the
+    #: environment, so ``False`` is the only off switch a config needs
+    #: (CLI: ``--no-kernel-cache``).  The field rides on the config so
+    #: multiprocessing workers -- which rebuild their simulator from this
+    #: dataclass -- inherit the choice.
+    use_kernel_cache: bool = True
+    #: Evaluate all EPE control sites of a window in one vectorized
+    #: gather instead of a per-site probe loop.  Byte-identical results
+    #: either way (the parity suite asserts it); ``False`` restores the
+    #: scalar reference path.
+    batched_sites: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in ("socs", "abbe"):
@@ -65,12 +84,43 @@ class LithoSimulator:
 
     def __init__(self, config: LithoConfig):
         self.config = config
+        kernel_store = KernelStore.from_env() if config.use_kernel_cache else None
         self._socs = SOCSEngine(
             config.optics,
             aberrations=config.aberrations,
             max_kernels=config.max_kernels,
+            kernel_store=kernel_store,
         )
         self._abbe = AbbeEngine(config.optics, aberrations=config.aberrations)
+
+    @property
+    def kernel_store(self) -> Optional[KernelStore]:
+        """The persistent kernel store in use, or ``None`` when disabled."""
+        return self._socs.kernel_store
+
+    def warm_kernels(self, windows, defocus_nm: float = 0.0) -> int:
+        """Build (or load) SOCS kernels for every distinct grid of ``windows``.
+
+        Tiled OPC calls this in the parent before fanning jobs out to a
+        worker pool: with a persistent kernel store attached, one build
+        here turns every worker's first simulation into an mmap load
+        instead of a TCC decomposition.  Returns the number of distinct
+        kernel sets ensured (grids quantise, so a whole tile grid usually
+        collapses to one or two shapes).
+        """
+        if self.config.engine != "socs":
+            return 0
+        seen = set()
+        for window in windows:
+            grid = self.grid_for(window)
+            if self._support_too_large(grid):
+                continue
+            key = (grid.ny, grid.nx)
+            if key in seen:
+                continue
+            seen.add(key)
+            self._socs.kernel_set(grid, float(defocus_nm))
+        return len(seen)
 
     # -- core simulation ------------------------------------------------------
 
@@ -248,6 +298,11 @@ class LithoSimulator:
         """
         grid, latent = self.latent_image(mask, window, defocus_nm)
         threshold = self.config.resist.effective_threshold(dose)
+        if self.config.batched_sites:
+            _obs_count("sim.batched_sites", len(sites))
+            return edge_offsets_batch(
+                latent, grid, sites, threshold, search_nm=search_nm
+            )
         return [
             edge_offset_state(
                 latent, grid, anchor, normal, threshold, search_nm=search_nm

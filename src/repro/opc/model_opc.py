@@ -110,6 +110,9 @@ def model_opc(
 
     loops = fragment_region(merged, recipe.fragmentation)
     sites, active = _control_sites(loops, window)
+    # Control sites are anchored on the *target* edges, so the measured
+    # site list never changes across iterations -- build it once.
+    active_sites = [sites[i] for i in active]
     biases: List[List[int]] = [[0] * len(fragments) for fragments in loops]
     history: List[IterationStats] = []
     corrected = merged
@@ -127,7 +130,6 @@ def model_opc(
             with _obs_span("opc.iteration", iteration=iteration) as it_span:
                 corrected = apply_biases(loops, biases)
                 mask = mask_builder(corrected)
-                active_sites = [sites[i] for i in active]
                 per_corner = [
                     simulator.edge_placement_errors_with_state(
                         mask,

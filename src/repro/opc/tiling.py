@@ -227,6 +227,13 @@ def model_opc_tiled(
     if parallel is not None and parallel.n_workers > 1 and len(plans) > 1:
         from .parallel import run_tile_jobs  # runtime import breaks the cycle
 
+        if simulator.kernel_store is not None:
+            # One TCC decomposition in the parent seeds the persistent
+            # store, turning every worker's first simulation into an mmap
+            # load instead of a rebuild-per-process.
+            simulator.warm_kernels(
+                (plan.tile for plan in plans), defocus_nm=defocus_nm
+            )
         outcomes = run_tile_jobs(
             plans,
             simulator,

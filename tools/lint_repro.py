@@ -20,6 +20,14 @@ R003  No callable/mutable defaults on fields of picklable worker-payload
       don't pickle, so such a default works in-process and explodes only
       under the ``spawn`` start method.
 
+R004  Cache-entry serialization must be byte-deterministic
+      (``repro.litho.kernel_cache``): every ``json.dumps`` there must
+      pass ``sort_keys=True``, and clock/random calls are banned.  Two
+      processes racing to publish the same fingerprint are only safe
+      because their entries are byte-identical; a dict-order or
+      timestamp dependence would corrupt whichever loser mmap-loads the
+      winner's file.
+
 Waive a finding with a trailing ``# repro-lint: ignore[R00X]`` comment
 on the offending line.  Exit 1 when findings remain.
 """
@@ -74,11 +82,14 @@ LENGTH_WORDS = (
 )
 #: ...unless it is one of these (dimensionless or non-length by intent).
 LENGTH_EXEMPT = re.compile(
-    r"(_nm$|_nm2$|_px$|_s$|_fraction$|_count$|^n_|_id$|_deg$)"
+    r"(_nm$|_nm2$|_px$|_s$|_fraction$|_count$|^n_|_id$|_deg$|_bytes$)"
 )
 
 #: R003 scope: modules holding picklable worker payloads.
 PAYLOAD_MODULES = ("opc/parallel.py",)
+
+#: R004 scope: modules writing shared on-disk cache entries.
+CANONICAL_MODULES = ("litho/kernel_cache.py",)
 
 WAIVER = re.compile(r"#\s*repro-lint:\s*ignore\[(R\d{3})\]")
 
@@ -187,6 +198,33 @@ def check_payload_defaults(path: Path, tree: ast.AST) -> Iterator[Finding]:
                     )
 
 
+def check_canonical_serialization(path: Path, tree: ast.AST) -> Iterator[Finding]:
+    """R004: byte-deterministic serialization in cache-entry writers."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name == "json.dumps":
+            keywords = {kw.arg: kw.value for kw in node.keywords}
+            sort = keywords.get("sort_keys")
+            if not (isinstance(sort, ast.Constant) and sort.value is True):
+                yield Finding(
+                    "R004", path, node.lineno,
+                    "json.dumps in a cache writer must pass sort_keys=True; "
+                    "racing writers are only safe because equal kernels "
+                    "serialize to identical bytes",
+                )
+        elif name in CLOCK_CALLS or any(
+            name.startswith(mod + ".") for mod in RANDOM_MODULES
+        ):
+            yield Finding(
+                "R004", path, node.lineno,
+                f"{name}() in a cache writer; entry bytes must be a pure "
+                f"function of the kernels, never of when or where they "
+                f"were written",
+            )
+
+
 def waived_lines(source: str) -> dict:
     waivers: dict = {}
     for i, line in enumerate(source.splitlines(), start=1):
@@ -207,6 +245,8 @@ def lint_file(path: Path) -> List[Finding]:
     rel = str(path.relative_to(SRC)).replace("\\", "/")
     if rel in PAYLOAD_MODULES:
         findings.extend(check_payload_defaults(path, tree))
+    if rel in CANONICAL_MODULES:
+        findings.extend(check_canonical_serialization(path, tree))
     waivers = waived_lines(source)
     return [
         f for f in findings if f.code not in waivers.get(f.line, ())
