@@ -198,6 +198,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="run ledger directory (default: $REPRO_RUNS_DIR or .repro-runs)",
     )
     profile.add_argument(
+        "--flame", action="store_true",
+        help="sample the run with the repro.obs.prof profiler and write "
+        "span-tagged collapsed stacks plus a self-contained flame-graph "
+        "SVG/HTML (REPRO_PROF=0 disables sampling)",
+    )
+    profile.add_argument(
+        "--memory", action="store_true",
+        help="also record tracemalloc top allocation sites per pipeline "
+        "phase and the RSS high-water mark (implies sampling; slower)",
+    )
+    profile.add_argument(
+        "--hz", type=float, default=None,
+        help="sampling rate for --flame/--memory "
+        "(default: $REPRO_PROF_HZ or 47)",
+    )
+    profile.add_argument(
+        "-o", "--output-prefix", metavar="PREFIX", default="repro-flame",
+        help="output prefix for --flame artifacts: "
+        "PREFIX.collapsed, PREFIX.svg, PREFIX.html",
+    )
+    profile.add_argument(
         "--no-preflight", action="store_true",
         help="skip the static lint gate that runs before the tapeout",
     )
@@ -751,13 +772,23 @@ def _profile(args) -> int:
     # run_scope takes over run.start/run.end (and, with --record, the
     # full stream capture) from the tapeout's now-nested scope.
     guard = obs_runs.suppress_auto_record() if args.record else nullcontext()
-    with _events_sink(args), obs.run_scope(
-        f"profile:{name}", force=args.record
-    ) as run_events, guard, obs.capture() as cap:
-        result = tapeout_region(
-            target, simulator, dose, recipe, verify=not args.no_verify,
-            preflight=not args.no_preflight,
-        )
+    # --flame/--memory wrap the whole run in the sampling profiler; pool
+    # workers inherit the rate and ship their profiles back for the
+    # deterministic merge (repro.obs.prof).
+    profiler = None
+    if args.flame or args.memory:
+        profiler = obs.SamplingProfiler(hz=args.hz, memory=args.memory)
+        profiler.start()
+    try:
+        with _events_sink(args), obs.run_scope(
+            f"profile:{name}", force=args.record
+        ) as run_events, guard, obs.capture() as cap:
+            result = tapeout_region(
+                target, simulator, dose, recipe, verify=not args.no_verify,
+                preflight=not args.no_preflight,
+            )
+    finally:
+        flame_profile = profiler.stop() if profiler is not None else None
     print(
         f"profiled tapeout of {name}: {result.data.figures} figures, "
         f"{result.data.vertices} vertices, "
@@ -768,6 +799,34 @@ def _profile(args) -> int:
     if args.trace:
         obs.write_trace_json(args.trace, cap.roots)
         print(f"\nwrote trace {args.trace}")
+    if flame_profile is not None:
+        print()
+        if flame_profile.sample_count == 0 and not obs.prof_enabled():
+            print("sampling disabled (REPRO_PROF=0); no profile collected")
+        else:
+            print(
+                f"sampled {flame_profile.sample_count} stack(s) @ "
+                f"{flame_profile.hz:g} Hz, "
+                f"cpu {flame_profile.cpu_total_s:.3f} s, "
+                f"peak rss {flame_profile.peak_rss_bytes // 2 ** 20} MiB"
+            )
+            for span_name in sorted(flame_profile.cpu_s):
+                cpu_span_s = flame_profile.cpu_s[span_name]
+                wall_span_s = flame_profile.wall_s.get(span_name, 0.0)
+                print(
+                    f"  {span_name}: cpu {cpu_span_s:.3f} s / "
+                    f"wall {wall_span_s:.3f} s"
+                )
+        if args.flame:
+            prefix = args.output_prefix
+            title = f"repro profile: {name}"
+            obs.write_collapsed(f"{prefix}.collapsed", flame_profile)
+            obs.write_flame_svg(f"{prefix}.svg", flame_profile, title=title)
+            obs.write_flame_html(f"{prefix}.html", flame_profile, title=title)
+            print(
+                f"wrote flame graph {prefix}.svg / {prefix}.html "
+                f"(collapsed stacks: {prefix}.collapsed)"
+            )
     if args.record:
         config = {
             "kind": "profile",
@@ -804,6 +863,11 @@ def _profile(args) -> int:
         record = obs_runs.new_record(
             label=f"profile:{name}", config=config, roots=cap.roots,
             quality=quality, spatial=spatial, preflight=preflight_summary,
+            profile=(
+                obs.profile_summary(flame_profile)
+                if flame_profile is not None and flame_profile.sample_count
+                else None
+            ),
         )
         if run_events.captured:
             obs_runs.persist_run_events(
@@ -864,6 +928,7 @@ def _runs(args) -> int:
         )
         print(_spatial_summary_line(record))
         print(_preflight_summary_line(record))
+        print(_profile_summary_line(record))
         if record.quality:
             rows = [[key, value] for key, value in sorted(record.quality.items())]
             print_table(["quality", "value"], rows)
@@ -1016,6 +1081,30 @@ def _preflight_summary_line(record) -> str:
     codes = payload.get("codes") or []
     if codes:
         line += f" rules: {', '.join(codes)}"
+    return line
+
+
+def _profile_summary_line(record) -> str:
+    """One-line sampled-profile digest of a record (schema ``repro-run/1.4``).
+
+    Pre-1.4 records (and runs sampled with ``REPRO_PROF=0``) get a note
+    instead of an error -- old ledgers stay readable.
+    """
+    payload = record.profile
+    if not payload:
+        return (
+            f"profile: none recorded (schema {record.schema}; re-run with "
+            "`repro profile --flame --record` to sample)"
+        )
+    line = (
+        f"profile: {payload.get('sample_count', 0)} sample(s) @ "
+        f"{payload.get('hz', 0):g} Hz, cpu {payload.get('cpu_total_s', 0):.3f} s, "
+        f"peak rss {int(payload.get('peak_rss_bytes', 0)) // 2 ** 20} MiB"
+    )
+    top = payload.get("top_frames") or []
+    if top:
+        frame, count = top[0]
+        line += f" -- hottest frame {frame} ({count})"
     return line
 
 

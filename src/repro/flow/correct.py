@@ -25,6 +25,7 @@ from ..obs import (
     span as _obs_span,
 )
 from ..obs import events as _obs_events
+from ..obs import prof as _obs_prof
 from ..obs import runs as _obs_runs
 from ..opc import (
     ModelOPCRecipe,
@@ -222,6 +223,7 @@ def correct_region(
             roots=[correct_span],
             quality=flow_quality(data, opc_result),
             preflight=preflight_summary,
+            profile=_obs_prof.active_summary(),
             events=run_events,
         )
     return FlowResult(

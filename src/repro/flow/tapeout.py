@@ -18,6 +18,7 @@ from ..litho import LithoSimulator, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
 from ..obs import current_span as _obs_current_span, span as _obs_span
 from ..obs import events as _obs_events
+from ..obs import prof as _obs_prof
 from ..obs import runs as _obs_runs
 from ..obs import spatial as _obs_spatial
 from ..opc import (
@@ -260,6 +261,7 @@ def tapeout_region(
             quality=quality,
             spatial=spatial,
             preflight=preflight_summary,
+            profile=_obs_prof.active_summary(),
             events=run_events,
         )
     return result

@@ -23,6 +23,10 @@ pieces:
   boundary while a run executes.
 * :mod:`~repro.obs.watch` -- tail/replay/render consumers of the event
   stream behind the ``repro watch`` CLI.
+* :mod:`~repro.obs.prof` -- span-attributed sampling profiler with
+  memory telemetry: collapsed stacks tagged with the open span path,
+  per-span CPU-vs-wall seconds, tracemalloc per phase, deterministic
+  cross-process profile merging and stdlib-only flame-graph SVG/HTML.
 
 Everything is off by default and costs one boolean test per guarded
 call; wrap a run in :func:`capture` (or call :func:`enable`) to record::
@@ -79,6 +83,24 @@ from .metrics import (
     registry,
 )
 from .metrics import reset as reset_metrics
+from .prof import (
+    PROF_SCHEMA,
+    Profile,
+    SamplingProfiler,
+    absorb_worker_profiles,
+    active_profiler,
+    collapsed_text,
+    flame_html,
+    flame_svg,
+    merge_profiles,
+    prof_enabled,
+    profile_from_dict,
+    profile_summary,
+    profile_to_dict,
+    write_collapsed,
+    write_flame_html,
+    write_flame_svg,
+)
 from .runs import (
     RUN_SCHEMA,
     SUPPORTED_SCHEMAS,
@@ -125,7 +147,9 @@ __all__ = [
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
+    "PROF_SCHEMA",
     "PoolProgress",
+    "Profile",
     "ProgressTracker",
     "RUN_SCHEMA",
     "RingBufferSink",
@@ -136,14 +160,28 @@ __all__ = [
     "RunLedger",
     "RunRecord",
     "SUPPORTED_SCHEMAS",
+    "SamplingProfiler",
     "Span",
+    "absorb_worker_profiles",
+    "active_profiler",
     "attribute_sites",
     "canonical_spatial",
     "capture",
     "check_regressions",
     "chrome_trace_events",
+    "collapsed_text",
     "config_fingerprint",
     "count",
+    "flame_html",
+    "flame_svg",
+    "merge_profiles",
+    "prof_enabled",
+    "profile_from_dict",
+    "profile_summary",
+    "profile_to_dict",
+    "write_collapsed",
+    "write_flame_html",
+    "write_flame_svg",
     "epe_grid",
     "hotspot_svg",
     "inspect_html",

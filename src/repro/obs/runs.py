@@ -58,13 +58,18 @@ from .trace import Span
 #: recorded by the flow gates); ``1.3`` added the optional ``events_path``
 #: (persisted ``repro-event/1`` stream, relative to the ledger root) and
 #: ``progress`` (final live-progress digest) so any ledgered run can be
-#: replayed with ``repro watch --replay``.  All changes are purely
-#: additive, so older records still load.
-RUN_SCHEMA = "repro-run/1.3"
+#: replayed with ``repro watch --replay``; ``1.4`` added the optional
+#: ``profile`` summary (:func:`repro.obs.prof.profile_summary`: top
+#: sampled frames, per-span ``cpu_s``/``wall_s``, peak RSS) plus its
+#: lifted quality gauges so ``runs diff``/``check`` gate on CPU time and
+#: peak memory, not just wall clock.  All changes are purely additive,
+#: so older records still load.
+RUN_SCHEMA = "repro-run/1.4"
 
 #: Every schema revision :meth:`RunRecord.from_dict` accepts.
 SUPPORTED_SCHEMAS = (
-    "repro-run/1", "repro-run/1.1", "repro-run/1.2", "repro-run/1.3"
+    "repro-run/1", "repro-run/1.1", "repro-run/1.2", "repro-run/1.3",
+    "repro-run/1.4",
 )
 
 #: Environment variable naming the store directory (also the auto-record
@@ -251,6 +256,9 @@ class RunRecord:
     #: Final progress digest of the captured event stream
     #: (:meth:`repro.obs.events.ProgressTracker.summary`; schema 1.3).
     progress: Optional[Dict[str, Any]] = None
+    #: Sampled-profile summary (:func:`repro.obs.prof.profile_summary`:
+    #: top frames, per-span cpu_s/wall_s, peak RSS; schema 1.4).
+    profile: Optional[Dict[str, Any]] = None
     schema: str = RUN_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
@@ -275,6 +283,8 @@ class RunRecord:
             data["events_path"] = self.events_path
         if self.progress is not None:
             data["progress"] = self.progress
+        if self.profile is not None:
+            data["profile"] = self.profile
         return data
 
     @classmethod
@@ -300,6 +310,7 @@ class RunRecord:
             preflight=data.get("preflight"),
             events_path=data.get("events_path"),
             progress=data.get("progress"),
+            profile=data.get("profile"),
             schema=schema,
         )
 
@@ -329,10 +340,12 @@ class RunRecord:
             "config": self.config,
             "spans": [strip_span(root) for root in self.spans],
             "metrics": flatten_metrics(self.metrics),
+            # Drop wall/CPU seconds (``*_s``) and the RSS high-water:
+            # both vary run to run even at identical configs.
             "quality": {
                 key: value
                 for key, value in sorted(self.quality.items())
-                if not key.endswith("_s")
+                if not key.endswith("_s") and key != "peak_rss_bytes"
             },
         }
         if self.spatial is not None:
@@ -354,6 +367,7 @@ def new_record(
     quality: Optional[Dict[str, Any]] = None,
     spatial: Optional[Dict[str, Any]] = None,
     preflight: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
     run_id: Optional[str] = None,
     timestamp: Optional[str] = None,
     git_rev: Union[str, None, bool] = True,
@@ -364,6 +378,11 @@ def new_record(
     holds a run's metrics right after :func:`repro.obs.capture` exits).
     ``spatial`` is the hotspot payload from
     :func:`repro.obs.spatial.spatial_summary`, when the caller built one.
+    ``profile`` is a sampled-profile summary
+    (:func:`repro.obs.prof.profile_summary`); its CPU totals, per-span
+    CPU seconds and peak RSS are lifted into the quality dict as
+    ``cpu_total_s`` / ``cpu.<span>_s`` / ``peak_rss_bytes`` gauges so
+    ``runs check`` can gate on them.
     ``git_rev=True`` probes the repository; pass ``None`` to skip.
     """
     span_dicts = [
@@ -372,6 +391,13 @@ def new_record(
     snapshot = metrics if metrics is not None else _global_registry().snapshot()
     merged_quality = dict(quality or {})
     merged_quality.update(quality_from_metrics(snapshot))
+    if profile is not None:
+        if "cpu_total_s" in profile:
+            merged_quality["cpu_total_s"] = profile["cpu_total_s"]
+        for span_name, cpu_s in (profile.get("cpu_s") or {}).items():
+            merged_quality[f"cpu.{span_name}_s"] = cpu_s
+        if profile.get("peak_rss_bytes"):
+            merged_quality["peak_rss_bytes"] = profile["peak_rss_bytes"]
     return RunRecord(
         run_id=run_id or uuid.uuid4().hex[:12],
         timestamp=timestamp
@@ -386,6 +412,7 @@ def new_record(
         quality=merged_quality,
         spatial=spatial,
         preflight=preflight,
+        profile=profile,
     )
 
 
@@ -673,6 +700,7 @@ def record_run(
     metrics: Optional[Dict[str, Dict[str, Any]]] = None,
     spatial: Optional[Dict[str, Any]] = None,
     preflight: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
     events: Optional[Any] = None,
     root_dir: Optional[Union[str, Path]] = None,
 ) -> RunRecord:
@@ -681,10 +709,11 @@ def record_run(
     ``events`` is the :class:`~repro.obs.events.RunEvents` handle of the
     run's event scope, when one captured the live stream; it is persisted
     via :func:`persist_run_events` so the run can be replayed later.
+    ``profile`` is the sampled-profile summary, when a profiler ran.
     """
     record = new_record(
         label, config, roots, metrics=metrics, quality=quality,
-        spatial=spatial, preflight=preflight,
+        spatial=spatial, preflight=preflight, profile=profile,
     )
     led = ledger(root_dir)
     if events is not None and getattr(events, "captured", False):

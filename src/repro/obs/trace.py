@@ -89,12 +89,52 @@ class Span:
 
 _tls = threading.local()
 
+#: Every thread's span stack, keyed by thread ident -- the one view of
+#: the thread-local stacks a *different* thread (the sampling profiler,
+#: :mod:`repro.obs.prof`) can read.  Stacks are registered on first use
+#: and only ever mutated by their owning thread; readers take snapshot
+#: copies, so the GIL is the only synchronisation needed.
+_thread_stacks: Dict[int, List[Span]] = {}
+
 
 def _stack() -> List[Span]:
     stack = getattr(_tls, "stack", None)
     if stack is None:
         stack = _tls.stack = []
+        _thread_stacks[threading.get_ident()] = stack
     return stack
+
+
+def open_span_paths() -> Dict[int, str]:
+    """``{thread_ident: "root/child/..."}`` for threads with open spans.
+
+    The cross-thread hook the sampling profiler uses to tag stack samples
+    with the span path that was open when the sample was taken.  Threads
+    with no open span are omitted.  Reads race benignly with span
+    open/close on other threads: each stack is copied before use, so the
+    worst case is a path one span stale.
+    """
+    paths: Dict[int, str] = {}
+    for ident, stack in list(_thread_stacks.items()):
+        names = [span_node.name for span_node in list(stack)]
+        if names:
+            paths[ident] = "/".join(names)
+    return paths
+
+
+def reset_worker_state() -> None:
+    """Fresh span state for a forked pool worker.
+
+    A ``fork`` child inherits the parent's thread-local stack mid-capture
+    *and* the cross-thread registry above, whose dead-thread idents could
+    alias new worker threads and mis-tag profiler samples.  Pool
+    initializers call this (single-threaded, so clearing is safe) so
+    worker spans root cleanly and samples tag only worker spans.
+    """
+    _thread_stacks.clear()
+    _tls.stack = []
+    _tls.finished = []
+    _thread_stacks[threading.get_ident()] = _tls.stack
 
 
 def _finished() -> List[Span]:

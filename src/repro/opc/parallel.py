@@ -49,6 +49,7 @@ from ..geometry import Rect, Region
 from ..litho import LithoConfig, LithoSimulator, binary_mask
 from ..obs import count as _obs_count, span as _obs_span
 from ..obs import events as _events
+from ..obs import prof as _prof
 from ..obs.state import enabled as _obs_enabled, enabled_scope as _obs_enabled_scope
 from .model_opc import MaskBuilder, ModelOPCRecipe
 from .report import IterationStats
@@ -152,6 +153,9 @@ class TileJob:
     defocus_nm: float
     #: Whether the worker should record spans/metrics for this tile.
     observe: bool = False
+    #: Sampling-profiler rate the worker should run at (0.0 = off),
+    #: inherited from the parent's active profiler.
+    profile_hz: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -176,6 +180,7 @@ class TileJobRef:
 #: TileJob fields identical across one pool run, pickled once per segment.
 _SHM_COMMON_FIELDS = (
     "halo_nm", "recipe", "mask_builder", "dose", "defocus_nm", "observe",
+    "profile_hz",
 )
 
 
@@ -202,6 +207,9 @@ class TileOutcome:
     spans: List[Dict[str, Any]] = field(default_factory=list)
     #: Worker metric snapshot (:meth:`MetricsRegistry.snapshot` format).
     metrics: Optional[Dict[str, Any]] = None
+    #: Worker sampled profile (:func:`repro.obs.profile_to_dict` format),
+    #: shipped only on success so retries never double-count CPU.
+    profile: Optional[Dict[str, Any]] = None
     error: Optional[TileFailure] = None
     worker_pid: int = 0
     #: Execution attempts this outcome took (stamped by the parent).
@@ -234,7 +242,7 @@ def _pool_init(config: LithoConfig, events_queue: Optional[Any] = None) -> None:
     from ..obs import trace as _trace
 
     obs.take_finished()
-    _trace._tls.stack = []
+    _trace.reset_worker_state()
     obs.disable()
     _events.install_worker_forwarding(events_queue)
 
@@ -297,15 +305,28 @@ def _execute_job(job) -> TileOutcome:
         simulator = _worker_simulator
         if simulator is None:
             raise OPCError("worker pool initializer did not run")
-        if job.observe:
-            with obs.capture() as cap:
-                result, stitched = _run_tile(job, simulator)
-            spans = [obs.span_to_dict(root) for root in cap.roots]
-            metrics = obs.registry().snapshot()
-        else:
-            with _obs_enabled_scope(False):
-                result, stitched = _run_tile(job, simulator)
-            spans, metrics = [], None
+        # The worker runs its own sampler at the parent's rate; the
+        # profile ships back only on success, so a retried tile never
+        # double-counts CPU across attempts.
+        profiler = (
+            _prof.SamplingProfiler(hz=job.profile_hz)
+            if job.profile_hz > 0 else None
+        )
+        if profiler is not None:
+            profiler.start()
+        try:
+            if job.observe:
+                with obs.capture() as cap:
+                    result, stitched = _run_tile(job, simulator)
+                spans = [obs.span_to_dict(root) for root in cap.roots]
+                metrics = obs.registry().snapshot()
+            else:
+                with _obs_enabled_scope(False):
+                    result, stitched = _run_tile(job, simulator)
+                spans, metrics = [], None
+        finally:
+            if profiler is not None:
+                profiler.stop()
         return TileOutcome(
             index=job.index,
             tile=job.tile,
@@ -315,6 +336,10 @@ def _execute_job(job) -> TileOutcome:
             fragment_count=result.fragment_count,
             spans=spans,
             metrics=metrics,
+            profile=(
+                _prof.profile_to_dict(profiler.profile)
+                if profiler is not None else None
+            ),
             worker_pid=os.getpid(),
         )
     except Exception as error:  # structured failure crosses the pickle boundary
@@ -415,6 +440,7 @@ def run_tile_jobs(
     spec = spec.validated()
     _ensure_picklable(mask_builder, recipe)
     observe = _obs_enabled()
+    profile_hz = _prof.active_hz()
     jobs = [
         TileJob(
             index=plan.index,
@@ -426,6 +452,7 @@ def run_tile_jobs(
             dose=dose,
             defocus_nm=defocus_nm,
             observe=observe,
+            profile_hz=profile_hz,
         )
         for plan in plans
     ]
@@ -479,6 +506,7 @@ def run_tile_jobs(
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
         converged_tiles = 0
+        worker_profiles: List[Dict[str, Any]] = []
         for index in sorted(outcomes):
             outcome = outcomes[index]
             outcome.attempts = attempts[index] + 1
@@ -491,6 +519,14 @@ def run_tile_jobs(
                 )
             if observe and outcome.metrics:
                 obs.merge_snapshot(outcome.metrics)
+            if outcome.profile is not None:
+                worker_profiles.append(outcome.profile)
+        # Worker profiles fold into the parent's active profiler in one
+        # deterministic merge, grafted under this pool span's name --
+        # the same contract as the span merge above.  Profiles travel
+        # per tile, so the merged multiset is identical at any worker
+        # count and cpu_s totals agree exactly across n_workers.
+        _prof.absorb_worker_profiles(worker_profiles)
         # Cross-worker convergence rollup: the per-tile opc.converged /
         # opc.stalled counters already merged exactly through the metric
         # snapshots above (serial-fallback tiles count in-process); the

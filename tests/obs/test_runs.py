@@ -432,8 +432,8 @@ class TestPreflightSchema:
     }
 
     def test_new_records_carry_the_current_schema(self):
-        assert obs_runs.RUN_SCHEMA == "repro-run/1.3"
-        assert make_record().schema == "repro-run/1.3"
+        assert obs_runs.RUN_SCHEMA == "repro-run/1.4"
+        assert make_record().schema == "repro-run/1.4"
 
     def test_preflight_payload_round_trips(self):
         record = obs_runs.new_record(

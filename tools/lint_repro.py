@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific static lint over ``src/repro`` (stdlib ``ast`` only).
 
-Three rules the generic linters cannot express:
+Five rules the generic linters cannot express:
 
 R001  No wall-clock or unseeded-random calls in deterministic hot paths
       (``repro.geometry``, ``repro.opc``).  Tile stitching is
@@ -27,6 +27,15 @@ R004  Cache-entry serialization must be byte-deterministic
       because their entries are byte-identical; a dict-order or
       timestamp dependence would corrupt whichever loser mmap-loads the
       winner's file.
+
+R005  Metric and counter names (``obs.count`` / ``observe`` /
+      ``gauge_set`` literals, in ``src/repro`` and ``benchmarks/``) must
+      be dotted lowercase namespaces (``opc.tile_retries``, never
+      ``TileRetries`` or a bare ``retries``), and names measuring
+      seconds / lengths / byte sizes must carry the ``_s`` / ``_nm`` /
+      ``_bytes`` unit suffix.  The ledger's diff/gate machinery and the
+      R002 convention both key on these names; one mis-suffixed counter
+      makes ``runs diff`` tables lie about units.
 
 Waive a finding with a trailing ``# repro-lint: ignore[R00X]`` comment
 on the offending line.  Exit 1 when findings remain.
@@ -90,6 +99,22 @@ PAYLOAD_MODULES = ("opc/parallel.py",)
 
 #: R004 scope: modules writing shared on-disk cache entries.
 CANONICAL_MODULES = ("litho/kernel_cache.py",)
+
+#: R005: call names (dotted chains or bare names) whose first positional
+#: string argument is a metric name.  Tails cover the aliased imports
+#: the packages actually use (``_obs_count`` etc.).
+METRIC_CALL_TAILS = ("count", "observe", "gauge_set")
+
+#: R005: the shape of a legal metric name -- at least two dotted
+#: lowercase segments (``namespace.metric``).
+METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: R005: words implying a unit, and the suffix the name must then carry.
+METRIC_UNIT_HINTS = (
+    (("runtime", "duration", "latency", "elapsed", "wall", "cpu"), "_s"),
+    (("rss", "bytes", "heap"), "_bytes"),
+    (LENGTH_WORDS, "_nm"),
+)
 
 WAIVER = re.compile(r"#\s*repro-lint:\s*ignore\[(R\d{3})\]")
 
@@ -225,6 +250,52 @@ def check_canonical_serialization(path: Path, tree: ast.AST) -> Iterator[Finding
             )
 
 
+def _metric_call_tail(name: str) -> str:
+    """The registry verb a call name ends in, or ``""`` when none.
+
+    Matches the public API (``count``/``observe``/``gauge_set``), the
+    ``obs.count`` attribute form and the aliased-import convention
+    (``_obs_count``) the packages use.
+    """
+    last = name.rsplit(".", 1)[-1]
+    for tail in METRIC_CALL_TAILS:
+        if last == tail or last.endswith("_" + tail):
+            return tail
+    return ""
+
+
+def check_metric_names(path: Path, tree: ast.AST) -> Iterator[Finding]:
+    """R005: metric names are dotted lowercase with unit suffixes."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        if not _metric_call_tail(dotted_name(node.func)):
+            continue
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) or not isinstance(first.value, str):
+            continue
+        metric = first.value
+        if not METRIC_NAME.match(metric):
+            yield Finding(
+                "R005", path, node.lineno,
+                f"metric name {metric!r} must be a dotted lowercase "
+                f"namespace like 'opc.tile_retries'",
+            )
+            continue
+        leaf = metric.rsplit(".", 1)[-1]
+        for words, suffix in METRIC_UNIT_HINTS:
+            if metric.endswith(suffix):
+                break
+            if any(word in leaf for word in words) and not LENGTH_EXEMPT.search(leaf):
+                yield Finding(
+                    "R005", path, node.lineno,
+                    f"metric name {metric!r} looks like a {suffix.lstrip('_')}"
+                    f"-valued measurement but lacks the {suffix} unit "
+                    f"suffix the ledger's diff tables key on",
+                )
+                break
+
+
 def waived_lines(source: str) -> dict:
     waivers: dict = {}
     for i, line in enumerate(source.splitlines(), start=1):
@@ -238,15 +309,19 @@ def lint_file(path: Path) -> List[Finding]:
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
     findings: List[Finding] = []
-    if in_packages(path, HOT_PACKAGES):
-        findings.extend(check_determinism(path, tree))
-    if in_packages(path, UNIT_PACKAGES):
-        findings.extend(check_unit_suffix(path, tree))
-    rel = str(path.relative_to(SRC)).replace("\\", "/")
-    if rel in PAYLOAD_MODULES:
-        findings.extend(check_payload_defaults(path, tree))
-    if rel in CANONICAL_MODULES:
-        findings.extend(check_canonical_serialization(path, tree))
+    if path.is_relative_to(SRC):
+        if in_packages(path, HOT_PACKAGES):
+            findings.extend(check_determinism(path, tree))
+        if in_packages(path, UNIT_PACKAGES):
+            findings.extend(check_unit_suffix(path, tree))
+        rel = str(path.relative_to(SRC)).replace("\\", "/")
+        if rel in PAYLOAD_MODULES:
+            findings.extend(check_payload_defaults(path, tree))
+        if rel in CANONICAL_MODULES:
+            findings.extend(check_canonical_serialization(path, tree))
+    # R005 covers every metric-emitting tree: the library and the
+    # benchmarks (whose gauges land in the same ledger).
+    findings.extend(check_metric_names(path, tree))
     waivers = waived_lines(source)
     return [
         f for f in findings if f.code not in waivers.get(f.line, ())
@@ -254,15 +329,16 @@ def lint_file(path: Path) -> List[Finding]:
 
 
 def main() -> int:
+    paths = sorted(SRC.rglob("*.py")) + sorted((REPO / "benchmarks").glob("*.py"))
     findings: List[Finding] = []
-    for path in sorted(SRC.rglob("*.py")):
+    for path in paths:
         findings.extend(lint_file(path))
     for finding in findings:
         print(finding)
     if findings:
         print(f"\n{len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print(f"repro-lint: clean ({len(list(SRC.rglob('*.py')))} files)")
+    print(f"repro-lint: clean ({len(paths)} files)")
     return 0
 
 
