@@ -35,6 +35,15 @@ EVENTS_ENABLED_BUDGET = 0.05
 #: sampled workload may take at most this much longer than unsampled.
 SAMPLER_ENABLED_BUDGET = 0.05
 
+#: Absolute budget for one OpenMetrics render of a recorded run: a
+#: scrape handler blocks a Prometheus poll for at most this long.
+EXPO_RENDER_BUDGET_S = 0.05
+
+#: Absolute budget for one full trend analysis over the default 20-run
+#: history window (robust stats + CUSUM + flaky scores on every series):
+#: `repro runs check --adaptive` adds at most this to a CI gate.
+ANALYZE_WINDOW_BUDGET_S = 0.25
+
 
 def _per_call_s(fn, repeats=20000):
     best = float("inf")
@@ -262,6 +271,82 @@ def test_sampler_enabled_overhead_under_budget():
         f"sampled {sampled_s * 1e3:.1f} ms -> {100 * overhead:.2f}% overhead"
     )
     assert overhead < SAMPLER_ENABLED_BUDGET
+
+
+def _synthetic_history(n, step_at=None):
+    """``n`` ledger records with deterministic spans/quality; optional
+    15% wall-clock step from index ``step_at`` on."""
+    from repro.obs import runs as obs_runs
+    from repro.obs.trace import Span
+
+    records = []
+    for i in range(n):
+        scale = 1.15 if step_at is not None and i >= step_at else 1.0
+        root = Span("tapeout")
+        root.start_s, root.end_s = 0.0, scale * (1.0 + 0.01 * (i % 3))
+        child = Span("tapeout.correct")
+        child.start_s, child.end_s = 0.0, scale * 0.8
+        root.children.append(child)
+        records.append(obs_runs.new_record(
+            "bench", {"kind": "bench"}, [root],
+            metrics={},
+            quality={"epe_rms_nm": 2.0 + 0.01 * (i % 5), "figures": 10},
+            git_rev=None,
+        ))
+    return records
+
+
+def test_exposition_render_under_budget():
+    """One OpenMetrics render of a recorded run stays scrape-cheap.
+
+    The ``/metrics`` handler re-renders per scrape (no caching, so the
+    payload can never go stale); that render must never make a poll
+    noticeable.  Also asserts the determinism the endpoint's CI contract
+    (``cmp`` of two scrapes) depends on.
+    """
+    from repro.obs import expo
+
+    record = _synthetic_history(1)[0]
+    expo.exposition(record=record)  # warm imports
+    start = time.perf_counter()
+    renders = 50
+    for _ in range(renders):
+        text = expo.exposition(record=record)
+    per_render = (time.perf_counter() - start) / renders
+    assert text == expo.exposition(record=record)
+    print(
+        f"\nexposition render: {per_render * 1e6:.0f} us/render "
+        f"({len(text)} bytes)"
+    )
+    assert per_render < EXPO_RENDER_BUDGET_S
+
+
+def test_analyze_window_under_budget():
+    """A full 20-run trend analysis fits the CI-gate budget.
+
+    This is everything ``runs check --adaptive`` adds over the plain
+    median gate: series extraction, MAD stats, two-sided CUSUM with
+    binary segmentation, flaky scoring, plus the per-span-path floor
+    learning the adaptive gate runs on the same window.
+    """
+    from repro.obs import analyze
+
+    records = _synthetic_history(20, step_at=12)
+    analyze.analyze_records(records)  # warm imports
+    start = time.perf_counter()
+    report = analyze.analyze_records(records)
+    floors = analyze.learn_floors(records)
+    elapsed = time.perf_counter() - start
+    assert floors.span_floor_s
+    assert any(
+        cp.index in (11, 12) and cp.direction == "up"
+        for cp in report.analyses["run.wall_s"].change_points
+    )
+    print(
+        f"\nanalyze 20-run window: {elapsed * 1e3:.1f} ms "
+        f"({len(report.analyses)} series)"
+    )
+    assert elapsed < ANALYZE_WINDOW_BUDGET_S
 
 
 def test_sampler_disabled_is_inert(monkeypatch):

@@ -34,6 +34,7 @@ from contextlib import contextmanager, nullcontext
 from typing import Optional, Sequence
 
 from . import obs
+from .obs import analyze as obs_analyze
 from .obs import runs as obs_runs
 from .design import (
     BlockSpec,
@@ -307,6 +308,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--quality-rel", type=float, default=0.10, metavar="FRAC",
         help="relative quality-metric threshold (default 0.10)",
     )
+    runs_check.add_argument(
+        "--adaptive", action="store_true",
+        help="replace the hand-tuned floors with k-sigma noise floors "
+        "learned from the fingerprint history (MAD-robust); flaky quality "
+        "metrics demote to WARN",
+    )
+    runs_check.add_argument(
+        "--strict", action="store_true",
+        help="error (exit 2) when fewer than --baseline prior runs exist, "
+        "instead of passing with an insufficient-history note",
+    )
+    runs_check.add_argument(
+        "--slo", metavar="PATH",
+        help="SLO budget file (default: ./repro-slo.toml, else "
+        "[tool.repro.slo] in pyproject.toml)",
+    )
+    runs_check.add_argument(
+        "--json", action="store_true",
+        help="machine-readable verdict with the full comparison table "
+        "(deterministic, sort_keys)",
+    )
+
+    runs_analyze = runs_sub.add_parser(
+        "analyze",
+        help="trend report over the fingerprint history: robust stats, "
+        "CUSUM change points, flaky scores, SLO budget burn",
+    )
+    _add_runs_dir(runs_analyze)
+    runs_analyze.add_argument(
+        "metrics", nargs="*",
+        help="metric series to analyze (e.g. run.wall_s "
+        "quality.epe_rms_nm); default: wall clock plus every quality key",
+    )
+    runs_analyze.add_argument(
+        "--all", action="store_true",
+        help="analyze every numeric series (spans, counters, gauges too)",
+    )
+    runs_analyze.add_argument("--label", help="only runs with this label")
+    runs_analyze.add_argument(
+        "--fingerprint",
+        help="analyze this config group (default: the newest run's)",
+    )
+    runs_analyze.add_argument(
+        "--limit", type=int, default=obs_analyze.HISTORY_WINDOW, metavar="N",
+        help="analyze at most the N most recent matching runs "
+        f"(default {obs_analyze.HISTORY_WINDOW})",
+    )
+    runs_analyze.add_argument(
+        "--slo", metavar="PATH",
+        help="SLO budget file (default: ./repro-slo.toml, else "
+        "[tool.repro.slo] in pyproject.toml)",
+    )
+    runs_analyze.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report (deterministic, sort_keys)",
+    )
 
     runs_report = runs_sub.add_parser(
         "report", help="write the self-contained HTML dashboard"
@@ -319,6 +376,43 @@ def build_parser() -> argparse.ArgumentParser:
     runs_report.add_argument(
         "--limit", type=int, default=50,
         help="include at most N most recent runs (default 50)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="OpenMetrics/Prometheus exposition of the metric registry "
+        "and the run ledger",
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+
+    metrics_serve = metrics_sub.add_parser(
+        "serve",
+        help="HTTP /metrics endpoint: the live registry while a run is "
+        "recording in this process, the newest ledger run when idle",
+    )
+    _add_runs_dir(metrics_serve)
+    metrics_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    metrics_serve.add_argument(
+        "--port", type=int, default=9102,
+        help="bind port (default 9102; 0 picks an ephemeral port)",
+    )
+
+    metrics_export = metrics_sub.add_parser(
+        "export",
+        help="write one recorded run as an OpenMetrics textfile "
+        "(node-exporter textfile-collector style)",
+    )
+    _add_runs_dir(metrics_export)
+    metrics_export.add_argument(
+        "run", nargs="?", default="last",
+        help="run id prefix, or 'last' / 'prev' / 'last~N' (default last)",
+    )
+    metrics_export.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write atomically to PATH (default: stdout)",
     )
 
     watch = sub.add_parser(
@@ -501,6 +595,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _report(args)
         if args.command == "runs":
             return _runs(args)
+        if args.command == "metrics":
+            return _metrics(args)
         if args.command == "watch":
             return _watch(args)
         if args.command == "inspect":
@@ -848,6 +944,7 @@ def _profile(args) -> int:
         quality = tapeout_quality(result)
         if spatial is not None:
             quality.update(obs.spatial_quality(spatial))
+        obs.publish_quality(quality)
         # The flow's own preflight verdict would land on the suppressed
         # inner record; re-lint the (already gated, so error-free) job
         # so the aggregate record carries the summary too.
@@ -951,29 +1048,66 @@ def _runs(args) -> int:
         return 0
 
     if args.runs_command == "check":
-        candidate = ledger.load_entry(ledger.resolve(args.run))
-        if args.against:
-            baselines = [ledger.load_entry(ledger.resolve(args.against))]
-        else:
-            history = ledger.entries(fingerprint=candidate.fingerprint)
-            prior = [e for e in history if e.run_id != candidate.run_id]
-            if not prior:
-                print(
-                    f"runs check: no baseline with fingerprint "
-                    f"{candidate.fingerprint}; nothing to gate on (OK)"
-                )
-                return 0
-            baselines = [
-                ledger.load_entry(e) for e in prior[-args.baseline:]
-            ]
+        slos = obs_analyze.load_slos(args.slo)
         policy = obs_runs.RegressionPolicy(
             rel_threshold=args.rel,
             abs_floor_s=args.abs_floor,
             quality_rel_threshold=args.quality_rel,
         )
-        verdict = obs_runs.check_regressions(candidate, baselines, policy)
-        print(verdict.summary())
+        history = None
+        if args.against:
+            candidate = ledger.load_entry(ledger.resolve(args.run))
+            baselines = [ledger.load_entry(ledger.resolve(args.against))]
+        else:
+            if not ledger.entries():
+                return _insufficient_history(args, None, 0)
+            candidate = ledger.load_entry(ledger.resolve(args.run))
+            entries = ledger.entries(fingerprint=candidate.fingerprint)
+            prior = [e for e in entries if e.run_id != candidate.run_id]
+            if len(prior) < args.baseline:
+                return _insufficient_history(args, candidate, len(prior))
+            # The gate medians over the newest --baseline runs; adaptive
+            # floors, flaky scores and SLO burn learn from the deeper
+            # fingerprint history behind them.
+            history = [
+                ledger.load_entry(e)
+                for e in prior[-obs_analyze.HISTORY_WINDOW:]
+            ]
+            baselines = history[-args.baseline:]
+        verdict = obs_analyze.gate(
+            candidate, baselines, history=history, policy=policy,
+            adaptive=args.adaptive, slos=slos,
+        )
+        if args.json:
+            print(json.dumps(verdict.to_dict(), sort_keys=True))
+        else:
+            print(verdict.summary())
         return 0 if verdict.ok else 1
+
+    if args.runs_command == "analyze":
+        entries = ledger.entries(
+            label=args.label, fingerprint=args.fingerprint
+        )
+        if not entries:
+            print(f"(no runs recorded in {ledger.root})")
+            return 0
+        records = list(ledger.records(entries[-args.limit:]))
+        slos = obs_analyze.load_slos(args.slo)
+        metrics = None
+        if not args.all:
+            metrics = list(args.metrics) or [
+                name
+                for name in sorted(obs_analyze.extract_series(records))
+                if name == "run.wall_s" or name.startswith("quality.")
+            ]
+        report = obs_analyze.analyze_records(
+            records, metrics=metrics, slos=slos
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), sort_keys=True))
+        else:
+            print(obs_analyze.report_markdown(report))
+        return 0
 
     if args.runs_command == "report":
         entries = ledger.entries()
@@ -986,6 +1120,60 @@ def _runs(args) -> int:
         return 0
 
     raise ReproError(f"unknown runs command {args.runs_command!r}")
+
+
+def _insufficient_history(args, candidate, have: int) -> int:
+    """``runs check`` with too few baselines: pass with a note.
+
+    A fresh ledger (first CI run on a branch, wiped cache) should not
+    fail the gate -- there is nothing meaningful to compare against.
+    ``--strict`` restores the hard-failure behavior for pipelines that
+    would rather block than silently skip the comparison.
+    """
+    note = f"insufficient history (have {have}, need {args.baseline})"
+    if args.strict:
+        raise ReproError(f"runs check --strict: {note}")
+    report = obs_runs.RegressionReport(
+        candidate_id=candidate.run_id if candidate is not None else "",
+        baseline_ids=[],
+        regressions=[],
+        notes=[f"{note}; nothing to gate on"],
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.summary())
+    return 0
+
+
+def _metrics(args) -> int:
+    from .obs import expo as obs_expo
+
+    if args.metrics_command == "serve":
+        server = obs_expo.MetricsServer(
+            host=args.host, port=args.port, runs_dir=args.runs_dir
+        )
+        print(f"serving OpenMetrics on {server.url} (ctrl-c to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return 0
+
+    if args.metrics_command == "export":
+        ledger = obs_runs.ledger(args.runs_dir)
+        record = ledger.load_entry(ledger.resolve(args.run))
+        text = obs_expo.exposition(record=record)
+        if args.output:
+            obs_expo.write_textfile(args.output, text)
+            print(f"wrote {args.output} ({len(text)} bytes)")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    raise ReproError(f"unknown metrics command {args.metrics_command!r}")
 
 
 def _watch(args) -> int:

@@ -22,6 +22,7 @@ from ..mask import MaskDataStats, mask_data_stats
 from ..obs import (
     current_span as _obs_current_span,
     gauge_set as _obs_gauge_set,
+    publish_quality as _obs_publish_quality,
     span as _obs_span,
 )
 from ..obs import events as _obs_events
@@ -206,6 +207,8 @@ def correct_region(
         and _obs_current_span() is None
         and _obs_runs.auto_enabled()
     ):
+        quality = flow_quality(data, opc_result)
+        _obs_publish_quality(quality)
         _obs_runs.record_run(
             label="correct",
             config={
@@ -221,7 +224,7 @@ def correct_region(
                 "litho": simulator.config if simulator is not None else None,
             },
             roots=[correct_span],
-            quality=flow_quality(data, opc_result),
+            quality=quality,
             preflight=preflight_summary,
             profile=_obs_prof.active_summary(),
             events=run_events,

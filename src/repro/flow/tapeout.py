@@ -17,6 +17,7 @@ from ..layout import Cell, Layer
 from ..litho import LithoSimulator, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
 from ..obs import current_span as _obs_current_span, span as _obs_span
+from ..obs import publish_quality as _obs_publish_quality
 from ..obs import events as _obs_events
 from ..obs import prof as _obs_prof
 from ..obs import runs as _obs_runs
@@ -247,6 +248,7 @@ def tapeout_region(
         quality = tapeout_quality(result)
         if spatial is not None:
             quality.update(_obs_spatial.spatial_quality(spatial))
+        _obs_publish_quality(quality)
         _obs_runs.record_run(
             label="tapeout",
             config={

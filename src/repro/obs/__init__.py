@@ -44,6 +44,24 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
+from .analyze import (
+    SLO,
+    AdaptiveFloors,
+    AnalyzeReport,
+    ChangePoint,
+    MetricSeries,
+    RobustStats,
+    SLOStatus,
+    analyze_records,
+    cusum_changepoints,
+    extract_series,
+    flakiness,
+    learn_floors,
+    load_slos,
+    robust_stats,
+)
+from .analyze import gate as gate_run
+from .analyze import report_markdown as analyze_markdown
 from .events import (
     EVENT_SCHEMA,
     EVENT_TYPES,
@@ -60,6 +78,14 @@ from .events import (
 )
 from .events import bus as event_bus
 from .events import emit as emit_event
+from .expo import (
+    CONTENT_TYPE,
+    MetricsServer,
+    exposition,
+    ledger_source,
+    openmetrics_name,
+    write_textfile,
+)
 from .export import (
     chrome_trace_events,
     metrics_markdown,
@@ -80,6 +106,7 @@ from .metrics import (
     gauge_set,
     merge_snapshot,
     observe,
+    publish_quality,
     registry,
 )
 from .metrics import reset as reset_metrics
@@ -104,6 +131,8 @@ from .prof import (
 from .runs import (
     RUN_SCHEMA,
     SUPPORTED_SCHEMAS,
+    Comparison,
+    Regression,
     RegressionPolicy,
     RegressionReport,
     RunDiff,
@@ -136,8 +165,13 @@ from .trace import Span, current_span, merge_spans, span, take_finished
 from .watch import read_events, render_frame, replay, tail_events, watch_live
 
 __all__ = [
+    "AdaptiveFloors",
+    "AnalyzeReport",
+    "CONTENT_TYPE",
     "CallbackSink",
     "Capture",
+    "ChangePoint",
+    "Comparison",
     "Counter",
     "DEFAULT_BUCKETS",
     "EVENT_SCHEMA",
@@ -146,7 +180,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "MetricSeries",
     "MetricsRegistry",
+    "MetricsServer",
     "PROF_SCHEMA",
     "PoolProgress",
     "Profile",
@@ -154,14 +190,20 @@ __all__ = [
     "RUN_SCHEMA",
     "RingBufferSink",
     "RunEvents",
+    "Regression",
     "RegressionPolicy",
     "RegressionReport",
+    "RobustStats",
     "RunDiff",
     "RunLedger",
     "RunRecord",
+    "SLO",
+    "SLOStatus",
     "SUPPORTED_SCHEMAS",
     "SamplingProfiler",
     "Span",
+    "analyze_markdown",
+    "analyze_records",
     "absorb_worker_profiles",
     "active_profiler",
     "attribute_sites",
@@ -172,9 +214,18 @@ __all__ = [
     "collapsed_text",
     "config_fingerprint",
     "count",
+    "cusum_changepoints",
+    "exposition",
+    "extract_series",
+    "flakiness",
     "flame_html",
     "flame_svg",
+    "gate_run",
+    "learn_floors",
+    "ledger_source",
+    "load_slos",
     "merge_profiles",
+    "openmetrics_name",
     "prof_enabled",
     "profile_from_dict",
     "profile_summary",
@@ -207,12 +258,14 @@ __all__ = [
     "new_record",
     "observe",
     "persist_run_events",
+    "publish_quality",
     "read_events",
     "record_run",
     "registry",
     "render_frame",
     "replay",
     "reset_metrics",
+    "robust_stats",
     "run_scope",
     "span",
     "write_dashboard_html",
@@ -226,6 +279,7 @@ __all__ = [
     "validate_event",
     "validate_events",
     "watch_live",
+    "write_textfile",
     "write_trace_json",
 ]
 

@@ -1,0 +1,426 @@
+"""OpenMetrics text exposition of the run telemetry.
+
+The monitoring front door: the dotted metric namespace of
+:mod:`repro.obs.metrics` (``sim.aerial_calls``, ``tile.runtime_s``,
+``quality.epe_rms_nm``) rendered as the OpenMetrics text format any
+Prometheus-compatible scraper ingests.
+
+* :func:`openmetrics_name` -- the deterministic name mapping (dots to
+  underscores; the dotted names already follow the R005 lint, so the
+  mapped names are valid OpenMetrics identifiers by construction).
+* :func:`exposition` -- a full payload from a registry snapshot and/or
+  a ledger :class:`~repro.obs.runs.RunRecord`, ``# EOF``-terminated.
+* :func:`write_textfile` -- atomic textfile-collector export
+  (``repro metrics export``).
+* :class:`MetricsServer` -- a stdlib :mod:`http.server` ``/metrics``
+  endpoint (``repro metrics serve``): live registry while a run is in
+  flight, the last ledger record when idle.
+
+Rendering is strictly deterministic -- families sorted by name, no
+timestamps, ints rendered as ints -- so two scrapes of the same idle
+state are byte-identical, which CI asserts with ``cmp``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..errors import ReproError
+from .metrics import registry as _global_registry
+from .runs import RunRecord, ledger as _ledger
+
+#: Content type of the rendered payload (OpenMetrics 1.0 text format).
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: Unit suffixes the repo's metric conventions use (R005); a family name
+#: ending in one gets a ``# UNIT`` metadata line.  OpenMetrics requires
+#: the declared unit to be a suffix of the family name, so the units are
+#: the suffixes themselves (``tile_runtime_s`` -> unit ``s``), not the
+#: spelled-out words.
+_UNIT_SUFFIXES = {"_s": "s", "_nm": "nm", "_bytes": "bytes"}
+
+def openmetrics_name(dotted: str) -> str:
+    """``sim.aerial_calls`` -> ``sim_aerial_calls``.
+
+    The dotted names are lint-enforced to ``[a-z0-9_.]`` with a leading
+    letter (R005), so replacing separators is the whole mapping -- no
+    lossy sanitisation, and two distinct dotted names can only collide
+    if they already differed solely by separator, which R005 forbids.
+    """
+    return dotted.replace(".", "_").replace("-", "_")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One sample line of a metric family."""
+
+    suffix: str  # "", "_total", "_bucket", "_count", "_sum", "_info"
+    labels: Tuple[Tuple[str, str], ...]
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class Family:
+    """One OpenMetrics metric family (metadata plus samples)."""
+
+    name: str
+    type: str  # "counter", "gauge", "histogram", "info"
+    help: str
+    samples: Tuple[Sample, ...]
+    unit: str = ""
+
+
+def _fmt_value(value: Union[int, float]) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _family_unit(name: str) -> str:
+    for suffix, unit in _UNIT_SUFFIXES.items():
+        if name.endswith(suffix):
+            return unit
+    return ""
+
+
+def _counter_family(dotted: str, value: int) -> Family:
+    name = openmetrics_name(dotted)
+    if name.endswith("_total"):
+        name = name[: -len("_total")]
+    return Family(
+        name=name,
+        type="counter",
+        help=f"repro counter {dotted}",
+        samples=(Sample("_total", (), value),),
+    )
+
+
+def _gauge_family(dotted: str, value: Union[int, float]) -> Family:
+    name = openmetrics_name(dotted)
+    return Family(
+        name=name,
+        type="gauge",
+        help=f"repro gauge {dotted}",
+        unit=_family_unit(name),
+        samples=(Sample("", (), value),),
+    )
+
+
+def _histogram_family(dotted: str, record: Mapping[str, Any]) -> Family:
+    name = openmetrics_name(dotted)
+    samples: List[Sample] = []
+    cumulative = 0
+    for entry in record["buckets"]:
+        cumulative += entry["count"]
+        bound = (
+            "+Inf" if entry["le"] == "inf" else _fmt_value(float(entry["le"]))
+        )
+        samples.append(Sample("_bucket", (("le", bound),), cumulative))
+    samples.append(Sample("_count", (), record["count"]))
+    samples.append(Sample("_sum", (), record["sum"]))
+    return Family(
+        name=name,
+        type="histogram",
+        help=f"repro histogram {dotted}",
+        unit=_family_unit(name),
+        samples=tuple(samples),
+    )
+
+
+def snapshot_families(snapshot: Mapping[str, Mapping[str, Any]]) -> List[Family]:
+    """Families for every metric of a registry :meth:`snapshot`."""
+    families: List[Family] = []
+    for dotted in sorted(snapshot):
+        record = snapshot[dotted]
+        kind = record.get("kind")
+        if kind == "counter":
+            families.append(_counter_family(dotted, record["value"]))
+        elif kind == "gauge":
+            if record["value"] is not None:
+                families.append(_gauge_family(dotted, record["value"]))
+        elif kind == "histogram":
+            families.append(_histogram_family(dotted, record))
+        else:
+            raise ReproError(
+                f"cannot expose metric {dotted!r} of unknown kind {kind!r}"
+            )
+    return families
+
+
+def record_families(record: RunRecord) -> List[Family]:
+    """Families for one ledger record: its snapshot, quality and identity.
+
+    Quality keys not already published as ``quality.*`` gauges in the
+    snapshot (wall/CPU seconds, RSS, pre-gauge records) are added from
+    the quality dict, so an idle scrape still carries the full quality
+    surface.  A ``repro_run`` info family labels the payload with the
+    run id, fingerprint and label.
+    """
+    families = snapshot_families(record.metrics)
+    seen = {family.name for family in families}
+    for key in sorted(record.quality):
+        value = record.quality[key]
+        if isinstance(value, bool):
+            value = int(value)
+        elif not isinstance(value, (int, float)):
+            continue
+        dotted = f"quality.{key}"
+        if openmetrics_name(dotted) in seen:
+            continue
+        families.append(_gauge_family(dotted, value))
+    families.append(_gauge_family("run.wall_s", record.wall_s))
+    families.append(
+        Family(
+            name="repro_run",
+            type="info",
+            help="identity of the exposed run record",
+            samples=(
+                Sample(
+                    "_info",
+                    (
+                        ("fingerprint", record.fingerprint),
+                        ("label", record.label),
+                        ("run_id", record.run_id),
+                        ("schema", record.schema),
+                    ),
+                    1,
+                ),
+            ),
+        )
+    )
+    return families
+
+
+def render(families: Sequence[Family]) -> str:
+    """The OpenMetrics text payload for ``families`` (sorted, ``# EOF``)."""
+    lines: List[str] = []
+    for family in sorted(families, key=lambda f: f.name):
+        lines.append(f"# HELP {family.name} {_escape(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        if family.unit:
+            lines.append(f"# UNIT {family.name} {family.unit}")
+        for sample in family.samples:
+            labels = ""
+            if sample.labels:
+                labels = "{" + ",".join(
+                    f'{key}="{_escape(value)}"'
+                    for key, value in sample.labels
+                ) + "}"
+            lines.append(
+                f"{family.name}{sample.suffix}{labels} "
+                f"{_fmt_value(sample.value)}"
+            )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def exposition(
+    snapshot: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    record: Optional[RunRecord] = None,
+    extra_gauges: Optional[Mapping[str, Union[int, float]]] = None,
+) -> str:
+    """One full OpenMetrics payload.
+
+    ``snapshot`` exposes a live registry dump, ``record`` a ledger run
+    (pass one; passing both renders the snapshot plus the record's
+    identity info).  ``extra_gauges`` appends flat gauges (dotted names)
+    -- the ledger source uses it for store-level signals.  Always valid
+    and ``# EOF``-terminated, even with nothing to show.
+    """
+    families: List[Family] = [
+        Family(
+            name="repro_up",
+            type="gauge",
+            help="repro metrics endpoint is alive",
+            samples=(Sample("", (), 1),),
+        )
+    ]
+    if snapshot is not None:
+        families.extend(snapshot_families(snapshot))
+        if record is not None:
+            families.extend(
+                family for family in record_families(record)
+                if family.name == "repro_run"
+            )
+    elif record is not None:
+        families.extend(record_families(record))
+    for dotted in sorted(extra_gauges or {}):
+        families.append(_gauge_family(dotted, extra_gauges[dotted]))
+    return render(families)
+
+
+def write_textfile(path: Union[str, Path], text: str) -> None:
+    """Atomically write ``text`` to ``path`` (textfile-collector style).
+
+    Written via a same-directory temp file and :func:`os.replace` so a
+    collector never reads a half-written payload.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}."
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            tmp.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already replaced/removed
+            pass
+        raise
+
+
+def ledger_source(
+    runs_dir: Optional[Union[str, Path]] = None,
+) -> Callable[[], str]:
+    """The default payload source: live registry, else last ledger run.
+
+    While a run is in flight the global registry holds its metrics and
+    the scrape is live; idle (registry empty), the newest ledger record
+    is exposed with a ``repro_ledger_runs`` gauge so dashboards can tell
+    the two apart.  A corrupt or empty ledger degrades to the minimal
+    payload instead of a scrape error.
+    """
+
+    def source() -> str:
+        snapshot = _global_registry().snapshot()
+        if snapshot:
+            return exposition(snapshot=snapshot)
+        led = _ledger(runs_dir)
+        try:
+            entries = led.entries()
+            if not entries:
+                return exposition(
+                    extra_gauges={"repro_ledger_runs": 0}
+                )
+            record = led.load_entry(entries[-1])
+        except ReproError:
+            return exposition(extra_gauges={"repro_ledger_error": 1})
+        return exposition(
+            record=record,
+            extra_gauges={"repro_ledger_runs": len(entries)},
+        )
+
+    return source
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            body = b"repro metrics: scrape /metrics\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        payload = self.server.source().encode("utf-8")  # type: ignore[attr-defined]
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, *args: Any) -> None:  # pragma: no cover - quiet
+        pass
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    source: Callable[[], str] = staticmethod(lambda: exposition())
+
+
+class MetricsServer:
+    """A ``/metrics`` HTTP endpoint over the stdlib http server.
+
+    ``source`` produces the payload per scrape (default:
+    :func:`ledger_source`).  ``port=0`` binds an ephemeral port (tests);
+    :attr:`address` reports the bound one.  Use as a context manager, or
+    :meth:`serve_forever` to block (the CLI's ``repro metrics serve``).
+    """
+
+    def __init__(
+        self,
+        source: Optional[Callable[[], str]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        runs_dir: Optional[Union[str, Path]] = None,
+    ):
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.source = source or ledger_source(runs_dir)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

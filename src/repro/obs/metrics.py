@@ -259,3 +259,27 @@ def merge_snapshot(snapshot: Dict[str, Dict[str, Any]]) -> None:
     """Merge a worker's snapshot into the global registry when enabled."""
     if state.enabled():
         _registry.merge_snapshot(snapshot)
+
+
+def publish_quality(quality: Dict[str, Any]) -> None:
+    """Publish a quality dict as ``quality.<key>`` gauges on the registry.
+
+    The write side of :func:`repro.obs.runs.quality_from_metrics`: flows
+    call this right before recording a run so the derived quality numbers
+    (EPE RMS, shot counts, MRC/ORC verdicts) are visible on the live
+    OpenMetrics endpoint (:mod:`repro.obs.expo`), not only in the ledger.
+    Volatile keys -- wall/CPU seconds (``*_s``) and ``peak_rss_bytes``,
+    the same set :meth:`~repro.obs.runs.RunRecord.canonical_dict` strips
+    -- are skipped so record canonicalisation stays byte-stable; values
+    keep their numeric type for the same reason.  Unguarded on purpose:
+    callers sit on recording paths, never in kernel loops.
+    """
+    for key in sorted(quality):
+        value = quality[key]
+        if isinstance(value, bool):
+            value = int(value)
+        elif not isinstance(value, (int, float)):
+            continue
+        if key.endswith("_s") or key == "peak_rss_bytes":
+            continue
+        _registry.gauge(f"quality.{key}").set(value)

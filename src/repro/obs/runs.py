@@ -39,12 +39,22 @@ import os
 import subprocess
 import uuid
 from contextlib import contextmanager
-from dataclasses import dataclass, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass
 from datetime import datetime, timezone
 from enum import Enum
 from pathlib import Path
 from statistics import median
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Collection,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..errors import ReproError
 from .export import span_to_dict
@@ -762,6 +772,9 @@ class RunDiff:
     span_deltas: List[Delta]
     metric_deltas: List[Delta]
     quality_deltas: List[Delta]
+    #: Distribution deltas (``<name>.mean`` / ``<name>.p95``) of every
+    #: histogram either record carries; counts live in metric_deltas.
+    histogram_deltas: List[Delta] = field(default_factory=list)
 
     @property
     def changed_metrics(self) -> List[Delta]:
@@ -770,6 +783,52 @@ class RunDiff:
     @property
     def changed_quality(self) -> List[Delta]:
         return [d for d in self.quality_deltas if d.changed]
+
+
+def histogram_stats(record: Dict[str, Any]) -> Optional[Dict[str, float]]:
+    """``{"mean", "p95"}`` of one snapshot histogram record, or ``None``.
+
+    The p95 is bucket-resolution, mirroring
+    :meth:`repro.obs.metrics.Histogram.quantile`: the upper bound of the
+    bucket the rank falls in, the observed max for the overflow bucket.
+    """
+    if record.get("kind") != "histogram" or not record.get("count"):
+        return None
+    count = record["count"]
+    rank = 0.95 * count
+    seen = 0
+    p95 = float(record["max"])
+    for entry in record["buckets"]:
+        seen += entry["count"]
+        if seen >= rank and entry["count"]:
+            if entry["le"] != "inf":
+                p95 = float(entry["le"])
+            break
+    return {"mean": record["sum"] / count, "p95": p95}
+
+
+def _histogram_deltas(base: RunRecord, cand: RunRecord) -> List[Delta]:
+    names = sorted(
+        {
+            name
+            for record in (base, cand)
+            for name, entry in record.metrics.items()
+            if entry.get("kind") == "histogram"
+        }
+    )
+    out: List[Delta] = []
+    for name in names:
+        base_stats = histogram_stats(base.metrics.get(name, {}))
+        cand_stats = histogram_stats(cand.metrics.get(name, {}))
+        for stat in ("mean", "p95"):
+            out.append(
+                Delta(
+                    key=f"{name}.{stat}",
+                    base=base_stats[stat] if base_stats else None,
+                    cand=cand_stats[stat] if cand_stats else None,
+                )
+            )
+    return out
 
 
 def diff_runs(base: RunRecord, cand: RunRecord) -> RunDiff:
@@ -796,7 +855,10 @@ def diff_runs(base: RunRecord, cand: RunRecord) -> RunDiff:
         Delta(key, _num(base.quality.get(key)), _num(cand.quality.get(key)))
         for key in sorted(set(base.quality) | set(cand.quality))
     ]
-    return RunDiff(base, cand, span_deltas, metric_deltas, quality_deltas)
+    return RunDiff(
+        base, cand, span_deltas, metric_deltas, quality_deltas,
+        _histogram_deltas(base, cand),
+    )
 
 
 def _num(value: Any) -> Optional[float]:
@@ -845,6 +907,21 @@ def diff_markdown(diff: RunDiff) -> str:
             lines.append(
                 f"| {d.key} | {_fmt(d.base)} | {_fmt(d.cand)} | {delta} |"
             )
+    histograms = [
+        d for d in diff.histogram_deltas
+        if d.base is not None or d.cand is not None
+    ]
+    if histograms:
+        lines += ["", "### histograms (distribution deltas)", "",
+                  "| histogram stat | base | cand | delta | delta % |",
+                  "|---|---|---|---|---|"]
+        for d in histograms:
+            delta = f"{d.delta:+.4g}" if d.delta is not None else "-"
+            pct = f"{d.pct:+.1f}%" if d.pct is not None else "-"
+            lines.append(
+                f"| {d.key} | {_fmt(d.base)} | {_fmt(d.cand)} "
+                f"| {delta} | {pct} |"
+            )
     if diff.quality_deltas:
         lines += ["", "### quality", "",
                   "| quality | base | cand | delta |", "|---|---|---|---|"]
@@ -877,19 +954,60 @@ class RegressionPolicy:
 
 @dataclass(frozen=True)
 class Regression:
-    """One gate failure."""
+    """One gate finding (``severity="warn"`` demotes FAIL to WARN)."""
+
+    kind: str  # "span", "quality" or "slo"
+    key: str
+    baseline: float
+    candidate: float
+    detail: str
+    severity: str = "fail"
+
+    def __str__(self) -> str:
+        label = "REGRESSION" if self.severity == "fail" else "WARN"
+        return (
+            f"{label} [{self.kind}] {self.key}: "
+            f"{self.baseline:.6g} -> {self.candidate:.6g} ({self.detail})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "detail": self.detail,
+            "severity": self.severity,
+        }
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One checked gate item, pass or fail -- the full comparison table.
+
+    ``margin`` is the absolute allowance around the baseline median:
+    for spans ``max(floor, baseline * rel_threshold)``, for quality the
+    (possibly adaptive) +/- band.  A comparison fails exactly when the
+    candidate deviates in the regressing direction by more than the
+    margin, so the table is a faithful record of the verdict.
+    """
 
     kind: str  # "span" or "quality"
     key: str
     baseline: float
     candidate: float
-    detail: str
+    margin: float
+    verdict: str  # "ok", "fail" or "warn"
 
-    def __str__(self) -> str:
-        return (
-            f"REGRESSION [{self.kind}] {self.key}: "
-            f"{self.baseline:.6g} -> {self.candidate:.6g} ({self.detail})"
-        )
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "margin": self.margin,
+            "verdict": self.verdict,
+        }
 
 
 @dataclass
@@ -901,6 +1019,13 @@ class RegressionReport:
     regressions: List[Regression]
     checked_spans: int = 0
     checked_quality: int = 0
+    checked_slos: int = 0
+    #: Every checked item, pass or fail (``repro runs check --json``).
+    comparisons: List[Comparison] = field(default_factory=list)
+    #: Demoted findings (flaky metrics, SLO near-misses): reported, but
+    #: they do not flip :attr:`ok`.
+    warnings: List[Regression] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -915,20 +1040,49 @@ class RegressionReport:
             f"{self.checked_spans} span paths, "
             f"{self.checked_quality} quality keys checked"
         ]
+        lines += [f"note: {note}" for note in self.notes]
+        lines += [str(w) for w in self.warnings]
         lines += [str(r) for r in self.regressions]
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain data for ``repro runs check --json``."""
+        return {
+            "ok": self.ok,
+            "candidate": self.candidate_id,
+            "baselines": list(self.baseline_ids),
+            "checked": {
+                "spans": self.checked_spans,
+                "quality": self.checked_quality,
+                "slos": self.checked_slos,
+            },
+            "comparisons": [c.to_dict() for c in self.comparisons],
+            "regressions": [r.to_dict() for r in self.regressions],
+            "warnings": [w.to_dict() for w in self.warnings],
+            "notes": list(self.notes),
+        }
 
 
 def check_regressions(
     candidate: RunRecord,
     baselines: Sequence[RunRecord],
     policy: RegressionPolicy = RegressionPolicy(),
+    *,
+    span_floors: Optional[Mapping[str, float]] = None,
+    quality_margins: Optional[Mapping[str, float]] = None,
+    flaky: Optional[Collection[str]] = None,
 ) -> RegressionReport:
     """Gate ``candidate`` against the median of ``baselines``.
 
     Span paths and quality keys absent from every baseline are skipped
     (new stages are not regressions); paths absent from the candidate
     simply stop being checked.
+
+    ``span_floors`` overrides the policy's ``abs_floor_s`` per span path
+    and ``quality_margins`` replaces the relative quality threshold with
+    an absolute +/- band per key -- this is how the adaptive gate
+    (:func:`repro.obs.analyze.gate`) injects MAD-learned noise floors.
+    Quality keys listed in ``flaky`` demote their failures to WARN.
     """
     if not baselines:
         raise ReproError("regression check needs at least one baseline run")
@@ -945,10 +1099,27 @@ def check_regressions(
             continue
         report.checked_spans += 1
         base = median(samples)
-        if (
-            timing.total_s - base > policy.abs_floor_s
+        floor = policy.abs_floor_s
+        floor_kind = "floor"
+        if span_floors is not None and path in span_floors:
+            floor = span_floors[path]
+            floor_kind = "adaptive floor"
+        margin = max(floor, base * policy.rel_threshold)
+        failed = (
+            timing.total_s - base > floor
             and timing.total_s > base * (1.0 + policy.rel_threshold)
-        ):
+        )
+        report.comparisons.append(
+            Comparison(
+                kind="span",
+                key=path,
+                baseline=base,
+                candidate=timing.total_s,
+                margin=margin,
+                verdict="fail" if failed else "ok",
+            )
+        )
+        if failed:
             report.regressions.append(
                 Regression(
                     kind="span",
@@ -959,11 +1130,12 @@ def check_regressions(
                         f"+{100.0 * (timing.total_s - base) / base:.1f}% over "
                         f"baseline median, threshold "
                         f"+{100.0 * policy.rel_threshold:.0f}% "
-                        f"and floor {policy.abs_floor_s:g} s"
+                        f"and {floor_kind} {floor:g} s"
                     ),
                 )
             )
 
+    flaky_keys = frozenset(flaky or ())
     for key in sorted(candidate.quality):
         cand_value = _num(candidate.quality.get(key))
         if cand_value is None:
@@ -977,26 +1149,48 @@ def check_regressions(
             continue
         report.checked_quality += 1
         base = median(samples)
-        margin = policy.quality_rel_threshold * abs(base)
+        if quality_margins is not None and key in quality_margins:
+            margin = quality_margins[key]
+            threshold_desc = f"adaptive margin +/-{margin:g}"
+        else:
+            margin = policy.quality_rel_threshold * abs(base)
+            threshold_desc = (
+                f"threshold +/-{100.0 * policy.quality_rel_threshold:.0f}%"
+            )
         if key in HIGHER_IS_BETTER:
             failed = cand_value < base - margin - 1e-12
             direction = "dropped below"
         else:
             failed = cand_value > base + margin + 1e-12
             direction = "grew past"
-        if failed:
-            report.regressions.append(
-                Regression(
-                    kind="quality",
-                    key=key,
-                    baseline=base,
-                    candidate=cand_value,
-                    detail=(
-                        f"{direction} baseline median, threshold "
-                        f"+/-{100.0 * policy.quality_rel_threshold:.0f}%"
-                    ),
-                )
+        demoted = failed and key in flaky_keys
+        verdict = "ok" if not failed else ("warn" if demoted else "fail")
+        report.comparisons.append(
+            Comparison(
+                kind="quality",
+                key=key,
+                baseline=base,
+                candidate=cand_value,
+                margin=margin,
+                verdict=verdict,
             )
+        )
+        if failed:
+            finding = Regression(
+                kind="quality",
+                key=key,
+                baseline=base,
+                candidate=cand_value,
+                detail=(
+                    f"{direction} baseline median, {threshold_desc}"
+                    + ("; demoted to WARN (flaky metric)" if demoted else "")
+                ),
+                severity="warn" if demoted else "fail",
+            )
+            if demoted:
+                report.warnings.append(finding)
+            else:
+                report.regressions.append(finding)
     return report
 
 
@@ -1017,22 +1211,50 @@ td, th { padding: 0.25rem 0.7rem; border-bottom: 1px solid #e0e0dc;
 """
 
 
-def _sparkline(values: Sequence[float], width: int = 140, height: int = 30) -> str:
-    """A tiny inline-SVG polyline of one run-history series."""
+def _sparkline(
+    values: Sequence[float],
+    width: int = 140,
+    height: int = 30,
+    marks: Sequence[int] = (),
+) -> str:
+    """A tiny inline-SVG polyline of one run-history series.
+
+    ``marks`` are value indices to highlight with a dot -- the dashboard
+    uses them for CUSUM change points (the first run of a new regime).
+    """
     if not values:
         return ""
     low, high = min(values), max(values)
     spread = (high - low) or 1.0
     step = width / max(len(values) - 1, 1)
-    points = " ".join(
-        f"{i * step:.1f},{height - 3 - (height - 6) * (v - low) / spread:.1f}"
-        for i, v in enumerate(values)
+
+    def xy(i: int, v: float) -> tuple:
+        return i * step, height - 3 - (height - 6) * (v - low) / spread
+
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in
+                      (xy(i, v) for i, v in enumerate(values)))
+    dots = "".join(
+        f'<circle cx="{xy(i, values[i])[0]:.1f}" '
+        f'cy="{xy(i, values[i])[1]:.1f}" r="2.5" fill="#c0392b"/>'
+        for i in marks
+        if 0 <= i < len(values)
     )
     return (
         f'<svg class="spark" width="{width}" height="{height}">'
         f'<polyline points="{points}" fill="none" stroke="#4a7aa7" '
-        f'stroke-width="1.5"/></svg>'
+        f'stroke-width="1.5"/>{dots}</svg>'
     )
+
+
+def _series_marks(values: Sequence[float]) -> Sequence[int]:
+    """CUSUM change-point indices of one history series.
+
+    Imported lazily: :mod:`repro.obs.analyze` imports this module, so a
+    top-level import would be circular.
+    """
+    from .analyze import cusum_changepoints
+
+    return [cp.index for cp in cusum_changepoints(values)]
 
 
 def dashboard_html(
@@ -1084,7 +1306,12 @@ def dashboard_html(
         )
     parts.append("</table>")
 
-    parts.append("<h2>Run history</h2><table>")
+    parts.append("<h2>Run history</h2>")
+    parts.append(
+        "<p class='muted'>dots mark CUSUM change points "
+        "(first run of a new regime)</p>"
+    )
+    parts.append("<table>")
     parts.append(
         "<tr><th>series</th><th>latest</th><th>trend (oldest &rarr; newest)"
         "</th></tr>"
@@ -1103,7 +1330,8 @@ def dashboard_html(
     for name, values in series:
         parts.append(
             f"<tr><td class='mono'>{_html.escape(name)}</td>"
-            f"<td>{values[-1]:.6g}</td><td>{_sparkline(values)}</td></tr>"
+            f"<td>{values[-1]:.6g}</td>"
+            f"<td>{_sparkline(values, marks=_series_marks(values))}</td></tr>"
         )
     parts.append("</table>")
 

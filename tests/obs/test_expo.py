@@ -1,0 +1,322 @@
+"""OpenMetrics exposition: grammar, determinism, the /metrics endpoint.
+
+``validate_openmetrics`` is a line-by-line checker of the OpenMetrics
+text exposition format (metadata ordering, sample syntax, label quoting,
+the ``# EOF`` terminator, counter ``_total`` samples, cumulative
+histogram buckets).  CI imports it to vet a live scrape, so keep it
+importable: ``from tests.obs.test_expo import validate_openmetrics``.
+"""
+
+import json
+import re
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.obs import expo
+from repro.obs import runs as obs_runs
+from repro.obs.trace import Span
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE = re.compile(
+    rf"^({_NAME})(\{{[^{{}}]*\}})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$"
+)
+_LABEL = re.compile(rf'^{_NAME}="(\\.|[^"\\])*"$')
+_SUFFIXES = {
+    "counter": ("_total",),
+    "histogram": ("_bucket", "_count", "_sum"),
+    "info": ("_info",),
+    "gauge": ("",),
+}
+
+
+def validate_openmetrics(text):
+    """Assert ``text`` is grammatically valid OpenMetrics; return the
+    families as ``{name: {"type": ..., "samples": [(name, labels, value)]}}``.
+    """
+    assert text.endswith("# EOF\n"), "payload must end with '# EOF\\n'"
+    families = {}
+    current = None
+    seen_eof = False
+    for line in text.splitlines():
+        assert not seen_eof, "content after # EOF"
+        if line == "# EOF":
+            seen_eof = True
+            continue
+        if line.startswith("# "):
+            kind, rest = line[2:].split(" ", 1)
+            assert kind in ("HELP", "TYPE", "UNIT"), line
+            name = rest.split(" ", 1)[0]
+            if kind == "TYPE":
+                mtype = rest.split(" ", 1)[1]
+                assert mtype in ("counter", "gauge", "histogram", "info"), line
+                assert name not in families, f"duplicate family {name}"
+                families[name] = {"type": mtype, "samples": []}
+                current = name
+            elif kind == "UNIT":
+                unit = rest.split(" ", 1)[1]
+                assert name.endswith(f"_{unit}"), (
+                    f"unit {unit!r} must be a suffix of {name!r}"
+                )
+            continue
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        sample_name, labels, value = match.groups()
+        assert current is not None, f"sample before any # TYPE: {line!r}"
+        suffixes = _SUFFIXES[families[current]["type"]]
+        assert sample_name.startswith(current) and (
+            sample_name[len(current):] in suffixes
+        ), f"sample {sample_name!r} does not belong to family {current!r}"
+        parsed_labels = {}
+        if labels:
+            for part in labels[1:-1].split(","):
+                assert _LABEL.match(part), f"bad label: {part!r} in {line!r}"
+                key, raw = part.split("=", 1)
+                parsed_labels[key] = raw[1:-1]
+        families[current]["samples"].append(
+            (sample_name, parsed_labels, value)
+        )
+    assert seen_eof
+    for name, family in families.items():
+        assert family["samples"], f"family {name} has no samples"
+        if family["type"] == "histogram":
+            buckets = [
+                (labels["le"], float(value))
+                for sample_name, labels, value in family["samples"]
+                if sample_name.endswith("_bucket")
+            ]
+            assert buckets[-1][0] == "+Inf", f"{name}: missing +Inf bucket"
+            counts = [count for _le, count in buckets]
+            assert counts == sorted(counts), f"{name}: buckets not cumulative"
+            total = next(
+                float(v) for s, _l, v in family["samples"]
+                if s.endswith("_count")
+            )
+            assert buckets[-1][1] == total, f"{name}: +Inf != _count"
+    return families
+
+
+def _recorded_registry():
+    """A registry populated the way an instrumented run populates it."""
+    obs.enable()
+    obs.count("sim.aerial_calls", 7)
+    obs.gauge_set("mask.vertices", 1234)
+    obs.observe("tile.runtime_s", 0.12)
+    obs.observe("tile.runtime_s", 0.48)
+    obs.publish_quality({"epe_rms_nm": 3.25, "mrc_clean": True,
+                         "wall_s": 9.9, "peak_rss_bytes": 1 << 20})
+    return obs.registry().snapshot()
+
+
+def make_record():
+    root = Span("tapeout")
+    root.start_s, root.end_s = 0.0, 1.5
+    return obs_runs.new_record(
+        "tapeout", {"kind": "test"}, [root],
+        metrics=_recorded_registry(),
+        quality={"epe_rms_nm": 3.25, "shots": 40},
+        git_rev=None,
+    )
+
+
+class TestNameMapping:
+    def test_dots_to_underscores(self):
+        assert expo.openmetrics_name("sim.aerial_calls") == "sim_aerial_calls"
+        assert expo.openmetrics_name("quality.epe_rms_nm") == (
+            "quality_epe_rms_nm"
+        )
+
+    def test_mapped_names_are_valid_identifiers(self):
+        pattern = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+        for dotted in ("tile.runtime_s", "opc.iteration-count", "a.b.c"):
+            assert pattern.match(expo.openmetrics_name(dotted))
+
+
+class TestRendering:
+    def test_snapshot_payload_is_valid(self):
+        families = validate_openmetrics(
+            expo.exposition(snapshot=_recorded_registry())
+        )
+        assert families["sim_aerial_calls"]["type"] == "counter"
+        assert families["sim_aerial_calls"]["samples"] == [
+            ("sim_aerial_calls_total", {}, "7")
+        ]
+        assert families["quality_epe_rms_nm"]["samples"][0][2] == "3.25"
+        # The canonical-dict volatile keys never reach the endpoint.
+        assert "quality_wall_s" not in families
+        assert "quality_peak_rss_bytes" not in families
+
+    def test_record_payload_carries_run_info(self):
+        record = make_record()
+        families = validate_openmetrics(expo.exposition(record=record))
+        name, labels, value = families["repro_run"]["samples"][0]
+        assert name == "repro_run_info"
+        assert labels["run_id"] == record.run_id
+        assert labels["fingerprint"] == record.fingerprint
+        assert value == "1"
+        assert families["run_wall_s"]["samples"][0][2] == "1.5"
+
+    def test_histogram_buckets_are_cumulative(self):
+        families = validate_openmetrics(
+            expo.exposition(snapshot=_recorded_registry())
+        )
+        samples = families["tile_runtime_s"]["samples"]
+        count = next(v for n, _l, v in samples if n.endswith("_count"))
+        assert count == "2"
+
+    def test_idle_scrapes_are_byte_identical(self):
+        record = make_record()
+        assert expo.exposition(record=record) == expo.exposition(
+            record=record
+        )
+
+    def test_minimal_payload_is_valid(self):
+        families = validate_openmetrics(expo.exposition())
+        assert families["repro_up"]["samples"] == [("repro_up", {}, "1")]
+
+    def test_value_formatting(self):
+        assert expo._fmt_value(True) == "1"
+        assert expo._fmt_value(3) == "3"
+        assert expo._fmt_value(3.0) == "3"  # int-valued floats stay stable
+        assert expo._fmt_value(float("inf")) == "+Inf"
+        assert expo._fmt_value(float("nan")) == "NaN"
+        assert expo._fmt_value(0.1) == "0.1"
+
+    def test_escaping_in_labels_and_help(self):
+        text = expo.exposition(extra_gauges={"weird.name_s": 1})
+        validate_openmetrics(text)
+
+    def test_write_textfile_atomic(self, tmp_path):
+        out = tmp_path / "metrics" / "repro.prom"
+        text = expo.exposition()
+        expo.write_textfile(out, text)
+        assert out.read_text(encoding="utf-8") == text
+        assert list(out.parent.iterdir()) == [out]  # no temp litter
+
+
+class TestLedgerSource:
+    def test_live_registry_wins(self, tmp_path):
+        _recorded_registry()
+        text = expo.ledger_source(tmp_path)()
+        assert "sim_aerial_calls_total 7" in text
+        assert "repro_ledger_runs" not in text
+
+    def test_idle_serves_last_run(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        record = make_record()
+        obs.reset_metrics()  # back to idle
+        ledger.append(record)
+        text = expo.ledger_source(tmp_path)()
+        families = validate_openmetrics(text)
+        assert families["repro_ledger_runs"]["samples"][0][2] == "1"
+        assert families["repro_run"]["samples"][0][1]["run_id"] == (
+            record.run_id
+        )
+
+    def test_empty_ledger_degrades(self, tmp_path):
+        text = expo.ledger_source(tmp_path)()
+        families = validate_openmetrics(text)
+        assert families["repro_ledger_runs"]["samples"][0][2] == "0"
+
+    def test_corrupt_ledger_degrades(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        ledger.append(make_record())
+        obs.reset_metrics()  # idle: force the ledger path
+        (tmp_path / "runs.jsonl").write_text("{not json\n")
+        text = expo.ledger_source(tmp_path)()
+        families = validate_openmetrics(text)
+        assert families["repro_ledger_error"]["samples"][0][2] == "1"
+
+
+class TestMetricsServer:
+    def test_scrape_roundtrip(self, tmp_path):
+        ledger = obs_runs.RunLedger(tmp_path)
+        record = make_record()
+        obs.reset_metrics()
+        ledger.append(record)
+        with expo.MetricsServer(port=0, runs_dir=tmp_path) as server:
+            with urllib.request.urlopen(server.url) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == expo.CONTENT_TYPE
+                first = response.read().decode("utf-8")
+            with urllib.request.urlopen(server.url) as response:
+                second = response.read().decode("utf-8")
+        assert first == second  # idle scrapes are byte-identical
+        families = validate_openmetrics(first)
+        assert "quality_epe_rms_nm" in families
+        assert "sim_aerial_calls" in families
+
+    def test_unknown_path_is_404(self, tmp_path):
+        with expo.MetricsServer(port=0, runs_dir=tmp_path) as server:
+            host, port = server.address
+            try:
+                urllib.request.urlopen(f"http://{host}:{port}/nope")
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:  # pragma: no cover - the request must fail
+                raise AssertionError("expected a 404")
+
+    def test_custom_source(self):
+        with expo.MetricsServer(source=lambda: expo.exposition(
+            extra_gauges={"custom.gauge": 42}
+        ), port=0) as server:
+            with urllib.request.urlopen(server.url) as response:
+                text = response.read().decode("utf-8")
+        assert "custom_gauge 42" in text
+        validate_openmetrics(text)
+
+
+class TestPublishQuality:
+    def test_quality_gauges_published(self):
+        obs.publish_quality({"epe_rms_nm": 3.0, "mrc_clean": True,
+                             "opc_wall_s": 4.0, "peak_rss_bytes": 5,
+                             "note": "skipped"})
+        names = obs.registry().names()
+        assert "quality.epe_rms_nm" in names
+        assert "quality.mrc_clean" in names
+        assert obs.registry().get("quality.mrc_clean").value == 1
+        # Volatile and non-numeric keys are skipped, matching the
+        # canonical-record strip set.
+        assert "quality.opc_wall_s" not in names
+        assert "quality.peak_rss_bytes" not in names
+        assert "quality.note" not in names
+
+
+class TestCliExport:
+    def test_export_matches_library_render(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+
+        ledger = obs_runs.RunLedger(tmp_path)
+        record = make_record()
+        obs.reset_metrics()
+        ledger.append(record)
+        code = cli.main([
+            "metrics", "export", "--dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out == expo.exposition(record=record)
+        validate_openmetrics(out)
+
+    def test_export_to_file(self, tmp_path, capsys):
+        from repro import cli
+
+        ledger = obs_runs.RunLedger(tmp_path)
+        ledger.append(make_record())
+        obs.reset_metrics()
+        out_path = tmp_path / "repro.prom"
+        code = cli.main([
+            "metrics", "export", "last", "--dir", str(tmp_path),
+            "-o", str(out_path),
+        ])
+        assert code == 0
+        validate_openmetrics(out_path.read_text(encoding="utf-8"))
+
+    def test_export_without_runs_errors(self, tmp_path, capsys):
+        from repro import cli
+
+        code = cli.main(["metrics", "export", "--dir", str(tmp_path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

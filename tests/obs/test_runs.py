@@ -19,6 +19,7 @@ from repro.errors import ReproError
 from repro.flow import CorrectionLevel, TapeoutRecipe, tapeout_region
 from repro.geometry import Rect, Region
 from repro.litho import LithoConfig, LithoSimulator, krf_annular
+from repro.obs import metrics as obs_metrics
 from repro.obs import runs as obs_runs
 from repro.obs.trace import Span
 from repro.opc import ModelOPCRecipe, TilingSpec
@@ -41,15 +42,25 @@ def make_roots(scale=1.0, extra_child=None):
     return [root]
 
 
-def make_record(scale=1.0, quality=None, config=CONFIG, label="tapeout"):
+def make_record(scale=1.0, quality=None, config=CONFIG, label="tapeout",
+                metrics=None):
     return obs_runs.new_record(
         label,
         config,
         make_roots(scale),
-        metrics={},
+        metrics=metrics if metrics is not None else {},
         quality=quality if quality is not None else {"figures": 10},
         git_rev=None,
     )
+
+
+def hist_snapshot(name, values, bounds=(0.1, 0.5, 1.0)):
+    """A one-histogram metrics snapshot built through the real registry."""
+    registry = obs_metrics.MetricsRegistry()
+    histogram = registry.histogram(name, bounds)
+    for value in values:
+        histogram.observe(value)
+    return registry.snapshot()
 
 
 class TestFingerprint:
@@ -174,6 +185,89 @@ class TestCanonicalForm:
         data["schema"] = "repro-run/999"
         with pytest.raises(ReproError):
             obs_runs.RunRecord.from_dict(data)
+
+
+class TestHistogramDiff:
+    """diff_runs compares histogram *distributions*, not just counts."""
+
+    def test_histogram_stats_known_values(self):
+        # 10 fast observations, 10 near the top bucket: the 95th-rank
+        # observation (rank 19) lands in the le=1.0 bucket.
+        record = hist_snapshot(
+            "tile.runtime_s", [0.05] * 10 + [0.9] * 10
+        )["tile.runtime_s"]
+        stats = obs_runs.histogram_stats(record)
+        assert stats["mean"] == pytest.approx((0.05 * 10 + 0.9 * 10) / 20)
+        assert stats["p95"] == 1.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        record = hist_snapshot("x", [2.0, 3.0, 7.0])["x"]
+        assert obs_runs.histogram_stats(record)["p95"] == 7.0
+
+    def test_non_histograms_and_empty_return_none(self):
+        assert obs_runs.histogram_stats({"kind": "counter", "value": 3}) is None
+        assert obs_runs.histogram_stats({}) is None
+        empty = hist_snapshot("x", [])["x"]
+        assert obs_runs.histogram_stats(empty) is None
+
+    def test_stats_match_registry_quantile(self):
+        """Bucket-resolution p95/mean agree with Histogram.quantile/mean
+        for arbitrary seeded distributions."""
+        import random
+
+        for seed in range(20):
+            rng = random.Random(seed)
+            values = [rng.uniform(0.0, 2.0) for _ in range(rng.randint(1, 60))]
+            registry = obs_metrics.MetricsRegistry()
+            histogram = registry.histogram("h", (0.1, 0.5, 1.0))
+            for value in values:
+                histogram.observe(value)
+            stats = obs_runs.histogram_stats(registry.snapshot()["h"])
+            assert stats["p95"] == histogram.quantile(0.95)
+            assert stats["mean"] == pytest.approx(histogram.mean)
+
+    def test_diff_carries_mean_and_p95_deltas(self):
+        base = make_record(
+            metrics=hist_snapshot("tile.runtime_s", [0.05, 0.08, 0.09])
+        )
+        cand = make_record(
+            metrics=hist_snapshot("tile.runtime_s", [0.4, 0.45, 0.9])
+        )
+        diff = obs_runs.diff_runs(base, cand)
+        keyed = {d.key: d for d in diff.histogram_deltas}
+        assert set(keyed) == {"tile.runtime_s.mean", "tile.runtime_s.p95"}
+        mean = keyed["tile.runtime_s.mean"]
+        assert mean.base == pytest.approx((0.05 + 0.08 + 0.09) / 3)
+        assert mean.cand == pytest.approx((0.4 + 0.45 + 0.9) / 3)
+        p95 = keyed["tile.runtime_s.p95"]
+        assert (p95.base, p95.cand) == (0.1, 1.0)
+
+    def test_markdown_has_distribution_section(self):
+        base = make_record(
+            metrics=hist_snapshot("tile.runtime_s", [0.05, 0.08, 0.09])
+        )
+        cand = make_record(
+            metrics=hist_snapshot("tile.runtime_s", [0.4, 0.45, 0.9])
+        )
+        text = obs_runs.diff_markdown(obs_runs.diff_runs(base, cand))
+        assert "### histograms (distribution deltas)" in text
+        assert "| tile.runtime_s.mean |" in text
+        assert "| tile.runtime_s.p95 |" in text
+
+    def test_markdown_omits_section_without_histograms(self):
+        text = obs_runs.diff_markdown(
+            obs_runs.diff_runs(make_record(), make_record())
+        )
+        assert "### histograms" not in text
+
+    def test_one_sided_histogram_still_listed(self):
+        base = make_record()
+        cand = make_record(metrics=hist_snapshot("x", [0.2, 0.3]))
+        diff = obs_runs.diff_runs(base, cand)
+        keyed = {d.key: d for d in diff.histogram_deltas}
+        assert keyed["x.mean"].base is None
+        assert keyed["x.mean"].cand == pytest.approx(0.25)
+        assert "| x.p95 |" in obs_runs.diff_markdown(diff)
 
 
 class TestRegressionGate:

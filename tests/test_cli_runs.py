@@ -93,7 +93,17 @@ class TestRunsCommands:
         assert main(PROFILE_ARGS + ["--runs-dir", str(tmp_path)]) == 0
         capsys.readouterr()
         assert main(["runs", "check", "--dir", str(tmp_path)]) == 0
-        assert "no baseline" in capsys.readouterr().out
+        assert "insufficient history (have 0, need 3)" in (
+            capsys.readouterr().out
+        )
+
+    def test_check_strict_blocks_on_thin_history(self, tmp_path, capsys):
+        assert main(PROFILE_ARGS + ["--runs-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        code = main(["runs", "check", "--strict", "--dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "insufficient history" in captured.err
 
     def test_report_writes_dashboard(self, recorded_ledger, tmp_path, capsys):
         out_path = tmp_path / "dash.html"
@@ -143,7 +153,10 @@ class TestCheckGateFires:
         gated = obs_runs.RunLedger(tmp_path / "gated")
         gated.append(self._slow_copy(baseline, 1.0))
         gated.append(self._slow_copy(baseline, 2.0))
-        code = main(["runs", "check", "--dir", str(tmp_path / "gated")])
+        code = main(
+            ["runs", "check", "--baseline", "1",
+             "--dir", str(tmp_path / "gated")]
+        )
         assert code == 1
         out = capsys.readouterr().out
         assert "runs check: FAIL" in out
@@ -162,6 +175,135 @@ class TestCheckGateFires:
         )
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+def _scaled_copy(record, factor, jitter=0.0):
+    """The same record with every span duration scaled by ``factor``."""
+    scale = factor + jitter
+
+    def walk(node):
+        return {
+            "name": node["name"],
+            "start_s": node["start_s"] * scale,
+            "duration_s": node["duration_s"] * scale,
+            "attrs": node.get("attrs", {}),
+            "children": [walk(c) for c in node.get("children", [])],
+        }
+
+    return obs_runs.new_record(
+        record.label,
+        record.config,
+        [walk(root) for root in record.spans],
+        metrics=record.metrics,
+        quality=record.quality,
+        git_rev=None,
+    )
+
+
+class TestRegressionIntelligenceCli:
+    """``runs check --json/--adaptive`` and ``runs analyze``."""
+
+    @pytest.fixture()
+    def synthetic_ledger(self, recorded_ledger, tmp_path):
+        """Five near-identical runs cloned from one recorded baseline."""
+        source = obs_runs.RunLedger(recorded_ledger)
+        base = source.load_entry(source.resolve("last"))
+        ledger = obs_runs.RunLedger(tmp_path / "synthetic")
+        for jitter in (0.0, 0.001, -0.001, 0.002, -0.002):
+            ledger.append(_scaled_copy(base, 1.0, jitter))
+        return tmp_path / "synthetic", base
+
+    def test_check_json_has_full_comparison_table(
+        self, recorded_ledger, capsys
+    ):
+        code = main(
+            ["runs", "check", "--baseline", "1", "--json",
+             "--dir", str(recorded_ledger)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        parsed = json.loads(out)
+        assert parsed["ok"] is True
+        assert parsed["checked"]["spans"] > 0
+        # Every checked item appears, pass or fail, with its margin.
+        assert len(parsed["comparisons"]) >= parsed["checked"]["spans"]
+        assert {
+            "kind", "key", "baseline", "candidate", "margin", "verdict"
+        } <= set(parsed["comparisons"][0])
+        assert out == json.dumps(parsed, sort_keys=True)
+
+    def test_adaptive_gate_fails_injected_slowdown(
+        self, synthetic_ledger, capsys
+    ):
+        runs_dir, base = synthetic_ledger
+        obs_runs.RunLedger(runs_dir).append(_scaled_copy(base, 2.0))
+        code = main(
+            ["runs", "check", "--adaptive", "--json", "--dir", str(runs_dir)]
+        )
+        assert code == 1
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["ok"] is False
+        assert any("adaptive" in note for note in parsed["notes"])
+        assert any(
+            r["key"] == "tapeout/tapeout.correct"
+            for r in parsed["regressions"]
+        )
+
+    def test_adaptive_gate_passes_same_noise_candidate(
+        self, synthetic_ledger, capsys
+    ):
+        runs_dir, base = synthetic_ledger
+        obs_runs.RunLedger(runs_dir).append(_scaled_copy(base, 1.0, 0.001))
+        code = main(
+            ["runs", "check", "--adaptive", "--dir", str(runs_dir)]
+        )
+        assert code == 0
+        assert "runs check: OK" in capsys.readouterr().out
+
+    def test_analyze_markdown_report(self, synthetic_ledger, capsys):
+        runs_dir, _ = synthetic_ledger
+        assert main(["runs", "analyze", "--dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run.wall_s" in out
+        assert "| metric |" in out
+
+    def test_analyze_json_is_deterministic(self, synthetic_ledger, capsys):
+        runs_dir, _ = synthetic_ledger
+        assert main(
+            ["runs", "analyze", "--json", "--dir", str(runs_dir)]
+        ) == 0
+        out = capsys.readouterr().out.strip()
+        parsed = json.loads(out)
+        assert "run.wall_s" in parsed["series"]
+        assert len(parsed["run_ids"]) == 5
+        assert out == json.dumps(parsed, sort_keys=True)
+
+    def test_analyze_named_metric_only(self, synthetic_ledger, capsys):
+        runs_dir, _ = synthetic_ledger
+        assert main(
+            ["runs", "analyze", "run.wall_s", "--json", "--dir", str(runs_dir)]
+        ) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert list(parsed["series"]) == ["run.wall_s"]
+
+    def test_analyze_empty_ledger_is_graceful(self, tmp_path, capsys):
+        assert main(["runs", "analyze", "--dir", str(tmp_path)]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_check_reads_slo_file(self, synthetic_ledger, tmp_path, capsys):
+        runs_dir, _ = synthetic_ledger
+        slo_path = tmp_path / "repro-slo.toml"
+        slo_path.write_text(
+            '["run.wall_s"]\nobjective = 1e-6\n'
+            'direction = "below"\nwindow = 5\nbudget = 0.0\n'
+        )
+        code = main(
+            ["runs", "check", "--slo", str(slo_path), "--json",
+             "--dir", str(runs_dir)]
+        )
+        assert code == 1
+        parsed = json.loads(capsys.readouterr().out)
+        assert any(r["kind"] == "slo" for r in parsed["regressions"])
 
 
 class TestInspect:
@@ -315,10 +457,18 @@ class TestCorruptLedgerCli:
             capsys, "no matching runs",
         )
 
-    def test_empty_dir_check_errors(self, tmp_path, capsys):
+    def test_empty_dir_check_passes_with_note(self, tmp_path, capsys):
+        # A fresh ledger is not an error: the gate passes with an
+        # insufficient-history note so first CI runs do not block.
+        assert main(["runs", "check", "--dir", str(tmp_path)]) == 0
+        assert "insufficient history (have 0, need 3)" in (
+            capsys.readouterr().out
+        )
+
+    def test_empty_dir_check_strict_errors(self, tmp_path, capsys):
         self._assert_graceful(
-            ["runs", "check", "--dir", str(tmp_path)],
-            capsys, "no matching runs",
+            ["runs", "check", "--strict", "--dir", str(tmp_path)],
+            capsys, "insufficient history",
         )
 
     def test_corrupt_runs_jsonl_errors_one_line(self, tmp_path, capsys):

@@ -26,7 +26,10 @@ R004  Cache-entry serialization must be byte-deterministic
       processes racing to publish the same fingerprint are only safe
       because their entries are byte-identical; a dict-order or
       timestamp dependence would corrupt whichever loser mmap-loads the
-      winner's file.
+      winner's file.  The same rule covers ``repro.obs.expo`` and
+      ``repro.obs.analyze``: two scrapes of the same idle state must be
+      byte-identical and trend analysis a pure function of the ledger,
+      so CI can ``cmp`` payloads and cache verdicts.
 
 R005  Metric and counter names (``obs.count`` / ``observe`` /
       ``gauge_set`` literals, in ``src/repro`` and ``benchmarks/``) must
@@ -97,8 +100,14 @@ LENGTH_EXEMPT = re.compile(
 #: R003 scope: modules holding picklable worker payloads.
 PAYLOAD_MODULES = ("opc/parallel.py",)
 
-#: R004 scope: modules writing shared on-disk cache entries.
-CANONICAL_MODULES = ("litho/kernel_cache.py",)
+#: R004 scope: modules whose serialized output must be byte-stable --
+#: shared on-disk cache entries, the OpenMetrics exposition, and the
+#: ledger trend analysis CI caches verdicts from.
+CANONICAL_MODULES = (
+    "litho/kernel_cache.py",
+    "obs/analyze.py",
+    "obs/expo.py",
+)
 
 #: R005: call names (dotted chains or bare names) whose first positional
 #: string argument is a metric name.  Tails cover the aliased imports
