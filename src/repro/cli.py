@@ -7,12 +7,18 @@ The subcommands mirror a minimal mask-synthesis flow::
     repro drc block.gds --node 180nm
     repro check block.gds --layer 3 --format sarif -o check.sarif
     repro correct block.gds --layer 3 --level model --node 180nm -o out.gds
+    repro mrc out.gds --layer 3 --datatype 10 --format sarif -o mask.sarif
     repro profile block.gds --layer 3 --node 180nm
     repro runs list
 
 ``correct`` writes the corrected geometry onto the OPC datatype (10) and
 SRAFs onto datatype 11 next to the drawn layer, the usual tape-out
-convention.  ``correct --profile`` (or ``--trace out.json``) and the
+convention.  Before anything is written the corrected mask passes the
+MRC postflight gate (:mod:`repro.lint.postflight`); blocking defects
+exit 1 with nothing exported unless ``--no-postflight``.  The ``mrc``
+subcommand runs the same edge-based check standalone on any mask GDS --
+or renders the summary persisted in a recorded run -- with the same
+text/JSON/SARIF emitters as ``check``.  ``correct --profile`` (or ``--trace out.json``) and the
 ``profile`` subcommand record the run with :mod:`repro.obs` and report
 where the time went; ``profile`` without a GDS file runs the built-in
 quickstart pattern, and ``profile --record`` appends the run to the
@@ -47,7 +53,7 @@ from .design import (
     sram_array,
     drc_ruleset,
 )
-from .errors import ReproError
+from .errors import PostflightError, ReproError
 from .flow import (
     CorrectionLevel,
     TapeoutRecipe,
@@ -122,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-preflight", action="store_true",
         help="skip the static lint gate that runs before correction",
     )
+    correct.add_argument(
+        "--no-postflight", action="store_true",
+        help="skip the MRC gate on the corrected mask (the defects are "
+        "still your problem at the mask shop)",
+    )
     _add_obs_flags(correct)
     _add_parallel_flags(correct)
     _add_litho_flags(correct)
@@ -159,6 +170,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_flags(check)
     _add_litho_flags(check)
+
+    mrc_cmd = sub.add_parser(
+        "mrc",
+        help="postflight mask-rule check: localized MRC violations plus "
+        "the VSB shot estimate of a mask GDS, or the persisted summary "
+        "of a recorded run; exit 1 on error-severity findings",
+    )
+    mrc_cmd.add_argument(
+        "target",
+        help="mask GDS file to scan, or a ledger run reference "
+        "('last', 'prev', 'last~N', id prefix) whose recorded MRC "
+        "summary is rendered",
+    )
+    mrc_cmd.add_argument(
+        "--layer", type=int, help="GDS layer number (GDS mode only)"
+    )
+    mrc_cmd.add_argument(
+        "--datatype", type=int, default=0,
+        help="GDS datatype (default 0; corrected masks from `repro "
+        "correct` live on datatype 10)",
+    )
+    mrc_cmd.add_argument("--cell", help="cell name (default: the top cell)")
+    mrc_cmd.add_argument(
+        "--min-width", type=int, default=40, metavar="NM",
+        help="minimum mask feature width (default 40)",
+    )
+    mrc_cmd.add_argument(
+        "--min-space", type=int, default=40, metavar="NM",
+        help="minimum mask-figure spacing (default 40)",
+    )
+    mrc_cmd.add_argument(
+        "--min-area", type=int, default=4, metavar="NM2",
+        help="minimum figure area in nm^2 (default 4)",
+    )
+    mrc_cmd.add_argument(
+        "--min-edge", type=int, default=0, metavar="NM",
+        help="minimum edge length; 0 disables the rule (default 0)",
+    )
+    mrc_cmd.add_argument(
+        "--notch", type=int, default=0, metavar="NM",
+        help="minimum notch width; 0 inherits --min-space (default 0)",
+    )
+    mrc_cmd.add_argument(
+        "--corner", type=int, default=0, metavar="NM",
+        help="minimum corner-to-corner diagonal gap; 0 disables "
+        "(default 0)",
+    )
+    mrc_cmd.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (default text)",
+    )
+    mrc_cmd.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    _add_runs_dir(mrc_cmd)
 
     profile = sub.add_parser(
         "profile",
@@ -222,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--no-preflight", action="store_true",
         help="skip the static lint gate that runs before the tapeout",
+    )
+    profile.add_argument(
+        "--no-postflight", action="store_true",
+        help="skip the MRC gate on the repaired mask before signoff",
     )
     _add_events_flag(profile)
     _add_parallel_flags(profile)
@@ -589,6 +660,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _correct(args)
         if args.command == "check":
             return _check(args)
+        if args.command == "mrc":
+            return _mrc(args)
         if args.command == "profile":
             return _profile(args)
         if args.command == "report":
@@ -601,6 +674,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _watch(args)
         if args.command == "inspect":
             return _inspect(args)
+    except PostflightError as error:
+        # A rejected mask is a gate verdict, not an operational failure:
+        # exit 1 like `check`/`runs check`, so CI can tell them apart.
+        print(f"postflight: {error}", file=sys.stderr)
+        print(
+            "nothing was exported; run `repro mrc` on the input for the "
+            "full marker list, or pass --no-postflight to ship anyway",
+            file=sys.stderr,
+        )
+        return 1
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -720,6 +803,7 @@ def _run_correct(args) -> int:
         target, level, simulator=simulator, dose=dose,
         dark_field=args.dark_field, parallel=_parallel_spec(args),
         preflight=not args.no_preflight,
+        postflight=not args.no_postflight,
     )
     corrected = result.corrected
     if args.smooth > 0:
@@ -733,12 +817,20 @@ def _run_correct(args) -> int:
     out_cell.set_region(opc_layer(drawn), corrected)
     if not result.srafs.is_empty:
         out_cell.set_region(sraf_layer(drawn), result.srafs)
-    size = write_gds(out, args.output)
+    with obs.span("export.gds", path=args.output) as export_span:
+        size = write_gds(out, args.output)
+        export_span.set(bytes=size)
     print(
         f"{level.value} correction: {result.data.figures} figures, "
         f"{result.data.vertices} vertices, {result.data.shots} shots "
         f"({result.runtime_s:.1f} s)"
     )
+    if result.mrc_report is not None:
+        mrc = result.mrc_report
+        print(
+            f"postflight: clean ({mrc.warning_count} warning(s)), "
+            f"~{mrc.shot_count} VSB shots"
+        )
     print(f"wrote {args.output} ({size} bytes)")
     return 0
 
@@ -803,6 +895,95 @@ def _check(args) -> int:
         )
     else:
         print(rendered)
+    return 1 if report.has_errors else 0
+
+
+def _mrc(args) -> int:
+    """Standalone postflight MRC: scan a mask GDS, or render a run's summary.
+
+    A path on disk is scanned live with the edge-based engine; anything
+    else resolves as a run-ledger reference whose persisted ``mrc``
+    summary (schema ``repro-run/1.5``) is rendered without re-running
+    anything.  Exit 0 when writable (warnings allowed), 1 on
+    error-severity defects, 2 on operational errors.
+    """
+    from . import lint
+    from .verify.mrc import MRCReport as MaskMRCReport, MRCRules, MRCViolation
+
+    dropped = 0
+    if os.path.exists(args.target):
+        if args.layer is None:
+            raise ReproError("mrc needs --layer with a GDS file")
+        library = read_gds(args.target)
+        cell = _pick_cell(library, args.cell)
+        mask = cell.flat_region(Layer(args.layer, args.datatype))
+        if mask.is_empty:
+            raise ReproError(
+                f"cell {cell.name!r} has no geometry on layer "
+                f"{args.layer}/{args.datatype}"
+            )
+        rules = MRCRules(
+            min_width_nm=args.min_width,
+            min_space_nm=args.min_space,
+            min_area_nm2=args.min_area,
+            min_edge_nm=args.min_edge,
+            notch_nm=args.notch,
+            corner_nm=args.corner,
+        )
+        post = lint.postflight_mask(
+            mask, rules, cell=cell, artifact=args.target
+        )
+        report, mrc, artifact = post.report, post.mrc, args.target
+    else:
+        ledger = obs_runs.ledger(args.runs_dir)
+        record = ledger.load_entry(ledger.resolve(args.target))
+        payload = record.mrc
+        if payload is None:
+            raise ReproError(
+                f"run {record.run_id} has no MRC summary (schema "
+                f"{record.schema} predates repro-run/1.5, or the run "
+                "skipped the postflight)"
+            )
+        markers = payload.get("markers") or []
+        mrc = MaskMRCReport(
+            violations=[MRCViolation.from_dict(m) for m in markers],
+            rules=MRCRules(**(payload.get("limits") or {})),
+            shot_count=payload.get("shot_count", 0),
+            vertex_count=payload.get("vertex_count", 0),
+            figure_count=payload.get("figure_count", 0),
+        )
+        dropped = payload.get("violations", len(markers)) - len(markers)
+        report = lint.mrc_lint_report(mrc, max_locations=None)
+        artifact = None
+
+    if args.format == "json":
+        rendered = lint.to_json(report)
+    elif args.format == "sarif":
+        rendered = lint.to_sarif(report, artifact=artifact)
+    else:
+        rendered = lint.to_text(report)
+    summary = (
+        f"mask: {mrc.figure_count} figures, {mrc.vertex_count} vertices, "
+        f"~{mrc.shot_count} VSB shots"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}")
+        print(summary)
+        print(
+            f"{mrc.error_count} error(s), {mrc.warning_count} warning(s)"
+        )
+    else:
+        print(rendered)
+        if args.format == "text":
+            print(summary)
+    if dropped > 0:
+        print(
+            f"note: {dropped} violation(s) beyond the ledger's marker cap "
+            "are counted above but not listed; re-run `repro mrc` on the "
+            "mask GDS for the full set"
+        )
     return 1 if report.has_errors else 0
 
 
@@ -882,6 +1063,7 @@ def _profile(args) -> int:
             result = tapeout_region(
                 target, simulator, dose, recipe, verify=not args.no_verify,
                 preflight=not args.no_preflight,
+                postflight=not args.no_postflight,
             )
     finally:
         flame_profile = profiler.stop() if profiler is not None else None
@@ -960,6 +1142,10 @@ def _profile(args) -> int:
         record = obs_runs.new_record(
             label=f"profile:{name}", config=config, roots=cap.roots,
             quality=quality, spatial=spatial, preflight=preflight_summary,
+            mrc=(
+                result.mrc_report.summary_dict()
+                if result.mrc_report is not None else None
+            ),
             profile=(
                 obs.profile_summary(flame_profile)
                 if flame_profile is not None and flame_profile.sample_count
@@ -1025,6 +1211,7 @@ def _runs(args) -> int:
         )
         print(_spatial_summary_line(record))
         print(_preflight_summary_line(record))
+        print(_mrc_summary_line(record))
         print(_profile_summary_line(record))
         if record.quality:
             rows = [[key, value] for key, value in sorted(record.quality.items())]
@@ -1272,6 +1459,33 @@ def _preflight_summary_line(record) -> str:
     return line
 
 
+def _mrc_summary_line(record) -> str:
+    """One-line postflight verdict of a record (schema ``repro-run/1.5``).
+
+    Pre-1.5 records (and runs that skipped the postflight) get a note
+    instead of an error -- old ledgers stay readable.
+    """
+    payload = record.mrc
+    if not payload:
+        return (
+            f"mrc: none recorded (schema {record.schema}; the postflight "
+            "was skipped or predates repro-run/1.5)"
+        )
+    verdict = "ok" if payload.get("ok") else "FAILED"
+    line = (
+        f"mrc: {verdict} ({payload.get('errors', 0)} error(s), "
+        f"{payload.get('warnings', 0)} warning(s)), "
+        f"~{payload.get('shot_count', 0)} VSB shots"
+    )
+    by_rule = payload.get("by_rule") or {}
+    if by_rule:
+        line += " rules: " + ", ".join(
+            f"{code}:{count}" for code, count in sorted(by_rule.items())
+        )
+        line += f" -- `repro mrc {record.run_id}` for the markers"
+    return line
+
+
 def _profile_summary_line(record) -> str:
     """One-line sampled-profile digest of a record (schema ``repro-run/1.4``).
 
@@ -1305,6 +1519,7 @@ def _inspect(args) -> int:
         f"run {record.run_id}  {record.timestamp}  label={record.label}  "
         f"schema {record.schema}"
     )
+    print(_mrc_summary_line(record))
     payload = record.spatial
     if not payload:
         print(

@@ -52,5 +52,18 @@ class PreflightError(ReproError):
         self.diagnostics = list(diagnostics)
 
 
+class PostflightError(ReproError):
+    """Postflight MRC found blocking mask defects; nothing was exported.
+
+    ``diagnostics`` holds the full list of
+    :class:`repro.lint.Diagnostic` findings so callers can render or
+    persist the report without re-running the check.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
 class DesignError(ReproError):
     """Design-generator error (rule set violation, unroutable request)."""

@@ -16,9 +16,10 @@ from typing import Optional
 from ..errors import ReproError
 from ..geometry import Rect, Region
 from ..layout import Cell, Layer
-from ..lint import preflight_correction
+from ..lint import gate_postflight, postflight_mask, preflight_correction
 from ..litho import BinaryMaskBuilder, LithoSimulator, MaskSpec, binary_mask
 from ..mask import MaskDataStats, mask_data_stats
+from ..verify.mrc import MRCReport, MRCRules
 from ..obs import (
     current_span as _obs_current_span,
     gauge_set as _obs_gauge_set,
@@ -62,6 +63,8 @@ class FlowResult:
     data: MaskDataStats
     opc: Optional[OPCResult] = None
     runtime_s: float = 0.0
+    #: Localized postflight MRC findings (None when the gate was skipped).
+    mrc_report: Optional[MRCReport] = None
 
     @property
     def mask_region(self) -> Region:
@@ -69,13 +72,18 @@ class FlowResult:
         return (self.corrected | self.srafs) if not self.srafs.is_empty else self.corrected
 
 
-def flow_quality(data: MaskDataStats, opc: Optional[OPCResult]) -> dict:
+def flow_quality(
+    data: MaskDataStats,
+    opc: Optional[OPCResult],
+    mrc: Optional[MRCReport] = None,
+) -> dict:
     """First-class quality metrics of one correction run.
 
     These land in a :class:`~repro.obs.runs.RunRecord`'s quality dict
     and are what ``repro runs check`` gates besides wall time: mask
     figure count and data volume, plus OPC convergence and residual EPE
-    when a model run produced them.
+    when a model run produced them, plus -- when the postflight ran --
+    the MRC violation count and the fracture shot estimate.
     """
     quality = {
         "figures": data.figures,
@@ -90,6 +98,9 @@ def flow_quality(data: MaskDataStats, opc: Optional[OPCResult]) -> dict:
             quality["epe_rms_nm"] = opc.final_rms_epe_nm
         if opc.final_max_epe_nm is not None:
             quality["epe_max_nm"] = opc.final_max_epe_nm
+    if mrc is not None:
+        quality["mrc_violations"] = len(mrc.violations)
+        quality["mask_shot_count"] = mrc.shot_count
     return quality
 
 
@@ -106,6 +117,8 @@ def correct_region(
     dark_field: bool = False,
     parallel: Optional[ParallelSpec] = None,
     preflight: bool = True,
+    mrc: Optional[MRCRules] = None,
+    postflight: bool = True,
 ) -> FlowResult:
     """Apply ``level`` to a drawn region and collect impact statistics.
 
@@ -118,7 +131,18 @@ def correct_region(
     to the serial run; see :class:`~repro.opc.ParallelSpec`).
     ``preflight`` statically lints the job first (see :mod:`repro.lint`)
     and raises :class:`~repro.errors.PreflightError` on blocking
-    findings.
+    findings; ``postflight`` symmetrically runs the localized MRC engine
+    over the corrected mask (limits from ``mrc``, library defaults
+    otherwise) and raises :class:`~repro.errors.PostflightError` on
+    blocking defects before anything can be exported.
+
+    Correction levels own the mask-side geometry, so their output gets
+    the standard post-OPC MRC repair (fragmentation jogs routinely
+    leave sub-limit notches; :func:`repro.opc.repair_mask`) before the
+    gate -- postflight is then a convergence assertion.  Level ``none``
+    is a pure passthrough: the drawn geometry is never silently edited,
+    so an unwritable input dies at the gate instead of being repaired
+    into something the designer did not draw.
     """
     import dataclasses
 
@@ -186,10 +210,28 @@ def correct_region(
                 merged, simulator, window, recipe,
                 tiling=tiling, mask_builder=builder, dose=dose,
                 parallel=parallel,
+                mrc_rules=(mrc or MRCRules()) if postflight else None,
             )
             corrected = opc_result.corrected
         else:  # pragma: no cover - enum is exhaustive
             raise ReproError(f"unknown correction level {level}")
+
+        # Post-OPC MRC repair, mirroring the tapeout pipeline: OPC edge
+        # moves routinely leave sub-limit notches and slivers that the
+        # standard fix-up (fill spaces, trim widths) removes.  Level
+        # ``none`` never repairs -- drawn geometry is the user's, and
+        # deleting an unwritable feature is worse than rejecting it.
+        with _obs_span(
+            "correct.repair", skipped=level == CorrectionLevel.NONE
+        ) as repair_span:
+            if level != CorrectionLevel.NONE:
+                from ..opc import repair_mask
+
+                before = corrected
+                corrected = repair_mask(corrected, mrc or MRCRules())
+                repair_span.set(
+                    changed=not (corrected ^ before).is_empty
+                )
 
         mask = binary_mask(
             corrected,
@@ -200,6 +242,27 @@ def correct_region(
         data = mask_data_stats(combined)
         correct_span.set(figures=data.figures, vertices=data.vertices)
         _obs_gauge_set("mask.vertices", data.vertices)
+
+        # The mirror of the preflight gate: statically verify the mask
+        # we are about to hand downstream, and refuse to hand it over
+        # when the mask shop would bounce it.
+        mrc_report: Optional[MRCReport] = None
+        with _obs_span(
+            "correct.postflight", skipped=not postflight
+        ) as postflight_span:
+            if postflight:
+                post = postflight_mask(combined, mrc)
+                mrc_report = post.mrc
+                postflight_span.set(
+                    errors=post.report.error_count,
+                    warnings=post.report.warning_count,
+                    violations=len(post.mrc.violations),
+                    shots=post.mrc.shot_count,
+                )
+                _obs_gauge_set("mask.shot_count", post.mrc.shot_count)
+                _obs_gauge_set("mask.figure_count", post.mrc.figure_count)
+                _obs_gauge_set("mask.vertex_count", post.mrc.vertex_count)
+                gate_postflight(post, stage="correct")
     # Standalone instrumented runs (not nested under a tapeout span) land
     # in the persistent run ledger when $REPRO_RUNS_DIR is set.
     if (
@@ -207,7 +270,7 @@ def correct_region(
         and _obs_current_span() is None
         and _obs_runs.auto_enabled()
     ):
-        quality = flow_quality(data, opc_result)
+        quality = flow_quality(data, opc_result, mrc_report)
         _obs_publish_quality(quality)
         _obs_runs.record_run(
             label="correct",
@@ -228,6 +291,7 @@ def correct_region(
             preflight=preflight_summary,
             profile=_obs_prof.active_summary(),
             events=run_events,
+            mrc=mrc_report.summary_dict() if mrc_report is not None else None,
         )
     return FlowResult(
         level=level,
@@ -238,6 +302,7 @@ def correct_region(
         data=data,
         opc=opc_result,
         runtime_s=correct_span.duration_s,
+        mrc_report=mrc_report,
     )
 
 

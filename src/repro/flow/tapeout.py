@@ -32,8 +32,9 @@ from ..opc import (
     repair_mask,
     retarget,
 )
-from ..lint import preflight_tapeout
+from ..lint import gate_postflight, postflight_mask, preflight_tapeout
 from ..verify import ORCReport, ProcessCorner, run_orc
+from ..verify.mrc import MRCReport as MaskMRCReport
 from .correct import CorrectionLevel, FlowResult, correct_region
 
 
@@ -97,6 +98,9 @@ class TapeoutResult:
     data: MaskDataStats
     mrc_clean: bool
     orc: Optional[ORCReport]
+    #: Localized postflight MRC findings on the final mask (None when
+    #: the postflight gate was skipped).
+    mrc_report: Optional[MaskMRCReport] = None
 
     @property
     def signoff_ok(self) -> bool:
@@ -113,6 +117,7 @@ def tapeout_region(
     verify: bool = True,
     source_cell: Optional[Cell] = None,
     preflight: bool = True,
+    postflight: bool = True,
 ) -> TapeoutResult:
     """Run the full mask-synthesis pipeline on one layer's drawn geometry.
 
@@ -123,7 +128,11 @@ def tapeout_region(
     ``preflight`` statically lints the job (layout + recipe + litho
     config, see :mod:`repro.lint`) before the first simulator call and
     raises :class:`~repro.errors.PreflightError` on blocking findings;
-    pass ``False`` to skip the gate.
+    pass ``False`` to skip the gate.  ``postflight`` symmetrically runs
+    the localized MRC engine over the repaired mask (after SRAF merge)
+    and raises :class:`~repro.errors.PostflightError` on blocking
+    defects; the repair stage makes this a convergence assertion rather
+    than a routine failure.
     """
     merged = drawn.merged()
     if merged.is_empty:
@@ -174,6 +183,10 @@ def tapeout_region(
                 tiling=recipe.tiling,
                 parallel=recipe.parallel,
                 preflight=False,  # the tapeout-level gate already ran
+                mrc=recipe.mrc,
+                # Raw OPC output gets repaired below; gating it here
+                # would reject masks the repair stage is about to fix.
+                postflight=False,
             )
 
         with _obs_span(
@@ -199,6 +212,27 @@ def tapeout_region(
             if not correction.srafs.is_empty
             else mask_geometry
         )
+
+        # Postflight: the shipped mask (repaired features plus SRAFs)
+        # re-verified by the localized edge engine.  After repair this
+        # should be a no-op; a raise here means the repair failed to
+        # converge and the mask must not leave the process.
+        mrc_report: Optional[MaskMRCReport] = None
+        with _obs_span(
+            "tapeout.postflight", skipped=not postflight
+        ) as postflight_span:
+            if postflight:
+                post = postflight_mask(
+                    combined, recipe.mrc, cell=source_cell
+                )
+                mrc_report = post.mrc
+                postflight_span.set(
+                    errors=post.report.error_count,
+                    warnings=post.report.warning_count,
+                    violations=len(post.mrc.violations),
+                    shots=post.mrc.shot_count,
+                )
+                gate_postflight(post, stage="tapeout")
 
         orc_report: Optional[ORCReport] = None
         with _obs_span("tapeout.orc", skipped=not verify) as orc_span:
@@ -234,6 +268,7 @@ def tapeout_region(
         data=data,
         mrc_clean=mrc_clean,
         orc=orc_report,
+        mrc_report=mrc_report,
     )
     # Root instrumented tapeouts append themselves to the persistent run
     # ledger when $REPRO_RUNS_DIR is set (see repro.obs.runs).
@@ -265,6 +300,7 @@ def tapeout_region(
             preflight=preflight_summary,
             profile=_obs_prof.active_summary(),
             events=run_events,
+            mrc=mrc_report.summary_dict() if mrc_report is not None else None,
         )
     return result
 
@@ -289,8 +325,15 @@ def tapeout_spatial(
     payload = _obs_spatial.spatial_summary(
         roots, sites, window=window, top_k=top_k
     )
-    if not sites and not payload["tiles"]:
+    markers = (
+        result.mrc_report.violations if result.mrc_report is not None else []
+    )
+    if not sites and not payload["tiles"] and not markers:
         return None
+    if markers:
+        # MRC markers join the hotspot payload (additive key; older
+        # records simply lack it) so `repro inspect` can overlay them.
+        payload["mrc"] = [v.to_dict() for v in markers[:50]]
     return payload
 
 
@@ -303,7 +346,9 @@ def tapeout_quality(result: TapeoutResult) -> dict:
     """
     from .correct import flow_quality
 
-    quality = flow_quality(result.data, result.correction.opc)
+    quality = flow_quality(
+        result.data, result.correction.opc, result.mrc_report
+    )
     quality["mrc_clean"] = int(result.mrc_clean)
     if result.orc is not None:
         quality["orc_clean"] = int(result.orc.is_clean)

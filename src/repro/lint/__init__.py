@@ -1,10 +1,11 @@
-"""Static preflight diagnostics for OPC jobs (``repro.lint``).
+"""Static pre- and postflight diagnostics for OPC jobs (``repro.lint``).
 
 Analyzes a layout plus its recipe/litho/parallel configuration *without
 running the simulator* and emits structured diagnostics with stable rule
-codes (``LNT1xx`` config, ``LNT2xx`` layout, ``LNT3xx`` pipeline),
-severities, layout locations with owning cells, and fix hints.  Reports
-render as text, JSON, or SARIF 2.1.0.
+codes (``LNT1xx`` config, ``LNT2xx`` layout, ``LNT3xx`` pipeline,
+``MRC1xx`` corrected-mask manufacturability), severities, layout
+locations with owning cells, and fix hints.  Reports render as text,
+JSON, or SARIF 2.1.0.
 
 Entry points:
 
@@ -12,7 +13,10 @@ Entry points:
 * :func:`preflight_tapeout` / :func:`preflight_correction` -- the
   fail-fast gates the flows call (raise
   :class:`~repro.errors.PreflightError` on error-severity findings);
-* ``repro check`` -- the CLI front end.
+* :func:`postflight_mask` / :func:`gate_postflight` -- the symmetric
+  output gate on corrected masks (raise
+  :class:`~repro.errors.PostflightError` before anything is exported);
+* ``repro check`` / ``repro mrc`` -- the CLI front ends.
 """
 
 from .diagnostics import Diagnostic, LintReport, Severity
@@ -23,17 +27,25 @@ from .emit import sarif_log, to_json, to_sarif, to_text
 from . import rules_config  # noqa: E402,F401
 from . import rules_layout  # noqa: E402,F401
 from . import rules_pipeline  # noqa: E402,F401
+from . import rules_mask  # noqa: E402,F401
 
 from .preflight import gate, preflight_correction, preflight_tapeout
+from .postflight import PostflightResult, gate_postflight, postflight_mask
+from .rules_mask import MRC_CODES, mrc_lint_report
 
 __all__ = [
     "Diagnostic",
     "LintContext",
     "LintReport",
     "LintRule",
+    "MRC_CODES",
+    "PostflightResult",
     "Severity",
     "gate",
+    "gate_postflight",
     "get_rule",
+    "mrc_lint_report",
+    "postflight_mask",
     "preflight_correction",
     "preflight_tapeout",
     "registered_rules",

@@ -55,6 +55,9 @@ class LintContext:
     """
 
     layout: Optional[Region] = None
+    #: Corrected mask-side geometry for the postflight MRC rules (the
+    #: MRC1xx family); ``layout`` stays the *drawn* target geometry.
+    mask: Optional[Region] = None
     raw_loops: Optional[Sequence[Sequence[Coord]]] = None
     cell: Optional[Cell] = None
     litho: Optional[LithoConfig] = None

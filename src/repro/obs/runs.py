@@ -72,14 +72,19 @@ from .trace import Span
 #: ``profile`` summary (:func:`repro.obs.prof.profile_summary`: top
 #: sampled frames, per-span ``cpu_s``/``wall_s``, peak RSS) plus its
 #: lifted quality gauges so ``runs diff``/``check`` gate on CPU time and
-#: peak memory, not just wall clock.  All changes are purely additive,
-#: so older records still load.
-RUN_SCHEMA = "repro-run/1.4"
+#: peak memory, not just wall clock; ``1.5`` added the optional ``mrc``
+#: summary (postflight mask-rule verdict: violation counts by rule,
+#: capped localized markers, and the VSB shot/vertex/figure estimate,
+#: see :meth:`repro.verify.mrc.MRCReport.summary_dict`) whose
+#: ``mrc_violations`` / ``mask_shot_count`` gauges land in quality so
+#: ``runs check`` gates mask manufacturability.  All changes are purely
+#: additive, so older records still load.
+RUN_SCHEMA = "repro-run/1.5"
 
 #: Every schema revision :meth:`RunRecord.from_dict` accepts.
 SUPPORTED_SCHEMAS = (
     "repro-run/1", "repro-run/1.1", "repro-run/1.2", "repro-run/1.3",
-    "repro-run/1.4",
+    "repro-run/1.4", "repro-run/1.5",
 )
 
 #: Environment variable naming the store directory (also the auto-record
@@ -269,6 +274,10 @@ class RunRecord:
     #: Sampled-profile summary (:func:`repro.obs.prof.profile_summary`:
     #: top frames, per-span cpu_s/wall_s, peak RSS; schema 1.4).
     profile: Optional[Dict[str, Any]] = None
+    #: Postflight MRC summary (:meth:`repro.verify.mrc.MRCReport
+    #: .summary_dict`: counts by rule, capped localized markers, shot
+    #: estimate; schema 1.5).
+    mrc: Optional[Dict[str, Any]] = None
     schema: str = RUN_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
@@ -295,6 +304,8 @@ class RunRecord:
             data["progress"] = self.progress
         if self.profile is not None:
             data["profile"] = self.profile
+        if self.mrc is not None:
+            data["mrc"] = self.mrc
         return data
 
     @classmethod
@@ -321,6 +332,7 @@ class RunRecord:
             events_path=data.get("events_path"),
             progress=data.get("progress"),
             profile=data.get("profile"),
+            mrc=data.get("mrc"),
             schema=schema,
         )
 
@@ -362,6 +374,8 @@ class RunRecord:
             canonical["spatial"] = canonical_spatial(self.spatial)
         if self.preflight is not None:
             canonical["preflight"] = self.preflight
+        if self.mrc is not None:
+            canonical["mrc"] = self.mrc
         return canonical
 
     def canonical_json(self) -> str:
@@ -378,6 +392,7 @@ def new_record(
     spatial: Optional[Dict[str, Any]] = None,
     preflight: Optional[Dict[str, Any]] = None,
     profile: Optional[Dict[str, Any]] = None,
+    mrc: Optional[Dict[str, Any]] = None,
     run_id: Optional[str] = None,
     timestamp: Optional[str] = None,
     git_rev: Union[str, None, bool] = True,
@@ -393,6 +408,11 @@ def new_record(
     CPU seconds and peak RSS are lifted into the quality dict as
     ``cpu_total_s`` / ``cpu.<span>_s`` / ``peak_rss_bytes`` gauges so
     ``runs check`` can gate on them.
+    ``mrc`` is the postflight summary
+    (:meth:`repro.verify.mrc.MRCReport.summary_dict`); its violation
+    count and fracture shot estimate are lifted into quality as
+    ``mrc_violations`` / ``mask_shot_count`` so ``runs check`` gates
+    mask manufacturability too.
     ``git_rev=True`` probes the repository; pass ``None`` to skip.
     """
     span_dicts = [
@@ -408,6 +428,10 @@ def new_record(
             merged_quality[f"cpu.{span_name}_s"] = cpu_s
         if profile.get("peak_rss_bytes"):
             merged_quality["peak_rss_bytes"] = profile["peak_rss_bytes"]
+    if mrc is not None:
+        merged_quality.setdefault("mrc_violations", mrc.get("violations", 0))
+        if mrc.get("shot_count") is not None:
+            merged_quality.setdefault("mask_shot_count", mrc["shot_count"])
     return RunRecord(
         run_id=run_id or uuid.uuid4().hex[:12],
         timestamp=timestamp
@@ -423,6 +447,7 @@ def new_record(
         spatial=spatial,
         preflight=preflight,
         profile=profile,
+        mrc=mrc,
     )
 
 
@@ -713,6 +738,7 @@ def record_run(
     profile: Optional[Dict[str, Any]] = None,
     events: Optional[Any] = None,
     root_dir: Optional[Union[str, Path]] = None,
+    mrc: Optional[Dict[str, Any]] = None,
 ) -> RunRecord:
     """Build a record and append it to the active store in one call.
 
@@ -720,10 +746,11 @@ def record_run(
     run's event scope, when one captured the live stream; it is persisted
     via :func:`persist_run_events` so the run can be replayed later.
     ``profile`` is the sampled-profile summary, when a profiler ran.
+    ``mrc`` is the postflight mask-rule summary, when the gate ran.
     """
     record = new_record(
         label, config, roots, metrics=metrics, quality=quality,
-        spatial=spatial, preflight=preflight, profile=profile,
+        spatial=spatial, preflight=preflight, profile=profile, mrc=mrc,
     )
     led = ledger(root_dir)
     if events is not None and getattr(events, "captured", False):

@@ -469,6 +469,8 @@ def hotspot_svg(payload: Dict[str, Any], width: int = 900) -> str:
         f"{payload.get('tiles_converged', 0)}/{len(payload.get('tiles', []))} "
         "tiles converged"
     )
+    if payload.get("mrc"):
+        title += f", {len(payload['mrc'])} MRC markers"
     parts.append(
         f'<text x="{margin}" y="24" font-size="15" font-weight="bold">'
         f"{_escape(title)}</text>"
@@ -519,6 +521,23 @@ def hotspot_svg(payload: Dict[str, Any], width: int = 900) -> str:
         parts.append(
             f'<text x="{sx(tx1) + 4:.1f}" y="{sy(ty2) + 13:.1f}" '
             f'font-size="10" fill="#666">{tile["index"]}</text>'
+        )
+
+    for violation in payload.get("mrc", ()):
+        mx1, my1, mx2, my2 = violation.get("marker", (0, 0, 0, 0))
+        vw = max(3.0, (mx2 - mx1) * scale_x)
+        vh = max(3.0, (my2 - my1) * scale_y)
+        color = "#b2182b" if violation.get("severity") == "error" else "#d97706"
+        tip = (
+            f"{violation.get('rule_id', 'MRC?')} {violation.get('kind', '')}: "
+            f"{violation.get('measured_nm', '?')} nm vs "
+            f"{violation.get('limit_nm', '?')} nm limit"
+        )
+        parts.append(
+            f'<rect x="{sx(mx1):.1f}" y="{sy(my2):.1f}" width="{vw:.1f}" '
+            f'height="{vh:.1f}" fill="{color}" fill-opacity="0.35" '
+            f'stroke="{color}" stroke-width="1.5">'
+            f"<title>{_escape(tip)}</title></rect>"
         )
 
     for rank, site in enumerate(payload.get("worst_sites", ()), start=1):
@@ -572,6 +591,9 @@ def hotspot_svg(payload: Dict[str, Any], width: int = 900) -> str:
         (54, '<rect x="2" y="-10" width="14" height="10" fill="none" '
              'stroke="#d97706" stroke-width="2" stroke-dasharray="6,3"/>',
          "tile stalled"),
+        (72, '<rect x="2" y="-10" width="14" height="10" fill="#b2182b" '
+             'fill-opacity="0.35" stroke="#b2182b" stroke-width="1.5"/>',
+         "MRC violation"),
     ):
         parts.append(f'<g transform="translate({lx},{key_y + dy})">{swatch}'
                      f'<text x="24" y="0" font-size="10">{text}</text></g>')
@@ -644,6 +666,9 @@ def inspect_html(record: Any) -> str:
         rows.append(hotspot_svg(payload))
         rows.append("<h2>Worst EPE sites</h2>")
         rows.append(_worst_sites_table(payload.get("worst_sites", ())))
+        if payload.get("mrc"):
+            rows.append("<h2>MRC violations</h2>")
+            rows.append(_mrc_table(payload["mrc"]))
         tiles = payload.get("tiles", ())
         if tiles:
             rows.append("<h2>Tile convergence</h2>")
@@ -679,6 +704,28 @@ def _worst_sites_table(sites: Sequence[Dict[str, Any]]) -> str:
             f"<td class='t'>{_escape(str(site.get('cell') or '—'))}</td>"
             f"<td class='t'>{_escape(str(site.get('tag', '')))}</td>"
             f"{epe_cell}<td class='t'{state_class}>{_escape(state)}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _mrc_table(violations: Sequence[Dict[str, Any]]) -> str:
+    rows = [
+        "<table><tr><th>rule</th><th>kind</th><th>marker (nm)</th>"
+        "<th>measured</th><th>limit</th><th>cell</th><th>severity</th></tr>"
+    ]
+    for violation in violations:
+        x1, y1, x2, y2 = violation.get("marker", (0, 0, 0, 0))
+        severity = str(violation.get("severity", "error"))
+        severity_class = " missing" if severity == "error" else ""
+        rows.append(
+            f"<tr><td class='t'>{_escape(str(violation.get('rule_id', '?')))}</td>"
+            f"<td class='t'>{_escape(str(violation.get('kind', '?')))}</td>"
+            f"<td class='t'>[{x1}, {y1}] — [{x2}, {y2}]</td>"
+            f"<td>{_fmt_value(violation.get('measured_nm', '?'))}</td>"
+            f"<td>{_fmt_value(violation.get('limit_nm', '?'))}</td>"
+            f"<td class='t'>{_escape(str(violation.get('cell') or '—'))}</td>"
+            f"<td class='t{severity_class}'>{_escape(severity)}</td></tr>"
         )
     rows.append("</table>")
     return "".join(rows)

@@ -1,38 +1,42 @@
 """Mask rule checks (MRC): can the mask shop actually write this?
 
-Aggressive OPC produces jogs, serifs and assist bars that collide with the
-mask writer's limits.  MRC flags features narrower than the writer can
-form and gaps tighter than it can resolve -- a gating step between OPC
-output and mask tape-out, and one of the 'impact' costs the paper's era
-had to absorb.
+.. deprecated::
+    This module is a thin back-compat shim.  The rule definitions
+    (:class:`MRCRules`) and the full localized static-analysis engine
+    now live in :mod:`repro.verify.mrc`; new code should call
+    :func:`repro.verify.mrc.check_mask_region`, which reports *where*
+    each violation is (rule id, rect marker, measured vs. limit) instead
+    of the count-only summary returned here.
+
+The shim keeps the original morphological API alive because it is the
+right tool for one job that the edge engine is not: :func:`repair_mask`
+needs violation *regions* (to fill or trim), not point markers.  The
+repair loop therefore still runs on openings/closings, but its
+post-condition is now checked by the edge engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..errors import OPCError
 from ..geometry import Polygon, Region
 
+# Canonical rule definitions live with the engine; re-exported here so
+# `from repro.opc import MRCRules` keeps working.
+from ..verify.mrc import MRCRules, MRCViolation, check_mask_region
 
-@dataclass(frozen=True)
-class MRCRules:
-    """Writer limits at wafer scale (4x reticle values divided by 4)."""
-
-    min_width_nm: int = 40
-    min_space_nm: int = 40
-
-    def validated(self) -> "MRCRules":
-        """Return self, raising :class:`OPCError` on nonsense values."""
-        if self.min_width_nm <= 0 or self.min_space_nm <= 0:
-            raise OPCError("MRC limits must be positive")
-        return self
+__all__ = ["MRCRules", "MRCReport", "check_mask", "repair_mask"]
 
 
 @dataclass
 class MRCReport:
-    """Violation geometry found by :func:`check_mask`."""
+    """Violation geometry found by :func:`check_mask` (count-only).
+
+    Legacy shape -- see :class:`repro.verify.mrc.MRCReport` for the
+    localized per-violation report.
+    """
 
     width_violations: Region  # repro-lint: ignore[R002] -- geometry, not a length
     space_violations: Region  # repro-lint: ignore[R002] -- geometry, not a length
@@ -58,7 +62,9 @@ class MRCReport:
         return self.total == 0
 
 
-def check_mask(mask_geometry: Region, rules: MRCRules = MRCRules()) -> MRCReport:
+def check_mask(
+    mask_geometry: Region, rules: Optional[MRCRules] = None
+) -> MRCReport:
     """Run width/space MRC over mask-side geometry.
 
     Width violations are the parts of features that vanish under an
@@ -67,18 +73,25 @@ def check_mask(mask_geometry: Region, rules: MRCRules = MRCRules()) -> MRCReport
     """
     from ..verify.drc import check_space, check_width
 
-    rules = rules.validated()
+    rules = (MRCRules() if rules is None else rules).validated()
     merged = mask_geometry.merged()
     if merged.is_empty:
         return MRCReport(Region(), Region())
     return MRCReport(
-        width_violations=_drop_dust(check_width(merged, rules.min_width_nm)),
-        space_violations=_drop_dust(check_space(merged, rules.min_space_nm)),
+        width_violations=_drop_dust(
+            check_width(merged, rules.min_width_nm), rules.min_area_nm2
+        ),
+        space_violations=_drop_dust(
+            check_space(merged, rules.min_space_nm), rules.min_area_nm2
+        ),
     )
 
 
 def repair_mask(
-    mask_geometry: Region, rules: MRCRules = MRCRules(), max_passes: int = 3
+    mask_geometry: Region,
+    rules: Optional[MRCRules] = None,
+    max_passes: int = 3,
+    strict: bool = False,
 ) -> Region:
     """Make a mask MRC-clean with minimal, bounded edits.
 
@@ -86,10 +99,41 @@ def repair_mask(
     sub-minimum widths trimmed (the sliver of chrome is removed) -- each
     edit displaces geometry by less than the corresponding MRC limit, the
     standard automated fix-up between OPC and fracture.  Passes repeat
-    because a fill can create a new narrow neck nearby; geometry that is
-    still dirty after ``max_passes`` is returned as-is for manual review.
+    because a fill can create a new narrow neck nearby.
+
+    The post-condition is verified by the edge-based engine
+    (:func:`repro.verify.mrc.check_mask_region`): with ``strict=True``
+    residual blocking violations raise :class:`OPCError`; otherwise the
+    still-dirty geometry is returned as-is for manual review (use
+    :func:`repair_mask_residuals` to obtain the leftovers).
     """
-    rules = rules.validated()
+    repaired, residual = repair_mask_residuals(
+        mask_geometry, rules, max_passes
+    )
+    if strict and residual:
+        heads = "; ".join(
+            f"{v.rule_id} at {tuple(v.marker)}" for v in residual[:3]
+        )
+        more = f" and {len(residual) - 3} more" if len(residual) > 3 else ""
+        raise OPCError(
+            f"repair_mask left {len(residual)} blocking violation(s) "
+            f"after {max_passes} pass(es): {heads}{more}"
+        )
+    return repaired
+
+
+def repair_mask_residuals(
+    mask_geometry: Region,
+    rules: Optional[MRCRules] = None,
+    max_passes: int = 3,
+) -> Tuple[Region, List[MRCViolation]]:
+    """:func:`repair_mask` plus the violations repair could not fix.
+
+    The residual list holds blocking (ERROR severity) markers from the
+    edge engine; an empty list is the machine-checked post-condition
+    that the repair converged.
+    """
+    rules = (MRCRules() if rules is None else rules).validated()
     current = mask_geometry.merged()
     for _pass in range(max_passes):
         report = check_mask(current, rules)
@@ -99,14 +143,21 @@ def repair_mask(
             current = (current | report.space_violations).merged()
         if not report.width_violations.is_empty:
             current = (current - report.width_violations).merged()
-    return current
+    residual = [
+        violation
+        for violation in check_mask_region(
+            current, rules, with_stats=False
+        ).violations
+        if violation.severity == "error"
+    ]
+    return current, residual
 
 
-def _drop_dust(region: Region, min_area: int = 4) -> Region:
+def _drop_dust(region: Region, min_area_nm2: int = 4) -> Region:
     """Discard sub-grid artifacts of the morphological difference."""
     keep: List[Polygon] = []
     merged = region.merged()
     for poly in merged.polygons():
-        if poly.is_ccw and poly.area >= min_area:
+        if poly.is_ccw and poly.area >= min_area_nm2:
             keep.append(poly)
     return Region(keep).merged() if keep else Region()

@@ -51,6 +51,7 @@ from ..obs import count as _obs_count, span as _obs_span
 from ..obs import events as _events
 from ..obs import prof as _prof
 from ..obs.state import enabled as _obs_enabled, enabled_scope as _obs_enabled_scope
+from ..verify.mrc import MRCRules
 from .model_opc import MaskBuilder, ModelOPCRecipe
 from .report import IterationStats
 from .tiling import TilePlan, TilingSpec, correct_tile
@@ -156,6 +157,8 @@ class TileJob:
     #: Sampling-profiler rate the worker should run at (0.0 = off),
     #: inherited from the parent's active profiler.
     profile_hz: float = 0.0
+    #: Mask rules for advisory per-tile MRC evaluation (``None`` = off).
+    mrc_rules: Optional[MRCRules] = None
 
 
 @dataclass(frozen=True)
@@ -180,7 +183,7 @@ class TileJobRef:
 #: TileJob fields identical across one pool run, pickled once per segment.
 _SHM_COMMON_FIELDS = (
     "halo_nm", "recipe", "mask_builder", "dose", "defocus_nm", "observe",
-    "profile_hz",
+    "profile_hz", "mrc_rules",
 )
 
 
@@ -210,6 +213,8 @@ class TileOutcome:
     #: Worker sampled profile (:func:`repro.obs.profile_to_dict` format),
     #: shipped only on success so retries never double-count CPU.
     profile: Optional[Dict[str, Any]] = None
+    #: Per-tile MRC findings (violation dicts) when the job carried rules.
+    mrc: Optional[List[dict]] = None
     error: Optional[TileFailure] = None
     worker_pid: int = 0
     #: Execution attempts this outcome took (stamped by the parent).
@@ -340,6 +345,7 @@ def _execute_job(job) -> TileOutcome:
                 _prof.profile_to_dict(profiler.profile)
                 if profiler is not None else None
             ),
+            mrc=result.tile_mrc,
             worker_pid=os.getpid(),
         )
     except Exception as error:  # structured failure crosses the pickle boundary
@@ -366,6 +372,7 @@ def _run_tile(job: TileJob, simulator: LithoSimulator):
         mask_builder=job.mask_builder,
         dose=job.dose,
         defocus_nm=job.defocus_nm,
+        mrc_rules=job.mrc_rules,
     )
 
 
@@ -416,6 +423,7 @@ def run_tile_jobs(
     mask_builder: MaskBuilder = binary_mask,
     dose: float = 1.0,
     defocus_nm: float = 0.0,
+    mrc_rules: Optional[MRCRules] = None,
 ) -> List[TileOutcome]:
     """Correct every planned tile on a worker pool; outcomes in tile order.
 
@@ -453,6 +461,7 @@ def run_tile_jobs(
             defocus_nm=defocus_nm,
             observe=observe,
             profile_hz=profile_hz,
+            mrc_rules=mrc_rules,
         )
         for plan in plans
     ]
@@ -694,6 +703,7 @@ def _register_failure(
         history=result.history,
         converged=result.converged,
         fragment_count=result.fragment_count,
+        mrc=result.tile_mrc,
         worker_pid=os.getpid(),
     )
 

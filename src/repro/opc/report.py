@@ -40,6 +40,10 @@ class OPCResult:
     history: List[IterationStats] = field(default_factory=list)
     converged: bool = True
     fragment_count: int = 0
+    #: Per-tile MRC findings (violation dicts, tile-grid order) when a
+    #: tiled run evaluated mask rules before stitching; ``None`` when no
+    #: rules were threaded in (see :func:`~repro.opc.tiling.model_opc_tiled`).
+    tile_mrc: Optional[List[dict]] = None
 
     @property
     def final_rms_epe_nm(self) -> Optional[float]:

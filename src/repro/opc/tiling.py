@@ -25,6 +25,7 @@ from ..geometry import Rect, Region
 from ..litho import LithoSimulator
 from ..obs import count as _obs_count, observe as _obs_observe, span as _obs_span
 from ..obs import events as _events
+from ..verify.mrc import MRCRules, scan_window
 from .model_opc import MaskBuilder, ModelOPCRecipe, model_opc
 from .report import IterationStats, OPCResult
 
@@ -87,6 +88,33 @@ def plan_tiles(
     return plans
 
 
+def tile_mrc_violations(
+    corrected: Region, tile: Rect, halo_nm: int, mrc_rules: MRCRules
+) -> List[dict]:
+    """Edge-rule MRC findings of one tile's corrected geometry.
+
+    Evaluates over the tile expanded by the rules' interaction distance
+    (capped at the optical halo, which is far larger in practice) and
+    keeps only markers anchored inside the half-open tile core -- the
+    same ownership convention as the tiled engine in
+    :mod:`repro.verify.mrc` -- so tiles never double-report a seam
+    violation and clip artifacts never surface.  Findings are violation
+    dicts (:meth:`~repro.verify.mrc.MRCViolation.to_dict`), picklable
+    for the worker queue.
+    """
+    window = tile.expanded(min(halo_nm, mrc_rules.interaction_nm))
+    clip = corrected & Region(window)
+    if clip.is_empty:
+        return []
+    return scan_window(
+        {
+            "loops": clip.loops,
+            "rules": mrc_rules.to_dict(),
+            "core": [tile.x1, tile.y1, tile.x2, tile.y2],
+        }
+    )
+
+
 def correct_tile(
     context: Region,
     simulator: LithoSimulator,
@@ -97,6 +125,7 @@ def correct_tile(
     mask_builder: MaskBuilder = binary_mask,
     dose: float = 1.0,
     defocus_nm: float = 0.0,
+    mrc_rules: Optional[MRCRules] = None,
 ) -> Tuple[OPCResult, Region]:
     """Correct one tile and clip the result to its core.
 
@@ -106,6 +135,11 @@ def correct_tile(
     ``tile.runtime_s``) are recorded identically everywhere.  The runtime
     histogram is observed on the failure path too -- a farm's slowest
     tiles are often exactly the ones that die.
+
+    ``mrc_rules`` additionally runs the edge-based mask rules over this
+    tile's corrected geometry (before stitching, so every violation is
+    attributed to the tile that produced it); findings land on
+    ``result.tile_mrc`` and in the ``opc.tile_mrc_violations`` counter.
 
     Live telemetry mirrors the same unit: ``tile.start`` before the
     correction, ``tile.done`` (with runtime and convergence) after, and a
@@ -135,6 +169,15 @@ def correct_tile(
                 context_vertices=context.num_vertices,
                 stitched_vertices=stitched.num_vertices,
             )
+            if mrc_rules is not None:
+                result.tile_mrc = tile_mrc_violations(
+                    result.corrected, tile, halo_nm, mrc_rules
+                )
+                if result.tile_mrc:
+                    _obs_count(
+                        "opc.tile_mrc_violations", len(result.tile_mrc)
+                    )
+                    tile_span.set(mrc_violations=len(result.tile_mrc))
     except BaseException as error:
         _obs_count("opc.tiles_failed")
         _obs_observe("tile.runtime_s", tile_span.duration_s, TILE_RUNTIME_BUCKETS)
@@ -164,6 +207,7 @@ def model_opc_tiled(
     dose: float = 1.0,
     defocus_nm: float = 0.0,
     parallel: Optional["ParallelSpec"] = None,
+    mrc_rules: Optional[MRCRules] = None,
 ) -> OPCResult:
     """Model-based OPC over an arbitrarily large layout, tile by tile.
 
@@ -176,6 +220,14 @@ def model_opc_tiled(
     pool (see :class:`~repro.opc.parallel.ParallelSpec`); the stitched
     result is guaranteed byte-identical to the serial run because
     outcomes are folded back in tile-grid order.
+
+    ``mrc_rules`` turns on advisory per-tile mask-rule evaluation: each
+    tile's corrected geometry is scanned before stitching and the
+    findings collected on ``result.tile_mrc`` in tile-grid order.  The
+    authoritative mask check is still the flow postflight over the
+    stitched whole -- per-tile findings exist so a farm can flag a
+    misbehaving recipe while tiles are still in flight.  The single-tile
+    fast path skips it (postflight covers the same geometry verbatim).
     """
     tiling = tiling.validated()
     if parallel is not None:
@@ -243,10 +295,11 @@ def model_opc_tiled(
             mask_builder=mask_builder,
             dose=dose,
             defocus_nm=defocus_nm,
+            mrc_rules=mrc_rules,
         )
         pieces = [
             (outcome.stitched, outcome.history, outcome.converged,
-             outcome.fragment_count)
+             outcome.fragment_count, outcome.mrc)
             for outcome in outcomes
         ]
     else:
@@ -265,21 +318,25 @@ def model_opc_tiled(
                 mask_builder=mask_builder,
                 dose=dose,
                 defocus_nm=defocus_nm,
+                mrc_rules=mrc_rules,
             )
             progress.tile_done(plan.index)
             pieces.append(
                 (stitched, result.history, result.converged,
-                 result.fragment_count)
+                 result.fragment_count, result.tile_mrc)
             )
 
     corrected = Region()
     history: List[IterationStats] = []
     fragments = 0
     converged = True
-    for stitched, tile_history, tile_converged, tile_fragments in pieces:
+    tile_mrc: Optional[List[dict]] = [] if mrc_rules is not None else None
+    for stitched, tile_history, tile_converged, tile_fragments, tile_findings in pieces:
         converged = converged and tile_converged
         fragments += tile_fragments
         history.extend(tile_history)
+        if tile_mrc is not None and tile_findings:
+            tile_mrc.extend(tile_findings)
         corrected._add(stitched)
     # Geometry cut at tile borders is rejoined by the merge; context copies
     # outside tiles were clipped away above.
@@ -289,6 +346,7 @@ def model_opc_tiled(
         history=history,
         converged=converged,
         fragment_count=fragments,
+        tile_mrc=tile_mrc,
     )
 
 

@@ -9,7 +9,10 @@ Public surface:
 * EPE: :func:`measure_epe`, :func:`measure_epe_sites`, :func:`epe_sites`,
   :func:`worst_sites`, :class:`EPEStats`, :class:`EPESite`;
 * ORC: :func:`run_orc`, :func:`orc_through_window`, :func:`worst_corner`,
-  :class:`ORCReport`, :class:`ProcessCorner`.
+  :class:`ORCReport`, :class:`ProcessCorner`;
+* MRC: :func:`check_mask_region` with :class:`MRCRules`,
+  :class:`MRCViolation` markers and the localized :class:`MRCReport`
+  (rules MRC101-MRC106, plus the VSB shot-count estimate).
 """
 
 from .connectivity import (
@@ -42,6 +45,13 @@ from .epe import (
     measure_epe_sites,
     worst_sites,
 )
+from .mrc import (
+    MRC_RULE_CATALOG,
+    MRCReport,
+    MRCRules,
+    MRCViolation,
+    check_mask_region,
+)
 from .orc import ORCReport, ProcessCorner, orc_through_window, run_orc, worst_corner
 
 __all__ = [
@@ -54,10 +64,15 @@ __all__ = [
     "DRCViolation",
     "EPESite",
     "EPEStats",
+    "MRC_RULE_CATALOG",
+    "MRCReport",
+    "MRCRules",
+    "MRCViolation",
     "ORCReport",
     "ProcessCorner",
     "area_rule",
     "check_enclosure",
+    "check_mask_region",
     "check_min_area",
     "check_space",
     "check_width",

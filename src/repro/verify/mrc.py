@@ -1,0 +1,815 @@
+"""Edge-based mask rule checking (MRC) with localized violations.
+
+The count-only checker in :mod:`repro.opc.mrc` answers *whether* a mask
+is writable; this engine answers *where* and *why* it is not.  It sweeps
+the boundary edges of a merged mask :class:`~repro.geometry.Region` and
+emits one :class:`MRCViolation` marker per defect -- rule id, rect
+marker, measured value vs. limit, owning cell -- for the rule classes a
+mask shop actually rejects on:
+
+* **MRC101 min-width** -- internal (material) spacing between facing
+  boundary edges below ``min_width_nm``.
+* **MRC102 min-space** -- external (gap) spacing between facing boundary
+  edges of *different* figures below ``min_space_nm``.
+* **MRC103 min-area** -- figures smaller than ``min_area_nm2`` (writer
+  dust; evaluated globally, never per tile).
+* **MRC104 min-edge** -- boundary edges shorter than ``min_edge_nm``
+  (OPC jog slivers that fragment into extra shots).
+* **MRC105 notch** -- a space violation *within* one figure outline
+  (same loop), checked against ``notch_nm``.
+* **MRC106 corner** -- diagonally opposed convex corners closer than
+  ``corner_nm`` across empty space.
+
+Edge convention: merged regions keep the interior on the left of the
+direction of travel (outers CCW, holes CW), so the outward normal of an
+edge is obtained by rotating its direction 90 degrees clockwise.  A
+width candidate is a pair of facing edges with material between them; a
+space candidate has the gap between them.  Candidates are refined by
+subtracting coverage intervals where other geometry interrupts the band,
+which is what guarantees zero false positives: every reported interval
+really is governed by the reported pair of edges.
+
+All comparisons are strict -- a measurement exactly equal to its limit
+is legal.
+
+The module also prices the mask for the writer: a VSB fracture estimate
+(``shot_count`` / ``vertex_count`` / ``figure_count``) rides on every
+report so shot-count inflation can be gated like any other quality
+metric (see :mod:`repro.obs.runs`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import OPCError
+from ..geometry import GridIndex, Polygon, Rect, Region
+
+__all__ = [
+    "MRC_RULE_CATALOG",
+    "MRCRules",
+    "MRCViolation",
+    "MRCReport",
+    "check_mask_region",
+    "scan_window",
+]
+
+# Severity strings mirror repro.lint.Severity values without importing
+# repro.lint (which imports repro.opc, which imports this module's shim).
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: rule id -> (kind, severity, one-line description).  The lint rule
+#: registrations in :mod:`repro.lint.rules_mask` are generated from this
+#: table so the SARIF rules catalog and this engine can never disagree.
+MRC_RULE_CATALOG: Dict[str, Tuple[str, str, str]] = {
+    "MRC101": (
+        "min-width",
+        SEVERITY_ERROR,
+        "mask feature narrower than the minimum writable width",
+    ),
+    "MRC102": (
+        "min-space",
+        SEVERITY_ERROR,
+        "gap between mask figures below the minimum writable space",
+    ),
+    "MRC103": (
+        "min-area",
+        SEVERITY_ERROR,
+        "mask figure smaller than the minimum writable area",
+    ),
+    "MRC104": (
+        "min-edge",
+        SEVERITY_WARNING,
+        "boundary edge shorter than the minimum edge length (jog sliver)",
+    ),
+    "MRC105": (
+        "notch",
+        SEVERITY_ERROR,
+        "notch within one figure outline below the notch limit",
+    ),
+    "MRC106": (
+        "corner",
+        SEVERITY_WARNING,
+        "diagonally opposed convex corners closer than the corner limit",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class MRCRules:
+    """Mask-shop manufacturing limits, in mask-scale nanometres.
+
+    The first two fields keep their historic positional order so
+    ``MRCRules(40, 60)`` call sites continue to mean width/space.  A
+    limit of ``0`` disables its rule (``notch_nm=0`` inherits
+    ``min_space_nm``; see :attr:`effective_notch_nm`).
+    """
+
+    min_width_nm: int = 40
+    min_space_nm: int = 40
+    min_area_nm2: int = 4
+    min_edge_nm: int = 0
+    notch_nm: int = 0
+    corner_nm: int = 0
+
+    def validated(self) -> "MRCRules":
+        """Return self, raising :class:`OPCError` on nonsense limits."""
+        if self.min_width_nm <= 0 or self.min_space_nm <= 0:
+            raise OPCError(
+                f"MRC limits must be positive, got width="
+                f"{self.min_width_nm} space={self.min_space_nm}"
+            )
+        for name in ("min_area_nm2", "min_edge_nm", "notch_nm", "corner_nm"):
+            value = getattr(self, name)
+            if value < 0:
+                raise OPCError(f"MRC {name} must be >= 0, got {value}")
+        return self
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form for picklable work units and ledger limits."""
+        return {
+            "min_width_nm": self.min_width_nm,
+            "min_space_nm": self.min_space_nm,
+            "min_area_nm2": self.min_area_nm2,
+            "min_edge_nm": self.min_edge_nm,
+            "notch_nm": self.notch_nm,
+            "corner_nm": self.corner_nm,
+        }
+
+    @property
+    def effective_notch_nm(self) -> int:
+        """The notch limit actually applied (0 inherits min_space_nm)."""
+        return self.notch_nm if self.notch_nm > 0 else self.min_space_nm
+
+    @property
+    def interaction_nm(self) -> int:
+        """Largest distance at which any edge rule couples two edges.
+
+        Tiled evaluation uses this as its halo: a clip boundary further
+        than ``interaction_nm`` from a tile core can never produce a
+        marker anchored inside that core.
+        """
+        return max(
+            self.min_width_nm,
+            self.min_space_nm,
+            self.effective_notch_nm,
+            self.min_edge_nm,
+            self.corner_nm,
+        )
+
+
+@dataclass(frozen=True)
+class MRCViolation:
+    """One localized mask-rule defect."""
+
+    rule_id: str
+    kind: str
+    severity: str
+    marker: Rect
+    measured_nm: float
+    limit_nm: float
+    cell: Optional[str] = None
+
+    def message(self) -> str:
+        measured = (
+            f"{self.measured_nm:g}"
+            if self.measured_nm != int(self.measured_nm)
+            else f"{int(self.measured_nm)}"
+        )
+        unit = "nm^2" if self.kind == "min-area" else "nm"
+        return (
+            f"{self.kind} {measured} {unit} < {int(self.limit_nm)} "
+            f"{unit} limit"
+        )
+
+    def sort_key(self) -> tuple:
+        return (self.rule_id, tuple(self.marker), self.measured_nm)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "rule_id": self.rule_id,
+            "kind": self.kind,
+            "severity": self.severity,
+            "marker": [
+                self.marker.x1,
+                self.marker.y1,
+                self.marker.x2,
+                self.marker.y2,
+            ],
+            "measured_nm": self.measured_nm,
+            "limit_nm": self.limit_nm,
+        }
+        if self.cell is not None:
+            payload["cell"] = self.cell
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MRCViolation":
+        return cls(
+            rule_id=payload["rule_id"],
+            kind=payload["kind"],
+            severity=payload["severity"],
+            marker=Rect(*payload["marker"]),
+            measured_nm=payload["measured_nm"],
+            limit_nm=payload["limit_nm"],
+            cell=payload.get("cell"),
+        )
+
+
+@dataclass
+class MRCReport:
+    """Outcome of one :func:`check_mask_region` sweep."""
+
+    violations: List[MRCViolation] = field(default_factory=list)
+    rules: MRCRules = field(default_factory=MRCRules)
+    shot_count: int = 0
+    vertex_count: int = 0
+    figure_count: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no rule fired at any severity."""
+        return not self.violations
+
+    @property
+    def error_count(self) -> int:
+        return sum(
+            1 for v in self.violations if v.severity == SEVERITY_ERROR
+        )
+
+    @property
+    def warning_count(self) -> int:
+        return sum(
+            1 for v in self.violations if v.severity == SEVERITY_WARNING
+        )
+
+    @property
+    def has_errors(self) -> bool:
+        """True when a blocking (ERROR severity) rule fired."""
+        return self.error_count > 0
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary_dict(self, max_markers: int = 50) -> dict:
+        """JSON-ready summary for the run ledger (schema 1.5).
+
+        Markers are capped at ``max_markers`` (worst first: errors
+        before warnings, then most-undersized) so ledger records stay
+        small on pathological masks; counts always cover everything.
+        """
+        ranked = sorted(
+            self.violations,
+            key=lambda v: (
+                0 if v.severity == SEVERITY_ERROR else 1,
+                v.measured_nm - v.limit_nm,
+                v.sort_key(),
+            ),
+        )
+        return {
+            "ok": not self.has_errors,
+            "violations": len(self.violations),
+            "errors": self.error_count,
+            "warnings": self.warning_count,
+            "by_rule": self.by_rule(),
+            "shot_count": self.shot_count,
+            "vertex_count": self.vertex_count,
+            "figure_count": self.figure_count,
+            "limits": self.rules.to_dict(),
+            "markers": [v.to_dict() for v in ranked[:max_markers]],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Edge extraction
+# ---------------------------------------------------------------------------
+
+# A boundary edge of the merged mask.  axis "v": x == pos, lo..hi in y,
+# outward +1 east / -1 west.  axis "h": y == pos, lo..hi in x, outward
+# +1 north / -1 south.  loop identifies the polygon outline the edge
+# came from, which is what separates a notch (same loop) from a space
+# violation (different loops).
+class _Edge:
+    __slots__ = ("axis", "pos", "lo", "hi", "outward", "loop")
+
+    def __init__(self, axis, pos, lo, hi, outward, loop):
+        self.axis = axis
+        self.pos = pos
+        self.lo = lo
+        self.hi = hi
+        self.outward = outward
+        self.loop = loop
+
+    def bbox(self) -> Rect:
+        if self.axis == "v":
+            return Rect(self.pos, self.lo, self.pos, self.hi)
+        return Rect(self.lo, self.pos, self.hi, self.pos)
+
+
+class _Corner:
+    __slots__ = ("x", "y", "qx", "qy", "loop")
+
+    def __init__(self, x, y, qx, qy, loop):
+        self.x = x
+        self.y = y
+        self.qx = qx
+        self.qy = qy
+        self.loop = loop
+
+
+def _sign(value: int) -> int:
+    return (value > 0) - (value < 0)
+
+
+def _extract(
+    polygons: Sequence[Polygon],
+) -> Tuple[List[_Edge], List[_Corner]]:
+    """Boundary edges and convex corners of merged-region loops.
+
+    Assumes the interior-left loop convention of ``Region.polygons()``
+    (outers CCW, holes CW), under which a convex corner is always a left
+    turn and the outward normal of an edge points right of travel.
+    """
+    edges: List[_Edge] = []
+    corners: List[_Corner] = []
+    for loop_id, poly in enumerate(polygons):
+        pts = poly.points
+        n = len(pts)
+        if n < 3:
+            continue
+        for i in range(n):
+            ax, ay = pts[i]
+            bx, by = pts[(i + 1) % n]
+            if ax == bx and ay != by:
+                # Vertical: up -> outward east, down -> outward west.
+                outward = 1 if by > ay else -1
+                edges.append(
+                    _Edge("v", ax, min(ay, by), max(ay, by), outward, loop_id)
+                )
+            elif ay == by and ax != bx:
+                # Horizontal: right -> outward south, left -> north.
+                outward = -1 if bx > ax else 1
+                edges.append(
+                    _Edge("h", ay, min(ax, bx), max(ax, bx), outward, loop_id)
+                )
+            # Corner at pts[(i + 1) % n]: turn from this edge into the
+            # next one.  Left turns are convex under interior-left.
+            cx, cy = pts[(i + 2) % n]
+            d1x, d1y = bx - ax, by - ay
+            d2x, d2y = cx - bx, cy - by
+            if d1x * d2y - d1y * d2x > 0:
+                qx = _sign(d1x - d2x)
+                qy = _sign(d1y - d2y)
+                if qx != 0 and qy != 0:
+                    corners.append(_Corner(bx, by, qx, qy, loop_id))
+    return edges, corners
+
+
+# ---------------------------------------------------------------------------
+# Interval refinement
+# ---------------------------------------------------------------------------
+
+
+def _subtract_intervals(
+    lo: int, hi: int, blocked: List[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Portions of [lo, hi] not covered by any blocked interval."""
+    if not blocked:
+        return [(lo, hi)]
+    blocked = sorted(blocked)
+    out: List[Tuple[int, int]] = []
+    cursor = lo
+    for b_lo, b_hi in blocked:
+        if b_hi <= cursor:
+            continue
+        if b_lo >= hi:
+            break
+        if b_lo > cursor:
+            out.append((cursor, b_lo))
+        cursor = max(cursor, b_hi)
+        if cursor >= hi:
+            break
+    if cursor < hi:
+        out.append((cursor, hi))
+    return [(a, b) for a, b in out if b > a]
+
+
+def _band_blockers(
+    band: Rect, merged: Region, want_material: bool, axis: str
+) -> List[Tuple[int, int]]:
+    """Along-edge intervals of ``band`` interrupted by other geometry.
+
+    For a width candidate the band must be solid material, so any
+    *empty* sliver blocks it; for a space candidate the band must be
+    empty, so any *material* blocks it.  ``want_material`` selects which
+    (True = width).  ``axis`` is the paired edges' axis: a band between
+    two vertical edges runs along y, so blocked intervals are y ranges,
+    and vice versa.
+    """
+    band_region = Region(band)
+    interference = (
+        band_region - merged if want_material else band_region & merged
+    )
+    intervals: List[Tuple[int, int]] = []
+    for rect in interference.rects():
+        if axis == "v":
+            intervals.append((rect.y1, rect.y2))
+        else:
+            intervals.append((rect.x1, rect.x2))
+    return intervals
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+
+def _grid_size(limit_nm: int) -> int:
+    return max(64, limit_nm * 4)
+
+
+def _edge_rule_violations(
+    merged: Region, rules: MRCRules
+) -> List[MRCViolation]:
+    """Width/space/notch/edge/corner defects of one merged window."""
+    polygons = merged.polygons()
+    edges, corners = _extract(polygons)
+    violations: List[MRCViolation] = []
+
+    # --- min-edge (jog slivers) -------------------------------------
+    if rules.min_edge_nm > 0:
+        for edge in edges:
+            length = edge.hi - edge.lo
+            if 0 < length < rules.min_edge_nm:
+                violations.append(
+                    MRCViolation(
+                        "MRC104",
+                        "min-edge",
+                        SEVERITY_WARNING,
+                        edge.bbox(),
+                        float(length),
+                        float(rules.min_edge_nm),
+                    )
+                )
+
+    # --- facing-edge pair rules -------------------------------------
+    space_radius = max(rules.min_space_nm, rules.effective_notch_nm)
+    reach = max(rules.min_width_nm, space_radius)
+    index: GridIndex[_Edge] = GridIndex(_grid_size(reach))
+    for edge in edges:
+        index.insert(edge.bbox(), edge)
+
+    def pair_candidates(edge: _Edge, radius: int):
+        """Parallel edges within ``radius`` of ``edge`` (caller filters
+        by outward direction and position)."""
+        if edge.axis == "v":
+            window = Rect(
+                edge.pos - radius, edge.lo, edge.pos + radius, edge.hi
+            )
+        else:
+            window = Rect(
+                edge.lo, edge.pos - radius, edge.hi, edge.pos + radius
+            )
+        for _bbox, other in index.query(window):
+            if other.axis == edge.axis and other is not edge:
+                yield other
+
+    def emit_band(
+        a: _Edge, b: _Edge, rule_id: str, kind: str, severity: str, limit: int
+    ) -> None:
+        """Refine the band between facing edges a (low) and b (high)."""
+        lo = max(a.lo, b.lo)
+        hi = min(a.hi, b.hi)
+        if hi <= lo:
+            return
+        distance = b.pos - a.pos
+        want_material = kind == "min-width"
+        if a.axis == "v":
+            band = Rect(a.pos, lo, b.pos, hi)
+        else:
+            band = Rect(lo, a.pos, hi, b.pos)
+        blocked = _band_blockers(band, merged, want_material, a.axis)
+        for ilo, ihi in _subtract_intervals(lo, hi, blocked):
+            if a.axis == "v":
+                marker = Rect(a.pos, ilo, b.pos, ihi)
+            else:
+                marker = Rect(ilo, a.pos, ihi, b.pos)
+            violations.append(
+                MRCViolation(
+                    rule_id,
+                    kind,
+                    severity,
+                    marker,
+                    float(distance),
+                    float(limit),
+                )
+            )
+
+    for edge in edges:
+        # Width: this edge faces away from the band (outward on the low
+        # side is -1: west/south), partner faces toward us from above.
+        if edge.outward == -1:
+            for other in pair_candidates(edge, rules.min_width_nm):
+                if (
+                    other.outward == 1
+                    and 0 < other.pos - edge.pos < rules.min_width_nm
+                ):
+                    emit_band(
+                        edge,
+                        other,
+                        "MRC101",
+                        "min-width",
+                        SEVERITY_ERROR,
+                        rules.min_width_nm,
+                    )
+        # Space/notch: low edge outward +1 (interior below it), gap
+        # above, partner outward -1 with interior above.
+        if edge.outward == 1:
+            for other in pair_candidates(edge, space_radius):
+                if other.outward != -1:
+                    continue
+                gap = other.pos - edge.pos
+                if gap <= 0:
+                    continue
+                same_loop = other.loop == edge.loop
+                limit = (
+                    rules.effective_notch_nm
+                    if same_loop
+                    else rules.min_space_nm
+                )
+                if gap < limit:
+                    if same_loop:
+                        emit_band(
+                            edge,
+                            other,
+                            "MRC105",
+                            "notch",
+                            SEVERITY_ERROR,
+                            limit,
+                        )
+                    else:
+                        emit_band(
+                            edge,
+                            other,
+                            "MRC102",
+                            "min-space",
+                            SEVERITY_ERROR,
+                            limit,
+                        )
+
+    # --- corner-to-corner -------------------------------------------
+    if rules.corner_nm > 0 and corners:
+        corner_index: GridIndex[_Corner] = GridIndex(
+            _grid_size(rules.corner_nm)
+        )
+        for corner in corners:
+            corner_index.insert(
+                Rect(corner.x, corner.y, corner.x, corner.y), corner
+            )
+        for corner in corners:
+            # Anchor on the SW/NW member of each diagonal pair so every
+            # unordered pair is visited exactly once.
+            if corner.qx != 1:
+                continue
+            window = Rect(
+                corner.x,
+                corner.y - rules.corner_nm,
+                corner.x + rules.corner_nm,
+                corner.y + rules.corner_nm,
+            )
+            for _bbox, other in corner_index.query(window):
+                dx = other.x - corner.x
+                dy = other.y - corner.y
+                if dx <= 0 or dy == 0:
+                    continue
+                # Diagonal opposition: exterior quadrants must point at
+                # each other (NE vs SW or SE vs NW).
+                if other.qx != -1 or other.qy != -corner.qy:
+                    continue
+                if _sign(dy) != corner.qy:
+                    continue
+                distance = math.hypot(dx, dy)
+                if distance >= rules.corner_nm:
+                    continue
+                between = Rect.from_corners(
+                    (corner.x, corner.y), (other.x, other.y)
+                )
+                if not (Region(between) & merged).is_empty:
+                    continue
+                violations.append(
+                    MRCViolation(
+                        "MRC106",
+                        "corner",
+                        SEVERITY_WARNING,
+                        between,
+                        round(distance, 3),
+                        float(rules.corner_nm),
+                    )
+                )
+
+    return violations
+
+
+def _area_violations(merged: Region, rules: MRCRules) -> List[MRCViolation]:
+    """Figures below the minimum writable area (global rule)."""
+    if rules.min_area_nm2 <= 0:
+        return []
+    out: List[MRCViolation] = []
+    for poly in merged.outer_polygons():
+        area2 = poly.signed_area2()
+        if 0 < area2 < 2 * rules.min_area_nm2:
+            out.append(
+                MRCViolation(
+                    "MRC103",
+                    "min-area",
+                    SEVERITY_ERROR,
+                    poly.bbox(),
+                    area2 / 2.0,
+                    float(rules.min_area_nm2),
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Windowed / tiled evaluation
+# ---------------------------------------------------------------------------
+
+# Sentinel half-width for boundary tile cores: anything anchored beyond
+# the geometry bbox still belongs to the outermost tile row/column.
+_CORE_SENTINEL = 2**62
+
+
+def scan_window(payload: dict) -> List[dict]:
+    """Edge-rule sweep of one clipped window; top-level for pickling.
+
+    ``payload`` carries ``loops`` (point lists of the clipped merged
+    geometry), ``rules`` (as a plain dict), and ``core`` -- the
+    half-open ``[x1, x2) x [y1, y2)`` ownership box.  Only violations
+    whose marker anchor (lower-left corner) falls inside the core are
+    returned, which both deduplicates across tiles and discards clip
+    artifacts: the window extends ``interaction_nm`` beyond the core, so
+    an artificial clip edge can never anchor a marker inside it.
+    """
+    rules = MRCRules(**payload["rules"])
+    cx1, cy1, cx2, cy2 = payload["core"]
+    # The loops were cut from a canonical (merged) region, so rebuild
+    # without re-running the boolean engine -- hole orientation and
+    # disjointness are already guaranteed.
+    merged = Region._from_canonical(
+        [[tuple(pt) for pt in loop] for loop in payload["loops"]]
+    )
+    out: List[dict] = []
+    for violation in _edge_rule_violations(merged, rules):
+        ax, ay = violation.marker.x1, violation.marker.y1
+        if cx1 <= ax < cx2 and cy1 <= ay < cy2:
+            out.append(violation.to_dict())
+    return out
+
+
+def _window_grid(box: Rect, tile_nm: int) -> List[Tuple[Rect, Rect]]:
+    """(core, sentinel-extended core) tiles covering ``box``.
+
+    Mirrors the column-major split of :func:`repro.opc.tiling._tile_grid`
+    (duplicated here because verify must not import opc) with one
+    addition: boundary tiles get their outer core bounds pushed to
+    +/-2**62 so markers at the geometry rim always have an owner.
+    """
+    cols = max(1, -(-box.width // tile_nm))
+    rows = max(1, -(-box.height // tile_nm))
+    xs = [box.x1 + (box.width * k) // cols for k in range(cols + 1)]
+    ys = [box.y1 + (box.height * k) // rows for k in range(rows + 1)]
+    tiles: List[Tuple[Rect, Rect]] = []
+    for i in range(cols):
+        for j in range(rows):
+            core = Rect(xs[i], ys[j], xs[i + 1], ys[j + 1])
+            owner = Rect(
+                -_CORE_SENTINEL if i == 0 else core.x1,
+                -_CORE_SENTINEL if j == 0 else core.y1,
+                _CORE_SENTINEL if i == cols - 1 else core.x2,
+                _CORE_SENTINEL if j == rows - 1 else core.y2,
+            )
+            tiles.append((core, owner))
+    return tiles
+
+
+def window_payloads(
+    merged: Region, rules: MRCRules, tile_nm: int
+) -> List[dict]:
+    """Picklable per-tile work units for :func:`scan_window`."""
+    box = merged.bbox()
+    halo = rules.interaction_nm
+    rules_dict = rules.to_dict()
+    payloads: List[dict] = []
+    for core, owner in _window_grid(box, tile_nm):
+        clip = merged & Region(core.expanded(halo))
+        if clip.is_empty:
+            continue
+        payloads.append(
+            {
+                "loops": clip.loops,
+                "rules": rules_dict,
+                "core": [owner.x1, owner.y1, owner.x2, owner.y2],
+            }
+        )
+    return payloads
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def _attribute(
+    violations: List[MRCViolation], cell
+) -> List[MRCViolation]:
+    """Tag each violation with its owning cell via the spatial index."""
+    if cell is None or not violations:
+        return violations
+    from ..obs.spatial import cell_owner_index
+
+    try:
+        index = cell_owner_index(cell)
+    except Exception:
+        return violations
+    out: List[MRCViolation] = []
+    for violation in violations:
+        best = None
+        for _bbox, (name, depth, area) in index.query(violation.marker):
+            if not _bbox.intersects(violation.marker):
+                continue
+            rank = (-depth, area)
+            if best is None or rank < best[0]:
+                best = (rank, name)
+        out.append(
+            replace(violation, cell=best[1]) if best else violation
+        )
+    return out
+
+
+def check_mask_region(
+    mask_geometry: Region,
+    rules: Optional[MRCRules] = None,
+    cell=None,
+    tile_nm: int = 0,
+    n_workers: int = 1,
+    with_stats: bool = True,
+) -> MRCReport:
+    """Run the full MRC sweep over a corrected mask region.
+
+    ``tile_nm > 0`` splits the sweep into halo-padded windows (the halo
+    is :attr:`MRCRules.interaction_nm`, so results are independent of
+    the worker count); ``n_workers > 1`` additionally fans the windows
+    out over a multiprocessing pool.  ``cell`` attributes markers to
+    their owning layout cell when the mask came from a hierarchy.
+    ``with_stats=False`` skips the VSB fracture estimate when only the
+    violation list matters (e.g. repair post-conditions).
+    """
+    if rules is None:
+        rules = MRCRules()
+    rules.validated()
+    merged = mask_geometry.merged()
+
+    if merged.is_empty:
+        return MRCReport(rules=rules)
+    if with_stats:
+        from ..mask import mask_data_stats
+
+        stats = mask_data_stats(merged)
+
+    violations: List[MRCViolation]
+    if tile_nm <= 0:
+        violations = _edge_rule_violations(merged, rules)
+    else:
+        payloads = window_payloads(merged, rules, tile_nm)
+        if n_workers > 1 and len(payloads) > 1:
+            import multiprocessing
+
+            with multiprocessing.Pool(n_workers) as pool:
+                chunks = pool.map(scan_window, payloads)
+        else:
+            chunks = [scan_window(p) for p in payloads]
+        violations = [
+            MRCViolation.from_dict(item)
+            for chunk in chunks
+            for item in chunk
+        ]
+    # Min-area needs whole figures; clipped polygons would lie about
+    # their areas, so it always runs globally.
+    violations.extend(_area_violations(merged, rules))
+
+    violations = _attribute(violations, cell)
+    unique = {v.sort_key(): v for v in violations}
+    ordered = [unique[key] for key in sorted(unique)]
+    report = MRCReport(violations=ordered, rules=rules)
+    if with_stats:
+        report.shot_count = stats.shots
+        report.vertex_count = stats.vertices
+        report.figure_count = stats.figures
+    return report

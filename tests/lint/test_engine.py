@@ -18,20 +18,32 @@ from repro.lint import (
 
 class TestRegistry:
     def test_rule_count_in_spec_band(self):
-        # The issue asks for ~12-15 rules across three layers.
-        assert 12 <= len(registered_rules()) <= 18
+        # The issue asks for ~12-15 preflight rules across three layers;
+        # the postflight MRC1xx family rides in the same registry.
+        codes = [r.code for r in registered_rules()]
+        lnt = [c for c in codes if c.startswith("LNT")]
+        assert 12 <= len(lnt) <= 18
 
     def test_codes_unique_sorted_and_stable(self):
         codes = [r.code for r in registered_rules()]
         assert codes == sorted(codes)
         assert len(codes) == len(set(codes))
-        assert all(code.startswith("LNT") for code in codes)
+        assert all(code.startswith(("LNT", "MRC")) for code in codes)
 
     def test_three_layers_present(self):
         codes = [r.code for r in registered_rules()]
         assert any(c.startswith("LNT1") for c in codes)  # config
         assert any(c.startswith("LNT2") for c in codes)  # layout
         assert any(c.startswith("LNT3") for c in codes)  # pipeline
+        assert any(c.startswith("MRC1") for c in codes)  # postflight mask
+
+    def test_mrc_family_mirrors_the_engine_catalog(self):
+        from repro.verify.mrc import MRC_RULE_CATALOG
+
+        mrc_codes = [
+            r.code for r in registered_rules() if r.code.startswith("MRC")
+        ]
+        assert mrc_codes == sorted(MRC_RULE_CATALOG)
 
     def test_every_rule_has_metadata(self):
         for entry in registered_rules():

@@ -1,0 +1,194 @@
+"""The ship-nothing-broken gate: bad masks die before any GDS export.
+
+Mirror of ``test_preflight``: where that suite proves a doomed job never
+touches the simulator, this one proves a mask the shop would bounce
+never leaves ``correct_region`` / ``tapeout_region`` -- it dies as a
+:class:`PostflightError` carrying the localized markers, unless the
+caller explicitly ships it with ``postflight=False``.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import PostflightError
+from repro.flow import (
+    CorrectionLevel,
+    TapeoutRecipe,
+    correct_region,
+    flow_quality,
+    tapeout_region,
+)
+from repro.geometry import Rect, Region
+from repro.lint import gate_postflight, postflight_mask
+from repro.litho import LithoConfig, LithoSimulator, krf_annular
+from repro.obs import runs as obs_runs
+from repro.opc import ModelOPCRecipe, TilingSpec
+from repro.verify.mrc import MRCRules
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return LithoSimulator(
+        LithoConfig(optics=krf_annular(), pixel_nm=8.0, ambit_nm=600)
+    )
+
+
+def clean_target():
+    return Region.from_rects(
+        [Rect(x, -400, x + 180, 400) for x in (0, 460)]
+    )
+
+
+def dirty_target():
+    """A 30nm bar and a 30nm gap: one MRC101 and one MRC102 by
+    construction (the CI smoke mask)."""
+    return Region.from_rects(
+        [Rect(0, 0, 30, 200), Rect(200, 0, 430, 200), Rect(460, 0, 690, 200)]
+    )
+
+
+def span_names(roots):
+    names = []
+
+    def walk(span):
+        names.append(span.name)
+        for child in span.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return names
+
+
+def find_span(roots, name):
+    def walk(span):
+        if span.name == name:
+            return span
+        for child in span.children:
+            found = walk(child)
+            if found is not None:
+                return found
+        return None
+
+    for root in roots:
+        found = walk(root)
+        if found is not None:
+            return found
+    return None
+
+
+class TestGatePrimitives:
+    def test_clean_mask_passes_with_full_report(self):
+        result = postflight_mask(clean_target())
+        assert result.ok
+        assert result.mrc.is_clean
+        assert result.mrc.shot_count > 0
+        assert gate_postflight(result) is result
+
+    def test_dirty_mask_raises_with_localized_diagnostics(self):
+        result = postflight_mask(dirty_target())
+        with pytest.raises(PostflightError) as err:
+            gate_postflight(result, stage="correct")
+        assert "correct postflight" in str(err.value)
+        codes = {d.code for d in err.value.diagnostics}
+        assert codes == {"MRC101", "MRC102"}
+
+
+class TestCorrectRegionGate:
+    def test_dirty_mask_dies_before_returning(self):
+        with pytest.raises(PostflightError) as err:
+            correct_region(
+                dirty_target(), CorrectionLevel.NONE, preflight=False
+            )
+        assert "MRC101" in str(err.value)
+
+    def test_no_postflight_ships_the_dirty_mask(self):
+        with obs.capture() as cap:
+            result = correct_region(
+                dirty_target(), CorrectionLevel.NONE,
+                preflight=False, postflight=False,
+            )
+        assert result.mrc_report is None
+        assert "mrc_violations" not in flow_quality(result.data, result.opc)
+        span = find_span(cap.roots, "correct.postflight")
+        assert span is not None and span.attrs["skipped"] is True
+
+    def test_clean_mask_records_verdict_and_quality(self):
+        with obs.capture() as cap:
+            result = correct_region(
+                clean_target(), CorrectionLevel.NONE, preflight=False
+            )
+        assert result.mrc_report is not None
+        assert result.mrc_report.is_clean
+        quality = flow_quality(result.data, result.opc, result.mrc_report)
+        assert quality["mrc_violations"] == 0
+        assert quality["mask_shot_count"] == result.mrc_report.shot_count
+        span = find_span(cap.roots, "correct.postflight")
+        assert span.attrs["violations"] == 0
+        assert span.attrs["shots"] == result.mrc_report.shot_count
+
+    def test_custom_limits_reach_the_gate(self):
+        # 180nm bars are fine at the default 40nm but not at 200nm.
+        with pytest.raises(PostflightError):
+            correct_region(
+                clean_target(), CorrectionLevel.NONE,
+                preflight=False, mrc=MRCRules(200, 40),
+            )
+
+
+class TestTapeoutGate:
+    def test_instrumented_tapeout_records_mrc_in_the_ledger(
+        self, tmp_path, monkeypatch
+    ):
+        recipe = TapeoutRecipe(
+            level=CorrectionLevel.MODEL,
+            model_recipe=ModelOPCRecipe(max_iterations=1),
+            tiling=TilingSpec(tile_nm=1500, halo_nm=300),
+        )
+        monkeypatch.setenv(obs_runs.RUNS_DIR_ENV, str(tmp_path))
+        with obs.capture() as cap:
+            result = tapeout_region(
+                clean_target(), simulator=LithoSimulator(
+                    LithoConfig(
+                        optics=krf_annular(), pixel_nm=8.0, ambit_nm=600
+                    )
+                ),
+                dose=1.0, recipe=recipe, verify=False,
+            )
+        assert result.mrc_report is not None
+        record = obs_runs.RunLedger(tmp_path).load_entry(
+            obs_runs.RunLedger(tmp_path).entries()[0]
+        )
+        assert record.mrc is not None
+        assert record.mrc["ok"] is True
+        assert record.mrc["shot_count"] == result.mrc_report.shot_count
+        assert record.quality["mrc_violations"] == 0
+        assert record.quality["mask_shot_count"] == \
+            result.mrc_report.shot_count
+        assert "tapeout.postflight" in span_names(cap.roots)
+
+
+class TestPerTileAdvisory:
+    """Tiled model OPC annotates each tile's MRC findings as advisory
+    context; the stitched-whole postflight stays authoritative."""
+
+    def test_multi_tile_run_evaluates_per_tile_mrc(self, simulator):
+        result = correct_region(
+            clean_target(), CorrectionLevel.MODEL, simulator=simulator,
+            model_recipe=ModelOPCRecipe(max_iterations=1),
+            tiling=TilingSpec(tile_nm=500, halo_nm=300),
+            preflight=False,
+        )
+        assert result.opc is not None
+        assert result.opc.tile_mrc is not None
+        for finding in result.opc.tile_mrc:
+            assert finding["rule_id"].startswith("MRC")
+
+    def test_gate_off_disables_tile_evaluation(self, simulator):
+        result = correct_region(
+            clean_target(), CorrectionLevel.MODEL, simulator=simulator,
+            model_recipe=ModelOPCRecipe(max_iterations=1),
+            tiling=TilingSpec(tile_nm=500, halo_nm=300),
+            preflight=False, postflight=False,
+        )
+        assert result.opc.tile_mrc is None

@@ -405,7 +405,7 @@ class TestLedger14:
             "test", {"k": 1}, [], metrics={}, profile=self.summary(),
             git_rev=None,
         )
-        assert record.schema == "repro-run/1.4"
+        assert record.schema == obs_runs.RUN_SCHEMA
         assert record.profile is not None
         assert record.quality["cpu_total_s"] == 0.5
         assert record.quality["cpu.tapeout_s"] == 0.5

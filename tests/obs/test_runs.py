@@ -526,8 +526,8 @@ class TestPreflightSchema:
     }
 
     def test_new_records_carry_the_current_schema(self):
-        assert obs_runs.RUN_SCHEMA == "repro-run/1.4"
-        assert make_record().schema == "repro-run/1.4"
+        assert obs_runs.RUN_SCHEMA == "repro-run/1.5"
+        assert make_record().schema == "repro-run/1.5"
 
     def test_preflight_payload_round_trips(self):
         record = obs_runs.new_record(
@@ -689,6 +689,78 @@ class TestEventsSchema:
         assert tracker.summary() == record.progress
         assert record.progress["tiles_done"] == 1
         assert record.progress["complete"] is True
+
+
+class TestMRCSchema:
+    """Schema 1.5: the additive postflight ``mrc`` summary field."""
+
+    MRC = {
+        "ok": False,
+        "violations": 2,
+        "errors": 2,
+        "warnings": 0,
+        "by_rule": {"MRC101": 1, "MRC102": 1},
+        "shot_count": 14,
+        "vertex_count": 40,
+        "figure_count": 3,
+        "limits": {"min_width_nm": 40.0, "min_space_nm": 40.0},
+        "markers": [
+            {"rule_id": "MRC101", "kind": "width", "severity": "error",
+             "marker": [0.0, 0.0, 30.0, 200.0], "measured_nm": 30.0,
+             "limit_nm": 40.0, "cell": "TOP"},
+        ],
+    }
+
+    def test_mrc_payload_round_trips(self, tmp_path):
+        record = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={}, quality={"figures": 1},
+            mrc=self.MRC, git_rev=None,
+        )
+        ledger = obs_runs.RunLedger(tmp_path)
+        ledger.append(record)
+        loaded = ledger.load(record.run_id)
+        assert loaded.mrc == self.MRC
+        assert loaded.canonical_json() == record.canonical_json()
+
+    def test_mrc_summary_lands_in_quality_gauges(self):
+        record = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={}, quality={"figures": 1},
+            mrc=self.MRC, git_rev=None,
+        )
+        assert record.quality["mrc_violations"] == 2
+        assert record.quality["mask_shot_count"] == 14
+
+    def test_explicit_quality_wins_over_mrc_defaults(self):
+        record = obs_runs.new_record(
+            "x", CONFIG, make_roots(), metrics={},
+            quality={"figures": 1, "mrc_violations": 7},
+            mrc=self.MRC, git_rev=None,
+        )
+        assert record.quality["mrc_violations"] == 7
+
+    def test_absent_mrc_omitted_from_dict(self):
+        data = make_record().to_dict()
+        assert "mrc" not in data
+
+    def test_pre_1_5_record_loads_and_diffs(self, tmp_path):
+        """A 1.4 ledger (no mrc field) loads, diffs and serialises
+        unchanged under the 1.5 code."""
+        data = make_record().to_dict()
+        data["schema"] = "repro-run/1.4"
+        path = tmp_path / "runs.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(data, sort_keys=True) + "\n")
+        ledger = obs_runs.RunLedger(tmp_path)
+        loaded = ledger.load(data["run_id"])
+        assert loaded.schema == "repro-run/1.4"
+        assert loaded.mrc is None
+        assert loaded.to_dict() == data
+        fresh = obs_runs.new_record(
+            "tapeout", CONFIG, make_roots(), metrics={},
+            quality={"figures": 10}, mrc=self.MRC, git_rev=None,
+        )
+        diff = obs_runs.diff_runs(loaded, fresh)
+        assert diff is not None
 
 
 class TestCorruptLedger:

@@ -70,7 +70,7 @@ class TestFlameArtifacts:
         _, runs_dir = flame_run
         ledger = obs_runs.RunLedger(runs_dir)
         record = ledger.load_entry(ledger.resolve("last"))
-        assert record.schema == "repro-run/1.4"
+        assert record.schema == obs_runs.RUN_SCHEMA
         assert record.profile is not None
         assert record.profile["sample_count"] > 0
         assert record.profile["hz"] == 200.0

@@ -1,0 +1,155 @@
+"""MRC engine properties: exact localization, zero false positives,
+worker-count invariance and deterministic SARIF.
+
+The zero-false-positive guarantee is the load-bearing one: a postflight
+gate that cries wolf gets ``--no-postflight``'d into irrelevance, so
+hypothesis plants known-clean and known-dirty farms and demands that
+the marker set equals the planted set exactly -- nothing missing,
+nothing extra.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, Region
+from repro.verify.mrc import MRCRules, check_mask_region
+
+RULES = MRCRules(min_width_nm=40, min_space_nm=40)
+
+# Bars are spawned on a coarse site grid so neighbours stay >= 60nm
+# apart: the only violations possible are the widths we plant.
+PITCH = 300
+BAR_H = 200
+
+
+def bar_farm(widths):
+    """One bar per width, each on its own 300nm site: planted widths
+    below 40nm are the exact expected MRC101 markers."""
+    return Region.from_rects(
+        [
+            Rect(i * PITCH, 0, i * PITCH + w, BAR_H)
+            for i, w in enumerate(widths)
+        ]
+    )
+
+
+@given(
+    widths=st.lists(
+        st.integers(min_value=1, max_value=120), min_size=1, max_size=12
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_planted_bars_localize_exactly_with_zero_false_positives(widths):
+    report = check_mask_region(bar_farm(widths), RULES, with_stats=False)
+    planted = {
+        (i * PITCH, 0, i * PITCH + w, BAR_H)
+        for i, w in enumerate(widths)
+        if w < RULES.min_width_nm
+    }
+    got = {
+        tuple(v.marker)
+        for v in report.violations
+        if v.rule_id == "MRC101"
+    }
+    assert got == planted
+    # Wide-enough isolated bars admit no other rule at these limits.
+    assert all(v.rule_id in ("MRC101", "MRC103") for v in report.violations)
+
+
+@given(
+    widths=st.lists(
+        st.integers(min_value=40, max_value=120), min_size=1, max_size=12
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_legal_farms_are_always_clean(widths):
+    report = check_mask_region(bar_farm(widths), RULES, with_stats=False)
+    assert report.is_clean
+
+
+@given(
+    gaps=st.lists(
+        st.integers(min_value=1, max_value=39), min_size=1, max_size=6
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_planted_gaps_localize_exactly(gaps):
+    """Pairs of legal bars separated by a planted sub-limit gap."""
+    boxes, expected, x = [], set(), 0
+    for gap in gaps:
+        boxes.append(Rect(x, 0, x + 100, BAR_H))
+        boxes.append(Rect(x + 100 + gap, 0, x + 200 + gap, BAR_H))
+        expected.add((x + 100, 0, x + 100 + gap, BAR_H))
+        x += 200 + gap + 100  # >= 100nm to the next pair: no cross-talk
+    report = check_mask_region(
+        Region.from_rects(boxes), RULES, with_stats=False
+    )
+    assert {
+        tuple(v.marker)
+        for v in report.violations
+        if v.rule_id == "MRC102"
+    } == expected
+    assert all(v.rule_id == "MRC102" for v in report.violations)
+
+
+class TestTiledParity:
+    """Windowed evaluation is invariant under tiling and worker count."""
+
+    def sliver_farm(self):
+        """20 bars, half of them sub-limit, spanning several 1000nm
+        tiles so markers land on both sides of tile seams."""
+        widths = [30 if i % 2 else 80 for i in range(20)]
+        return bar_farm(widths)
+
+    def keyset(self, report):
+        return sorted(v.sort_key() for v in report.violations)
+
+    def test_tiled_matches_untiled(self):
+        farm = self.sliver_farm()
+        flat = check_mask_region(farm, RULES, with_stats=False)
+        tiled = check_mask_region(
+            farm, RULES, tile_nm=1000, with_stats=False
+        )
+        assert self.keyset(tiled) == self.keyset(flat)
+        assert len(flat.violations) == 10
+
+    def test_worker_count_does_not_change_the_report(self):
+        farm = self.sliver_farm()
+        reports = [
+            check_mask_region(
+                farm, RULES, tile_nm=1000, n_workers=n, with_stats=False
+            )
+            for n in (1, 2, 4)
+        ]
+        baseline = self.keyset(reports[0])
+        assert all(self.keyset(r) == baseline for r in reports[1:])
+
+    def test_seam_straddling_violation_reported_once(self):
+        """A narrow bar crossing a tile boundary dedupes to one marker."""
+        bar = Region.from_rects([Rect(980, 0, 1010, 200)])
+        report = check_mask_region(
+            bar, RULES, tile_nm=1000, with_stats=False
+        )
+        assert [tuple(v.marker) for v in report.violations] == [
+            (980, 0, 1010, 200)
+        ]
+
+
+class TestDeterministicSarif:
+    def test_sarif_is_byte_identical_across_runs_and_workers(self):
+        from repro import lint
+
+        farm = Region.from_rects(
+            [Rect(i * 300, 0, i * 300 + (30 if i % 2 else 80), 200)
+             for i in range(20)]
+        )
+        blobs = []
+        for n_workers in (1, 2, 4, 1):
+            mrc = check_mask_region(
+                farm, RULES, tile_nm=1000, n_workers=n_workers
+            )
+            report = lint.mrc_lint_report(mrc, max_locations=None)
+            blobs.append(
+                lint.to_sarif(report, artifact="farm.gds").encode()
+            )
+        assert len(set(blobs)) == 1

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific static lint over ``src/repro`` (stdlib ``ast`` only).
 
-Five rules the generic linters cannot express:
+Six rules the generic linters cannot express:
 
 R001  No wall-clock or unseeded-random calls in deterministic hot paths
       (``repro.geometry``, ``repro.opc``).  Tile stitching is
@@ -40,6 +40,16 @@ R005  Metric and counter names (``obs.count`` / ``observe`` /
       R002 convention both key on these names; one mis-suffixed counter
       makes ``runs diff`` tables lie about units.
 
+R006  Diagnostic rule ids are unique across the LNT and MRC namespaces
+      and every registered id appears in the SARIF golden catalog
+      (``tests/lint/golden_check.sarif``).  LNT ids come from literal
+      ``@rule("LNT...")`` registrations under ``repro.lint``; MRC ids
+      from the ``MRC_RULE_CATALOG`` literal in ``repro.verify.mrc``
+      (registered dynamically, invisible to a decorator scan).  A
+      duplicated id makes two different findings indistinguishable in
+      every SARIF viewer; a missing catalog entry means the golden file
+      was not regenerated after adding a rule.
+
 Waive a finding with a trailing ``# repro-lint: ignore[R00X]`` comment
 on the offending line.  Exit 1 when findings remain.
 """
@@ -47,6 +57,7 @@ on the offending line.  Exit 1 when findings remain.
 from __future__ import annotations
 
 import ast
+import json
 import re
 import sys
 from pathlib import Path
@@ -126,6 +137,12 @@ METRIC_UNIT_HINTS = (
 )
 
 WAIVER = re.compile(r"#\s*repro-lint:\s*ignore\[(R\d{3})\]")
+
+#: R006: where diagnostic rule ids are declared, and the golden catalog
+#: they must all appear in.
+LINT_RULES_DIR = SRC / "lint"
+MRC_CATALOG_MODULE = SRC / "verify" / "mrc.py"
+SARIF_GOLDEN = REPO / "tests" / "lint" / "golden_check.sarif"
 
 
 class Finding(NamedTuple):
@@ -305,6 +322,83 @@ def check_metric_names(path: Path, tree: ast.AST) -> Iterator[Finding]:
                 break
 
 
+def _declared_rule_ids() -> List[tuple]:
+    """Every declared diagnostic id as ``(code, path, line)``.
+
+    LNT ids are literal first arguments of ``@rule(...)`` registrations
+    under ``repro.lint``; MRC ids are the string keys of the
+    ``MRC_RULE_CATALOG`` literal (their ``@rule`` calls pass a loop
+    variable, so the decorator scan cannot see them).
+    """
+    declared: List[tuple] = []
+    for path in sorted(LINT_RULES_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if dotted_name(node.func).rsplit(".", 1)[-1] != "rule":
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                declared.append((first.value, path, node.lineno))
+    tree = ast.parse(
+        MRC_CATALOG_MODULE.read_text(encoding="utf-8"),
+        filename=str(MRC_CATALOG_MODULE),
+    )
+    for node in ast.walk(tree):
+        target = node.target if isinstance(node, ast.AnnAssign) else None
+        if not (isinstance(target, ast.Name) and target.id == "MRC_RULE_CATALOG"):
+            continue
+        if isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    declared.append((key.value, MRC_CATALOG_MODULE, key.lineno))
+    return declared
+
+
+def check_rule_catalog() -> List[Finding]:
+    """R006: unique diagnostic ids, all present in the SARIF golden catalog."""
+    findings: List[Finding] = []
+    declared = _declared_rule_ids()
+    first_seen: dict = {}
+    for code, path, line in declared:
+        if code in first_seen:
+            findings.append(Finding(
+                "R006", path, line,
+                f"diagnostic id {code} already declared in {first_seen[code]}; "
+                f"ids must be unique across the LNT and MRC namespaces",
+            ))
+        else:
+            first_seen[code] = str(path.relative_to(REPO))
+    try:
+        doc = json.loads(SARIF_GOLDEN.read_text(encoding="utf-8"))
+        catalog = {
+            entry["id"] for entry in doc["runs"][0]["tool"]["driver"]["rules"]
+        }
+    except (OSError, KeyError, IndexError, ValueError):
+        findings.append(Finding(
+            "R006", SARIF_GOLDEN, 1,
+            "cannot read the SARIF golden rule catalog; regenerate it with "
+            "`python tests/lint/test_emit_sarif.py`",
+        ))
+        return findings
+    for code, path, line in declared:
+        if code not in catalog:
+            findings.append(Finding(
+                "R006", path, line,
+                f"diagnostic id {code} is missing from the SARIF golden "
+                f"catalog; regenerate tests/lint/golden_check.sarif with "
+                f"`python tests/lint/test_emit_sarif.py`",
+            ))
+    for stale in sorted(catalog - {code for code, _, _ in declared}):
+        findings.append(Finding(
+            "R006", SARIF_GOLDEN, 1,
+            f"golden catalog lists {stale} but no rule declares it; "
+            f"regenerate the golden file",
+        ))
+    return findings
+
+
 def waived_lines(source: str) -> dict:
     waivers: dict = {}
     for i, line in enumerate(source.splitlines(), start=1):
@@ -342,6 +436,7 @@ def main() -> int:
     findings: List[Finding] = []
     for path in paths:
         findings.extend(lint_file(path))
+    findings.extend(check_rule_catalog())
     for finding in findings:
         print(finding)
     if findings:
